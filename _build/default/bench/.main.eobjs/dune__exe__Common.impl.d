@@ -1,0 +1,1 @@
+bench/common.ml: Option Printf Sys Uknetdev Uknetstack Ukplat Uksched Uksim Unikraft

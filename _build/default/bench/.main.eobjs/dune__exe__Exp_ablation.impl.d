@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Bytes Cfg Common Heapq_cancel List Option Result Ukalloc Ukblock Ukmpk Uknetdev Uksim Uksyscall Uktime Ukvfs Unix Vm Vmm

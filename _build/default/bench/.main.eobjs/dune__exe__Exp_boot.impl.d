@@ -1,0 +1,1 @@
+bench/exp_boot.ml: Cfg Common List Printf Ukalloc Uknetdev Ukos Uksim Vm Vmm

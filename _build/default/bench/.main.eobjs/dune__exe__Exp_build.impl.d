@@ -1,0 +1,1 @@
+bench/exp_build.ml: Char Common Fmt List Printf String Ukbuild Ukgraph Ukos Uksyscall

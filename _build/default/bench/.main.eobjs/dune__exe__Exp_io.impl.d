@@ -1,0 +1,1 @@
+bench/exp_io.ml: A Array Bytes Cfg Common List Option Printf Result Ukalloc Ukapps Uknetdev Uksched Uksim Ukvfs Vm Vmm

@@ -1,0 +1,1 @@
+bench/exp_perf.ml: Cfg Common List Option Printf Ukapps Ukos Uksim Uksyscall Vm Vmm

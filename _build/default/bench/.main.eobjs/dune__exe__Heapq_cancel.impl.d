@@ -1,0 +1,1 @@
+bench/heapq_cancel.ml: Uksim

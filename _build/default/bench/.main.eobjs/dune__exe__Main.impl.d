@@ -1,0 +1,1 @@
+bench/main.ml: Array Common Exp_ablation Exp_boot Exp_build Exp_io Exp_perf List Micro Printexc Printf Sys Unix

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Hashtbl List Measure Printf Staged Test Time Toolkit Ukalloc Ukapps Ukbuild Uknetdev Uknetstack Ukring Uksim Uksyscall Uktime

@@ -1,0 +1,71 @@
+(* Shared plumbing for the experiment harness. *)
+
+module Cfg = Unikraft.Config
+module Vm = Unikraft.Vm
+module Vmm = Ukplat.Vmm
+module A = Uknetstack.Addr
+
+type experiment = { id : string; title : string; run : unit -> unit }
+
+let section id title =
+  Printf.printf "\n=== %s: %s ===\n" id title
+
+let row fmt = Printf.printf fmt
+
+let ms ns = ns /. 1e6
+let us ns = ns /. 1e3
+
+(* Scale factor for request counts: UKRAFT_FAST=1 shrinks workloads for
+   smoke runs. *)
+let fast = try Sys.getenv "UKRAFT_FAST" = "1" with Not_found -> false
+
+let scaled n = if fast then max 100 (n / 20) else n
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith ("experiment setup failed: " ^ e)
+
+(* A served Unikraft VM + client-side stack over a virtio wire, ready for
+   load generation. Both sides share one timeline; client-side costs are
+   kept small so the guest remains the bottleneck (the paper pins VM, VMM
+   and client to distinct cores — see DESIGN.md for the substitution
+   note). *)
+type served = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  sched : Uksched.Sched.t;
+  env : Vm.env;
+  client_stack : Uknetstack.Stack.t;
+  server_ip : A.Ipv4.t;
+}
+
+let serve_vm ?(alloc = Cfg.Mimalloc) ?(net = Cfg.Vhost_net) ~app () =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  let wa, wb = Uknetdev.Wire.create_pair ~engine () in
+  let cfg = ok (Cfg.make ~app ~net ~alloc ~mem_mb:64 ()) in
+  let env = ok (Vm.boot ~vmm:Vmm.Qemu ~clock ~engine ~wire:wa cfg) in
+  let sched = Option.get env.Vm.sched in
+  let backend =
+    match net with
+    | Cfg.Vhost_user -> Uknetdev.Virtio_net.Vhost_user
+    | Cfg.Vhost_net | Cfg.No_net -> Uknetdev.Virtio_net.Vhost_net
+  in
+  let cdev = Uknetdev.Virtio_net.create ~clock ~engine ~backend ~wire:wb () in
+  let client_stack =
+    Uknetstack.Stack.create ~clock ~engine ~sched ~dev:cdev
+      {
+        Uknetstack.Stack.mac = A.Mac.of_int 0xc11e47;
+        ip = A.Ipv4.of_string "172.44.0.3";
+        netmask = A.Ipv4.of_string "255.255.255.0";
+        gateway = None;
+      }
+  in
+  Uknetstack.Stack.start client_stack;
+  { clock; engine; sched; env; client_stack; server_ip = A.Ipv4.of_string "172.44.0.2" }
+
+let kreq v = v /. 1000.0
+
+let alloc_name = Cfg.alloc_backend_name
+
+let all_allocs = [ Cfg.Bootalloc; Cfg.Tlsf; Cfg.Tinyalloc; Cfg.Mimalloc; Cfg.Buddy ]

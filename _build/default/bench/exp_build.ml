@@ -1,0 +1,253 @@
+(* Build-side experiments: dependency graphs, image sizes, porting study,
+   syscall support analyses (Figs 1-3, 5-9; Table 2). *)
+
+open Common
+module G = Ukgraph.Digraph
+module L = Ukbuild.Linker
+module Cat = Ukbuild.Catalog
+module P = Ukbuild.Porting
+
+let fig01 =
+  {
+    id = "fig01";
+    title = "Linux kernel component dependency graph";
+    run =
+      (fun () ->
+        let g = Ukgraph.Linux_kernel.graph () in
+        row "%-10s %10s %10s %12s\n" "component" "out-edges" "in-edges" "out-calls";
+        List.iter
+          (fun c ->
+            let out_calls =
+              List.fold_left (fun acc s -> acc + G.weight g c s) 0 (G.succs g c)
+            in
+            row "%-10s %10d %10d %12d\n" c (G.out_degree g c) (G.in_degree g c) out_calls)
+          Ukgraph.Linux_kernel.components;
+        row "components=%d edges=%d total-dependencies=%d density=%.2f\n" (G.n_nodes g)
+          (G.n_edges g) (G.total_weight g) (Ukgraph.Linux_kernel.density ());
+        row
+          "=> removing any single component requires fixing its dependents, e.g. mm: %d dependents\n"
+          (List.length (Ukgraph.Linux_kernel.removal_impact "mm")));
+  }
+
+let image_of ?(flags = L.default_flags) ?(net = false) ?(fs = false) ?alloc ?sched ~plat app =
+  let r = Cat.registry () in
+  let roots = Cat.app_roots ~app ~net ~fs ?alloc ?sched () in
+  match L.link r ~name:app ~platform:plat ~roots ~flags () with
+  | Ok img -> img
+  | Error e -> failwith e
+
+let dep_graph_exp id name app net alloc sched =
+  {
+    id;
+    title = Printf.sprintf "%s Unikraft dependency graph" name;
+    run =
+      (fun () ->
+        let img = image_of ~net ?alloc ?sched ~plat:"plat-kvm" app in
+        row "libraries (%d): %s\n" (List.length img.L.libs) (String.concat " " img.L.libs);
+        row "%-16s -> %s\n" "library" "dependencies (api calls)";
+        List.iter
+          (fun lib ->
+            let succs = G.succs img.L.dep_graph lib in
+            if succs <> [] then
+              row "%-16s -> %s\n" lib
+                (String.concat ", "
+                   (List.map
+                      (fun d -> Printf.sprintf "%s(%d)" d (G.weight img.L.dep_graph lib d))
+                      succs)))
+          (G.nodes img.L.dep_graph);
+        row "image: %s\n" (Fmt.str "%a" L.pp_image img));
+  }
+
+let fig02 = dep_graph_exp "fig02" "nginx" "app-nginx" true (Some "alloc-tlsf") (Some "sched-coop")
+let fig03 = dep_graph_exp "fig03" "helloworld" "app-hello" false None None
+
+let fig04 =
+  {
+    id = "fig04";
+    title = "the Unikraft architecture: APIs and specialization scenarios";
+    run =
+      (fun () ->
+        row "%s\n"
+          (String.concat "\n"
+             [
+               "  app layer      : app-{hello,nginx,redis,sqlite,webcache,udpkv,httpreply}";
+               "  libc layer     : nolibc | musl (+glibc-compat) | newlib        (1)";
+               "  posix layer    : uksyscall shim (146 syscalls, ENOSYS stubs)";
+               "  socket/file    : lwip sockets (2)        vfscore (3)";
+               "  core APIs      : uksched (4) | ukboot (5) | ukalloc (6) |";
+               "                   uknetdev (7) | ukblock (8)";
+               "  backends       : {coop,preempt} | {buddy,tlsf,tinyalloc,mimalloc,";
+               "                   bootalloc,oscar} | virtio-net/{vhost-net,vhost-user} |";
+               "                   virtio-blk/ramdisk | ramfs/9pfs/shfs";
+               "  platform       : plat-{kvm,xen,fc,solo5,linuxu}";
+               "  support        : ukdebug ukring uktime uklibparam ukmpk ukasan";
+             ]);
+        row "\nscenario -> experiment map:\n";
+        List.iter
+          (fun (n, what) -> row "  (%d) %s\n" n what)
+          [
+            (1, "unmodified app + libc: figs 12/13/17");
+            (2, "standard sockets over lwip: figs 12/13, tab 4 LWIP row");
+            (3, "vfscore path vs specialized SHFS: fig 22");
+            (4, "pluggable schedulers: coop vs preempt vs none (run-to-completion)");
+            (5, "specialized boot code: fig 21 (page tables), fig 14 (allocators)");
+            (6, "pluggable allocators: figs 14-18");
+            (7, "raw uknetdev: fig 19, tab 4 uknetdev row");
+            (8, "raw ukblock: abl-block");
+          ])
+  }
+
+let fig05 =
+  {
+    id = "fig05";
+    title = "syscalls required by 30 server apps vs supported (heatmap)";
+    run =
+      (fun () ->
+        let hm = Uksyscall.Appdb.heatmap () in
+        row "legend: '.'=unneeded  1-9,#=apps needing it  uppercase=supported by Unikraft\n";
+        List.iteri
+          (fun i cell ->
+            if i mod 32 = 0 then row "\n%3d  " i;
+            let open Uksyscall.Appdb in
+            let c =
+              if cell.needed_by = 0 then if cell.supported then 'o' else '.'
+              else begin
+                let d =
+                  if cell.needed_by >= 30 then '#'
+                  else Char.chr (Char.code '0' + min 9 (cell.needed_by / 4 + 1))
+                in
+                if cell.supported then
+                  (* uppercase-ish marker: letters A.. for supported *)
+                  Char.chr (Char.code d - Char.code '0' + Char.code 'A')
+                else d
+              end
+            in
+            print_char c)
+          hm;
+        row "\n";
+        let needed = List.filter (fun c -> c.Uksyscall.Appdb.needed_by > 0) hm in
+        let supported_needed =
+          List.filter (fun c -> c.Uksyscall.Appdb.supported) needed
+        in
+        row "needed by >=1 app: %d/314; of those supported: %d (%.0f%%)\n" (List.length needed)
+          (List.length supported_needed)
+          (100.0 *. float_of_int (List.length supported_needed) /. float_of_int (List.length needed)));
+  }
+
+let fig06 =
+  {
+    id = "fig06";
+    title = "developer survey: porting effort over time";
+    run =
+      (fun () ->
+        row "%-8s %10s %10s %10s %10s\n" "quarter" "lib(h)" "deps(h)" "OS(h)" "build(h)";
+        List.iter
+          (fun (q, (l, d, o, b)) -> row "%-8s %10.1f %10.1f %10.1f %10.1f\n" q l d o b)
+          (P.Survey.by_quarter ());
+        row "=> dependency and OS-primitive effort collapses as the common code base matures\n");
+  }
+
+let fig07 =
+  {
+    id = "fig07";
+    title = "syscall support per app: now / +5 / +10 / +15 most-wanted";
+    run =
+      (fun () ->
+        row "%-18s %5s %6s %6s %6s %6s\n" "application" "#req" "now" "+5" "+10" "+15";
+        List.iter
+          (fun c ->
+            let open Uksyscall.Appdb in
+            row "%-18s %5d %5.0f%% %5.0f%% %5.0f%% %5.0f%%\n" c.app c.n_required
+              (100. *. c.now) (100. *. c.plus5) (100. *. c.plus10) (100. *. c.plus15))
+          (Uksyscall.Appdb.coverage ());
+        let next = Uksyscall.Appdb.most_wanted_missing 5 in
+        row "next 5 most-wanted: %s\n"
+          (String.concat ", " (List.map Uksyscall.Sysno.name next)));
+  }
+
+let fig08 =
+  {
+    id = "fig08";
+    title = "Unikraft image sizes with and without LTO and DCE";
+    run =
+      (fun () ->
+        row "%-12s %12s %12s %12s %12s\n" "app" "plain" "+DCE" "+LTO" "+DCE+LTO";
+        List.iter
+          (fun (app, net, fs) ->
+            let sz dce lto =
+              (image_of ~flags:{ L.dce; lto } ~net ~fs ~alloc:"alloc-tlsf" ~sched:"sched-coop"
+                 ~plat:"plat-kvm" app)
+                .L.image_bytes
+            in
+            let hello = app = "app-hello" in
+            let sz dce lto =
+              if hello then (image_of ~flags:{ L.dce; lto } ~plat:"plat-kvm" app).L.image_bytes
+              else sz dce lto
+            in
+            row "%-12s %10dKB %10dKB %10dKB %10dKB\n"
+              (String.sub app 4 (String.length app - 4))
+              (sz false false / 1024) (sz true false / 1024) (sz false true / 1024)
+              (sz true true / 1024))
+          [ ("app-hello", false, false); ("app-nginx", true, false); ("app-redis", true, false);
+            ("app-sqlite", false, true) ]);
+  }
+
+let fig09 =
+  {
+    id = "fig09";
+    title = "image sizes: Unikraft vs other OSes (stripped, w/o LTO+DCE)";
+    run =
+      (fun () ->
+        let flags = { L.dce = true; lto = false } in
+        let uk app net fs =
+          let img =
+            if app = "app-hello" then image_of ~flags ~plat:"plat-kvm" app
+            else image_of ~flags ~net ~fs ~alloc:"alloc-tlsf" ~sched:"sched-coop"
+                ~plat:"plat-kvm" app
+          in
+          img.L.image_bytes / 1024
+        in
+        let uk_sizes =
+          [ ("hello", uk "app-hello" false false); ("nginx", uk "app-nginx" true false);
+            ("redis", uk "app-redis" true false); ("sqlite", uk "app-sqlite" false true) ]
+        in
+        row "%-14s %10s %10s %10s %10s\n" "OS" "hello" "nginx" "redis" "sqlite";
+        let print_row name sizes =
+          let cell app =
+            match List.assoc_opt app sizes with
+            | Some kb -> Printf.sprintf "%dKB" kb
+            | None -> "-"
+          in
+          row "%-14s %10s %10s %10s %10s\n" name (cell "hello") (cell "nginx") (cell "redis")
+            (cell "sqlite")
+        in
+        print_row "unikraft" uk_sizes;
+        List.iter
+          (fun p -> print_row p.Ukos.Profiles.os_name p.Ukos.Profiles.image_kb)
+          Ukos.Profiles.all);
+  }
+
+let tab02 =
+  {
+    id = "tab02";
+    title = "automated porting vs musl/newlib (Table 2)";
+    run =
+      (fun () ->
+        let mark b = if b then "ok" else "X" in
+        row "%-18s %8s %5s %8s %8s %5s %8s %6s\n" "library" "musl-MB" "std" "compat"
+          "newlibMB" "std" "compat" "glue";
+        List.iter
+          (fun r ->
+            row "%-18s %8.3f %5s %8s %8.3f %5s %8s %6d\n" r.P.name r.P.musl_mb
+              (mark r.P.musl_std) (mark r.P.musl_compat) r.P.newlib_mb (mark r.P.newlib_std)
+              (mark r.P.newlib_compat) r.P.glue)
+          (P.table2 ());
+        let rows = P.table2 () in
+        let count f = List.length (List.filter f rows) in
+        row "=> musl std: %d/24 build; with compat layer: %d/24; newlib std: %d/24\n"
+          (count (fun r -> r.P.musl_std))
+          (count (fun r -> r.P.musl_compat))
+          (count (fun r -> r.P.newlib_std)));
+  }
+
+let all = [ fig01; fig02; fig03; fig04; fig05; fig06; fig07; fig08; fig09; tab02 ]

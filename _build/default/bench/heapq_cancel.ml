@@ -1,0 +1,16 @@
+(* Helper for the abl-wheel ablation: a heap-based timer queue where
+   cancellation marks entries dead and pop skips them. *)
+
+let push h key live = Uksim.Heapq.push h key live
+
+let drain h =
+  let fired = ref 0 in
+  let rec go () =
+    match Uksim.Heapq.pop h with
+    | Some (_, live) ->
+        if live then incr fired;
+        go ()
+    | None -> ()
+  in
+  go ();
+  !fired

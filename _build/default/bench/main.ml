@@ -1,0 +1,50 @@
+(* The experiment harness: regenerates every table and figure of the
+   Unikraft paper (see DESIGN.md for the per-experiment index).
+
+   Usage:
+     dune exec bench/main.exe                 # run everything
+     dune exec bench/main.exe -- --only fig12 # one experiment
+     dune exec bench/main.exe -- --list
+     dune exec bench/main.exe -- --micro      # bechamel micro-benchmarks
+     UKRAFT_FAST=1 dune exec bench/main.exe   # reduced request counts *)
+
+let experiments : Common.experiment list =
+  Exp_build.all @ Exp_boot.all @ Exp_perf.all @ Exp_io.all @ Exp_ablation.all
+
+let run_one (e : Common.experiment) =
+  Common.section e.Common.id e.Common.title;
+  let t0 = Unix.gettimeofday () in
+  (try e.Common.run ()
+   with exn ->
+     Printf.printf "!! experiment %s failed: %s\n" e.Common.id (Printexc.to_string exn));
+  Printf.printf "[%s done in %.1fs]\n%!" e.Common.id (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let value flag =
+    let rec go = function
+      | a :: b :: _ when a = flag -> Some b
+      | _ :: rest -> go rest
+      | [] -> None
+    in
+    go args
+  in
+  if has "--list" then
+    List.iter
+      (fun (e : Common.experiment) -> Printf.printf "%-12s %s\n" e.Common.id e.Common.title)
+      experiments
+  else begin
+    (match value "--only" with
+    | Some id -> (
+        match List.find_opt (fun (e : Common.experiment) -> e.Common.id = id) experiments with
+        | Some e -> run_one e
+        | None ->
+            Printf.eprintf "unknown experiment %s (try --list)\n" id;
+            exit 1)
+    | None ->
+        Printf.printf "ukraft experiment harness - reproducing the Unikraft paper (EuroSys'21)\n";
+        Printf.printf "fast mode: %b (set UKRAFT_FAST=1 to shrink workloads)\n" Common.fast;
+        List.iter run_one experiments);
+    if has "--micro" then Micro.run ()
+  end

@@ -1,0 +1,223 @@
+(* ukraft CLI: configure, inspect and boot unikernel images from the
+   command line (the kraft-tool face of the library).
+
+   Examples:
+     ukraft menu
+     ukraft build --app app-nginx --net --alloc mimalloc
+     ukraft graph --app app-hello --format dot
+     ukraft boot  --app app-hello --vmm firecracker
+     ukraft syscalls --app nginx *)
+
+open Cmdliner
+module Cfg = Unikraft.Config
+module Img = Unikraft.Image
+module Vm = Unikraft.Vm
+
+let alloc_conv =
+  let parse s =
+    match s with
+    | "buddy" -> Ok Cfg.Buddy
+    | "tlsf" -> Ok Cfg.Tlsf
+    | "tinyalloc" -> Ok Cfg.Tinyalloc
+    | "mimalloc" -> Ok Cfg.Mimalloc
+    | "bootalloc" -> Ok Cfg.Bootalloc
+    | "oscar" -> Ok Cfg.Oscar
+    | _ -> Error (`Msg (Printf.sprintf "unknown allocator %s" s))
+  in
+  Arg.conv (parse, fun ppf a -> Fmt.string ppf (Cfg.alloc_backend_name a))
+
+let app_arg =
+  Arg.(value & opt string "app-hello" & info [ "app" ] ~doc:"Application (catalog name).")
+
+let plat_arg =
+  Arg.(value & opt string "plat-kvm" & info [ "platform" ] ~doc:"Target platform library.")
+
+let alloc_arg =
+  Arg.(value & opt alloc_conv Cfg.Tlsf & info [ "alloc" ] ~doc:"Memory allocator backend.")
+
+let net_arg = Arg.(value & flag & info [ "net" ] ~doc:"Include the network stack (lwip+virtio).")
+let fs_arg = Arg.(value & flag & info [ "fs" ] ~doc:"Include vfscore + ramfs.")
+let mem_arg = Arg.(value & opt int 32 & info [ "mem" ] ~doc:"Guest memory (MiB).")
+
+let no_dce = Arg.(value & flag & info [ "no-dce" ] ~doc:"Disable dead code elimination.")
+let no_lto = Arg.(value & flag & info [ "no-lto" ] ~doc:"Disable link-time optimization.")
+
+let make_cfg app plat alloc net fs mem no_dce no_lto =
+  Cfg.make ~app ~platform:plat ~alloc
+    ~net:(if net then Cfg.Vhost_net else Cfg.No_net)
+    ~fs:(if fs then Cfg.Ramfs else Cfg.No_fs)
+    ~mem_mb:mem ~dce:(not no_dce) ~lto:(not no_lto) ()
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+
+(* --- menu -------------------------------------------------------------- *)
+
+let menu_cmd =
+  let run () =
+    let schema = Cfg.schema () in
+    List.iter
+      (fun (path, opts) ->
+        Printf.printf "%s\n" (String.concat " / " (if path = [] then [ "(top)" ] else path));
+        List.iter
+          (fun (o : Ukconf.Kopt.t) ->
+            Printf.printf "  %-16s %-40s default=%s\n" o.Ukconf.Kopt.name o.Ukconf.Kopt.doc
+              (Fmt.str "%a" Ukconf.Kopt.pp_value o.Ukconf.Kopt.default))
+          opts)
+      (Ukconf.Schema.menu_tree schema)
+  in
+  Cmd.v (Cmd.info "menu" ~doc:"Show the Kconfig option menu.") Term.(const run $ const ())
+
+(* --- build ------------------------------------------------------------- *)
+
+let build_cmd =
+  let run app plat alloc net fs mem no_dce no_lto =
+    let cfg = or_die (make_cfg app plat alloc net fs mem no_dce no_lto) in
+    let image = or_die (Img.build cfg) in
+    Format.printf "%a@." Cfg.pp cfg;
+    Format.printf "%a@." Img.pp image;
+    Format.printf "micro-libraries: %s@." (String.concat " " (Img.libs image));
+    let resolved = or_die (Cfg.resolve cfg) in
+    print_string (Ukconf.Config.to_dotconfig resolved)
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Resolve a configuration and link its image.")
+    Term.(
+      const run $ app_arg $ plat_arg $ alloc_arg $ net_arg $ fs_arg $ mem_arg $ no_dce $ no_lto)
+
+(* --- graph ------------------------------------------------------------- *)
+
+let graph_cmd =
+  let fmt_arg =
+    Arg.(value & opt string "text" & info [ "format" ] ~doc:"Output: text or dot.")
+  in
+  let run app plat alloc net fs mem no_dce no_lto fmt =
+    let cfg = or_die (make_cfg app plat alloc net fs mem no_dce no_lto) in
+    let image = or_die (Img.build cfg) in
+    let g = Img.dep_graph image in
+    if fmt = "dot" then print_string (Ukgraph.Digraph.to_dot ~name:app g)
+    else
+      List.iter
+        (fun n ->
+          let succs = Ukgraph.Digraph.succs g n in
+          if succs <> [] then Printf.printf "%-16s -> %s\n" n (String.concat ", " succs))
+        (Ukgraph.Digraph.nodes g)
+  in
+  Cmd.v
+    (Cmd.info "graph" ~doc:"Print the image's micro-library dependency graph.")
+    Term.(
+      const run $ app_arg $ plat_arg $ alloc_arg $ net_arg $ fs_arg $ mem_arg $ no_dce $ no_lto
+      $ fmt_arg)
+
+(* --- boot -------------------------------------------------------------- *)
+
+let boot_cmd =
+  let vmm_arg =
+    Arg.(value & opt string "qemu" & info [ "vmm" ] ~doc:"VMM: qemu, qemu-microvm, firecracker, solo5, xen, linuxu.")
+  in
+  let run app plat alloc net fs mem no_dce no_lto vmm_name =
+    let vmm =
+      match Ukplat.Vmm.of_name vmm_name with
+      | Some v -> v
+      | None ->
+          Printf.eprintf "unknown vmm %s\n" vmm_name;
+          exit 1
+    in
+    let cfg = or_die (make_cfg app plat alloc net fs mem no_dce no_lto) in
+    let env =
+      if net then begin
+        let clock = Uksim.Clock.create () in
+        let engine = Uksim.Engine.create clock in
+        let wire, _peer = Uknetdev.Wire.create_pair ~engine () in
+        or_die (Vm.boot ~vmm ~clock ~engine ~wire cfg)
+      end
+      else or_die (Vm.boot ~vmm cfg)
+    in
+    let bd = env.Vm.breakdown in
+    Format.printf "VMM startup : %8.2f ms@." (bd.Ukplat.Vmm.vmm_startup_ns /. 1e6);
+    Format.printf "guest boot  : %8.1f us@." (bd.Ukplat.Vmm.guest_ns /. 1e3);
+    Format.printf "total       : %8.2f ms@." (bd.Ukplat.Vmm.total_ns /. 1e6);
+    List.iter
+      (fun p ->
+        Format.printf "  [%d] %-26s %a@." p.Ukboot.Boot.level p.Ukboot.Boot.phase
+          Uksim.Units.pp_ns p.Ukboot.Boot.duration_ns)
+      env.Vm.report.Ukboot.Boot.phases
+  in
+  Cmd.v
+    (Cmd.info "boot" ~doc:"Boot a configured image on a VMM and report timings.")
+    Term.(
+      const run $ app_arg $ plat_arg $ alloc_arg $ net_arg $ fs_arg $ mem_arg $ no_dce $ no_lto
+      $ vmm_arg)
+
+(* --- syscalls ---------------------------------------------------------- *)
+
+let syscalls_cmd =
+  let target =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"APP" ~doc:"Application to analyze.")
+  in
+  let run target =
+    match target with
+    | None ->
+        Printf.printf "Unikraft implements %d syscalls.\n"
+          (List.length Uksyscall.Appdb.unikraft_supported);
+        List.iter
+          (fun c ->
+            Printf.printf "%-18s %5.1f%% supported (%d required)\n" c.Uksyscall.Appdb.app
+              (100.0 *. c.Uksyscall.Appdb.now) c.Uksyscall.Appdb.n_required)
+          (Uksyscall.Appdb.coverage ())
+    | Some app ->
+        let required = Uksyscall.Appdb.required app in
+        let module I = Set.Make (Int) in
+        let supported = I.of_list Uksyscall.Appdb.unikraft_supported in
+        Printf.printf "%s requires %d syscalls; missing:\n" app (List.length required);
+        List.iter
+          (fun s -> if not (I.mem s supported) then Printf.printf "  %s\n" (Uksyscall.Sysno.name s))
+          required
+  in
+  Cmd.v
+    (Cmd.info "syscalls" ~doc:"Syscall support analysis (paper Figs 5/7).")
+    Term.(const run $ target)
+
+(* --- disas: binary compatibility & rewriting demo ----------------------- *)
+
+let disas_cmd =
+  let rewrite_flag =
+    Arg.(value & flag & info [ "rewrite" ] ~doc:"Apply the HermiTux-style binary-rewriting pass.")
+  in
+  let run do_rewrite =
+    let module Bin = Uksyscall.Binary in
+    let sample =
+      [ Bin.Mov (0, 1); Bin.Syscall 39; Bin.Add (0, 2); Bin.Syscall 1; Bin.Cmp (0, 1);
+        Bin.Syscall 57; Bin.Ret ]
+    in
+    let b = Bin.assemble sample in
+    let b = if do_rewrite then Bin.rewrite b else b in
+    let clock = Uksim.Clock.create () in
+    let dbg = Ukdebug.Debug.create ~clock () in
+    Ukdebug.Debug.Disasm.register dbg Ukdebug.Debug.Disasm.zydis_like;
+    (match Bin.disassemble_with dbg b with
+    | Ok lines -> List.iteri (fun i l -> Printf.printf "%4d: %s
+" i l) lines
+    | Error e -> Printf.eprintf "%s
+" e);
+    let shim = Uksyscall.Shim.create ~clock ~mode:Uksyscall.Shim.Native_link in
+    Uksyscall.Appdb.install_supported shim;
+    let stats = Bin.execute ~clock ~shim b in
+    Printf.printf
+      "executed %d instructions, %d syscalls (%d ENOSYS-stubbed), %d cycles%s
+"
+      stats.Bin.instructions stats.Bin.syscalls stats.Bin.enosys stats.Bin.cycles
+      (if do_rewrite then " [rewritten: each syscall is a plain call]"
+       else " [trap-and-translate: 84 cycles per syscall]")
+  in
+  Cmd.v
+    (Cmd.info "disas" ~doc:"Disassemble and run a sample binary (binary compat / rewriting).")
+    Term.(const run $ rewrite_flag)
+
+let () =
+  let info = Cmd.info "ukraft" ~doc:"Unikraft (EuroSys'21) reproduction toolkit." in
+  exit
+    (Cmd.eval (Cmd.group info [ menu_cmd; build_cmd; graph_cmd; boot_cmd; syscalls_cmd; disas_cmd ]))

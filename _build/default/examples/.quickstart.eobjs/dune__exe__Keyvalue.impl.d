@@ -1,0 +1,1 @@
+examples/keyvalue.ml: Format List Option Ukapps Uknetdev Uknetstack Ukplat Uksim Unikraft

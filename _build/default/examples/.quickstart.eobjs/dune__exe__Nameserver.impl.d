@@ -1,0 +1,1 @@
+examples/nameserver.ml: Format List Option Printf String Ukalloc Ukapps Uknetdev Uknetstack Ukplat Uksched Uksim Unikraft

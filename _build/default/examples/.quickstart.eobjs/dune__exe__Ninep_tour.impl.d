@@ -1,0 +1,1 @@
+examples/ninep_tour.ml: Bytes Format List Option String Ukplat Uksim Ukvfs Unikraft

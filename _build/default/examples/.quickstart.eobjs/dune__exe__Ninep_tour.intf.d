@@ -1,0 +1,1 @@
+examples/ninep_tour.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List String Ukapps Ukboot Ukplat Uksim Unikraft

@@ -1,0 +1,1 @@
+examples/specialization.ml: Format Option Printf Ukalloc Ukapps Uknetdev Uknetstack Ukplat Uksched Uksim Ukvfs Unikraft

@@ -1,0 +1,1 @@
+examples/webserver.ml: Bytes Format Option Result Ukalloc Ukapps Uknetdev Uknetstack Ukplat Uksim Ukvfs Unikraft

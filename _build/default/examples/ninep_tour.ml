@@ -1,0 +1,66 @@
+(* Tour of the 9pfs stack: a guest mounts a host share over virtio-9p and
+   does real file I/O through vfscore, with every RPC visible.
+
+   Run with: dune exec examples/ninep_tour.exe *)
+
+module Cfg = Unikraft.Config
+module Vm = Unikraft.Vm
+module Fs = Ukvfs.Fs
+
+let ok = function Ok v -> v | Error e -> failwith e
+let oke = function Ok v -> v | Error e -> failwith (Fs.errno_to_string e)
+
+let () =
+  (* The host side: a directory tree exported by the VMM's 9p server. *)
+  let host_clock = Uksim.Clock.create () in
+  let host = Ukvfs.Ramfs.create ~clock:host_clock () in
+  let put path body =
+    let h = oke (host.Fs.open_file path ~create:true) in
+    ignore (oke (host.Fs.write h ~off:0 (Bytes.of_string body)));
+    host.Fs.close h
+  in
+  oke (host.Fs.mkdir "/etc");
+  put "/etc/motd" "welcome to the 9p share";
+  put "/data.bin" (String.make 65536 'd');
+
+  (* Boot a guest with 9pfs as the root filesystem. *)
+  let cfg = ok (Cfg.make ~app:"app-sqlite" ~fs:Cfg.Ninep ~mem_mb:32 ()) in
+  let env = ok (Vm.boot ~vmm:Ukplat.Vmm.Qemu ~host_share:host cfg) in
+  Format.printf "guest booted with 9pfs root in %.2f ms (the 9p device adds ~0.3 ms on KVM)@."
+    (env.Vm.breakdown.Ukplat.Vmm.guest_ns /. 1e6);
+
+  let vfs = Option.get env.Vm.vfs in
+  let clock = env.Vm.clock in
+
+  (* Reads go out as Twalk/Topen/Tread RPCs. *)
+  let fd = oke (Ukvfs.Vfs.open_file vfs "/etc/motd" ()) in
+  let data = oke (Ukvfs.Vfs.read vfs fd ~len:100) in
+  Format.printf "read /etc/motd over 9p: %S@." (Bytes.to_string data);
+  ignore (Ukvfs.Vfs.close vfs fd);
+
+  (* Directory listing (Tread on a directory fid). *)
+  Format.printf "ls /: %s@." (String.concat " " (oke (Ukvfs.Vfs.readdir vfs "/")));
+
+  (* Guest writes are visible on the host. *)
+  let fd = oke (Ukvfs.Vfs.open_file vfs "/from-guest" ~create:true ()) in
+  ignore (oke (Ukvfs.Vfs.write vfs fd (Bytes.of_string "guest was here")));
+  ignore (Ukvfs.Vfs.close vfs fd);
+  let h = oke (host.Fs.open_file "/from-guest" ~create:false) in
+  Format.printf "host sees: %S@." (Bytes.to_string (oke (host.Fs.read h ~off:0 ~len:64)));
+  host.Fs.close h;
+
+  (* Latency vs block size: each read is chunked into 8KB-iounit RPCs, so
+     the virtual-time latency scales with the block (paper Fig 20). *)
+  let fd = oke (Ukvfs.Vfs.open_file vfs "/data.bin" ()) in
+  Format.printf "@.%-8s %12s@." "block" "latency (us)";
+  List.iter
+    (fun block ->
+      let iters = 50 in
+      let s = Uksim.Clock.start clock in
+      for _ = 1 to iters do
+        ignore (oke (Ukvfs.Vfs.pread vfs fd ~off:0 ~len:block))
+      done;
+      Format.printf "%-8d %12.1f@." block
+        (Uksim.Clock.elapsed_ns clock s /. float_of_int iters /. 1e3))
+    [ 4096; 8192; 16384; 32768 ];
+  ignore (Ukvfs.Vfs.close vfs fd)

@@ -1,0 +1,1 @@
+lib/core/image.ml: Config Ukbuild

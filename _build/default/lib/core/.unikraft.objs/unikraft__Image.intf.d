@@ -1,0 +1,1 @@
+lib/core/image.mli: Config Format Ukbuild Ukgraph

@@ -1,0 +1,1 @@
+lib/core/vm.ml: Config Option Printf Ukalloc Ukboot Ukdebug Uklibparam Ukmmu Ukmpk Uknetdev Uknetstack Ukplat Uksched Uksim Uksyscall Ukvfs

@@ -1,0 +1,42 @@
+type t = { config : Config.t; link : Ukbuild.Linker.image }
+
+let roots_of (c : Config.t) =
+  let base = [ c.app ] in
+  let base = Config.alloc_lib c.alloc :: base in
+  let base = match Config.sched_lib c.sched with Some l -> l :: base | None -> base in
+  let base = if c.net <> Config.No_net then "virtio-net" :: "lwip" :: base else base in
+  let base =
+    match c.fs with
+    | Config.No_fs -> base
+    | Config.Ramfs -> "ramfs" :: base
+    | Config.Ninep -> "virtio-9p" :: base
+    | Config.Shfs_fs -> "shfs" :: base
+  in
+  let base =
+    match c.libc with
+    | Config.Nolibc -> "nolibc" :: base
+    | Config.Musl -> "musl" :: "glibc-compat" :: base
+    | Config.Newlib -> "newlib" :: base
+  in
+  let base = if c.paging = Config.Dynamic_pt then "ukmmu" :: base else base in
+  let base = if c.mpk then "ukmpk" :: base else base in
+  let base = if c.asan then "ukasan" :: base else base in
+  base
+
+let build config =
+  match Config.resolve config with
+  | Error e -> Error e
+  | Ok _ -> (
+      let registry = Ukbuild.Catalog.registry () in
+      let flags = { Ukbuild.Linker.dce = config.Config.dce; lto = config.Config.lto } in
+      match
+        Ukbuild.Linker.link registry ~name:config.Config.app ~platform:config.Config.platform
+          ~roots:(roots_of config) ~flags ()
+      with
+      | Ok link -> Ok { config; link }
+      | Error e -> Error e)
+
+let size_bytes t = t.link.Ukbuild.Linker.image_bytes
+let dep_graph t = t.link.Ukbuild.Linker.dep_graph
+let libs t = t.link.Ukbuild.Linker.libs
+let pp ppf t = Ukbuild.Linker.pp_image ppf t.link

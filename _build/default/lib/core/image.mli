@@ -1,0 +1,16 @@
+(** Image building: configuration -> linked unikernel (Figs 2, 3, 8, 9). *)
+
+type t = {
+  config : Config.t;
+  link : Ukbuild.Linker.image;
+}
+
+val build : Config.t -> (t, string) result
+(** Derive the root micro-libraries from the configuration (application,
+    selected backends, driver stacks) and run the linker with the
+    configured DCE/LTO flags. *)
+
+val size_bytes : t -> int
+val dep_graph : t -> Ukgraph.Digraph.t
+val libs : t -> string list
+val pp : Format.formatter -> t -> unit

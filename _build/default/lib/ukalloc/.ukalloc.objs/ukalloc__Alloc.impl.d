@@ -1,0 +1,1 @@
+lib/ukalloc/alloc.ml: List Printf String

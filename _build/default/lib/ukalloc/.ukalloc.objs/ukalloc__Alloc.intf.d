@@ -1,0 +1,1 @@
+lib/ukalloc/alloc.mli:

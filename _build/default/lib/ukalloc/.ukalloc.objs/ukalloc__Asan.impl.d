@@ -1,0 +1,1 @@
+lib/ukalloc/asan.ml: Alloc Int Map Printf Queue Uksim

@@ -1,0 +1,1 @@
+lib/ukalloc/asan.mli: Alloc Uksim

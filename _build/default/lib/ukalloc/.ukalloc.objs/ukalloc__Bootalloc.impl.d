@@ -1,0 +1,1 @@
+lib/ukalloc/bootalloc.ml: Alloc Uksim

@@ -1,0 +1,1 @@
+lib/ukalloc/bootalloc.mli: Alloc Uksim

@@ -1,0 +1,1 @@
+lib/ukalloc/buddy.ml: Alloc Array Hashtbl Printf Uksim

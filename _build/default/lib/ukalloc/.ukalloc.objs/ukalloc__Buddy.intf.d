@@ -1,0 +1,1 @@
+lib/ukalloc/buddy.mli: Alloc Uksim

@@ -1,0 +1,1 @@
+lib/ukalloc/checked.ml: Alloc Int Map Printf

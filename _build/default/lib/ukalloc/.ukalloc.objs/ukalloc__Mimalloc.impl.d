@@ -1,0 +1,1 @@
+lib/ukalloc/mimalloc.ml: Alloc Hashtbl List Printf Uksim

@@ -1,0 +1,1 @@
+lib/ukalloc/mimalloc.mli: Alloc Uksim

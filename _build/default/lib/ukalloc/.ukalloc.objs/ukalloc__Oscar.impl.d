@@ -1,0 +1,1 @@
+lib/ukalloc/oscar.ml: Alloc Hashtbl Printf Uksim

@@ -1,0 +1,1 @@
+lib/ukalloc/oscar.mli: Alloc Uksim

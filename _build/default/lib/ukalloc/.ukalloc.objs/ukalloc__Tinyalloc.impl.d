@@ -1,0 +1,1 @@
+lib/ukalloc/tinyalloc.ml: Alloc Hashtbl List Printf Uksim

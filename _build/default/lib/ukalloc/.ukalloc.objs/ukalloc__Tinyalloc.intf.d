@@ -1,0 +1,1 @@
+lib/ukalloc/tinyalloc.mli: Alloc Uksim

@@ -1,0 +1,1 @@
+lib/ukalloc/tlsf.ml: Alloc Array Hashtbl Printf Uksim

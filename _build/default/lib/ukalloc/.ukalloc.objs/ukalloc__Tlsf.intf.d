@@ -1,0 +1,1 @@
+lib/ukalloc/tlsf.mli: Alloc Uksim

@@ -1,0 +1,62 @@
+type stats = {
+  allocs : int;
+  frees : int;
+  failed : int;
+  bytes_in_use : int;
+  peak_bytes : int;
+  metadata_bytes : int;
+}
+
+type t = {
+  name : string;
+  malloc : int -> int option;
+  calloc : int -> int -> int option;
+  memalign : align:int -> int -> int option;
+  free : int -> unit;
+  realloc : int -> int -> int option;
+  availmem : unit -> int;
+  stats : unit -> stats;
+}
+
+let uk_malloc a size = a.malloc size
+let uk_calloc a n size = a.calloc n size
+let uk_free a addr = a.free addr
+let uk_memalign a ~align size = a.memalign ~align size
+let uk_realloc a addr size = a.realloc addr size
+
+let zero_stats =
+  { allocs = 0; frees = 0; failed = 0; bytes_in_use = 0; peak_bytes = 0; metadata_bytes = 0 }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let round_up n align =
+  if not (is_power_of_two align) then invalid_arg "Alloc.round_up: align not a power of two";
+  (n + align - 1) land lnot (align - 1)
+
+let log2_floor n =
+  if n <= 0 then invalid_arg "Alloc.log2_floor";
+  let rec go acc n = if n = 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let log2_ceil n =
+  let f = log2_floor n in
+  if 1 lsl f = n then f else f + 1
+
+module Registry = struct
+  type allocator = t
+
+  type t = { mutable order : allocator list (* reversed *) }
+
+  let create () = { order = [] }
+
+  let find t name = List.find_opt (fun (a : allocator) -> String.equal a.name name) t.order
+
+  let register t (a : allocator) =
+    if List.exists (fun (x : allocator) -> String.equal x.name a.name) t.order then
+      invalid_arg (Printf.sprintf "Alloc.Registry.register: duplicate allocator %s" a.name);
+    t.order <- a :: t.order
+
+  let all t = List.rev t.order
+
+  let default t = match all t with [] -> None | a :: _ -> Some a
+end

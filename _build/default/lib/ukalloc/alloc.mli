@@ -1,0 +1,73 @@
+(** The ukalloc API (paper §3.2).
+
+    An allocator is a record of operations over a region of the simulated
+    address space — the OCaml rendering of [struct uk_alloc]'s function
+    pointers. Several allocators can coexist in one unikernel; requests name
+    the backend explicitly ([uk_malloc a size]), mirroring the paper's
+    multiplexing layer.
+
+    Addresses are plain integers into the simulated physical address space;
+    backends guarantee non-overlapping live allocations and alignment. All
+    backends charge their work to the {!Uksim.Clock.t} they were initialized
+    with, so allocation behaviour shows up in virtual-time measurements. *)
+
+type stats = {
+  allocs : int;        (** successful malloc/calloc/memalign calls *)
+  frees : int;
+  failed : int;        (** out-of-memory failures *)
+  bytes_in_use : int;  (** live payload bytes *)
+  peak_bytes : int;
+  metadata_bytes : int;(** current allocator-metadata overhead *)
+}
+
+type t = {
+  name : string;
+  malloc : int -> int option;
+  calloc : int -> int -> int option;
+  memalign : align:int -> int -> int option;
+  free : int -> unit;
+  realloc : int -> int -> int option;
+  availmem : unit -> int;  (** free bytes remaining (approximate for some backends) *)
+  stats : unit -> stats;
+}
+
+val uk_malloc : t -> int -> int option
+(** [uk_malloc a size] — the paper's [uk_malloc(a, size)]. *)
+
+val uk_calloc : t -> int -> int -> int option
+val uk_free : t -> int -> unit
+val uk_memalign : t -> align:int -> int -> int option
+val uk_realloc : t -> int -> int -> int option
+
+val zero_stats : stats
+
+val is_power_of_two : int -> bool
+val round_up : int -> int -> int
+(** [round_up n align] rounds [n] up to a multiple of [align] (a power of
+    two). *)
+
+val log2_ceil : int -> int
+val log2_floor : int -> int
+
+(** {1 Registry}
+
+    ukboot registers each initialized allocator here; the first registration
+    becomes the default used by the libc layer (paper: "the boot process
+    sets the association between memory allocators and memory sources"). *)
+
+module Registry : sig
+  type allocator := t
+  type t
+
+  val create : unit -> t
+
+  val register : t -> allocator -> unit
+  (** First registered allocator becomes the default. Raises
+      [Invalid_argument] on duplicate allocator names. *)
+
+  val default : t -> allocator option
+  val find : t -> string -> allocator option
+
+  val all : t -> allocator list
+  (** Registration order. *)
+end

@@ -1,0 +1,151 @@
+type violation =
+  | Heap_buffer_overflow of { addr : int; block : int }
+  | Use_after_free of { addr : int; block : int }
+  | Double_free of { addr : int }
+  | Wild_access of { addr : int }
+
+exception Asan of violation
+
+let violation_to_string = function
+  | Heap_buffer_overflow { addr; block } ->
+      Printf.sprintf "heap-buffer-overflow at %#x (block %#x)" addr block
+  | Use_after_free { addr; block } -> Printf.sprintf "use-after-free at %#x (block %#x)" addr block
+  | Double_free { addr } -> Printf.sprintf "double-free of %#x" addr
+  | Wild_access { addr } -> Printf.sprintf "wild access at %#x" addr
+
+let shadow_check_cost = 6 (* shadow byte load + compare per access *)
+let poison_base_cost = 28 (* quarantine bookkeeping per malloc/free *)
+
+(* Poisoning writes one shadow byte per 8 payload bytes plus the two
+   redzones. *)
+let poison_cost ~redzone size = poison_base_cost + ((size / 8) + (redzone / 4)) / 4
+
+module Imap = Map.Make (Int)
+
+type region = { payload : int; size : int; inner : int (* inner block start *) }
+
+type t = {
+  clock : Uksim.Clock.t;
+  inner_alloc : Alloc.t;
+  redzone : int;
+  quarantine_cap : int;
+  mutable live : region Imap.t; (* payload addr -> region *)
+  mutable freed : region Imap.t; (* payload addr -> region, quarantined *)
+  quarantine : int Queue.t; (* payload addrs, FIFO *)
+  checked : Alloc.t;
+  mutable checks : int;
+}
+
+let charge t c = Uksim.Clock.advance t.clock c
+
+(* Locate the region (live or quarantined) whose padded footprint covers
+   [addr], distinguishing payload from redzone hits. *)
+let covering_with_redzone t map addr =
+  match Imap.find_last_opt (fun p -> p <= addr + t.redzone) map with
+  | Some (_, r) ->
+      if addr >= r.payload - t.redzone && addr < r.payload + r.size + t.redzone then
+        if addr >= r.payload && addr < r.payload + r.size then Some (`Payload r)
+        else Some (`Redzone r)
+      else None
+  | None -> None
+
+let check_one t addr =
+  t.checks <- t.checks + 1;
+  charge t shadow_check_cost;
+  match covering_with_redzone t t.live addr with
+  | Some (`Payload _) -> ()
+  | Some (`Redzone r) -> raise (Asan (Heap_buffer_overflow { addr; block = r.payload }))
+  | None -> (
+      match covering_with_redzone t t.freed addr with
+      | Some (`Payload r | `Redzone r) ->
+          raise (Asan (Use_after_free { addr; block = r.payload }))
+      | None -> raise (Asan (Wild_access { addr })))
+
+let check_range t ~addr ~len =
+  if len <= 0 then invalid_arg "Asan.check: non-positive length";
+  (* First, last, and the shadow granule boundaries in between. *)
+  check_one t addr;
+  if len > 1 then check_one t (addr + len - 1);
+  let granule = 8 in
+  let first = (addr / granule) + 1 in
+  let last = (addr + len - 1) / granule in
+  for g = first to last - 1 do
+    t.checks <- t.checks + 1;
+    charge t shadow_check_cost;
+    ignore g
+  done
+
+let release_overflow t =
+  while Queue.length t.quarantine > t.quarantine_cap do
+    let payload = Queue.pop t.quarantine in
+    match Imap.find_opt payload t.freed with
+    | Some r ->
+        t.freed <- Imap.remove payload t.freed;
+        t.inner_alloc.Alloc.free r.inner
+    | None -> ()
+  done
+
+let wrap ~clock ?(redzone = 32) ?(quarantine = 64) inner_alloc =
+  if redzone < 8 then invalid_arg "Asan.wrap: redzone too small";
+  let rec t =
+    {
+      clock;
+      inner_alloc;
+      redzone;
+      quarantine_cap = quarantine;
+      live = Imap.empty;
+      freed = Imap.empty;
+      quarantine = Queue.create ();
+      checks = 0;
+      checked =
+        {
+          Alloc.name = inner_alloc.Alloc.name ^ "+asan";
+          malloc = (fun size -> asan_malloc t size);
+          calloc = (fun n size -> if n <= 0 || size <= 0 then None else asan_malloc t (n * size));
+          memalign = (fun ~align:_ size -> asan_malloc t size);
+          free = (fun addr -> asan_free t addr);
+          realloc =
+            (fun addr size ->
+              if addr = 0 then asan_malloc t size
+              else
+                match Imap.find_opt addr t.live with
+                | None -> None
+                | Some r -> (
+                    match asan_malloc t size with
+                    | None -> None
+                    | Some naddr ->
+                        Uksim.Clock.advance clock (Uksim.Cost.memcpy (min r.size size));
+                        asan_free t addr;
+                        Some naddr));
+          availmem = inner_alloc.Alloc.availmem;
+          stats = inner_alloc.Alloc.stats;
+        };
+    }
+  and asan_malloc t size =
+    if size <= 0 then None
+    else
+      match t.inner_alloc.Alloc.malloc (size + (2 * t.redzone)) with
+      | None -> None
+      | Some inner ->
+          charge t (poison_cost ~redzone:t.redzone size);
+          let payload = inner + t.redzone in
+          t.live <- Imap.add payload { payload; size; inner } t.live;
+          Some payload
+  and asan_free t payload =
+    match Imap.find_opt payload t.live with
+    | Some r ->
+        charge t (poison_cost ~redzone:t.redzone r.size);
+        t.live <- Imap.remove payload t.live;
+        t.freed <- Imap.add payload r t.freed;
+        Queue.push payload t.quarantine;
+        release_overflow t
+    | None ->
+        if Imap.mem payload t.freed then raise (Asan (Double_free { addr = payload }))
+        else raise (Asan (Wild_access { addr = payload }))
+  in
+  t
+
+let alloc t = t.checked
+let check_read t ~addr ~len = check_range t ~addr ~len
+let check_write t ~addr ~len = check_range t ~addr ~len
+let checks_performed t = t.checks

@@ -1,0 +1,9 @@
+(** Region ("bump-pointer") allocator for fast booting (paper §5.5, Fig 14).
+
+    Allocation advances a cursor; [free] is a no-op. Initialization is O(1),
+    which is why the paper's nginx image boots in 0.49 ms with it. Intended
+    for boot-time allocations or short-lived unikernels; memory is only
+    reclaimed when the whole region is discarded. *)
+
+val create : clock:Uksim.Clock.t -> base:int -> len:int -> Alloc.t
+(** Raises [Invalid_argument] if [len <= 0] or [base < 0]. *)

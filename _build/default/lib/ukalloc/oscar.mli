@@ -1,0 +1,11 @@
+(** Oscar (Dang et al., USENIX Security'17) — page-permission-based secure
+    allocator, listed among Unikraft's backends in §3.2.
+
+    Every allocation lives on its own page(s) behind a fresh "shadow"
+    virtual address that is never reused, so dangling pointers fault instead
+    of aliasing new objects. The price is page-granular space overhead and a
+    permission-update cost on each allocation and free. *)
+
+val create : clock:Uksim.Clock.t -> base:int -> len:int -> Alloc.t
+(** [len] bounds *physical* backing; shadow addresses advance monotonically
+    past [base + len] by design. *)

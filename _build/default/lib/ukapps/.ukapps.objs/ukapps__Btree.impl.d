@@ -1,0 +1,1 @@
+lib/ukapps/btree.ml: Array Bytes String Ukalloc Uksim

@@ -1,0 +1,1 @@
+lib/ukapps/btree.mli: Ukalloc Uksim

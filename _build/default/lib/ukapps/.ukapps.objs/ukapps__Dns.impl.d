@@ -1,0 +1,1 @@
+lib/ukapps/dns.ml: Buffer Bytes Char Hashtbl List String Uknetstack Uksched Uksim

@@ -1,0 +1,1 @@
+lib/ukapps/dns.mli: Uknetstack Uksched Uksim

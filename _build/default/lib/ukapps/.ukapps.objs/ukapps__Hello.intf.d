@@ -1,0 +1,1 @@
+lib/ukapps/hello.mli: Uksim

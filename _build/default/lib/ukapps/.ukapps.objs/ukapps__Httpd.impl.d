@@ -1,0 +1,1 @@
+lib/ukapps/httpd.ml: Buffer Bytes List Printf String Ukalloc Uknetstack Uksched Uksim Ukvfs

@@ -1,0 +1,1 @@
+lib/ukapps/httpd.mli: Ukalloc Uknetstack Uksched Uksim Ukvfs

@@ -1,0 +1,1 @@
+lib/ukapps/resp.ml: Buffer List Printf String

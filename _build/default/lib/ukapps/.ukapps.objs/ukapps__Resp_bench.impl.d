@@ -1,0 +1,1 @@
+lib/ukapps/resp_bench.ml: Buffer Printf Resp String Uknetstack Uksched Uksim

@@ -1,0 +1,1 @@
+lib/ukapps/resp_bench.mli: Uknetstack Uksched Uksim

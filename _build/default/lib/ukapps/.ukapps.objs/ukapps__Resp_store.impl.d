@@ -1,0 +1,1 @@
+lib/ukapps/resp_store.ml: Buffer Bytes Hashtbl List Printf Resp String Ukalloc Uknetstack Uksched Uksim

@@ -1,0 +1,1 @@
+lib/ukapps/resp_store.mli: Resp Ukalloc Uknetstack Uksched Uksim

@@ -1,0 +1,1 @@
+lib/ukapps/sql.ml: Buffer Fmt List Printf String

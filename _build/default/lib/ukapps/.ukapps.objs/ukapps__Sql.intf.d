@@ -1,0 +1,1 @@
+lib/ukapps/sql.mli: Format

@@ -1,0 +1,1 @@
+lib/ukapps/sqldb.ml: Btree Buffer Bytes Hashtbl List Printf Sql String Ukalloc Uksim Ukvfs

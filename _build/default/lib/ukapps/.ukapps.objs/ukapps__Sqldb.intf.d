@@ -1,0 +1,1 @@
+lib/ukapps/sqldb.mli: Sql Ukalloc Uksim Ukvfs

@@ -1,0 +1,1 @@
+lib/ukapps/udp_kv.ml: Array Bytes Hashtbl List Printf String Ukalloc Uknetdev Uknetstack Uksched Uksim

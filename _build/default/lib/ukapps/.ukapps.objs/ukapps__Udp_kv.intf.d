@@ -1,0 +1,1 @@
+lib/ukapps/udp_kv.mli: Ukalloc Uknetdev Uknetstack Uksched Uksim

@@ -1,0 +1,1 @@
+lib/ukapps/webcache.ml: Bytes Filename Printf String Uksim Ukvfs

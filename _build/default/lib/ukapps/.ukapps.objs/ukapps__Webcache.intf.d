@@ -1,0 +1,1 @@
+lib/ukapps/webcache.mli: Uksim Ukvfs

@@ -1,0 +1,1 @@
+lib/ukapps/wrk.ml: Buffer Bytes List Option Printf String Uknetstack Uksched Uksim

@@ -1,0 +1,1 @@
+lib/ukapps/wrk.mli: Uknetstack Uksched Uksim

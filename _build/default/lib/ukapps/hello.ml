@@ -1,0 +1,5 @@
+let work_cycles = 2400 (* printf formatting + serial console write *)
+
+let main ~clock ?(greeting = "Hello world!") () =
+  Uksim.Clock.advance clock work_cycles;
+  greeting

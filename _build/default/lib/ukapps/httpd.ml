@@ -1,0 +1,161 @@
+module S = Uknetstack.Stack
+
+type content =
+  | In_memory of (string * string) list
+  | Via_vfs of Ukvfs.Vfs.t
+  | Via_shfs of Ukvfs.Shfs.t
+
+type stats = { requests : int; errors_404 : int; bytes_sent : int }
+
+type t = {
+  clock : Uksim.Clock.t;
+  sched : Uksched.Sched.t;
+  stack : S.t;
+  alloc : Ukalloc.Alloc.t;
+  content : content;
+  mutable st : stats;
+}
+
+(* nginx-ish request handling work: header parse, route, log. *)
+let parse_cost = 540
+let respond_cost = 380
+
+let default_page =
+  let body =
+    "<!DOCTYPE html><html><head><title>Unikraft</title></head><body>"
+    ^ "<h1>It works!</h1><p>"
+    ^ String.concat ""
+        (List.init 16 (fun i -> Printf.sprintf "line %02d of the static test page......." i))
+    ^ "</p></body></html>"
+  in
+  (* Pad to exactly 612 bytes, the paper's page size. *)
+  if String.length body >= 612 then String.sub body 0 612
+  else body ^ String.make (612 - String.length body) ' '
+
+let charge t c = Uksim.Clock.advance t.clock c
+
+let lookup t path =
+  match t.content with
+  | In_memory pages -> (
+      match List.assoc_opt path pages with
+      | Some body -> Some body
+      | None -> None)
+  | Via_vfs vfs -> (
+      match Ukvfs.Vfs.open_file vfs path () with
+      | Error _ -> None
+      | Ok fd -> (
+          let result =
+            match Ukvfs.Vfs.stat vfs path with
+            | Ok { Ukvfs.Fs.size; _ } -> (
+                match Ukvfs.Vfs.pread vfs fd ~off:0 ~len:size with
+                | Ok data -> Some (Bytes.to_string data)
+                | Error _ -> None)
+            | Error _ -> None
+          in
+          ignore (Ukvfs.Vfs.close vfs fd);
+          result))
+  | Via_shfs shfs -> (
+      let name = match Ukvfs.Fs.split_path path with [ n ] -> n | _ -> path in
+      match Ukvfs.Shfs.open_direct shfs name with
+      | Error _ -> None
+      | Ok h ->
+          let size = Ukvfs.Shfs.size_direct shfs h in
+          let result =
+            match Ukvfs.Shfs.read_direct shfs h ~off:0 ~len:size with
+            | Ok data -> Some (Bytes.to_string data)
+            | Error _ -> None
+          in
+          Ukvfs.Shfs.close_direct shfs h;
+          result)
+
+let response ~status ~body =
+  Printf.sprintf "HTTP/1.1 %s\r\nServer: ukraft\r\nContent-Length: %d\r\nConnection: keep-alive\r\n\r\n%s"
+    status (String.length body) body
+
+(* Extract the path of a "GET <path> HTTP/1.x" request line. *)
+let parse_request line =
+  match String.split_on_char ' ' line with
+  | [ "GET"; path; _version ] -> Some path
+  | _ -> None
+
+let handle_request t req_line =
+  charge t parse_cost;
+  (* Per-request buffer from the app allocator, as nginx's request pool. *)
+  let pool = Ukalloc.Alloc.uk_malloc t.alloc 1024 in
+  let reply =
+    match parse_request req_line with
+    | None -> response ~status:"400 Bad Request" ~body:"bad request"
+    | Some path -> (
+        match lookup t path with
+        | Some body ->
+            charge t (Uksim.Cost.memcpy (String.length body));
+            response ~status:"200 OK" ~body
+        | None ->
+            t.st <- { t.st with errors_404 = t.st.errors_404 + 1 };
+            response ~status:"404 Not Found" ~body:"not found")
+  in
+  charge t respond_cost;
+  (match pool with Some addr -> Ukalloc.Alloc.uk_free t.alloc addr | None -> ());
+  t.st <- { t.st with requests = t.st.requests + 1; bytes_sent = t.st.bytes_sent + String.length reply };
+  reply
+
+let handle_connection t flow =
+  let acc = Buffer.create 512 in
+  let rec serve () =
+    match S.Tcp_socket.recv ~block:true t.stack flow ~max:16384 with
+    | None -> S.Tcp_socket.close t.stack flow
+    | Some data ->
+        Buffer.add_bytes acc data;
+        let s = Buffer.contents acc in
+        (* Handle every complete request (terminated by CRLFCRLF); the
+           scan cursor is distinct from the unconsumed-request start. *)
+        let rec split_requests req_start scan acc_out =
+          match String.index_from_opt s scan '\r' with
+          | Some i when i + 3 < String.length s && String.sub s i 4 = "\r\n\r\n" ->
+              let req = String.sub s req_start (i - req_start) in
+              let first_line =
+                match String.index_opt req '\r' with
+                | Some j -> String.sub req 0 j
+                | None -> req
+              in
+              split_requests (i + 4) (i + 4) (first_line :: acc_out)
+          | Some i -> split_requests req_start (i + 1) acc_out
+          | None -> (req_start, List.rev acc_out)
+        in
+        let consumed, requests = split_requests 0 0 [] in
+        if consumed > 0 then begin
+          let rest = String.sub s consumed (String.length s - consumed) in
+          Buffer.clear acc;
+          Buffer.add_string acc rest
+        end;
+        let out = Buffer.create 1024 in
+        List.iter (fun line -> Buffer.add_string out (handle_request t line)) requests;
+        if Buffer.length out > 0 then
+          ignore (S.Tcp_socket.send ~block:true t.stack flow (Buffer.to_bytes out));
+        serve ()
+  in
+  serve ()
+
+let create ~clock ~sched ~stack ~alloc ?(port = 80) content =
+  let t =
+    { clock; sched; stack; alloc; content;
+      st = { requests = 0; errors_404 = 0; bytes_sent = 0 } }
+  in
+  let _ =
+    Uksched.Sched.spawn sched ~name:"httpd-accept" ~daemon:true (fun () ->
+        let l = S.Tcp_socket.listen stack ~port () in
+        let rec loop () =
+          match S.Tcp_socket.accept ~block:true l with
+          | Some flow ->
+              let _ =
+                Uksched.Sched.spawn sched ~name:"httpd-conn" ~daemon:true (fun () ->
+                    handle_connection t flow)
+              in
+              loop ()
+          | None -> loop ()
+        in
+        loop ())
+  in
+  t
+
+let stats t = t.st

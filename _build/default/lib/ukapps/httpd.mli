@@ -1,0 +1,30 @@
+(** An nginx-like static HTTP/1.1 server (Figs 13, 14, 15, 22).
+
+    Single worker, keep-alive connections, per-request buffers from the
+    configured ukalloc backend (so Fig 15's allocator choice matters).
+    Content can come from memory, through vfscore, or straight from SHFS
+    (the Fig 22 specialization axis when combined with {!Webcache}). *)
+
+type content =
+  | In_memory of (string * string) list  (** path -> body *)
+  | Via_vfs of Ukvfs.Vfs.t  (** open/read/close through vfscore *)
+  | Via_shfs of Ukvfs.Shfs.t  (** direct hash-filesystem lookups *)
+
+type t
+
+type stats = { requests : int; errors_404 : int; bytes_sent : int }
+
+val default_page : string
+(** The paper's 612-byte static page. *)
+
+val create :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  alloc:Ukalloc.Alloc.t ->
+  ?port:int ->
+  content ->
+  t
+(** Spawns the accept thread (daemon); port defaults to 80. *)
+
+val stats : t -> stats

@@ -1,0 +1,91 @@
+module S = Uknetstack.Stack
+
+type workload = Get | Set
+
+type result = {
+  requests : int;
+  elapsed_ns : float;
+  rate_per_sec : float;
+  errors : int;
+}
+
+(* Client-side cost of producing a command and consuming a reply — the
+   benchmark tool runs on its own pinned core in the paper, so this only
+   matters for pipelining depth, not for contention with the server. *)
+let client_cmd_cost = 120
+
+let run ~clock ~sched ~stack ~server ?(connections = 30) ?(pipeline = 16) ?(requests = 100_000)
+    ?(value_size = 3) workload =
+  let value = String.make value_size 'x' in
+  let per_conn = max 1 (requests / connections) in
+  let total = per_conn * connections in
+  let errors = ref 0 in
+  let done_count = ref 0 in
+  let t_start = ref 0.0 in
+  let t_end = ref 0.0 in
+  let key_of i = Printf.sprintf "key:%06d" (i land 0xfff) in
+  let command i =
+    match workload with
+    | Get -> Resp.encode_command [ "GET"; key_of i ]
+    | Set -> Resp.encode_command [ "SET"; key_of i; value ]
+  in
+  let client_thread ci () =
+    let flow = S.Tcp_socket.connect stack ~dst:server in
+    let parser = Resp.Parser.create () in
+    let replies_needed = ref 0 in
+    let sent = ref 0 in
+    let received = ref 0 in
+    let rec read_replies () =
+      if !replies_needed > 0 then begin
+        match S.Tcp_socket.recv ~block:true stack flow ~max:65536 with
+        | None -> failwith "resp_bench: server closed connection"
+        | Some data ->
+            Resp.Parser.feed parser data;
+            let rec drain () =
+              if !replies_needed > 0 then
+                match Resp.Parser.next parser with
+                | Ok (Some v) ->
+                    Uksim.Clock.advance clock client_cmd_cost;
+                    (match v with Resp.Error _ -> incr errors | _ -> ());
+                    decr replies_needed;
+                    incr received;
+                    drain ()
+                | Ok None -> ()
+                | Error _ ->
+                    incr errors;
+                    decr replies_needed;
+                    drain ()
+            in
+            drain ();
+            read_replies ()
+      end
+    in
+    while !sent < per_conn do
+      let batch = min pipeline (per_conn - !sent) in
+      let buf = Buffer.create (batch * 40) in
+      for k = 0 to batch - 1 do
+        Uksim.Clock.advance clock client_cmd_cost;
+        Buffer.add_string buf (command ((ci * per_conn) + !sent + k))
+      done;
+      sent := !sent + batch;
+      replies_needed := batch;
+      ignore (S.Tcp_socket.send ~block:true stack flow (Buffer.to_bytes buf));
+      read_replies ()
+    done;
+    ignore !received;
+    S.Tcp_socket.close stack flow;
+    done_count := !done_count + 1;
+    if !done_count = connections then t_end := Uksim.Clock.ns clock
+  in
+  t_start := Uksim.Clock.ns clock;
+  for ci = 0 to connections - 1 do
+    ignore (Uksched.Sched.spawn sched ~name:(Printf.sprintf "bench-%d" ci) (client_thread ci))
+  done;
+  Uksched.Sched.run sched;
+  let elapsed = !t_end -. !t_start in
+  {
+    requests = total;
+    elapsed_ns = elapsed;
+    rate_per_sec = Uksim.Stats.throughput_per_sec ~events:total ~elapsed_ns:elapsed;
+    errors = !errors;
+  }

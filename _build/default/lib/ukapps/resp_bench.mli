@@ -1,0 +1,32 @@
+(** redis-benchmark stand-in (paper Figs 12, 18: 30 connections, 100k
+    requests, pipelining level 16).
+
+    Opens [connections] TCP flows from a client stack, issues [requests]
+    total commands split across them in pipelined batches, and reports the
+    sustained rate in virtual time. *)
+
+type workload = Get | Set
+(** GET hits pre-populated keys; SET writes fresh values (exercising the
+    server allocator differently — Fig 18's request-type axis). *)
+
+type result = {
+  requests : int;
+  elapsed_ns : float;
+  rate_per_sec : float;
+  errors : int;
+}
+
+val run :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  server:Uknetstack.Addr.Ipv4.t * int ->
+  ?connections:int ->
+  ?pipeline:int ->
+  ?requests:int ->
+  ?value_size:int ->
+  workload ->
+  result
+(** Defaults mirror the paper: 30 connections, pipeline 16, 100k
+    requests, 3-byte values. Must be called outside any scheduler thread;
+    drives [sched] internally until the load completes. *)

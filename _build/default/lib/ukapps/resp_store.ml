@@ -1,0 +1,220 @@
+module S = Uknetstack.Stack
+
+type entry = { addr : int; value : string }
+
+type stats = { commands : int; hits : int; misses : int }
+
+type t = {
+  clock : Uksim.Clock.t;
+  sched : Uksched.Sched.t;
+  stack : S.t;
+  alloc : Ukalloc.Alloc.t;
+  table : (string, entry) Hashtbl.t;
+  lists : (string, string list ref) Hashtbl.t;
+  mutable commands : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* Command-processing work besides allocation and hashing: dispatch
+   table, argument parsing, reply formatting, dict bookkeeping — Redis
+   spends a couple of thousand cycles per command outside the stack. *)
+let cmd_cost = 2000
+let hash_cost = 140
+
+let charge t c = Uksim.Clock.advance t.clock c
+
+let store_bytes t s =
+  match Ukalloc.Alloc.uk_malloc t.alloc (max 16 (String.length s)) with
+  | Some addr ->
+      charge t (Uksim.Cost.memcpy (String.length s));
+      Some { addr; value = s }
+  | None -> None
+
+let drop_entry t e = Ukalloc.Alloc.uk_free t.alloc e.addr
+
+(* Redis allocates short-lived robj/SDS objects for each argument and
+   the reply; routing them through ukalloc exposes allocator behaviour
+   (Fig 18). *)
+let with_cmd_objects t args f =
+  let held =
+    List.filter_map
+      (fun a -> Ukalloc.Alloc.uk_malloc t.alloc (16 + String.length a))
+      args
+  in
+  let r = f () in
+  List.iter (Ukalloc.Alloc.uk_free t.alloc) held;
+  r
+
+let execute t args =
+  t.commands <- t.commands + 1;
+  charge t cmd_cost;
+  with_cmd_objects t args @@ fun () ->
+  let upper = String.uppercase_ascii in
+  match args with
+  | [] -> Resp.Error "ERR empty command"
+  | cmd :: rest -> (
+      match (upper cmd, rest) with
+      | "PING", [] -> Resp.Simple "PONG"
+      | "PING", [ msg ] -> Resp.Bulk msg
+      | "SET", [ key; value ] -> (
+          charge t hash_cost;
+          match store_bytes t value with
+          | None -> Resp.Error "OOM command not allowed when used memory > 'maxmemory'"
+          | Some e ->
+              (match Hashtbl.find_opt t.table key with
+              | Some old -> drop_entry t old
+              | None -> ());
+              Hashtbl.replace t.table key e;
+              Resp.Simple "OK")
+      | "GET", [ key ] -> (
+          charge t hash_cost;
+          match Hashtbl.find_opt t.table key with
+          | Some e ->
+              t.hits <- t.hits + 1;
+              charge t (Uksim.Cost.memcpy (String.length e.value));
+              Resp.Bulk e.value
+          | None ->
+              t.misses <- t.misses + 1;
+              Resp.Null)
+      | "DEL", keys ->
+          charge t (hash_cost * List.length keys);
+          let n =
+            List.fold_left
+              (fun acc key ->
+                match Hashtbl.find_opt t.table key with
+                | Some e ->
+                    drop_entry t e;
+                    Hashtbl.remove t.table key;
+                    acc + 1
+                | None -> acc)
+              0 keys
+          in
+          Resp.Integer n
+      | "EXISTS", [ key ] ->
+          charge t hash_cost;
+          Resp.Integer (if Hashtbl.mem t.table key then 1 else 0)
+      | "INCR", [ key ] -> (
+          charge t hash_cost;
+          let cur =
+            match Hashtbl.find_opt t.table key with
+            | Some e -> int_of_string_opt e.value
+            | None -> Some 0
+          in
+          match cur with
+          | None -> Resp.Error "ERR value is not an integer or out of range"
+          | Some v -> (
+              let s = string_of_int (v + 1) in
+              match store_bytes t s with
+              | None -> Resp.Error "OOM"
+              | Some e ->
+                  (match Hashtbl.find_opt t.table key with
+                  | Some old -> drop_entry t old
+                  | None -> ());
+                  Hashtbl.replace t.table key e;
+                  Resp.Integer (v + 1)))
+      | "LPUSH", key :: values when values <> [] ->
+          charge t hash_cost;
+          let l =
+            match Hashtbl.find_opt t.lists key with
+            | Some l -> l
+            | None ->
+                let l = ref [] in
+                Hashtbl.replace t.lists key l;
+                l
+          in
+          List.iter (fun v -> l := v :: !l) values;
+          Resp.Integer (List.length !l)
+      | "LRANGE", [ key; a; b ] -> (
+          charge t hash_cost;
+          match (int_of_string_opt a, int_of_string_opt b) with
+          | Some a, Some b ->
+              let l = match Hashtbl.find_opt t.lists key with Some l -> !l | None -> [] in
+              let n = List.length l in
+              let b = if b < 0 then n + b else b in
+              let selected =
+                List.filteri (fun i _ -> i >= a && i <= b) l |> List.map (fun v -> Resp.Bulk v)
+              in
+              Resp.Array selected
+          | _, _ -> Resp.Error "ERR value is not an integer or out of range")
+      | "DBSIZE", [] -> Resp.Integer (Hashtbl.length t.table)
+      | "FLUSHALL", [] ->
+          Hashtbl.iter (fun _ e -> drop_entry t e) t.table;
+          Hashtbl.reset t.table;
+          Hashtbl.reset t.lists;
+          Resp.Simple "OK"
+      | _, _ -> Resp.Error (Printf.sprintf "ERR unknown command '%s'" cmd))
+
+let value_of_command = function
+  | Resp.Array parts ->
+      let strings =
+        List.filter_map (function Resp.Bulk s | Resp.Simple s -> Some s | _ -> None) parts
+      in
+      if List.length strings = List.length parts then Some strings else None
+  | _ -> None
+
+let handle_connection t flow =
+  let parser = Resp.Parser.create () in
+  let out = Buffer.create 1024 in
+  let rec serve () =
+    match S.Tcp_socket.recv ~block:true t.stack flow ~max:16384 with
+    | None -> S.Tcp_socket.close t.stack flow
+    | Some data ->
+        if Bytes.length data > 0 then begin
+          Resp.Parser.feed parser data;
+          Buffer.clear out;
+          let rec drain () =
+            match Resp.Parser.next parser with
+            | Ok (Some v) ->
+                let reply =
+                  match value_of_command v with
+                  | Some args -> execute t args
+                  | None -> Resp.Error "ERR protocol error"
+                in
+                Buffer.add_string out (Resp.encode reply);
+                drain ()
+            | Ok None -> ()
+            | Error e ->
+                Buffer.add_string out (Resp.encode (Resp.Error ("ERR " ^ e)))
+          in
+          drain ();
+          if Buffer.length out > 0 then
+            ignore (S.Tcp_socket.send ~block:true t.stack flow (Buffer.to_bytes out))
+        end;
+        serve ()
+  in
+  serve ()
+
+let create ~clock ~sched ~stack ~alloc ?(port = 6379) () =
+  let t =
+    {
+      clock;
+      sched;
+      stack;
+      alloc;
+      table = Hashtbl.create 4096;
+      lists = Hashtbl.create 64;
+      commands = 0;
+      hits = 0;
+      misses = 0;
+    }
+  in
+  let _ =
+    Uksched.Sched.spawn sched ~name:"redis-accept" ~daemon:true (fun () ->
+        let l = S.Tcp_socket.listen stack ~port () in
+        let rec loop () =
+          match S.Tcp_socket.accept ~block:true l with
+          | Some flow ->
+              let _ =
+                Uksched.Sched.spawn sched ~name:"redis-conn" ~daemon:true (fun () ->
+                    handle_connection t flow)
+              in
+              loop ()
+          | None -> loop ()
+        in
+        loop ())
+  in
+  t
+
+let stats t = { commands = t.commands; hits = t.hits; misses = t.misses }
+let dbsize t = Hashtbl.length t.table

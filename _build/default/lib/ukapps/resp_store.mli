@@ -1,0 +1,30 @@
+(** A Redis-like in-memory key-value server over the TCP stack (Figs 12
+    and 18).
+
+    Single-threaded event handling (Redis's model, which is why the paper
+    pairs it with the cooperative scheduler). Values live in memory
+    obtained from the configured ukalloc backend, so allocator choice
+    shows up directly in sustained throughput. Supports PING, SET, GET,
+    DEL, EXISTS, INCR, LPUSH, LRANGE, DBSIZE and FLUSHALL. *)
+
+type t
+
+type stats = { commands : int; hits : int; misses : int }
+
+val create :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  alloc:Ukalloc.Alloc.t ->
+  ?port:int ->
+  unit ->
+  t
+(** Spawns the accept thread (daemon) on [sched]; port defaults to
+    6379. *)
+
+val stats : t -> stats
+val dbsize : t -> int
+
+val execute : t -> string list -> Resp.value
+(** Run one command directly (bypassing the network) — used by unit
+    tests. *)

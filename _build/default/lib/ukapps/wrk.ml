@@ -1,0 +1,95 @@
+module S = Uknetstack.Stack
+
+type result = {
+  requests : int;
+  elapsed_ns : float;
+  rate_per_sec : float;
+  latency_us_mean : float;
+  latency_us_p99 : float;
+  errors : int;
+}
+
+let client_cost = 150 (* request formatting + response validation *)
+
+(* Scan an HTTP response stream; return bytes consumed when one full
+   response (headers + content-length body) is present. *)
+let response_complete s =
+  match
+    let rec find i =
+      if i + 3 >= String.length s then None
+      else if String.sub s i 4 = "\r\n\r\n" then Some i
+      else find (i + 1)
+    in
+    find 0
+  with
+  | None -> None
+  | Some hdr_end ->
+      let headers = String.sub s 0 hdr_end in
+      let content_length =
+        String.split_on_char '\n' headers
+        |> List.find_map (fun line ->
+               let line = String.trim line in
+               match String.index_opt line ':' with
+               | Some i when String.lowercase_ascii (String.sub line 0 i) = "content-length" ->
+                   int_of_string_opt
+                     (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+               | Some _ | None -> None)
+      in
+      let body_len = Option.value ~default:0 content_length in
+      let total = hdr_end + 4 + body_len in
+      if String.length s >= total then Some total else None
+
+let run ~clock ~sched ~stack ~server ?(connections = 30) ?(requests = 30_000)
+    ?(path = "/index.html") () =
+  let per_conn = max 1 (requests / connections) in
+  let total = per_conn * connections in
+  let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" path in
+  let latencies = Uksim.Stats.create () in
+  let errors = ref 0 in
+  let finished = ref 0 in
+  let t_start = ref 0.0 and t_end = ref 0.0 in
+  let client_thread _ci () =
+    let flow = S.Tcp_socket.connect stack ~dst:server in
+    let acc = Buffer.create 2048 in
+    for _ = 1 to per_conn do
+      Uksim.Clock.advance clock client_cost;
+      let sent_at = Uksim.Clock.ns clock in
+      ignore (S.Tcp_socket.send ~block:true stack flow (Bytes.of_string request));
+      let rec await () =
+        match response_complete (Buffer.contents acc) with
+        | Some consumed ->
+            let s = Buffer.contents acc in
+            let rest = String.sub s consumed (String.length s - consumed) in
+            Buffer.clear acc;
+            Buffer.add_string acc rest;
+            if not (String.length s >= 12 && String.sub s 9 3 = "200") then incr errors;
+            Uksim.Stats.add latencies ((Uksim.Clock.ns clock -. sent_at) /. 1000.0)
+        | None -> (
+            match S.Tcp_socket.recv ~block:true stack flow ~max:65536 with
+            | None ->
+                incr errors;
+                Uksched.Sched.exit_thread ()
+            | Some data ->
+                Buffer.add_bytes acc data;
+                await ())
+      in
+      await ()
+    done;
+    S.Tcp_socket.close stack flow;
+    incr finished;
+    if !finished = connections then t_end := Uksim.Clock.ns clock
+  in
+  t_start := Uksim.Clock.ns clock;
+  for ci = 0 to connections - 1 do
+    ignore (Uksched.Sched.spawn sched ~name:(Printf.sprintf "wrk-%d" ci) (client_thread ci))
+  done;
+  Uksched.Sched.run sched;
+  let elapsed = !t_end -. !t_start in
+  {
+    requests = total;
+    elapsed_ns = elapsed;
+    rate_per_sec = Uksim.Stats.throughput_per_sec ~events:total ~elapsed_ns:elapsed;
+    latency_us_mean = Uksim.Stats.mean latencies;
+    latency_us_p99 = Uksim.Stats.percentile latencies 99.0;
+    errors = !errors;
+  }

@@ -1,0 +1,30 @@
+(** wrk-like HTTP load generator (paper Fig 13: 1 minute, 14 threads, 30
+    connections, static 612 B page).
+
+    Each connection issues sequential keep-alive GETs; throughput and
+    latency are measured in virtual time. The request count is given
+    explicitly instead of a wall-clock minute — in a simulator a fixed
+    sample with rate = n/elapsed is the same estimator without the dead
+    time. *)
+
+type result = {
+  requests : int;
+  elapsed_ns : float;
+  rate_per_sec : float;
+  latency_us_mean : float;
+  latency_us_p99 : float;
+  errors : int;
+}
+
+val run :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  server:Uknetstack.Addr.Ipv4.t * int ->
+  ?connections:int ->
+  ?requests:int ->
+  ?path:string ->
+  unit ->
+  result
+(** Defaults: 30 connections, 30k requests, "/index.html". Drives [sched]
+    until the load completes; call from outside any scheduler thread. *)

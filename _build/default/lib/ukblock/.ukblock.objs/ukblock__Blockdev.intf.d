@@ -1,0 +1,1 @@
+lib/ukblock/blockdev.mli:

@@ -1,0 +1,1 @@
+lib/ukblock/virtio_blk.ml: Array Blockdev Bytes List Queue Uksim

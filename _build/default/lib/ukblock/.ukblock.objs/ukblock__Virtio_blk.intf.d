@@ -1,0 +1,1 @@
+lib/ukblock/virtio_blk.mli: Blockdev Uksim

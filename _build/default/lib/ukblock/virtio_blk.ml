@@ -1,0 +1,153 @@
+module B = Blockdev
+
+(* Guest-side descriptor work per request; host path is latency on the
+   engine. *)
+let guest_req_cost = 140
+let kick_cost = Uksim.Cost.vm_exit
+let irq_cost = Uksim.Cost.interrupt_delivery
+
+type backing = { store : bytes; sector_size : int; capacity : int }
+
+let mk_backing ~sector_size ~capacity_sectors =
+  { store = Bytes.make (sector_size * capacity_sectors) '\000';
+    sector_size;
+    capacity = capacity_sectors }
+
+let do_request backing (req : B.request) : (bytes, B.error) result =
+  match req with
+  | B.Read { lba; sectors } ->
+      if lba < 0 || sectors <= 0 || lba + sectors > backing.capacity then Error B.Ebounds
+      else Ok (Bytes.sub backing.store (lba * backing.sector_size) (sectors * backing.sector_size))
+  | B.Write { lba; data } ->
+      let n = Bytes.length data in
+      if
+        lba < 0 || n = 0
+        || n mod backing.sector_size <> 0
+        || lba + (n / backing.sector_size) > backing.capacity
+      then Error B.Ebounds
+      else begin
+        Bytes.blit data 0 backing.store (lba * backing.sector_size) n;
+        Ok Bytes.empty
+      end
+
+let sectors_of ~sector_size = function
+  | B.Read { sectors; _ } -> sectors
+  | B.Write { data; _ } -> Bytes.length data / sector_size
+
+let create ~clock ~engine ?(sector_size = 512) ?(capacity_sectors = 131072) ?(queue_depth = 128)
+    ?(host_latency_ns = 20_000.0) () =
+  let backing = mk_backing ~sector_size ~capacity_sectors in
+  let inflight = ref 0 in
+  let done_q : B.completion Queue.t = Queue.create () in
+  let handler = ref None in
+  let charge c = Uksim.Clock.advance clock c in
+  let complete req =
+    let result = do_request backing req in
+    let was_idle = Queue.is_empty done_q in
+    Queue.push { B.req; result } done_q;
+    decr inflight;
+    if was_idle then
+      match !handler with
+      | Some f ->
+          charge irq_cost;
+          f ()
+      | None -> ()
+  in
+  let submit reqs =
+    let room = queue_depth - !inflight in
+    let n = min room (Array.length reqs) in
+    if n > 0 then begin
+      for i = 0 to n - 1 do
+        charge guest_req_cost;
+        let req = reqs.(i) in
+        incr inflight;
+        (* Host path: latency plus per-sector transfer time. *)
+        let latency =
+          Uksim.Clock.cycles_of_ns host_latency_ns
+          + Uksim.Cost.memcpy (sectors_of ~sector_size req * sector_size)
+        in
+        Uksim.Engine.after engine latency (fun () -> complete req)
+      done;
+      charge kick_cost
+    end;
+    n
+  in
+  let poll_completions ~max:max_c =
+    Uksim.Engine.run ~until:(Uksim.Clock.cycles clock) engine;
+    let rec take acc k =
+      if k >= max_c then List.rev acc
+      else
+        match Queue.take_opt done_q with
+        | Some c -> take (c :: acc) (k + 1)
+        | None -> List.rev acc
+    in
+    take [] 0
+  in
+  let wait_one () =
+    (* Synchronous convenience: spin virtual time until a completion. *)
+    let rec go () =
+      match poll_completions ~max:1 with
+      | [ c ] -> c
+      | _ ->
+          Uksim.Clock.advance clock 500;
+          go ()
+    in
+    go ()
+  in
+  let read_sync ~lba ~sectors =
+    if submit [| B.Read { lba; sectors } |] = 0 then Error B.Equeue_full
+    else (wait_one ()).B.result
+  in
+  let write_sync ~lba data =
+    if submit [| B.Write { lba; data } |] = 0 then Error B.Equeue_full
+    else match (wait_one ()).B.result with Ok _ -> Ok () | Error e -> Error e
+  in
+  {
+    B.name = "virtio-blk";
+    sector_size;
+    capacity_sectors;
+    submit;
+    poll_completions;
+    pending = (fun () -> !inflight);
+    set_completion_handler = (fun f -> handler := f);
+    read_sync;
+    write_sync;
+    flush = (fun () -> Uksim.Engine.run ~until:(Uksim.Clock.cycles clock) engine);
+  }
+
+let create_ramdisk ~clock ?(sector_size = 512) ?(capacity_sectors = 131072) () =
+  let backing = mk_backing ~sector_size ~capacity_sectors in
+  let done_q : B.completion Queue.t = Queue.create () in
+  let charge c = Uksim.Clock.advance clock c in
+  let run req =
+    charge (40 + Uksim.Cost.memcpy (sectors_of ~sector_size req * sector_size));
+    do_request backing req
+  in
+  let submit reqs =
+    Array.iter (fun req -> Queue.push { B.req; result = run req } done_q) reqs;
+    Array.length reqs
+  in
+  let poll_completions ~max:max_c =
+    let rec take acc k =
+      if k >= max_c then List.rev acc
+      else
+        match Queue.take_opt done_q with
+        | Some c -> take (c :: acc) (k + 1)
+        | None -> List.rev acc
+    in
+    take [] 0
+  in
+  {
+    B.name = "ramdisk";
+    sector_size;
+    capacity_sectors;
+    submit;
+    poll_completions;
+    pending = (fun () -> 0);
+    set_completion_handler = (fun _ -> ());
+    read_sync = (fun ~lba ~sectors -> run (B.Read { lba; sectors }));
+    write_sync =
+      (fun ~lba data ->
+        match run (B.Write { lba; data }) with Ok _ -> Ok () | Error e -> Error e);
+    flush = (fun () -> ());
+  }

@@ -1,0 +1,1 @@
+lib/ukboot/boot.ml: Fmt List Uksim

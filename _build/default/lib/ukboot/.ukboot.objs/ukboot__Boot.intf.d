@@ -1,0 +1,1 @@
+lib/ukboot/boot.mli: Format Uksim

@@ -1,0 +1,63 @@
+module Level = struct
+  let early = 1
+  let paging = 2
+  let alloc = 3
+  let sched = 4
+  let bus = 5
+  let fs = 6
+  let late = 7
+end
+
+module Inittab = struct
+  type entry = { level : int; name : string; ctor : unit -> unit }
+  type t = { mutable entries : entry list (* reversed registration order *) }
+
+  let create () = { entries = [] }
+
+  let register t ~level ~name ctor =
+    if level < 1 || level > 7 then invalid_arg "Inittab.register: level must be in 1..7";
+    t.entries <- { level; name; ctor } :: t.entries
+
+  let ordered t =
+    (* Stable by level, registration order within a level. *)
+    List.stable_sort
+      (fun a b -> compare a.level b.level)
+      (List.rev t.entries)
+
+  let entries t = List.map (fun e -> (e.level, e.name)) (ordered t)
+end
+
+type phase_report = {
+  phase : string;
+  level : int;
+  start_ns : float;
+  duration_ns : float;
+}
+
+type report = { guest_boot_ns : float; phases : phase_report list }
+
+let run ~clock ?main tab =
+  let t0 = Uksim.Clock.ns clock in
+  let phases =
+    List.map
+      (fun (e : Inittab.entry) ->
+        let start = Uksim.Clock.ns clock in
+        e.ctor ();
+        {
+          phase = e.name;
+          level = e.level;
+          start_ns = start -. t0;
+          duration_ns = Uksim.Clock.ns clock -. start;
+        })
+      (Inittab.ordered tab)
+  in
+  let guest_boot_ns = Uksim.Clock.ns clock -. t0 in
+  (match main with Some f -> f () | None -> ());
+  { guest_boot_ns; phases }
+
+let pp_report ppf r =
+  Fmt.pf ppf "guest boot: %a@," Uksim.Units.pp_ns r.guest_boot_ns;
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  [%d] %-24s %a@," p.level p.phase Uksim.Units.pp_ns p.duration_ns)
+    r.phases

@@ -1,0 +1,1 @@
+lib/ukbuild/catalog.ml: List Microlib Printf Registry

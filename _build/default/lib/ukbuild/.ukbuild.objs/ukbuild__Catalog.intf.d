@@ -1,0 +1,1 @@
+lib/ukbuild/catalog.mli: Registry

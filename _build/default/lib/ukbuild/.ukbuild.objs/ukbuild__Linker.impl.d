@@ -1,0 +1,1 @@
+lib/ukbuild/linker.ml: Fmt List Map Microlib Printf Registry Set String Ukgraph Uksim

@@ -1,0 +1,1 @@
+lib/ukbuild/linker.mli: Format Registry Ukgraph

@@ -1,0 +1,1 @@
+lib/ukbuild/microlib.ml: Array Char Float List Printf String Uksim

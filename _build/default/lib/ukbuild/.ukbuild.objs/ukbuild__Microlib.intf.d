@@ -1,0 +1,1 @@
+lib/ukbuild/microlib.mli:

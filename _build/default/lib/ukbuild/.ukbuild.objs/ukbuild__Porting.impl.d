@@ -1,0 +1,1 @@
+lib/ukbuild/porting.ml: List String

@@ -1,0 +1,1 @@
+lib/ukbuild/registry.ml: Hashtbl List Microlib Printf Set String Ukgraph

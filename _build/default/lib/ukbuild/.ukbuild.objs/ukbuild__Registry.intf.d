@@ -1,0 +1,1 @@
+lib/ukbuild/registry.mli: Microlib Ukgraph

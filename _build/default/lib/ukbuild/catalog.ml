@@ -1,0 +1,120 @@
+let kb n = n * 1024
+
+(* Library-level API-use fractions drive DCE: an edge (dep, f) keeps
+   fraction f of dep's clusters when this library survives the link. *)
+let defs () =
+  let d = Microlib.define in
+  [
+    (* Platforms. plat-kvm carries full legacy boot, ACPI tables and
+       virtio bus glue; plat-xen is tiny (PV entry), giving the paper's
+       200KB-vs-40KB hello split. *)
+    d ~name:"plat-kvm" ~kind:Platform ~code_size:(kb 140)
+      ~deps:[ ("ukboot", 1.0); ("ukdebug", 0.5) ] ();
+    d ~name:"plat-xen" ~kind:Platform ~code_size:(kb 8)
+      ~deps:[ ("ukboot", 1.0); ("ukdebug", 0.3) ] ();
+    d ~name:"plat-fc" ~kind:Platform ~code_size:(kb 96)
+      ~deps:[ ("ukboot", 1.0); ("ukdebug", 0.5) ] ();
+    d ~name:"plat-solo5" ~kind:Platform ~code_size:(kb 52)
+      ~deps:[ ("ukboot", 1.0); ("ukdebug", 0.3) ] ();
+    d ~name:"plat-linuxu" ~kind:Platform ~code_size:(kb 30)
+      ~deps:[ ("ukboot", 1.0); ("ukdebug", 0.3) ] ();
+    (* Core APIs and support. *)
+    d ~name:"ukboot" ~kind:Core_api ~code_size:(kb 6) ();
+    d ~name:"ukdebug" ~kind:Library ~code_size:(kb 14) ();
+    d ~name:"uklibparam" ~kind:Library ~code_size:(kb 3) ~deps:[ ("ukboot", 0.5) ] ();
+    d ~name:"ukring" ~kind:Library ~code_size:(kb 2) ();
+    d ~name:"uktime" ~kind:Library ~code_size:(kb 5) ();
+    d ~name:"ukmpk" ~kind:Library ~code_size:(kb 6) ~deps:[ ("ukmmu", 0.5) ] ();
+    d ~name:"ukasan" ~kind:Library ~code_size:(kb 11) ~deps:[ ("ukalloc", 0.8) ] ();
+    d ~name:"ukalloc" ~kind:Core_api ~code_size:(kb 9) ();
+    d ~name:"uksched" ~kind:Core_api ~code_size:(kb 11) ~deps:[ ("ukalloc", 0.4) ] ();
+    d ~name:"uklock" ~kind:Core_api ~code_size:(kb 5) ~deps:[ ("uksched", 0.3) ] ();
+    d ~name:"ukmmu" ~kind:Core_api ~code_size:(kb 14) ~deps:[ ("ukalloc", 0.3) ] ();
+    d ~name:"uknetdev" ~kind:Core_api ~code_size:(kb 18) ~deps:[ ("ukalloc", 0.4) ] ();
+    d ~name:"ukblock" ~kind:Core_api ~code_size:(kb 12) ~deps:[ ("ukalloc", 0.3) ] ();
+    d ~name:"uksyscall" ~kind:Core_api ~code_size:(kb 24)
+      ~deps:[ ("vfscore", 0.5); ("ukalloc", 0.7); ("uksched", 0.5); ("ukmmu", 0.3) ] ();
+    (* Allocator backends (one micro-library each, paper §5.5). *)
+    d ~name:"alloc-buddy" ~kind:Library ~code_size:(kb 16) ~deps:[ ("ukalloc", 1.0) ] ();
+    d ~name:"alloc-tlsf" ~kind:Library ~code_size:(kb 24) ~deps:[ ("ukalloc", 1.0) ] ();
+    d ~name:"alloc-tinyalloc" ~kind:Library ~code_size:(kb 7) ~deps:[ ("ukalloc", 1.0) ] ();
+    d ~name:"alloc-mimalloc" ~kind:Library ~code_size:(kb 84)
+      ~deps:[ ("ukalloc", 1.0); ("uksched", 0.5); ("uklock", 0.6) ] ();
+    d ~name:"alloc-bootalloc" ~kind:Library ~code_size:(kb 3) ~deps:[ ("ukalloc", 1.0) ] ();
+    d ~name:"alloc-oscar" ~kind:Library ~code_size:(kb 14)
+      ~deps:[ ("ukalloc", 1.0); ("ukmmu", 0.6) ] ();
+    (* Scheduler backends. *)
+    d ~name:"sched-coop" ~kind:Library ~code_size:(kb 7) ~deps:[ ("uksched", 1.0) ] ();
+    d ~name:"sched-preempt" ~kind:Library ~code_size:(kb 13)
+      ~deps:[ ("uksched", 1.0); ("uklock", 0.5) ] ();
+    (* Network stack and drivers. *)
+    d ~name:"lwip" ~kind:Library ~code_size:(kb 330)
+      ~deps:[ ("uknetdev", 0.8); ("ukalloc", 0.5); ("uksched", 0.5); ("uklock", 0.6) ] ();
+    d ~name:"virtio-net" ~kind:Library ~code_size:(kb 22) ~deps:[ ("uknetdev", 0.9) ] ();
+    d ~name:"netfront" ~kind:Library ~code_size:(kb 20) ~deps:[ ("uknetdev", 0.9) ] ();
+    (* Storage / filesystems. *)
+    d ~name:"vfscore" ~kind:Library ~code_size:(kb 38)
+      ~deps:[ ("ukalloc", 0.6); ("uklock", 0.5) ] ();
+    d ~name:"ramfs" ~kind:Library ~code_size:(kb 13) ~deps:[ ("vfscore", 0.7) ] ();
+    d ~name:"9pfs" ~kind:Library ~code_size:(kb 32)
+      ~deps:[ ("vfscore", 0.7); ("ukalloc", 0.4) ] ();
+    d ~name:"virtio-9p" ~kind:Library ~code_size:(kb 18) ~deps:[ ("9pfs", 0.8) ] ();
+    d ~name:"shfs" ~kind:Library ~code_size:(kb 28)
+      ~deps:[ ("ukblock", 0.6); ("ukalloc", 0.4) ] ();
+    (* C libraries. *)
+    d ~name:"nolibc" ~kind:Libc ~code_size:(kb 40) ~deps:[ ("ukalloc", 0.5) ] ();
+    d ~name:"musl" ~kind:Libc ~code_size:(kb 740) ~deps:[ ("uksyscall", 0.7) ] ();
+    d ~name:"newlib" ~kind:Libc ~code_size:(kb 680) ~deps:[ ("uksyscall", 0.6) ] ();
+    d ~name:"glibc-compat" ~kind:Libc ~code_size:(kb 26) ~deps:[ ("musl", 0.3) ] ();
+    (* Applications. *)
+    d ~name:"app-hello" ~kind:App ~code_size:(kb 2)
+      ~deps:[ ("nolibc", 0.25); ("ukboot", 1.0) ] ();
+    d ~name:"app-nginx" ~kind:App ~code_size:(kb 420)
+      ~deps:
+        [ ("musl", 0.32); ("lwip", 0.55); ("vfscore", 0.5); ("ramfs", 0.8); ("ukboot", 1.0) ]
+      ();
+    d ~name:"app-redis" ~kind:App ~code_size:(kb 560)
+      ~deps:[ ("musl", 0.38); ("lwip", 0.6); ("vfscore", 0.3); ("ukboot", 1.0) ] ();
+    d ~name:"app-sqlite" ~kind:App ~code_size:(kb 760)
+      ~deps:[ ("musl", 0.42); ("vfscore", 0.8); ("ramfs", 0.9); ("ukboot", 1.0) ] ();
+    d ~name:"app-webcache" ~kind:App ~code_size:(kb 36)
+      ~deps:[ ("nolibc", 0.4); ("shfs", 0.9); ("lwip", 0.5); ("ukboot", 1.0) ] ();
+    d ~name:"app-udpkv" ~kind:App ~code_size:(kb 18)
+      ~deps:[ ("nolibc", 0.3); ("uknetdev", 0.9); ("ukboot", 1.0) ] ();
+    d ~name:"app-httpreply" ~kind:App ~code_size:(kb 9)
+      ~deps:[ ("nolibc", 0.3); ("lwip", 0.45); ("ukboot", 1.0) ] ();
+  ]
+
+let registry () =
+  let r = Registry.create () in
+  Registry.add_all r (defs ());
+  r
+
+let platforms = [ "plat-kvm"; "plat-xen"; "plat-fc"; "plat-solo5"; "plat-linuxu" ]
+
+let allocator_libs =
+  [ "alloc-buddy"; "alloc-tlsf"; "alloc-tinyalloc"; "alloc-mimalloc"; "alloc-bootalloc";
+    "alloc-oscar" ]
+
+let scheduler_libs = [ "sched-coop"; "sched-preempt" ]
+
+let apps =
+  [ "app-hello"; "app-nginx"; "app-redis"; "app-sqlite"; "app-webcache"; "app-udpkv";
+    "app-httpreply" ]
+
+let app_roots ~app ~net ~fs ?alloc ?sched () =
+  if not (List.mem app apps) then invalid_arg (Printf.sprintf "Catalog.app_roots: unknown app %s" app);
+  let check_opt what valid = function
+    | None -> []
+    | Some name ->
+        if not (List.mem name valid) then
+          invalid_arg (Printf.sprintf "Catalog.app_roots: unknown %s %s" what name);
+        [ name ]
+  in
+  let base =
+    (app :: check_opt "allocator" allocator_libs alloc)
+    @ check_opt "scheduler" scheduler_libs sched
+  in
+  let base = if net then "virtio-net" :: base else base in
+  let base = if fs then "virtio-9p" :: base else base in
+  base

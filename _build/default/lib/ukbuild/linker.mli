@@ -1,0 +1,37 @@
+(** The final link step: compose micro-libraries into a unikernel image,
+    with optional dead-code elimination and link-time optimization
+    (paper §2 "Static linking", Figs 8 and 9). *)
+
+type flags = { dce : bool; lto : bool }
+
+val default_flags : flags
+(** Both on, Unikraft's default. *)
+
+type image = {
+  image_name : string;
+  platform : string;
+  libs : string list;  (** included micro-libraries, sorted *)
+  kept_apis : (string * string list) list;  (** per lib, surviving clusters *)
+  text_bytes : int;
+  rodata_bytes : int;
+  image_bytes : int;  (** on-disk size *)
+  dep_graph : Ukgraph.Digraph.t;
+}
+
+val link :
+  Registry.t ->
+  name:string ->
+  platform:string ->
+  roots:string list ->
+  ?flags:flags ->
+  unit ->
+  (image, string) result
+(** [roots] are the application libraries (and any explicitly selected
+    backends); the platform library is added automatically. All root
+    clusters are entry points. [Error msg] when a dependency is missing.
+
+    DCE keeps, per non-root library, only the clusters whose API some kept
+    cluster references (computed to a fixpoint over the dependency edges).
+    LTO scales surviving text by the cross-module inlining factor. *)
+
+val pp_image : Format.formatter -> image -> unit

@@ -1,0 +1,92 @@
+type kind = Core_api | Library | Platform | App | Libc
+
+type dep_use = { dep : string; fraction : float }
+
+type cluster = {
+  api : string;
+  head_size : int;
+  internals : (string * int) list;
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  deps : dep_use list;
+  code_size : int;
+  clusters : cluster list;
+}
+
+let seed_of_string s =
+  (* FNV-1a, for deterministic per-library generation. *)
+  let h = ref 0x1bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let define ~name ~kind ?(deps = []) ~code_size ?n_clusters () =
+  if code_size <= 0 then invalid_arg "Microlib.define: code_size must be positive";
+  let n_clusters =
+    match n_clusters with
+    | Some n when n > 0 -> n
+    | Some _ -> invalid_arg "Microlib.define: n_clusters must be positive"
+    | None -> max 4 (min 64 (code_size / 8192))
+  in
+  (* Keep every cluster at least 32 bytes so the size partition below
+     cannot go negative. *)
+  let n_clusters = max 1 (min n_clusters (code_size / 32)) in
+  let rng = Uksim.Rng.create (seed_of_string name) in
+  (* Random positive weights per cluster, normalized to code_size. *)
+  let weights = Array.init n_clusters (fun _ -> 1 + Uksim.Rng.int rng 100) in
+  let wsum = Array.fold_left ( + ) 0 weights in
+  let remaining = ref code_size in
+  let clusters =
+    List.init n_clusters (fun i ->
+        let size =
+          if i = n_clusters - 1 then !remaining
+          else begin
+            let s = max 16 (code_size * weights.(i) / wsum) in
+            let s = min s (!remaining - (16 * (n_clusters - 1 - i))) in
+            max 16 s
+          end
+        in
+        remaining := !remaining - size;
+        let api = Printf.sprintf "%s__f%d" name i in
+        let head_size = max 8 (size / 4) in
+        let n_internal = 1 + Uksim.Rng.int rng 4 in
+        let body = size - head_size in
+        let internals =
+          List.init n_internal (fun j ->
+              let isz =
+                if j = n_internal - 1 then body - (body / n_internal * (n_internal - 1))
+                else body / n_internal
+              in
+              (Printf.sprintf "%s__f%d_i%d" name i j, max 0 isz))
+        in
+        { api; head_size; internals })
+  in
+  let deps =
+    List.map
+      (fun (dep, fraction) ->
+        { dep; fraction = Float.min 1.0 (Float.max 0.01 fraction) })
+      deps
+  in
+  { name; kind; deps; code_size; clusters }
+
+let dep_names t = List.map (fun d -> d.dep) t.deps
+let api_symbols t = List.map (fun c -> c.api) t.clusters
+let cluster_size c = c.head_size + List.fold_left (fun acc (_, s) -> acc + s) 0 c.internals
+let total_size t = List.fold_left (fun acc c -> acc + cluster_size c) 0 t.clusters
+
+let used_apis ~caller ~callee =
+  match List.find_opt (fun d -> String.equal d.dep callee.name) caller.deps with
+  | None -> []
+  | Some { fraction; _ } ->
+      let apis = Array.of_list (api_symbols callee) in
+      let n = Array.length apis in
+      let keep = max 1 (int_of_float (ceil (fraction *. float_of_int n))) in
+      let rng = Uksim.Rng.create (seed_of_string (caller.name ^ "->" ^ callee.name)) in
+      Uksim.Rng.shuffle rng apis;
+      Array.to_list (Array.sub apis 0 (min keep n))

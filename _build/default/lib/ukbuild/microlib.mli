@@ -1,0 +1,54 @@
+(** Micro-library descriptions for the build/link model.
+
+    A micro-library carries a synthetic but structured symbol inventory:
+    symbols are grouped into {e clusters}, each headed by one exported API
+    symbol whose internals are reachable only from that head — the
+    granularity real linkers get from [-ffunction-sections] +
+    [--gc-sections]. Dependencies record which {e fraction} of the
+    dependency's API surface the library actually calls; dead-code
+    elimination keeps only the referenced clusters (a deterministic subset
+    seeded by the caller/callee names).
+
+    Inventories are generated deterministically from the library name, so
+    image sizes are stable across runs. *)
+
+type kind = Core_api | Library | Platform | App | Libc
+
+type dep_use = {
+  dep : string;
+  fraction : float;  (** share of the dependency's API surface used, (0,1] *)
+}
+
+type cluster = {
+  api : string;  (** exported head symbol, "libname__fN" *)
+  head_size : int;
+  internals : (string * int) list;  (** internal symbols and sizes *)
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  deps : dep_use list;
+  code_size : int;  (** total text bytes before any elimination *)
+  clusters : cluster list;
+}
+
+val define :
+  name:string ->
+  kind:kind ->
+  ?deps:(string * float) list ->
+  code_size:int ->
+  ?n_clusters:int ->
+  unit ->
+  t
+(** Synthesize the inventory. [n_clusters] defaults to a size-dependent
+    value (at least 4). Fractions are clamped to (0, 1]. *)
+
+val dep_names : t -> string list
+val api_symbols : t -> string list
+val cluster_size : cluster -> int
+val total_size : t -> int
+
+val used_apis : caller:t -> callee:t -> string list
+(** The deterministic subset of [callee]'s API symbols referenced by
+    [caller] ([] when there is no dependency edge). *)

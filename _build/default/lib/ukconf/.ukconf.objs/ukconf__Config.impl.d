@@ -1,0 +1,1 @@
+lib/ukconf/config.ml: Buffer Expr Fmt Hashtbl Kopt List Printf Schema

@@ -1,0 +1,1 @@
+lib/ukconf/config.mli: Expr Format Kopt Schema

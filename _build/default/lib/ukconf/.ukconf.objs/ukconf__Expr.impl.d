@@ -1,0 +1,1 @@
+lib/ukconf/expr.ml: Fmt List Set String

@@ -1,0 +1,1 @@
+lib/ukconf/expr.mli: Format

@@ -1,0 +1,1 @@
+lib/ukconf/kopt.ml: Expr Fmt List

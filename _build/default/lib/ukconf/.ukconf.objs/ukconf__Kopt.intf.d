@@ -1,0 +1,1 @@
+lib/ukconf/kopt.mli: Expr Format

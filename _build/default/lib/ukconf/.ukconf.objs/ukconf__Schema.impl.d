@@ -1,0 +1,1 @@
+lib/ukconf/schema.ml: Expr Hashtbl Kopt List Map Printf

@@ -1,0 +1,1 @@
+lib/ukconf/schema.mli: Kopt

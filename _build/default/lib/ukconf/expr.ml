@@ -1,0 +1,43 @@
+type t =
+  | True
+  | False
+  | Var of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+let rec eval lookup = function
+  | True -> true
+  | False -> false
+  | Var v -> lookup v
+  | Not e -> not (eval lookup e)
+  | And (a, b) -> eval lookup a && eval lookup b
+  | Or (a, b) -> eval lookup a || eval lookup b
+
+let vars e =
+  let module S = Set.Make (String) in
+  let rec collect acc = function
+    | True | False -> acc
+    | Var v -> S.add v acc
+    | Not e -> collect acc e
+    | And (a, b) | Or (a, b) -> collect (collect acc a) b
+  in
+  S.elements (collect S.empty e)
+
+let conj = function
+  | [] -> True
+  | e :: rest -> List.fold_left (fun acc x -> And (acc, x)) e rest
+
+let rec pp ppf = function
+  | True -> Fmt.string ppf "y"
+  | False -> Fmt.string ppf "n"
+  | Var v -> Fmt.string ppf v
+  | Not e -> Fmt.pf ppf "!%a" pp_atom e
+  | And (a, b) -> Fmt.pf ppf "%a && %a" pp_atom a pp_atom b
+  | Or (a, b) -> Fmt.pf ppf "%a || %a" pp_atom a pp_atom b
+
+and pp_atom ppf = function
+  | (True | False | Var _ | Not _) as e -> pp ppf e
+  | (And _ | Or _) as e -> Fmt.pf ppf "(%a)" pp e
+
+let to_string e = Fmt.str "%a" pp e

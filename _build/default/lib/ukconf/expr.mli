@@ -1,0 +1,21 @@
+(** Kconfig-style boolean dependency expressions. *)
+
+type t =
+  | True
+  | False
+  | Var of string  (** value of another boolean option *)
+  | Not of t
+  | And of t * t
+  | Or of t * t
+
+val eval : (string -> bool) -> t -> bool
+(** [eval lookup e] evaluates [e]; [lookup] gives each variable's value. *)
+
+val vars : t -> string list
+(** Variables mentioned, sorted, without duplicates. *)
+
+val conj : t list -> t
+(** N-ary conjunction ([True] for the empty list). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,51 @@
+type value =
+  | Bool of bool
+  | Int of int
+  | String of string
+  | Choice of string
+
+type ty =
+  | Tbool
+  | Tint of { min : int; max : int }
+  | Tstring
+  | Tchoice of string list
+
+type t = {
+  name : string;
+  doc : string;
+  ty : ty;
+  default : value;
+  depends : Expr.t;
+  selects : string list;
+  menu : string list;
+}
+
+let bool ?(doc = "") ?(default = false) ?(depends = Expr.True) ?(selects = []) ?(menu = []) name =
+  { name; doc; ty = Tbool; default = Bool default; depends; selects; menu }
+
+let int ?(doc = "") ?(default = 0) ?(min = min_int) ?(max = max_int) ?(depends = Expr.True)
+    ?(menu = []) name =
+  if default < min || default > max then invalid_arg "Kopt.int: default out of range";
+  { name; doc; ty = Tint { min; max }; default = Int default; depends; selects = []; menu }
+
+let string ?(doc = "") ?(default = "") ?(depends = Expr.True) ?(menu = []) name =
+  { name; doc; ty = Tstring; default = String default; depends; selects = []; menu }
+
+let choice ?(doc = "") ~default ~alternatives ?(depends = Expr.True) ?(menu = []) name =
+  if not (List.mem default alternatives) then
+    invalid_arg "Kopt.choice: default not among alternatives";
+  { name; doc; ty = Tchoice alternatives; default = Choice default; depends; selects = []; menu }
+
+let value_matches ty v =
+  match (ty, v) with
+  | Tbool, Bool _ -> true
+  | Tint { min; max }, Int i -> i >= min && i <= max
+  | Tstring, String _ -> true
+  | Tchoice alts, Choice c -> List.mem c alts
+  | (Tbool | Tint _ | Tstring | Tchoice _), (Bool _ | Int _ | String _ | Choice _) -> false
+
+let pp_value ppf = function
+  | Bool b -> Fmt.pf ppf "%s" (if b then "y" else "n")
+  | Int i -> Fmt.int ppf i
+  | String s -> Fmt.pf ppf "%S" s
+  | Choice c -> Fmt.string ppf c

@@ -1,0 +1,41 @@
+(** A single Kconfig option. *)
+
+type value =
+  | Bool of bool
+  | Int of int
+  | String of string
+  | Choice of string  (** one of the declared alternatives *)
+
+type ty =
+  | Tbool
+  | Tint of { min : int; max : int }
+  | Tstring
+  | Tchoice of string list
+
+type t = {
+  name : string;
+  doc : string;
+  ty : ty;
+  default : value;
+  depends : Expr.t;  (** must hold for the option to be settable/enabled *)
+  selects : string list;  (** boolean options forced on when this one is on *)
+  menu : string list;  (** menu path, e.g. ["Library Configuration"; "ukalloc"] *)
+}
+
+val bool :
+  ?doc:string -> ?default:bool -> ?depends:Expr.t -> ?selects:string list ->
+  ?menu:string list -> string -> t
+
+val int :
+  ?doc:string -> ?default:int -> ?min:int -> ?max:int -> ?depends:Expr.t ->
+  ?menu:string list -> string -> t
+
+val string : ?doc:string -> ?default:string -> ?depends:Expr.t -> ?menu:string list -> string -> t
+
+val choice :
+  ?doc:string -> default:string -> alternatives:string list -> ?depends:Expr.t ->
+  ?menu:string list -> string -> t
+(** Raises [Invalid_argument] if [default] is not among [alternatives]. *)
+
+val value_matches : ty -> value -> bool
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,25 @@
+(** A registry of Kconfig options (the menu definition). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> Kopt.t -> unit
+(** Raises [Invalid_argument] on duplicate option names. *)
+
+val add_all : t -> Kopt.t list -> unit
+val find : t -> string -> Kopt.t option
+val find_exn : t -> string -> Kopt.t
+(** Raises [Not_found]. *)
+
+val mem : t -> string -> bool
+val options : t -> Kopt.t list
+(** In declaration order. *)
+
+val menu_tree : t -> (string list * Kopt.t list) list
+(** Options grouped by menu path, paths sorted. *)
+
+val check_closed : t -> (unit, string list) result
+(** Verify every variable referenced in a [depends] expression and every
+    [selects] target is itself a declared boolean option; [Error missing]
+    otherwise. *)

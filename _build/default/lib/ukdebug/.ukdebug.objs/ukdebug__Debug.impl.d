@@ -1,0 +1,1 @@
+lib/ukdebug/debug.ml: Array Hashtbl List Printf Result String Uksim

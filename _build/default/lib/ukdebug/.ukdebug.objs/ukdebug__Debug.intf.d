@@ -1,0 +1,1 @@
+lib/ukdebug/debug.mli: Uksim

@@ -1,0 +1,140 @@
+type level = Crit | Error | Warn | Info | Debug
+
+let level_to_string = function
+  | Crit -> "CRIT"
+  | Error -> "ERROR"
+  | Warn -> "WARN"
+  | Info -> "INFO"
+  | Debug -> "DEBUG"
+
+let severity = function Crit -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let print_cost = 900 (* format + serial console write *)
+let trace_cost = 40 (* ring-buffer slot write *)
+let ring_capacity = 256
+
+type trace_event = { tp_name : string; at_ns : float; arg : int }
+
+type plugin = { arch : string; render : int -> string }
+
+type t = {
+  clock : Uksim.Clock.t;
+  mutable thr : level;
+  assertions : bool;
+  print_stack_bottom : int option;
+  sink : string -> unit;
+  mutable emitted : int;
+  mutable suppressed : int;
+  (* trace points *)
+  registered : (string, int ref) Hashtbl.t;
+  ring : trace_event option array;
+  mutable ring_next : int;
+  mutable ring_len : int;
+  mutable plugins : plugin list;
+}
+
+let create ~clock ?(threshold = Info) ?(assertions = true) ?(print_stack_bottom = None)
+    ?(sink = fun _ -> ()) () =
+  {
+    clock;
+    thr = threshold;
+    assertions;
+    print_stack_bottom;
+    sink;
+    emitted = 0;
+    suppressed = 0;
+    registered = Hashtbl.create 16;
+    ring = Array.make ring_capacity None;
+    ring_next = 0;
+    ring_len = 0;
+    plugins = [];
+  }
+
+let set_threshold t l = t.thr <- l
+let threshold t = t.thr
+
+let printk t level msg =
+  if severity level <= severity t.thr then begin
+    t.emitted <- t.emitted + 1;
+    Uksim.Clock.advance t.clock print_cost;
+    let prefix =
+      match t.print_stack_bottom with
+      | Some bottom -> Printf.sprintf "[%s @%#x] " (level_to_string level) bottom
+      | None -> Printf.sprintf "[%s] " (level_to_string level)
+    in
+    t.sink (prefix ^ msg)
+  end
+  else t.suppressed <- t.suppressed + 1
+
+let messages_emitted t = t.emitted
+let messages_suppressed t = t.suppressed
+
+exception Assertion_failed of string
+
+let uk_assert t cond msg = if t.assertions && not cond then raise (Assertion_failed msg)
+let assertions_enabled t = t.assertions
+
+module Trace = struct
+  type event = trace_event = { tp_name : string; at_ns : float; arg : int }
+
+  let register t name =
+    if not (Hashtbl.mem t.registered name) then Hashtbl.replace t.registered name (ref 0)
+
+  let fire t name arg =
+    match Hashtbl.find_opt t.registered name with
+    | None -> invalid_arg (Printf.sprintf "Trace.fire: unregistered trace point %s" name)
+    | Some counter ->
+        incr counter;
+        Uksim.Clock.advance t.clock trace_cost;
+        t.ring.(t.ring_next) <- Some { tp_name = name; at_ns = Uksim.Clock.ns t.clock; arg };
+        t.ring_next <- (t.ring_next + 1) mod ring_capacity;
+        t.ring_len <- min ring_capacity (t.ring_len + 1)
+
+  let events t =
+    let start = (t.ring_next - t.ring_len + ring_capacity) mod ring_capacity in
+    List.init t.ring_len (fun i ->
+        match t.ring.((start + i) mod ring_capacity) with
+        | Some e -> e
+        | None -> assert false)
+
+  let count t name =
+    match Hashtbl.find_opt t.registered name with Some c -> !c | None -> 0
+
+  let clear t =
+    Array.fill t.ring 0 ring_capacity None;
+    t.ring_next <- 0;
+    t.ring_len <- 0
+end
+
+module Disasm = struct
+  type nonrec plugin = plugin = { arch : string; render : int -> string }
+
+  let register t p = t.plugins <- p :: t.plugins
+
+  let disassemble t ~arch words =
+    match List.find_opt (fun p -> String.equal p.arch arch) t.plugins with
+    | None -> Result.Error (Printf.sprintf "no disassembler registered for %s" arch)
+    | Some p -> Result.Ok (List.map p.render words)
+
+  (* A toy x86-flavoured renderer standing in for the Zydis port: decodes
+     a (opcode, operand) word pair encoding. *)
+  let zydis_like =
+    {
+      arch = "x86_64";
+      render =
+        (fun word ->
+          let op = (word lsr 24) land 0xff in
+          let a = (word lsr 12) land 0xfff in
+          let b = word land 0xfff in
+          let reg r = [| "rax"; "rbx"; "rcx"; "rdx"; "rsi"; "rdi"; "rbp"; "rsp" |].(r land 7) in
+          match op with
+          | 0x90 -> "nop"
+          | 0xc3 -> "ret"
+          | 0x89 -> Printf.sprintf "mov %s, %s" (reg a) (reg b)
+          | 0x01 -> Printf.sprintf "add %s, %s" (reg a) (reg b)
+          | 0x39 -> Printf.sprintf "cmp %s, %s" (reg a) (reg b)
+          | 0xe8 -> Printf.sprintf "call %#x" ((a lsl 12) lor b)
+          | 0x0f -> Printf.sprintf "syscall ; nr=%d" b
+          | _ -> Printf.sprintf "db %#010x" word);
+    }
+end

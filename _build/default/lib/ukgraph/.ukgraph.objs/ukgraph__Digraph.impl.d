@@ -1,0 +1,1 @@
+lib/ukgraph/digraph.ml: Buffer Hashtbl List Map Printf Set String

@@ -1,0 +1,1 @@
+lib/ukgraph/digraph.mli:

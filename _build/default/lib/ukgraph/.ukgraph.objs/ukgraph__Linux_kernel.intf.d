@@ -1,0 +1,1 @@
+lib/ukgraph/linux_kernel.mli: Digraph

@@ -1,0 +1,25 @@
+(** Linux kernel component dependency dataset (paper Fig. 1).
+
+    The paper approximates Linux components by top-level source
+    subdirectories and counts cross-component function calls extracted with
+    cscope. We encode that analysis' output as a dataset: the component list
+    and the pairwise cross-call counts (synthesized to match the published
+    graph's structure — a dense graph in which every major component depends
+    on nearly every other, with kernel/mm/lib as universal sinks). *)
+
+val components : string list
+(** Top-level components in the analysis. *)
+
+val graph : unit -> Digraph.t
+(** The cross-call dependency graph; edge weights are call counts. *)
+
+val dependency_count : from_:string -> to_:string -> int
+(** Cross-call count, 0 if none recorded. *)
+
+val density : unit -> float
+(** Fraction of ordered component pairs connected by an edge. *)
+
+val removal_impact : string -> string list
+(** [removal_impact c] lists the components that directly depend on [c] —
+    the set one must understand and fix to remove [c] (the paper's point
+    about Fig 1). *)

@@ -1,0 +1,1 @@
+lib/uklibparam/libparam.ml: Buffer Fmt Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/uklibparam/libparam.mli: Format

@@ -1,0 +1,1 @@
+lib/uklock/lock.ml: Queue Uksched

@@ -1,0 +1,1 @@
+lib/uklock/lock.mli: Uksched

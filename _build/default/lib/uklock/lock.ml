@@ -1,0 +1,140 @@
+type mode = Compiled_out | Threaded of Uksched.Sched.t
+
+module Mutex = struct
+  type inner = {
+    sched : Uksched.Sched.t;
+    mutable holder : Uksched.Sched.tid option;
+    waiters : Uksched.Sched.tid Queue.t;
+  }
+
+  type t = Nop | Real of inner
+
+  let create = function
+    | Compiled_out -> Nop
+    | Threaded sched -> Real { sched; holder = None; waiters = Queue.create () }
+
+  let rec lock = function
+    | Nop -> ()
+    | Real m as t -> (
+        match m.holder with
+        | None -> m.holder <- Some (Uksched.Sched.self ())
+        | Some _ ->
+            Queue.push (Uksched.Sched.self ()) m.waiters;
+            Uksched.Sched.block ();
+            (* Woken by unlock, which already transferred ownership to us;
+               re-check defensively in case of spurious wakeups. *)
+            if m.holder <> Some (Uksched.Sched.self ()) then lock t)
+
+  let try_lock = function
+    | Nop -> true
+    | Real m -> (
+        match m.holder with
+        | None ->
+            m.holder <- Some (Uksched.Sched.self ());
+            true
+        | Some _ -> false)
+
+  let unlock = function
+    | Nop -> ()
+    | Real m -> (
+        match m.holder with
+        | None -> invalid_arg "Lock.Mutex.unlock: not locked"
+        | Some _ -> (
+            match Queue.take_opt m.waiters with
+            | Some next ->
+                m.holder <- Some next;
+                Uksched.Sched.wake m.sched next
+            | None -> m.holder <- None))
+
+  let locked = function Nop -> false | Real m -> m.holder <> None
+
+  let with_lock t f =
+    lock t;
+    match f () with
+    | v ->
+        unlock t;
+        v
+    | exception e ->
+        unlock t;
+        raise e
+end
+
+module Semaphore = struct
+  type inner = {
+    sched : Uksched.Sched.t;
+    mutable n : int;
+    waiters : Uksched.Sched.tid Queue.t;
+  }
+
+  type t = Nop of int ref | Real of inner
+
+  let create mode n =
+    if n < 0 then invalid_arg "Lock.Semaphore.create: negative count";
+    match mode with
+    | Compiled_out -> Nop (ref n)
+    | Threaded sched -> Real { sched; n; waiters = Queue.create () }
+
+  let wait = function
+    | Nop r -> r := max 0 (!r - 1)
+    | Real s ->
+        if s.n > 0 then s.n <- s.n - 1
+        else begin
+          Queue.push (Uksched.Sched.self ()) s.waiters;
+          Uksched.Sched.block ()
+          (* the signaller consumed the count on our behalf *)
+        end
+
+  let try_wait = function
+    | Nop r ->
+        if !r > 0 then begin
+          decr r;
+          true
+        end
+        else false
+    | Real s ->
+        if s.n > 0 then begin
+          s.n <- s.n - 1;
+          true
+        end
+        else false
+
+  let signal = function
+    | Nop r -> incr r
+    | Real s -> (
+        match Queue.take_opt s.waiters with
+        | Some tid -> Uksched.Sched.wake s.sched tid
+        | None -> s.n <- s.n + 1)
+
+  let count = function Nop r -> !r | Real s -> s.n
+end
+
+module Condvar = struct
+  type inner = { sched : Uksched.Sched.t; waiters : Uksched.Sched.tid Queue.t }
+  type t = Nop | Real of inner
+
+  let create = function
+    | Compiled_out -> Nop
+    | Threaded sched -> Real { sched; waiters = Queue.create () }
+
+  let wait t mutex =
+    match t with
+    | Nop -> ()
+    | Real c ->
+        Queue.push (Uksched.Sched.self ()) c.waiters;
+        Mutex.unlock mutex;
+        Uksched.Sched.block ();
+        Mutex.lock mutex
+
+  let signal = function
+    | Nop -> ()
+    | Real c -> (
+        match Queue.take_opt c.waiters with
+        | Some tid -> Uksched.Sched.wake c.sched tid
+        | None -> ())
+
+  let broadcast = function
+    | Nop -> ()
+    | Real c ->
+        Queue.iter (fun tid -> Uksched.Sched.wake c.sched tid) c.waiters;
+        Queue.clear c.waiters
+end

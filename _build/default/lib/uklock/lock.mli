@@ -1,0 +1,52 @@
+(** The uklock API (paper §3.3): synchronization primitives whose
+    implementation is chosen by configuration.
+
+    Two dimensions select the implementation, as in the paper: threading
+    on/off (multi-core is future work there and here). With threading off
+    the primitives compile out — operations are free and never block, which
+    is sound for a single-threaded run-to-completion unikernel. With
+    threading on they block on a {!Uksched.Sched.t}. *)
+
+type mode = Compiled_out | Threaded of Uksched.Sched.t
+
+module Mutex : sig
+  type t
+
+  val create : mode -> t
+  val lock : t -> unit
+  (** Blocks (via the scheduler) while held by another thread. *)
+
+  val try_lock : t -> bool
+  val unlock : t -> unit
+  (** Ownership is handed to the longest-waiting thread, if any. Unlocking a
+      free compiled-in mutex raises [Invalid_argument]. *)
+
+  val locked : t -> bool
+  val with_lock : t -> (unit -> 'a) -> 'a
+end
+
+module Semaphore : sig
+  type t
+
+  val create : mode -> int -> t
+  (** Initial count must be >= 0. *)
+
+  val wait : t -> unit
+  (** Decrement; blocks at zero (compiled-out mode never blocks). *)
+
+  val try_wait : t -> bool
+  val signal : t -> unit
+  val count : t -> int
+end
+
+module Condvar : sig
+  type t
+
+  val create : mode -> t
+  val wait : t -> Mutex.t -> unit
+  (** Atomically release the mutex and block; re-acquires before
+      returning. *)
+
+  val signal : t -> unit
+  val broadcast : t -> unit
+end

@@ -1,0 +1,1 @@
+lib/ukmmu/pagetable.ml: Array Hashtbl Printf Uksim

@@ -1,0 +1,1 @@
+lib/ukmmu/pagetable.mli: Uksim

@@ -1,0 +1,1 @@
+lib/ukmpk/mpk.ml: Array Hashtbl Option Printf Uksim

@@ -1,0 +1,1 @@
+lib/ukmpk/mpk.mli: Uksim

@@ -1,0 +1,1 @@
+lib/uknetdev/loopback.ml: Array Bytes List Netbuf Netdev Queue Uksim

@@ -1,0 +1,1 @@
+lib/uknetdev/loopback.mli: Netdev Uksim

@@ -1,0 +1,1 @@
+lib/uknetdev/netbuf.ml: Bytes Hashtbl Stack Ukalloc Uksim

@@ -1,0 +1,1 @@
+lib/uknetdev/netbuf.mli: Ukalloc Uksim

@@ -1,0 +1,1 @@
+lib/uknetdev/netdev.ml: Fmt Netbuf

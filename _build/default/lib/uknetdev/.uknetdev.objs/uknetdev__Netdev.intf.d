@@ -1,0 +1,1 @@
+lib/uknetdev/netdev.mli: Format Netbuf

@@ -1,0 +1,1 @@
+lib/uknetdev/virtio_net.ml: Array Bytes List Netbuf Netdev Queue Uksim Wire

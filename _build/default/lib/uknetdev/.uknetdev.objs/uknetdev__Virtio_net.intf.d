@@ -1,0 +1,1 @@
+lib/uknetdev/virtio_net.mli: Netdev Uksim Wire

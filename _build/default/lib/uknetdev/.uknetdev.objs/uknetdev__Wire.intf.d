@@ -1,0 +1,1 @@
+lib/uknetdev/wire.mli: Uksim

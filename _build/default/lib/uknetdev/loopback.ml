@@ -1,0 +1,122 @@
+type side = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  latency : int;
+  ring_size : int;
+  rx_ring : bytes Queue.t;
+  mutable conf : Netdev.queue_conf option;
+  mutable irq_armed : bool;
+  mutable st : Netdev.stats;
+  mutable peer : side option;
+}
+
+let tx_cost = 40
+let rx_cost = 35
+
+let deliver s frame =
+  match s.conf with
+  | None -> s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 }
+  | Some conf ->
+      if Queue.length s.rx_ring >= s.ring_size then
+        s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 }
+      else begin
+        Queue.push frame s.rx_ring;
+        match (conf.Netdev.mode, conf.Netdev.rx_handler) with
+        | Netdev.Interrupt_driven, Some handler when s.irq_armed ->
+            s.irq_armed <- false;
+            s.st <- { s.st with rx_irqs = s.st.rx_irqs + 1 };
+            Uksim.Clock.advance s.clock Uksim.Cost.interrupt_delivery;
+            handler ()
+        | (Netdev.Interrupt_driven | Netdev.Polling), _ -> ()
+      end
+
+let dev_of_side name s =
+  let catch_up () = Uksim.Engine.run ~until:(Uksim.Clock.cycles s.clock) s.engine in
+  let check_qid qid = if qid <> 0 then invalid_arg "Loopback: single queue device" in
+  {
+    Netdev.name;
+    mtu = 1500;
+    max_queues = 1;
+    configure_queue =
+      (fun ~qid conf ->
+        check_qid qid;
+        s.conf <- Some conf;
+        s.irq_armed <- conf.Netdev.mode = Netdev.Interrupt_driven);
+    tx_burst =
+      (fun ~qid pkts ->
+        check_qid qid;
+        catch_up ();
+        let peer = match s.peer with Some p -> p | None -> assert false in
+        let n = Array.length pkts in
+        let bytes = ref 0 in
+        Array.iter
+          (fun nb ->
+            Uksim.Clock.advance s.clock tx_cost;
+            let payload = Netbuf.to_payload nb in
+            bytes := !bytes + Bytes.length payload;
+            Uksim.Engine.after s.engine s.latency (fun () -> deliver peer payload))
+          pkts;
+        s.st <- { s.st with tx_pkts = s.st.tx_pkts + n; tx_bytes = s.st.tx_bytes + !bytes };
+        n);
+    tx_room =
+      (fun ~qid ->
+        check_qid qid;
+        max_int);
+    rx_burst =
+      (fun ~qid ~max:max_pkts ->
+        check_qid qid;
+        catch_up ();
+        match s.conf with
+        | None -> []
+        | Some conf ->
+            let rec take acc n =
+              if n >= max_pkts then List.rev acc
+              else
+                match Queue.take_opt s.rx_ring with
+                | None -> List.rev acc
+                | Some frame -> (
+                    Uksim.Clock.advance s.clock rx_cost;
+                    match conf.Netdev.rx_alloc () with
+                    | None ->
+                        s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 };
+                        take acc (n + 1)
+                    | Some nb ->
+                        Netbuf.blit_payload nb frame;
+                        s.st <-
+                          {
+                            s.st with
+                            rx_pkts = s.st.rx_pkts + 1;
+                            rx_bytes = s.st.rx_bytes + Bytes.length frame;
+                          };
+                        take (nb :: acc) (n + 1))
+            in
+            let pkts = take [] 0 in
+            if conf.Netdev.mode = Netdev.Interrupt_driven && Queue.is_empty s.rx_ring then
+              s.irq_armed <- true;
+            pkts);
+    rx_pending =
+      (fun ~qid ->
+        check_qid qid;
+        catch_up ();
+        Queue.length s.rx_ring);
+    stats = (fun () -> s.st);
+  }
+
+let create_pair ~clock ~engine ?(latency_ns = 2000.0) ?(ring_size = 512) () =
+  let mk () =
+    {
+      clock;
+      engine;
+      latency = Uksim.Clock.cycles_of_ns latency_ns;
+      ring_size;
+      rx_ring = Queue.create ();
+      conf = None;
+      irq_armed = false;
+      st = Netdev.zero_stats;
+      peer = None;
+    }
+  in
+  let a = mk () and b = mk () in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (dev_of_side "loopback-a" a, dev_of_side "loopback-b" b)

@@ -1,0 +1,13 @@
+(** Zero-cost paired devices: two uknetdev instances whose tx rings feed
+    each other's rx rings directly (one event-engine hop, no virtio or host
+    path). Used to connect two in-simulation network stacks — e.g. a wrk
+    client against an nginx unikernel — and by unit tests. *)
+
+val create_pair :
+  clock:Uksim.Clock.t ->
+  engine:Uksim.Engine.t ->
+  ?latency_ns:float ->
+  ?ring_size:int ->
+  unit ->
+  Netdev.t * Netdev.t
+(** Default latency 2 µs (VM-to-VM on one host), ring 512. *)

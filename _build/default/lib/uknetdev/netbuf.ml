@@ -1,0 +1,114 @@
+type t = {
+  buf : bytes;
+  hroom : int;
+  mutable off : int;
+  mutable length : int;
+  id : int; (* pool slot id; -1 for heap buffers *)
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+let alloc ?(headroom = 64) ~size () =
+  if size < 0 || headroom < 0 then invalid_arg "Netbuf.alloc";
+  {
+    buf = Bytes.create (headroom + size);
+    hroom = headroom;
+    off = headroom;
+    length = 0;
+    id = -1;
+  }
+
+let of_bytes ?(headroom = 64) payload =
+  let b = alloc ~headroom ~size:(Bytes.length payload) () in
+  Bytes.blit payload 0 b.buf b.off (Bytes.length payload);
+  b.length <- Bytes.length payload;
+  b
+
+let data t = t.buf
+let offset t = t.off
+let len t = t.length
+let headroom t = t.off
+let capacity t = Bytes.length t.buf - t.hroom
+
+let set_len t n =
+  if n < 0 || t.off + n > Bytes.length t.buf then invalid_arg "Netbuf.set_len";
+  t.length <- n
+
+let push t n =
+  if n < 0 || n > t.off then invalid_arg "Netbuf.push: no headroom";
+  t.off <- t.off - n;
+  t.length <- t.length + n
+
+let pull t n =
+  if n < 0 || n > t.length then invalid_arg "Netbuf.pull: beyond payload";
+  t.off <- t.off + n;
+  t.length <- t.length - n
+
+let to_payload t = Bytes.sub t.buf t.off t.length
+
+let blit_payload t payload =
+  let n = Bytes.length payload in
+  if t.off + n > Bytes.length t.buf then invalid_arg "Netbuf.blit_payload: too large";
+  Bytes.blit payload 0 t.buf t.off n;
+  t.length <- n
+
+let reset t =
+  t.off <- t.hroom;
+  t.length <- 0
+
+module Pool = struct
+  type netbuf = t
+
+  type t = {
+    clock : Uksim.Clock.t;
+    alloc : Ukalloc.Alloc.t option;
+    size : int;
+    free : netbuf Stack.t;
+    owned : (int, int) Hashtbl.t; (* netbuf id -> backing addr (or 0) *)
+    total : int;
+  }
+
+  let take_cost = 18
+  let give_cost = 14
+
+  let alloc_buf size = alloc ~headroom:64 ~size ()
+
+  let create ~clock ?alloc ~count ~size () =
+    if count <= 0 || size <= 0 then invalid_arg "Netbuf.Pool.create";
+    let free = Stack.create () in
+    let owned = Hashtbl.create count in
+    for _ = 1 to count do
+      let backing =
+        match alloc with
+        | None -> 0
+        | Some a -> (
+            match Ukalloc.Alloc.uk_malloc a (size + 64) with
+            | Some addr -> addr
+            | None -> invalid_arg "Netbuf.Pool.create: allocator exhausted")
+      in
+      let b = { (alloc_buf size) with id = fresh_id () } in
+      Hashtbl.replace owned b.id backing;
+      Stack.push b free
+    done;
+    { clock; alloc; size; free; owned; total = count }
+
+  let take p =
+    Uksim.Clock.advance p.clock take_cost;
+    match Stack.pop_opt p.free with
+    | Some b -> Some b
+    | None -> None
+
+  let give p b =
+    Uksim.Clock.advance p.clock give_cost;
+    if not (Hashtbl.mem p.owned b.id) then
+      invalid_arg "Netbuf.Pool.give: buffer does not belong to this pool";
+    reset b;
+    Stack.push b p.free
+
+  let available p = Stack.length p.free
+  let capacity_of p = p.size
+end

@@ -1,0 +1,61 @@
+(** uk_netbuf (paper §3.1): packet buffer wrapper owned by the application.
+
+    The driver never allocates — the application chooses where buffers come
+    from: a pre-allocated {!Pool} (performance-critical workloads) or the
+    heap via ukalloc (memory-efficient ones). A netbuf keeps headroom so
+    protocol layers can prepend headers without copying. *)
+
+type t
+
+val alloc : ?headroom:int -> size:int -> unit -> t
+(** Fresh buffer with [size] bytes of payload capacity after [headroom]
+    (default 64, enough for ethernet+IP+UDP/TCP). *)
+
+val of_bytes : ?headroom:int -> bytes -> t
+(** Buffer holding a copy of the given payload. *)
+
+val data : t -> bytes
+(** The underlying storage; the payload occupies [offset t .. offset t +
+    len t - 1]. *)
+
+val offset : t -> int
+val len : t -> int
+val headroom : t -> int
+val capacity : t -> int
+
+val set_len : t -> int -> unit
+(** Shrink/grow payload length within capacity. *)
+
+val push : t -> int -> unit
+(** [push b n] extends the payload [n] bytes into the headroom (prepending
+    a header); raises [Invalid_argument] without room. *)
+
+val pull : t -> int -> unit
+(** [pull b n] strips [n] leading payload bytes (consuming a header). *)
+
+val to_payload : t -> bytes
+(** Copy of the current payload. *)
+
+val blit_payload : t -> bytes -> unit
+(** Replace payload with the given bytes (sets length). *)
+
+module Pool : sig
+  type netbuf := t
+  type t
+
+  val create :
+    clock:Uksim.Clock.t -> ?alloc:Ukalloc.Alloc.t -> count:int -> size:int -> unit -> t
+  (** Pre-allocate [count] buffers of [size] payload bytes. When [alloc] is
+      given, backing-store addresses are taken from (and returned to) that
+      ukalloc backend, tying pool pressure to the chosen allocator. *)
+
+  val take : t -> netbuf option
+  (** O(1); [None] when exhausted. *)
+
+  val give : t -> netbuf -> unit
+  (** Return a buffer (resets headroom/len). Raises [Invalid_argument] for
+      foreign buffers. *)
+
+  val available : t -> int
+  val capacity_of : t -> int
+end

@@ -1,0 +1,53 @@
+(** The uknetdev API (paper §3.1).
+
+    Decouples drivers from the network stack / low-level application. The
+    application fully operates the driver: it provides receive buffers (via
+    an allocation callback registered at queue configuration), chooses
+    polling or interrupt mode per queue, and moves packets with burst
+    send/receive calls that mirror the paper's
+
+    {v
+    uk_netdev_tx_burst(dev, queue_id, pkt, cnt)
+    uk_netdev_rx_burst(dev, queue_id, pkt, cnt)
+    v} *)
+
+type mode = Polling | Interrupt_driven
+
+type queue_conf = {
+  rx_alloc : unit -> Netbuf.t option;
+      (** application-supplied buffer source for received packets *)
+  mode : mode;
+  rx_handler : (unit -> unit) option;
+      (** interrupt callback: invoked on packet arrival / tx room when the
+          queue's interrupt line is armed *)
+}
+
+type stats = {
+  tx_pkts : int;
+  tx_bytes : int;
+  tx_kicks : int;  (** backend notifications (VM exits for vhost-net) *)
+  rx_pkts : int;
+  rx_bytes : int;
+  rx_irqs : int;
+  rx_dropped : int;  (** ring overflow or rx_alloc failure *)
+}
+
+type t = {
+  name : string;
+  mtu : int;
+  max_queues : int;
+  configure_queue : qid:int -> queue_conf -> unit;
+  tx_burst : qid:int -> Netbuf.t array -> int;
+      (** Enqueue as many as possible; returns the count accepted (the
+          paper's in/out [cnt]). Buffers are consumed on acceptance. *)
+  tx_room : qid:int -> int;
+  rx_burst : qid:int -> max:int -> Netbuf.t list;
+      (** Up to [max] packets. In interrupt mode, returning fewer than
+          [max] re-arms the queue's interrupt line (paper §3.1). *)
+
+  rx_pending : qid:int -> int;
+  stats : unit -> stats;
+}
+
+val zero_stats : stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,192 @@
+type backend = Vhost_net | Vhost_user
+
+(* Guest-side per-packet descriptor work. vhost-user avoids the
+   notification bookkeeping of the split ring. *)
+let guest_tx_cost = function Vhost_net -> 115 | Vhost_user -> 92
+let guest_rx_cost = 88
+
+(* Host-side per-packet path: tap + kernel bridge vs. DPDK poll-mode. *)
+let host_pkt_cost = function Vhost_net -> 2900 | Vhost_user -> 250
+let host_batch = 64
+let vhost_user_poll_cycles = 1200 (* ~0.33us poll interval when idle *)
+
+type rxq = {
+  rx_ring : bytes Queue.t;
+  mutable conf : Netdev.queue_conf option;
+  mutable irq_armed : bool;
+}
+
+type txq = { tx_ring : bytes Queue.t; mutable drain_scheduled : bool }
+
+type state = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  backend : backend;
+  wire : Wire.endpoint;
+  ring_size : int;
+  rxqs : rxq array;
+  txqs : txq array;
+  mutable st : Netdev.stats;
+}
+
+let catch_up t = Uksim.Engine.run ~until:(Uksim.Clock.cycles t.clock) t.engine
+
+(* Host drain loop for one tx queue: processes packets in batches at host
+   speed, forwarding each onto the wire. Runs on the engine (host core). *)
+let rec schedule_drain t q =
+  if not q.drain_scheduled then begin
+    q.drain_scheduled <- true;
+    let delay =
+      match t.backend with
+      | Vhost_net -> host_pkt_cost Vhost_net (* wakes after kick, first pkt cost *)
+      | Vhost_user -> vhost_user_poll_cycles
+    in
+    Uksim.Engine.after t.engine delay (fun () -> drain t q)
+  end
+
+and drain t q =
+  q.drain_scheduled <- false;
+  if not (Queue.is_empty q.tx_ring) then begin
+    let n = min host_batch (Queue.length q.tx_ring) in
+    for _ = 1 to n do
+      Wire.send t.wire (Queue.pop q.tx_ring)
+    done;
+    (* The batch took host time; continue draining afterwards. *)
+    q.drain_scheduled <- true;
+    Uksim.Engine.after t.engine (n * host_pkt_cost t.backend) (fun () -> drain t q)
+  end
+  (* Ring empty: the next tx_burst re-arms the drain (for vhost-user one
+     poll interval out — the poller's pickup latency — so the event queue
+     stays finite in simulation). *)
+
+let deliver t qid frame =
+  let q = t.rxqs.(qid) in
+  match q.conf with
+  | None -> t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 }
+  | Some conf ->
+      if Queue.length q.rx_ring >= t.ring_size then
+        t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 }
+      else begin
+        Queue.push frame q.rx_ring;
+        match (conf.mode, conf.rx_handler) with
+        | Netdev.Interrupt_driven, Some handler when q.irq_armed ->
+            (* Inject once; the line stays inactive until rx_burst drains
+               the ring and re-arms it (paper's interrupt-storm
+               avoidance). *)
+            q.irq_armed <- false;
+            t.st <- { t.st with rx_irqs = t.st.rx_irqs + 1 };
+            Uksim.Clock.advance t.clock Uksim.Cost.interrupt_delivery;
+            handler ()
+        | (Netdev.Interrupt_driven | Netdev.Polling), _ -> ()
+      end
+
+let create ~clock ~engine ~backend ~wire ?(ring_size = 256) ?(n_queues = 1) () =
+  if ring_size <= 0 || n_queues <= 0 then invalid_arg "Virtio_net.create";
+  let t =
+    {
+      clock;
+      engine;
+      backend;
+      wire;
+      ring_size;
+      rxqs =
+        Array.init n_queues (fun _ ->
+            { rx_ring = Queue.create (); conf = None; irq_armed = false });
+      txqs = Array.init n_queues (fun _ -> { tx_ring = Queue.create (); drain_scheduled = false });
+      st = Netdev.zero_stats;
+    }
+  in
+  (* All inbound frames land on queue 0 (no RSS in the single-queue
+     evaluation setups). *)
+  Wire.set_receiver wire (Some (fun frame -> deliver t 0 frame));
+  let check_qid qid =
+    if qid < 0 || qid >= n_queues then invalid_arg "Virtio_net: bad queue id"
+  in
+  let configure_queue ~qid conf =
+    check_qid qid;
+    t.rxqs.(qid).conf <- Some conf;
+    t.rxqs.(qid).irq_armed <- conf.Netdev.mode = Netdev.Interrupt_driven
+  in
+  let tx_burst ~qid (pkts : Netbuf.t array) =
+    check_qid qid;
+    catch_up t;
+    let q = t.txqs.(qid) in
+    let was_empty = Queue.is_empty q.tx_ring in
+    let room = t.ring_size - Queue.length q.tx_ring in
+    let n = min room (Array.length pkts) in
+    let bytes = ref 0 in
+    for i = 0 to n - 1 do
+      Uksim.Clock.advance t.clock (guest_tx_cost t.backend);
+      let payload = Netbuf.to_payload pkts.(i) in
+      bytes := !bytes + Bytes.length payload;
+      Queue.push payload q.tx_ring
+    done;
+    if n > 0 then begin
+      t.st <- { t.st with tx_pkts = t.st.tx_pkts + n; tx_bytes = t.st.tx_bytes + !bytes };
+      (match t.backend with
+      | Vhost_net ->
+          (* Notify the host when it may be sleeping (empty->nonempty). *)
+          if was_empty then begin
+            Uksim.Clock.advance t.clock Uksim.Cost.vm_exit;
+            t.st <- { t.st with tx_kicks = t.st.tx_kicks + 1 }
+          end
+      | Vhost_user -> ());
+      schedule_drain t q
+    end;
+    n
+  in
+  let tx_room ~qid =
+    check_qid qid;
+    catch_up t;
+    t.ring_size - Queue.length t.txqs.(qid).tx_ring
+  in
+  let rx_burst ~qid ~max:max_pkts =
+    check_qid qid;
+    catch_up t;
+    let q = t.rxqs.(qid) in
+    match q.conf with
+    | None -> []
+    | Some conf ->
+        let rec take acc n =
+          if n >= max_pkts then List.rev acc
+          else
+            match Queue.take_opt q.rx_ring with
+            | None -> List.rev acc
+            | Some frame -> (
+                Uksim.Clock.advance t.clock guest_rx_cost;
+                match conf.rx_alloc () with
+                | None ->
+                    t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 };
+                    take acc (n + 1)
+                | Some nb ->
+                    Uksim.Clock.advance t.clock (Uksim.Cost.memcpy (Bytes.length frame));
+                    Netbuf.blit_payload nb frame;
+                    t.st <-
+                      {
+                        t.st with
+                        rx_pkts = t.st.rx_pkts + 1;
+                        rx_bytes = t.st.rx_bytes + Bytes.length frame;
+                      };
+                    take (nb :: acc) (n + 1))
+        in
+        let pkts = take [] 0 in
+        if conf.mode = Netdev.Interrupt_driven && Queue.is_empty q.rx_ring then
+          q.irq_armed <- true;
+        pkts
+  in
+  let rx_pending ~qid =
+    check_qid qid;
+    catch_up t;
+    Queue.length t.rxqs.(qid).rx_ring
+  in
+  {
+    Netdev.name = (match backend with Vhost_net -> "virtio-net/vhost-net" | Vhost_user -> "virtio-net/vhost-user");
+    mtu = 1500;
+    max_queues = n_queues;
+    configure_queue;
+    tx_burst;
+    tx_room;
+    rx_burst;
+    rx_pending;
+    stats = (fun () -> t.st);
+  }

@@ -1,0 +1,85 @@
+type endpoint = {
+  engine : Uksim.Engine.t;
+  latency_cycles : int;
+  cycles_per_byte : float;
+  loss : float;
+  duplicate : float;
+  rng : Uksim.Rng.t;
+  mutable peer : endpoint option;
+  mutable receiver : (bytes -> unit) option;
+  mutable line_free_at : int; (* serialization: next cycle the line is free *)
+  mutable rx_frames : int;
+  mutable rx_bytes : int;
+  mutable tx_frames : int;
+  mutable dropped : int;
+}
+
+let make engine ~latency_ns ~bandwidth_gbps ~loss ~duplicate ~rng =
+  let cycles_per_byte = Uksim.Clock.ghz *. 8.0 /. bandwidth_gbps in
+  {
+    engine;
+    latency_cycles = Uksim.Clock.cycles_of_ns latency_ns;
+    cycles_per_byte;
+    loss;
+    duplicate;
+    rng;
+    peer = None;
+    receiver = None;
+    line_free_at = 0;
+    rx_frames = 0;
+    rx_bytes = 0;
+    tx_frames = 0;
+    dropped = 0;
+  }
+
+let create_pair ~engine ?(latency_ns = 5000.0) ?(bandwidth_gbps = 10.0) ?(loss = 0.0)
+    ?(duplicate = 0.0) ?(seed = 0x5eed) () =
+  if loss < 0.0 || loss >= 1.0 || duplicate < 0.0 || duplicate >= 1.0 then
+    invalid_arg "Wire.create_pair: probabilities must be in [0,1)";
+  let rng = Uksim.Rng.create seed in
+  let a = make engine ~latency_ns ~bandwidth_gbps ~loss ~duplicate ~rng in
+  let b = make engine ~latency_ns ~bandwidth_gbps ~loss ~duplicate ~rng:(Uksim.Rng.split rng) in
+  a.peer <- Some b;
+  b.peer <- Some a;
+  (a, b)
+
+let deliver ep frame =
+  ep.rx_frames <- ep.rx_frames + 1;
+  ep.rx_bytes <- ep.rx_bytes + Bytes.length frame;
+  match ep.receiver with Some f -> f frame | None -> ()
+
+let rec transmit ep peer frame =
+  let now = Uksim.Clock.cycles (Uksim.Engine.clock ep.engine) in
+  (* Serialize on the line: a frame occupies the wire for its
+     transmission time at line rate. *)
+  let start = max now ep.line_free_at in
+  let tx_time = int_of_float (ceil (float_of_int (Bytes.length frame) *. ep.cycles_per_byte)) in
+  ep.line_free_at <- start + tx_time;
+  Uksim.Engine.at ep.engine (start + tx_time + ep.latency_cycles) (fun () -> deliver peer frame);
+  if ep.duplicate > 0.0 && Uksim.Rng.float ep.rng 1.0 < ep.duplicate then
+    (* A duplicated frame occupies the line again. *)
+    transmit ep peer frame
+
+let send ep frame =
+  match ep.peer with
+  | None -> invalid_arg "Wire.send: unconnected endpoint"
+  | Some peer ->
+      ep.tx_frames <- ep.tx_frames + 1;
+      if ep.loss > 0.0 && Uksim.Rng.float ep.rng 1.0 < ep.loss then
+        ep.dropped <- ep.dropped + 1
+      else transmit ep peer frame
+
+let set_receiver ep f = ep.receiver <- f
+let attach_sink ep = ep.receiver <- None
+let attach_echo ep = ep.receiver <- Some (fun frame -> send ep frame)
+let rx_frames ep = ep.rx_frames
+let rx_bytes ep = ep.rx_bytes
+let tx_frames ep = ep.tx_frames
+
+let dropped_frames ep = ep.dropped
+
+let reset_counters ep =
+  ep.rx_frames <- 0;
+  ep.rx_bytes <- 0;
+  ep.tx_frames <- 0;
+  ep.dropped <- 0

@@ -1,0 +1,41 @@
+(** The physical medium between a device backend and its peer: a
+    latency/bandwidth-modelled point-to-point link (the paper's direct 10G
+    cable), plus synthetic peers (a DPDK-testpmd-like sink, an echo). *)
+
+type endpoint
+
+val create_pair :
+  engine:Uksim.Engine.t ->
+  ?latency_ns:float ->
+  ?bandwidth_gbps:float ->
+  ?loss:float ->
+  ?duplicate:float ->
+  ?seed:int ->
+  unit ->
+  endpoint * endpoint
+(** Bidirectional link; default 5 µs latency, 10 Gb/s. Frames sent faster
+    than the line rate are serialized (delivery times push out). [loss]
+    and [duplicate] are per-frame probabilities (default 0.0 — the paper's
+    direct cable) applied deterministically from [seed]; lost frames are
+    counted in {!dropped_frames}. *)
+
+val dropped_frames : endpoint -> int
+(** Frames this endpoint transmitted that the fault model discarded. *)
+
+val send : endpoint -> bytes -> unit
+(** Transmit a frame towards the peer endpoint. *)
+
+val set_receiver : endpoint -> (bytes -> unit) option -> unit
+(** Who gets frames arriving at this endpoint (None = count and drop). *)
+
+val attach_sink : endpoint -> unit
+(** testpmd-style measurement peer: count frames/bytes, never reply. *)
+
+val attach_echo : endpoint -> unit
+(** Reflect every frame back (source/dest rewriting is the sender's
+    problem — this is a raw reflector). *)
+
+val rx_frames : endpoint -> int
+val rx_bytes : endpoint -> int
+val tx_frames : endpoint -> int
+val reset_counters : endpoint -> unit

@@ -1,0 +1,1 @@
+lib/uknetstack/addr.ml: Fmt Int List Printf String

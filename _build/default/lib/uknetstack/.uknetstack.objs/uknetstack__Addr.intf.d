@@ -1,0 +1,1 @@
+lib/uknetstack/addr.mli: Format

@@ -1,0 +1,1 @@
+lib/uknetstack/frag.ml: Addr Bytes Hashtbl List Uksim

@@ -1,0 +1,1 @@
+lib/uknetstack/frag.mli: Addr Uksim

@@ -1,0 +1,1 @@
+lib/uknetstack/pkt.ml: Addr Printf Uknetdev Wire_fmt

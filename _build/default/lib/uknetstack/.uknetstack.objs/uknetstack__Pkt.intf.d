@@ -1,0 +1,1 @@
+lib/uknetstack/pkt.mli: Addr Uknetdev

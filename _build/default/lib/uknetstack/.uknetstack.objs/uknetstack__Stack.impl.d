@@ -1,0 +1,1 @@
+lib/uknetstack/stack.ml: Addr Bytes Frag Hashtbl List Pkt Queue Tcp Uknetdev Uksched Uksim

@@ -1,0 +1,1 @@
+lib/uknetstack/stack.mli: Addr Tcp Ukalloc Uknetdev Uksched Uksim

@@ -1,0 +1,1 @@
+lib/uknetstack/tcp.ml: Addr Buffer Bytes List Pkt Queue String Uksched Uksim

@@ -1,0 +1,1 @@
+lib/uknetstack/tcp.mli: Addr Pkt Uksched

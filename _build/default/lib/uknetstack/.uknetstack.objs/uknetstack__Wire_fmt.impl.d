@@ -1,0 +1,1 @@
+lib/uknetstack/wire_fmt.ml: Bytes Char List

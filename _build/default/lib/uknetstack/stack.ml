@@ -1,0 +1,601 @@
+module Nb = Uknetdev.Netbuf
+module Nd = Uknetdev.Netdev
+
+type conf = {
+  mac : Addr.Mac.t;
+  ip : Addr.Ipv4.t;
+  netmask : Addr.Ipv4.t;
+  gateway : Addr.Ipv4.t option;
+}
+
+type stats = {
+  rx_eth : int;
+  rx_arp : int;
+  rx_icmp : int;
+  rx_udp : int;
+  rx_tcp : int;
+  rx_drop : int;
+  tx_pkts : int;
+  arp_requests : int;
+}
+
+let zero_stats =
+  { rx_eth = 0; rx_arp = 0; rx_icmp = 0; rx_udp = 0; rx_tcp = 0; rx_drop = 0; tx_pkts = 0;
+    arp_requests = 0 }
+
+(* Per-layer processing costs (cycles), lwIP-calibrated: the full socket
+   path costs thousands of cycles per packet. *)
+let eth_cost = 45
+let ip_cost = 140
+let udp_cost = 180
+let tcp_demux_cost = 120
+let sock_enqueue_cost = 220
+let arp_cost = 60
+
+type udp_sock = {
+  uport : int;
+  urxq : (Addr.Ipv4.t * int * bytes) Queue.t;
+  mutable uwaiter : Uksched.Sched.tid option;
+  mutable uclosed : bool;
+}
+
+type listener = {
+  lport : int;
+  lconn : Tcp.conn;
+  backlog : int;
+  acceptq : Tcp.conn Queue.t;
+  mutable lwaiter : Uksched.Sched.tid option;
+}
+
+type t = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  sched : Uksched.Sched.t option;
+  dev : Nd.t;
+  cfg : conf;
+  pool : Nb.Pool.t;
+  arp_table : (int, Addr.Mac.t) Hashtbl.t;
+  arp_waiting : (int, (Addr.Mac.t -> unit) list) Hashtbl.t;
+  udp_socks : (int, udp_sock) Hashtbl.t;
+  listeners : (int, listener) Hashtbl.t;
+  conns : (int * int * int, Tcp.conn) Hashtbl.t; (* local port, remote ip, remote port *)
+  mutable conn_of : (Tcp.conn * listener option) list; (* reverse: for accept routing *)
+  frag : Frag.t;
+  mutable ip_id : int;
+  mutable iss : int;
+  mutable next_port : int;
+  mutable st : stats;
+  mutable service_tid : Uksched.Sched.tid option;
+  mutable tcp_io : Tcp.io option;
+}
+
+let conf t = t.cfg
+let stats t = t.st
+let charge t c = Uksim.Clock.advance t.clock c
+let drop t = t.st <- { t.st with rx_drop = t.st.rx_drop + 1 }
+
+let take_buf t =
+  match Nb.Pool.take t.pool with
+  | Some nb -> nb
+  | None -> Nb.alloc ~size:2048 () (* pool exhausted: fall back to heap *)
+
+let give_buf t nb = try Nb.Pool.give t.pool nb with Invalid_argument _ -> ()
+
+(* --- transmit path ----------------------------------------------------- *)
+
+let tx_frame t nb =
+  let sent = t.dev.Nd.tx_burst ~qid:0 [| nb |] in
+  if sent = 1 then t.st <- { t.st with tx_pkts = t.st.tx_pkts + 1 };
+  give_buf t nb
+
+let send_arp t ~op ~tha ~tpa =
+  let nb = take_buf t in
+  charge t arp_cost;
+  Pkt.Arp.encode { op; sha = t.cfg.mac; spa = t.cfg.ip; tha; tpa } nb;
+  Pkt.Eth.encode
+    { dst = (if Addr.Mac.is_broadcast tha then Addr.Mac.broadcast else tha);
+      src = t.cfg.mac; proto = Pkt.Eth.Arp }
+    nb;
+  tx_frame t nb
+
+(* Resolve the next-hop MAC for [dst], then call [k mac]. Queues behind an
+   ARP request when unresolved; the request is retried (the wire may drop
+   it) and parked packets are dropped after the attempts run out. *)
+let arp_retries = 5
+let arp_retry_cycles = Uksim.Clock.cycles_of_ns 2.0e8 (* 200 ms *)
+
+let rec arp_request t key next_hop attempt =
+  if Hashtbl.mem t.arp_waiting key then
+    if attempt > arp_retries then begin
+      (* Unresolvable: drop whatever was parked (packet loss — the upper
+         layers' timers own recovery). *)
+      Hashtbl.remove t.arp_waiting key;
+      drop t
+    end
+    else begin
+      t.st <- { t.st with arp_requests = t.st.arp_requests + 1 };
+      send_arp t ~op:Pkt.Arp.Request ~tha:Addr.Mac.broadcast ~tpa:next_hop;
+      Uksim.Engine.after t.engine arp_retry_cycles (fun () ->
+          arp_request t key next_hop (attempt + 1))
+    end
+
+let resolve t dst k =
+  let next_hop =
+    if Addr.Ipv4.same_subnet dst t.cfg.ip ~netmask:t.cfg.netmask then dst
+    else match t.cfg.gateway with Some gw -> gw | None -> dst
+  in
+  let key = Addr.Ipv4.to_int next_hop in
+  match Hashtbl.find_opt t.arp_table key with
+  | Some mac -> k mac
+  | None ->
+      let pending = match Hashtbl.find_opt t.arp_waiting key with Some l -> l | None -> [] in
+      Hashtbl.replace t.arp_waiting key (k :: pending);
+      if pending = [] then arp_request t key next_hop 1
+
+let mtu = 1500
+let max_ip_payload = mtu - Pkt.Ipv4.size (* 1480, already 8-byte aligned *)
+
+let send_ip_packet t header nb =
+  Pkt.Ipv4.encode header nb;
+  charge t (Uksim.Cost.checksum Pkt.Ipv4.size);
+  resolve t header.Pkt.Ipv4.dst (fun mac ->
+      Pkt.Eth.encode { dst = mac; src = t.cfg.mac; proto = Pkt.Eth.Ipv4 } nb;
+      charge t eth_cost;
+      tx_frame t nb)
+
+let output_ip t ~proto ~dst nb =
+  charge t ip_cost;
+  t.ip_id <- (t.ip_id + 1) land 0xffff;
+  let base =
+    { (Pkt.Ipv4.header ~src:t.cfg.ip ~dst ~proto ~payload_len:(Nb.len nb)) with
+      Pkt.Ipv4.id = t.ip_id }
+  in
+  if Nb.len nb <= max_ip_payload then send_ip_packet t base nb
+  else begin
+    (* Fragment: RFC 791 — 8-byte-aligned offsets, MF on all but the
+       tail. *)
+    let payload = Nb.to_payload nb in
+    give_buf t nb;
+    let total = Bytes.length payload in
+    let rec emit off =
+      if off < total then begin
+        let len = min max_ip_payload (total - off) in
+        let fnb = take_buf t in
+        Nb.blit_payload fnb (Bytes.sub payload off len);
+        charge t (Uksim.Cost.memcpy len);
+        send_ip_packet t
+          { base with Pkt.Ipv4.payload_len = len; frag_offset = off;
+            more_frags = off + len < total }
+          fnb;
+        emit (off + len)
+      end
+    in
+    emit 0
+  end
+
+(* --- TCP glue ----------------------------------------------------------- *)
+
+let conn_key ~lport ~rip ~rport = (lport, Addr.Ipv4.to_int rip, rport)
+
+let tcp_io t : Tcp.io =
+  match t.tcp_io with
+  | Some io -> io
+  | None ->
+      let io =
+        {
+          Tcp.now_cycles = (fun () -> Uksim.Clock.cycles t.clock);
+          charge = (fun c -> charge t c);
+          tx_segment =
+            (fun conn hdr payload ->
+              let nb = take_buf t in
+              Nb.blit_payload nb payload;
+              let rip, _ = Tcp.remote_addr conn in
+              Pkt.Tcp.encode hdr ~src:t.cfg.ip ~dst:rip nb;
+              charge t (Uksim.Cost.checksum (Nb.len nb));
+              output_ip t ~proto:Pkt.Ipv4.Tcp ~dst:rip nb);
+          set_timer =
+            (fun conn ~delay_cycles ->
+              Uksim.Engine.after t.engine delay_cycles (fun () -> Tcp.on_timer conn));
+          wake =
+            (fun tid -> match t.sched with Some s -> Uksched.Sched.wake s tid | None -> ());
+          notify_accept =
+            (fun conn ->
+              match List.assq_opt conn t.conn_of with
+              | Some (Some l) ->
+                  if Queue.length l.acceptq < l.backlog then begin
+                    Queue.push conn l.acceptq;
+                    match (t.sched, l.lwaiter) with
+                    | Some s, Some tid -> Uksched.Sched.wake s tid
+                    | (Some _ | None), _ -> ()
+                  end
+                  else Tcp.abort conn
+              | Some None | None -> ());
+        }
+      in
+      t.tcp_io <- Some io;
+      io
+
+let next_iss t =
+  t.iss <- (t.iss + 64000) land 0xffffffff;
+  t.iss
+
+(* --- receive path ------------------------------------------------------- *)
+
+let handle_arp t nb =
+  t.st <- { t.st with rx_arp = t.st.rx_arp + 1 };
+  charge t arp_cost;
+  match Pkt.Arp.decode nb with
+  | Error _ -> drop t
+  | Ok a ->
+      Hashtbl.replace t.arp_table (Addr.Ipv4.to_int a.spa) a.sha;
+      (* Release any frames parked on this resolution. *)
+      (match Hashtbl.find_opt t.arp_waiting (Addr.Ipv4.to_int a.spa) with
+      | Some ks ->
+          Hashtbl.remove t.arp_waiting (Addr.Ipv4.to_int a.spa);
+          List.iter (fun k -> k a.sha) (List.rev ks)
+      | None -> ());
+      if a.op = Pkt.Arp.Request && Addr.Ipv4.equal a.tpa t.cfg.ip then
+        send_arp t ~op:Pkt.Arp.Reply ~tha:a.sha ~tpa:a.spa
+
+let handle_icmp t (ip : Pkt.Ipv4.t) nb =
+  t.st <- { t.st with rx_icmp = t.st.rx_icmp + 1 };
+  match Pkt.Icmp.decode nb with
+  | Error _ -> drop t
+  | Ok { echo_reply = false; ident; seq } ->
+      let reply = take_buf t in
+      Nb.blit_payload reply (Nb.to_payload nb);
+      Pkt.Icmp.encode { echo_reply = true; ident; seq } reply;
+      output_ip t ~proto:Pkt.Ipv4.Icmp ~dst:ip.src reply
+  | Ok { echo_reply = true; _ } -> ()
+
+let handle_udp t (ip : Pkt.Ipv4.t) nb =
+  charge t udp_cost;
+  match Pkt.Udp.decode ~src:ip.src ~dst:ip.dst nb with
+  | Error _ -> drop t
+  | Ok u -> (
+      charge t (Uksim.Cost.checksum (Nb.len nb + Pkt.Udp.size));
+      match Hashtbl.find_opt t.udp_socks u.dst_port with
+      | None -> drop t
+      | Some sock ->
+          charge t sock_enqueue_cost;
+          t.st <- { t.st with rx_udp = t.st.rx_udp + 1 };
+          Queue.push (ip.src, u.src_port, Nb.to_payload nb) sock.urxq;
+          (match (t.sched, sock.uwaiter) with
+          | Some s, Some tid -> Uksched.Sched.wake s tid
+          | (Some _ | None), _ -> ()))
+
+let handle_tcp t (ip : Pkt.Ipv4.t) nb =
+  charge t tcp_demux_cost;
+  charge t (Uksim.Cost.checksum (Nb.len nb));
+  match Pkt.Tcp.decode ~src:ip.src ~dst:ip.dst nb with
+  | Error _ -> drop t
+  | Ok h -> (
+      t.st <- { t.st with rx_tcp = t.st.rx_tcp + 1 };
+      let key = conn_key ~lport:h.dst_port ~rip:ip.src ~rport:h.src_port in
+      match Hashtbl.find_opt t.conns key with
+      | Some conn ->
+          Tcp.on_segment conn h (Nb.to_payload nb);
+          if Tcp.state conn = Tcp.Closed then begin
+            Hashtbl.remove t.conns key;
+            t.conn_of <- List.filter (fun (c, _) -> c != conn) t.conn_of
+          end
+      | None -> (
+          match Hashtbl.find_opt t.listeners h.dst_port with
+          | Some l when h.syn && not h.ack_flag ->
+              let conn =
+                Tcp.derive_passive l.lconn ~remote:(ip.src, h.src_port) ~iss:(next_iss t)
+                  ~peer_seq:h.seq
+              in
+              Hashtbl.replace t.conns key conn;
+              t.conn_of <- (conn, Some l) :: t.conn_of
+          | Some _ | None ->
+              (* No socket: RST unless it is itself an RST. *)
+              if not h.rst then begin
+                let payload_len = Nb.len nb in
+                let rnb = take_buf t in
+                Nb.set_len rnb 0;
+                Pkt.Tcp.encode
+                  {
+                    Pkt.Tcp.src_port = h.dst_port;
+                    dst_port = h.src_port;
+                    seq = (if h.ack_flag then h.ack else 0);
+                    ack = (h.seq + payload_len + (if h.syn || h.fin then 1 else 0))
+                          land 0xffffffff;
+                    syn = false;
+                    ack_flag = true;
+                    fin = false;
+                    rst = true;
+                    psh = false;
+                    window = 0;
+                  }
+                  ~src:t.cfg.ip ~dst:ip.src rnb;
+                output_ip t ~proto:Pkt.Ipv4.Tcp ~dst:ip.src rnb
+              end;
+              drop t))
+
+let process_frame t nb =
+  t.st <- { t.st with rx_eth = t.st.rx_eth + 1 };
+  charge t eth_cost;
+  match Pkt.Eth.decode nb with
+  | Error _ -> drop t
+  | Ok eth -> (
+      match eth.proto with
+      | Pkt.Eth.Arp -> handle_arp t nb
+      | Pkt.Eth.Ipv4 -> (
+          charge t ip_cost;
+          match Pkt.Ipv4.decode nb with
+          | Error _ -> drop t
+          | Ok ip ->
+              if Addr.Ipv4.equal ip.dst t.cfg.ip || Addr.Ipv4.equal ip.dst Addr.Ipv4.broadcast
+              then begin
+                charge t (Uksim.Cost.checksum Pkt.Ipv4.size);
+                let deliver ip nb =
+                  match ip.Pkt.Ipv4.proto with
+                  | Pkt.Ipv4.Icmp -> handle_icmp t ip nb
+                  | Pkt.Ipv4.Udp -> handle_udp t ip nb
+                  | Pkt.Ipv4.Tcp -> handle_tcp t ip nb
+                  | Pkt.Ipv4.Unknown _ -> drop t
+                in
+                if Pkt.Ipv4.is_fragment ip then begin
+                  charge t ip_cost (* reassembly bookkeeping *);
+                  match
+                    Frag.insert t.frag ~src:ip.src ~id:ip.id
+                      ~proto:(Pkt.Ipv4.proto_number ip.proto) ~frag_offset:ip.frag_offset
+                      ~more_frags:ip.more_frags (Nb.to_payload nb)
+                  with
+                  | Frag.Pending -> ()
+                  | Frag.Rejected _ -> drop t
+                  | Frag.Complete payload ->
+                      let rnb = Nb.alloc ~headroom:64 ~size:(Bytes.length payload) () in
+                      Nb.blit_payload rnb payload;
+                      deliver
+                        { ip with Pkt.Ipv4.payload_len = Bytes.length payload;
+                          more_frags = false; frag_offset = 0 }
+                        rnb
+                end
+                else deliver ip nb
+              end
+              else drop t)
+      | Pkt.Eth.Unknown _ -> drop t)
+
+let poll t =
+  Frag.expire t.frag;
+  let pkts = t.dev.Nd.rx_burst ~qid:0 ~max:64 in
+  List.iter
+    (fun nb ->
+      process_frame t nb;
+      give_buf t nb)
+    pkts;
+  List.length pkts
+
+let rx_alloc_of t () = Nb.Pool.take t.pool
+
+(* lwIP bring-up: memory pools, pcb tables, timers (~0.35 ms, part of the
+   0.49 ms nginx boot floor in Fig 14). *)
+let stack_init_cost = 1_250_000
+
+let create ~clock ~engine ?sched ?alloc ~dev ?(pool_size = 512) cfg =
+  Uksim.Clock.advance clock stack_init_cost;
+  let pool = Nb.Pool.create ~clock ?alloc ~count:pool_size ~size:2048 () in
+  let t =
+    {
+      clock;
+      engine;
+      sched;
+      dev;
+      cfg;
+      pool;
+      arp_table = Hashtbl.create 32;
+      arp_waiting = Hashtbl.create 8;
+      udp_socks = Hashtbl.create 16;
+      listeners = Hashtbl.create 8;
+      conns = Hashtbl.create 64;
+      conn_of = [];
+      frag = Frag.create ~clock ();
+      ip_id = 0;
+      iss = 0x1000;
+      next_port = 49152;
+      st = zero_stats;
+      service_tid = None;
+      tcp_io = None;
+    }
+  in
+  dev.Nd.configure_queue ~qid:0
+    { Nd.rx_alloc = rx_alloc_of t; mode = Nd.Polling; rx_handler = None };
+  t
+
+let start t =
+  match t.sched with
+  | None -> invalid_arg "Stack.start: no scheduler available"
+  | Some sched ->
+      if t.service_tid = None then begin
+        let tid =
+          Uksched.Sched.spawn sched ~name:"netstack-input" ~daemon:true (fun () ->
+              let rec loop () =
+                let n = poll t in
+                if n > 0 then begin
+                  Uksched.Sched.yield ();
+                  loop ()
+                end
+                else begin
+                  Uksched.Sched.block ();
+                  loop ()
+                end
+              in
+              loop ())
+        in
+        t.service_tid <- Some tid;
+        (* Interrupt mode: the device wakes the service thread. *)
+        t.dev.Nd.configure_queue ~qid:0
+          {
+            Nd.rx_alloc = rx_alloc_of t;
+            mode = Nd.Interrupt_driven;
+            rx_handler = Some (fun () -> Uksched.Sched.wake sched tid);
+          }
+      end
+
+(* --- UDP sockets -------------------------------------------------------- *)
+
+module Udp_socket = struct
+  type nonrec stack = t [@@warning "-34"]
+  type nonrec t = { stack : stack; sock : udp_sock }
+
+  let bind stack ~port =
+    if port <= 0 || port > 0xffff then invalid_arg "Udp_socket.bind: bad port";
+    if Hashtbl.mem stack.udp_socks port then invalid_arg "Udp_socket.bind: port in use";
+    let sock = { uport = port; urxq = Queue.create (); uwaiter = None; uclosed = false } in
+    Hashtbl.replace stack.udp_socks port sock;
+    { stack; sock }
+
+  let sendto { stack; sock } ~dst:(dip, dport) payload =
+    if sock.uclosed then invalid_arg "Udp_socket.sendto: closed";
+    charge stack udp_cost;
+    (* Datagrams beyond the pool's buffer size (they will be fragmented
+       at the IP layer) get a right-sized heap buffer. *)
+    let nb =
+      if Bytes.length payload + 128 > 2048 then
+        Nb.alloc ~headroom:64 ~size:(Bytes.length payload + 64) ()
+      else take_buf stack
+    in
+    Nb.blit_payload nb payload;
+    Pkt.Udp.encode { src_port = sock.uport; dst_port = dport } ~src:stack.cfg.ip ~dst:dip nb;
+    charge stack (Uksim.Cost.checksum (Nb.len nb));
+    output_ip stack ~proto:Pkt.Ipv4.Udp ~dst:dip nb
+
+  let rec recvfrom ?(block = false) ({ stack; sock } as s) =
+    match Queue.take_opt sock.urxq with
+    | Some dgram ->
+        charge stack sock_enqueue_cost;
+        Some dgram
+    | None ->
+        if not block then None
+        else begin
+          (match stack.sched with
+          | None -> invalid_arg "Udp_socket.recvfrom: blocking needs a scheduler"
+          | Some _ -> ());
+          sock.uwaiter <- Some (Uksched.Sched.self ());
+          Uksched.Sched.block ();
+          sock.uwaiter <- None;
+          if sock.uclosed then None else recvfrom ~block s
+        end
+
+  let pending { sock; _ } = Queue.length sock.urxq
+
+  let close { stack; sock } =
+    sock.uclosed <- true;
+    Hashtbl.remove stack.udp_socks sock.uport;
+    match (stack.sched, sock.uwaiter) with
+    | Some sch, Some tid -> Uksched.Sched.wake sch tid
+    | (Some _ | None), _ -> ()
+end
+
+(* --- TCP sockets ---------------------------------------------------------- *)
+
+module Tcp_socket = struct
+  type nonrec stack = t [@@warning "-34"]
+  type nonrec listener = listener
+  type flow = Tcp.conn
+
+  let listen stack ~port ?(backlog = 64) () =
+    if port <= 0 || port > 0xffff then invalid_arg "Tcp_socket.listen: bad port";
+    if Hashtbl.mem stack.listeners port then invalid_arg "Tcp_socket.listen: port in use";
+    let lconn = Tcp.create_listen (tcp_io stack) ~local:(stack.cfg.ip, port) in
+    let l = { lport = port; lconn; backlog; acceptq = Queue.create (); lwaiter = None } in
+    Hashtbl.replace stack.listeners port l;
+    l
+
+  let rec accept ?(block = false) l =
+    match Queue.take_opt l.acceptq with
+    | Some conn -> Some conn
+    | None ->
+        if not block then None
+        else begin
+          l.lwaiter <- Some (Uksched.Sched.self ());
+          Uksched.Sched.block ();
+          l.lwaiter <- None;
+          accept ~block l
+        end
+
+  let fresh_port stack ~dst:(dip, dport) =
+    (* Sequential ephemeral ports, skipping four-tuples still in use. *)
+    let rec pick tries =
+      if tries > 16384 then failwith "Tcp_socket.connect: ephemeral ports exhausted";
+      let p = stack.next_port in
+      stack.next_port <- (if p >= 65535 then 49152 else p + 1);
+      if Hashtbl.mem stack.conns (conn_key ~lport:p ~rip:dip ~rport:dport) then pick (tries + 1)
+      else p
+    in
+    pick 0
+
+  let connect stack ~dst:(dip, dport) =
+    let lport = fresh_port stack ~dst:(dip, dport) in
+    let conn =
+      Tcp.create_active (tcp_io stack) ~local:(stack.cfg.ip, lport) ~remote:(dip, dport)
+        ~iss:(next_iss stack)
+    in
+    let key = conn_key ~lport ~rip:dip ~rport:dport in
+    Hashtbl.replace stack.conns key conn;
+    stack.conn_of <- (conn, None) :: stack.conn_of;
+    (match stack.sched with
+    | Some _ ->
+        let rec wait () =
+          match Tcp.state conn with
+          | Tcp.Established -> ()
+          | Tcp.Closed -> failwith "Tcp_socket.connect: connection refused"
+          | Tcp.Syn_sent | Tcp.Syn_rcvd ->
+              Tcp.set_connect_waiter conn (Some (Uksched.Sched.self ()));
+              Uksched.Sched.block ();
+              Tcp.set_connect_waiter conn None;
+              wait ()
+          | Tcp.Listen | Tcp.Fin_wait_1 | Tcp.Fin_wait_2 | Tcp.Close_wait | Tcp.Closing
+          | Tcp.Last_ack | Tcp.Time_wait ->
+              failwith "Tcp_socket.connect: unexpected state"
+        in
+        wait ()
+    | None ->
+        (* No scheduler: spin on the poll loop in virtual time. *)
+        let deadline = Uksim.Clock.cycles stack.clock + Uksim.Clock.cycles_of_ns 5e9 in
+        let rec spin () =
+          match Tcp.state conn with
+          | Tcp.Established -> ()
+          | Tcp.Closed -> failwith "Tcp_socket.connect: connection refused"
+          | _ ->
+              if Uksim.Clock.cycles stack.clock > deadline then
+                failwith "Tcp_socket.connect: timeout";
+              Uksim.Clock.advance stack.clock 2000;
+              ignore (poll stack);
+              spin ()
+        in
+        spin ());
+    conn
+
+  let rec send ?(block = false) stack flow data =
+    let n = Tcp.send flow data in
+    charge stack sock_enqueue_cost;
+    if (not block) || n = Bytes.length data then n
+    else begin
+      (* Wait for buffer space, then queue the remainder. *)
+      Tcp.set_send_waiter flow (Some (Uksched.Sched.self ()));
+      Uksched.Sched.block ();
+      Tcp.set_send_waiter flow None;
+      let rest = Bytes.sub data n (Bytes.length data - n) in
+      n + send ~block stack flow rest
+    end
+
+  let rec recv ?(block = false) stack flow ~max =
+    charge stack sock_enqueue_cost;
+    match Tcp.recv flow ~max with
+    | Some data -> Some data
+    | None ->
+        if Tcp.recv_eof flow || Tcp.state flow = Tcp.Closed then None
+        else if not block then Some Bytes.empty
+        else begin
+          Tcp.set_recv_waiter flow (Some (Uksched.Sched.self ()));
+          Uksched.Sched.block ();
+          Tcp.set_recv_waiter flow None;
+          recv ~block stack flow ~max
+        end
+
+  let close _stack flow = Tcp.close flow
+  let state flow = Tcp.state flow
+end

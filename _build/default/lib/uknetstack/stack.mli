@@ -1,0 +1,103 @@
+(** An lwIP-class TCP/IP stack over the uknetdev API.
+
+    One instance binds one {!Uknetdev.Netdev.t} queue, owns a netbuf pool
+    (the paper's "memory pools in Unikraft's networking stack"), answers
+    ARP and ICMP echo, and offers UDP and TCP sockets. Packet processing
+    happens in {!poll} — either called directly from a run-to-completion
+    application loop, or by the service thread {!start} spawns when a
+    scheduler is available (woken by the device's rx interrupt).
+
+    All per-layer processing charges calibrated cycle costs to the stack's
+    clock, so socket-API throughput measurements include the full stack
+    traversal the paper attributes to lwIP. *)
+
+type conf = {
+  mac : Addr.Mac.t;
+  ip : Addr.Ipv4.t;
+  netmask : Addr.Ipv4.t;
+  gateway : Addr.Ipv4.t option;
+}
+
+type t
+
+type stats = {
+  rx_eth : int;
+  rx_arp : int;
+  rx_icmp : int;
+  rx_udp : int;
+  rx_tcp : int;
+  rx_drop : int;  (** undecodable / no socket / checksum failures *)
+  tx_pkts : int;
+  arp_requests : int;
+}
+
+val create :
+  clock:Uksim.Clock.t ->
+  engine:Uksim.Engine.t ->
+  ?sched:Uksched.Sched.t ->
+  ?alloc:Ukalloc.Alloc.t ->
+  dev:Uknetdev.Netdev.t ->
+  ?pool_size:int ->
+  conf ->
+  t
+(** Configures queue 0 of [dev] (polling mode; {!start} switches it to
+    interrupt mode). [pool_size] netbufs are pre-allocated (default 512),
+    backed by [alloc] when given — the paper's "memory pools in the
+    networking stack". Bring-up charges lwIP-scale init cost. *)
+
+val conf : t -> conf
+val stats : t -> stats
+
+val poll : t -> int
+(** Drain and process pending receive packets and due timers; returns the
+    number of packets handled. *)
+
+val start : t -> unit
+(** Spawn the interrupt-driven input service thread (requires a
+    scheduler). *)
+
+(** {1 UDP sockets} *)
+
+module Udp_socket : sig
+  type stack := t
+  type t
+
+  val bind : stack -> port:int -> t
+  (** Raises [Invalid_argument] if the port is taken or out of range. *)
+
+  val sendto : t -> dst:Addr.Ipv4.t * int -> bytes -> unit
+  val recvfrom : ?block:bool -> t -> (Addr.Ipv4.t * int * bytes) option
+  (** [block:true] (default false) parks the thread until a datagram
+      arrives (requires a scheduler). *)
+
+  val pending : t -> int
+  val close : t -> unit
+end
+
+(** {1 TCP sockets} *)
+
+module Tcp_socket : sig
+  type stack := t
+  type listener
+  type flow = Tcp.conn
+
+  val listen : stack -> port:int -> ?backlog:int -> unit -> listener
+  val accept : ?block:bool -> listener -> flow option
+
+  val connect : stack -> dst:Addr.Ipv4.t * int -> flow
+  (** Blocks (scheduler) or spins (no scheduler) until established; raises
+      [Failure] if the connection is refused/aborted. *)
+
+  val send : ?block:bool -> stack -> flow -> bytes -> int
+  (** Bytes accepted into the send buffer. [block:true] waits for buffer
+      space until everything is queued. *)
+
+  val recv : ?block:bool -> stack -> flow -> max:int -> bytes option
+  (** [Some data] (non-empty) when in-order data is available; [None] at
+      EOF (peer closed, queue drained). When the queue is merely empty:
+      [block:true] parks the thread until data or EOF; [block:false]
+      (default) returns [Some Bytes.empty] as a would-block marker. *)
+
+  val close : stack -> flow -> unit
+  val state : flow -> Tcp.state
+end

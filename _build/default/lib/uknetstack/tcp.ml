@@ -1,0 +1,457 @@
+type state =
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+let state_to_string = function
+  | Listen -> "LISTEN"
+  | Syn_sent -> "SYN_SENT"
+  | Syn_rcvd -> "SYN_RCVD"
+  | Established -> "ESTABLISHED"
+  | Fin_wait_1 -> "FIN_WAIT_1"
+  | Fin_wait_2 -> "FIN_WAIT_2"
+  | Close_wait -> "CLOSE_WAIT"
+  | Closing -> "CLOSING"
+  | Last_ack -> "LAST_ACK"
+  | Time_wait -> "TIME_WAIT"
+  | Closed -> "CLOSED"
+
+let mss = 1460
+let default_window = 65535
+let sndbuf_max = 65536
+let rcvbuf_max = 65536
+let rto_base_cycles = Uksim.Clock.cycles_of_ns 2.0e8 (* 200 ms *)
+let max_retransmits = 10 (* give-up threshold (RFC 1122's R2) *)
+let msl_cycles = Uksim.Clock.cycles_of_ns 1.0e9
+let seg_proc_cost = 160 (* state-machine work per segment *)
+
+(* 32-bit sequence arithmetic. *)
+let seq_add a n = (a + n) land 0xffffffff
+let seq_diff a b = (a - b) land 0xffffffff
+let seq_lt a b = seq_diff b a < 0x80000000 && a <> b
+let seq_le a b = a = b || seq_lt a b
+
+type seg = { sseq : int; payload : bytes; syn : bool; fin : bool }
+
+type conn = {
+  io : io;
+  local : Addr.Ipv4.t * int;
+  mutable remote : Addr.Ipv4.t * int;
+  mutable st : state;
+  (* send side *)
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable snd_wnd : int;
+  sendq : Buffer.t; (* app data not yet segmented *)
+  mutable inflight : seg list; (* oldest first *)
+  mutable fin_queued : bool;
+  mutable fin_seq : int option;
+  (* receive side *)
+  mutable rcv_nxt : int;
+  recvq : bytes Queue.t;
+  mutable recvq_head_off : int;
+  mutable recvq_bytes : int;
+  mutable fin_received : bool;
+  (* timers / loss recovery *)
+  mutable timer_deadline : int option;
+  mutable backoff : int;
+  mutable attempts : int; (* consecutive RTOs without progress *)
+  mutable dupacks : int;
+  mutable retransmits : int;
+  mutable fast_retransmits : int;
+  (* blocked application threads *)
+  mutable recv_waiter : Uksched.Sched.tid option;
+  mutable send_waiter : Uksched.Sched.tid option;
+  mutable connect_waiter : Uksched.Sched.tid option;
+}
+
+and io = {
+  now_cycles : unit -> int;
+  charge : int -> unit;
+  tx_segment : conn -> Pkt.Tcp.t -> bytes -> unit;
+  set_timer : conn -> delay_cycles:int -> unit;
+  wake : Uksched.Sched.tid -> unit;
+  notify_accept : conn -> unit;
+}
+
+let state c = c.st
+let local_addr c = c.local
+let remote_addr c = c.remote
+let stats_retransmits c = c.retransmits
+let stats_fast_retransmits c = c.fast_retransmits
+let set_recv_waiter c w = c.recv_waiter <- w
+let set_send_waiter c w = c.send_waiter <- w
+let set_connect_waiter c w = c.connect_waiter <- w
+
+let wake_opt c wref =
+  match wref with
+  | Some tid -> c.io.wake tid
+  | None -> ()
+
+let rcv_window c = max 0 (rcvbuf_max - c.recvq_bytes)
+
+let header c ~syn ~ack_flag ~fin ~rst ~psh ~seq =
+  {
+    Pkt.Tcp.src_port = snd c.local;
+    dst_port = snd c.remote;
+    seq;
+    ack = c.rcv_nxt;
+    syn;
+    ack_flag;
+    fin;
+    rst;
+    psh;
+    window = min (rcv_window c) 0xffff;
+  }
+
+let tx c ?(syn = false) ?(ack_flag = true) ?(fin = false) ?(rst = false) ?(psh = false) ~seq
+    payload =
+  c.io.tx_segment c (header c ~syn ~ack_flag ~fin ~rst ~psh ~seq) payload
+
+let send_ack c = tx c ~seq:c.snd_nxt Bytes.empty
+
+let arm_timer c delay =
+  let deadline = c.io.now_cycles () + delay in
+  c.timer_deadline <- Some deadline;
+  c.io.set_timer c ~delay_cycles:delay
+
+let disarm_timer c = c.timer_deadline <- None
+
+let make io ~local ~remote ~st =
+  {
+    io;
+    local;
+    remote;
+    st;
+    snd_una = 0;
+    snd_nxt = 0;
+    snd_wnd = default_window;
+    sendq = Buffer.create 1024;
+    inflight = [];
+    fin_queued = false;
+    fin_seq = None;
+    rcv_nxt = 0;
+    recvq = Queue.create ();
+    recvq_head_off = 0;
+    recvq_bytes = 0;
+    fin_received = false;
+    timer_deadline = None;
+    backoff = 1;
+    attempts = 0;
+    dupacks = 0;
+    retransmits = 0;
+    fast_retransmits = 0;
+    recv_waiter = None;
+    send_waiter = None;
+    connect_waiter = None;
+  }
+
+let create_listen io ~local = make io ~local ~remote:(Addr.Ipv4.any, 0) ~st:Listen
+
+let transmit_seg c (s : seg) =
+  tx c ~syn:s.syn ~ack_flag:(not s.syn || c.st <> Syn_sent) ~fin:s.fin
+    ~psh:(Bytes.length s.payload > 0) ~seq:s.sseq s.payload
+
+(* Push queued application data (and a queued FIN) into segments as far as
+   the peer's advertised window allows. *)
+let rec pump c =
+  let in_flight = seq_diff c.snd_nxt c.snd_una in
+  let window_room = c.snd_wnd - in_flight in
+  if Buffer.length c.sendq > 0 && window_room > 0 then begin
+    let n = min (min mss (Buffer.length c.sendq)) window_room in
+    let payload = Bytes.of_string (String.sub (Buffer.contents c.sendq) 0 n) in
+    let rest = String.sub (Buffer.contents c.sendq) n (Buffer.length c.sendq - n) in
+    Buffer.clear c.sendq;
+    Buffer.add_string c.sendq rest;
+    let s = { sseq = c.snd_nxt; payload; syn = false; fin = false } in
+    c.snd_nxt <- seq_add c.snd_nxt n;
+    c.inflight <- c.inflight @ [ s ];
+    transmit_seg c s;
+    if c.timer_deadline = None then arm_timer c (rto_base_cycles * c.backoff);
+    pump c
+  end
+  else if
+    Buffer.length c.sendq = 0 && c.fin_queued && c.fin_seq = None
+    && (c.st = Fin_wait_1 || c.st = Last_ack || c.st = Closing)
+  then begin
+    let s = { sseq = c.snd_nxt; payload = Bytes.empty; syn = false; fin = true } in
+    c.fin_seq <- Some c.snd_nxt;
+    c.snd_nxt <- seq_add c.snd_nxt 1;
+    c.inflight <- c.inflight @ [ s ];
+    transmit_seg c s;
+    if c.timer_deadline = None then arm_timer c (rto_base_cycles * c.backoff)
+  end
+
+let send_syn c =
+  let s = { sseq = c.snd_nxt; payload = Bytes.empty; syn = true; fin = false } in
+  c.snd_nxt <- seq_add c.snd_nxt 1;
+  c.inflight <- [ s ];
+  (* SYN and SYN+ACK forms differ: in SYN_SENT no ack flag. *)
+  (match c.st with
+  | Syn_sent -> tx c ~syn:true ~ack_flag:false ~seq:s.sseq Bytes.empty
+  | Syn_rcvd | Listen | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
+  | Time_wait | Closed ->
+      tx c ~syn:true ~seq:s.sseq Bytes.empty);
+  arm_timer c (rto_base_cycles * c.backoff)
+
+let create_active io ~local ~remote ~iss =
+  let c = make io ~local ~remote ~st:Syn_sent in
+  c.snd_una <- iss;
+  c.snd_nxt <- iss;
+  send_syn c;
+  c
+
+let derive_passive listener ~remote ~iss ~peer_seq =
+  let c = make listener.io ~local:listener.local ~remote ~st:Syn_rcvd in
+  c.snd_una <- iss;
+  c.snd_nxt <- iss;
+  c.rcv_nxt <- seq_add peer_seq 1;
+  send_syn c;
+  c
+
+(* --- ACK processing -------------------------------------------------- *)
+
+let handle_ack c (h : Pkt.Tcp.t) =
+  if not h.ack_flag then ()
+  else if seq_lt c.snd_una h.ack && seq_le h.ack c.snd_nxt then begin
+    c.snd_una <- h.ack;
+    c.dupacks <- 0;
+    c.backoff <- 1;
+    c.attempts <- 0;
+    c.inflight <-
+      List.filter
+        (fun s ->
+          let seg_end = seq_add s.sseq (Bytes.length s.payload + (if s.syn || s.fin then 1 else 0)) in
+          seq_lt h.ack seg_end)
+        c.inflight;
+    if c.inflight = [] then disarm_timer c else arm_timer c rto_base_cycles;
+    wake_opt c c.send_waiter;
+    (* Our FIN acknowledged? *)
+    match c.fin_seq with
+    | Some fseq when seq_lt fseq h.ack -> (
+        match c.st with
+        | Fin_wait_1 -> c.st <- Fin_wait_2
+        | Closing ->
+            c.st <- Time_wait;
+            arm_timer c (2 * msl_cycles)
+        | Last_ack ->
+            c.st <- Closed;
+            disarm_timer c;
+            wake_opt c c.recv_waiter
+        | Listen | Syn_sent | Syn_rcvd | Established | Fin_wait_2 | Close_wait | Time_wait
+        | Closed ->
+            ())
+    | Some _ | None -> ()
+  end
+  else if h.ack = c.snd_una && c.inflight <> [] then begin
+    c.dupacks <- c.dupacks + 1;
+    if c.dupacks = 3 then begin
+      (* Fast retransmit of the oldest outstanding segment. *)
+      c.dupacks <- 0;
+      c.fast_retransmits <- c.fast_retransmits + 1;
+      match c.inflight with
+      | s :: _ -> transmit_seg c s
+      | [] -> ()
+    end
+  end
+
+(* --- receive-side data ------------------------------------------------ *)
+
+let deliver_data c payload =
+  Queue.push payload c.recvq;
+  c.recvq_bytes <- c.recvq_bytes + Bytes.length payload;
+  wake_opt c c.recv_waiter
+
+let handle_data c (h : Pkt.Tcp.t) payload =
+  let len = Bytes.length payload in
+  if len = 0 then ()
+  else if h.seq = c.rcv_nxt && len <= rcv_window c then begin
+    c.rcv_nxt <- seq_add c.rcv_nxt len;
+    deliver_data c payload;
+    send_ack c
+  end
+  else
+    (* Out of order, retransmitted overlap, or no buffer space: drop and
+       re-advertise our expectation (duplicate ACK). *)
+    send_ack c
+
+let handle_fin c (h : Pkt.Tcp.t) payload_len =
+  if h.fin then begin
+    let fin_seq = seq_add h.seq payload_len in
+    if fin_seq = c.rcv_nxt then begin
+      c.rcv_nxt <- seq_add c.rcv_nxt 1;
+      c.fin_received <- true;
+      (match c.st with
+      | Established -> c.st <- Close_wait
+      | Fin_wait_1 ->
+          (* Our FIN not yet acked: simultaneous close. *)
+          c.st <- Closing
+      | Fin_wait_2 ->
+          c.st <- Time_wait;
+          arm_timer c (2 * msl_cycles)
+      | Listen | Syn_sent | Syn_rcvd | Close_wait | Closing | Last_ack | Time_wait | Closed -> ());
+      send_ack c;
+      wake_opt c c.recv_waiter
+    end
+    else send_ack c
+  end
+
+let on_segment c (h : Pkt.Tcp.t) payload =
+  c.io.charge seg_proc_cost;
+  if h.rst then begin
+    c.st <- Closed;
+    disarm_timer c;
+    wake_opt c c.recv_waiter;
+    wake_opt c c.send_waiter;
+    wake_opt c c.connect_waiter
+  end
+  else begin
+    c.snd_wnd <- h.window;
+    match c.st with
+    | Syn_sent ->
+        if h.syn && h.ack_flag && h.ack = c.snd_nxt then begin
+          c.snd_una <- h.ack;
+          c.rcv_nxt <- seq_add h.seq 1;
+          c.inflight <- [];
+          disarm_timer c;
+          c.st <- Established;
+          send_ack c;
+          wake_opt c c.connect_waiter
+        end
+    | Syn_rcvd ->
+        if h.ack_flag && h.ack = c.snd_nxt then begin
+          c.snd_una <- h.ack;
+          c.inflight <- [];
+          disarm_timer c;
+          c.st <- Established;
+          c.io.notify_accept c;
+          handle_data c h payload;
+          handle_fin c h (Bytes.length payload)
+        end
+    | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait ->
+        handle_ack c h;
+        (match c.st with
+        | Established | Fin_wait_1 | Fin_wait_2 -> handle_data c h payload
+        | Listen | Syn_sent | Syn_rcvd | Close_wait | Closing | Last_ack | Time_wait | Closed ->
+            ());
+        handle_fin c h (Bytes.length payload);
+        pump c
+    | Listen | Closed -> ()
+  end
+
+let on_timer c =
+  let due =
+    match c.timer_deadline with
+    | Some d -> c.io.now_cycles () >= d
+    | None -> false
+  in
+  if due then begin
+    disarm_timer c;
+    match c.st with
+    | Time_wait ->
+        c.st <- Closed;
+        wake_opt c c.recv_waiter
+    | Listen | Closed -> ()
+    | Syn_sent | Syn_rcvd | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+    | Last_ack -> (
+        match c.inflight with
+        | [] -> ()
+        | s :: _ ->
+            c.attempts <- c.attempts + 1;
+            if c.attempts > max_retransmits then begin
+              (* Peer unreachable: give up, as real TCP does after ~R2
+                 retries (RFC 1122). *)
+              c.st <- Closed;
+              c.inflight <- [];
+              wake_opt c c.recv_waiter;
+              wake_opt c c.send_waiter;
+              wake_opt c c.connect_waiter
+            end
+            else begin
+              c.retransmits <- c.retransmits + 1;
+              c.backoff <- min 64 (c.backoff * 2);
+              transmit_seg c s;
+              arm_timer c (rto_base_cycles * c.backoff)
+            end)
+  end
+
+(* --- application interface -------------------------------------------- *)
+
+let send_buffer_space c = max 0 (sndbuf_max - Buffer.length c.sendq)
+
+let send c data =
+  match c.st with
+  | Established | Close_wait ->
+      let n = min (Bytes.length data) (send_buffer_space c) in
+      Buffer.add_subbytes c.sendq data 0 n;
+      pump c;
+      n
+  | Listen | Syn_sent | Syn_rcvd | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait
+  | Closed ->
+      0
+
+let recv_available c = c.recvq_bytes
+let recv_eof c = c.fin_received && c.recvq_bytes = 0
+
+let recv c ~max:max_bytes =
+  if max_bytes <= 0 then invalid_arg "Tcp.recv: max must be positive";
+  if c.recvq_bytes = 0 then None
+  else begin
+    let window_was_closed = rcv_window c < mss in
+    let out = Buffer.create (min max_bytes c.recvq_bytes) in
+    let remaining = ref max_bytes in
+    let continue = ref true in
+    while !continue && !remaining > 0 do
+      match Queue.peek_opt c.recvq with
+      | None -> continue := false
+      | Some chunk ->
+          let avail = Bytes.length chunk - c.recvq_head_off in
+          let take = min avail !remaining in
+          Buffer.add_subbytes out chunk c.recvq_head_off take;
+          remaining := !remaining - take;
+          c.recvq_bytes <- c.recvq_bytes - take;
+          if take = avail then begin
+            ignore (Queue.pop c.recvq);
+            c.recvq_head_off <- 0
+          end
+          else c.recvq_head_off <- c.recvq_head_off + take
+    done;
+    (* Window update: tell a stalled peer that buffer space reopened. *)
+    if window_was_closed && rcv_window c >= mss && c.st <> Closed then send_ack c;
+    Some (Buffer.to_bytes out)
+  end
+
+let close c =
+  match c.st with
+  | Established ->
+      c.st <- Fin_wait_1;
+      c.fin_queued <- true;
+      pump c
+  | Close_wait ->
+      c.st <- Last_ack;
+      c.fin_queued <- true;
+      pump c
+  | Syn_sent | Syn_rcvd | Listen ->
+      c.st <- Closed;
+      disarm_timer c
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed -> ()
+
+let abort c =
+  (match c.st with
+  | Closed | Listen -> ()
+  | Syn_sent | Syn_rcvd | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+  | Last_ack | Time_wait ->
+      tx c ~rst:true ~seq:c.snd_nxt Bytes.empty);
+  c.st <- Closed;
+  disarm_timer c;
+  wake_opt c c.recv_waiter;
+  wake_opt c c.send_waiter;
+  wake_opt c c.connect_waiter

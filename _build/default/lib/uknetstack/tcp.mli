@@ -1,0 +1,101 @@
+(** TCP engine: connection state machines, retransmission, flow control.
+
+    Transport-only logic, decoupled from IP/device concerns through an
+    {!io} record the stack supplies (segment transmit, timer arming, thread
+    wakeups). Implements the standard state diagram (LISTEN through
+    TIME_WAIT), cumulative ACKs, receiver flow control, go-back-N
+    retransmission with exponential backoff, and fast retransmit on three
+    duplicate ACKs. Out-of-order segments are dropped and recovered by
+    retransmission (lwIP-without-SACK behaviour); congestion control is
+    omitted — the paper's evaluation runs on an uncongested direct link. *)
+
+type state =
+  | Listen
+  | Syn_sent
+  | Syn_rcvd
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+val state_to_string : state -> string
+
+type conn
+
+type io = {
+  now_cycles : unit -> int;
+  charge : int -> unit;  (** burn guest cycles *)
+  tx_segment : conn -> Pkt.Tcp.t -> bytes -> unit;
+      (** hand a fully-specified segment (header template + payload) to the
+          IP layer; ports are already filled in *)
+  set_timer : conn -> delay_cycles:int -> unit;
+      (** arm (or re-arm) the connection's retransmission timer; the stack
+          must call {!on_timer} when it fires *)
+  wake : Uksched.Sched.tid -> unit;
+  notify_accept : conn -> unit;  (** a passive open reached ESTABLISHED *)
+}
+
+val mss : int
+val default_window : int
+
+(** {1 Connection lifecycle} *)
+
+val create_listen : io -> local:Addr.Ipv4.t * int -> conn
+(** A listening "template" connection; incoming SYNs clone it. *)
+
+val create_active :
+  io -> local:Addr.Ipv4.t * int -> remote:Addr.Ipv4.t * int -> iss:int -> conn
+(** Active open: allocates the connection and transmits the SYN. *)
+
+val derive_passive : conn -> remote:Addr.Ipv4.t * int -> iss:int -> peer_seq:int -> conn
+(** Child connection for a SYN (with sequence number [peer_seq]) arriving
+    at a listener: moves to SYN_RCVD and answers SYN+ACK. *)
+
+val state : conn -> state
+val local_addr : conn -> Addr.Ipv4.t * int
+val remote_addr : conn -> Addr.Ipv4.t * int
+
+(** {1 Input path} *)
+
+val on_segment : conn -> Pkt.Tcp.t -> bytes -> unit
+(** Process one inbound segment (header already validated/checksummed). *)
+
+val on_timer : conn -> unit
+(** Retransmission / TIME_WAIT timer callback. *)
+
+(** {1 Application side} *)
+
+val send : conn -> bytes -> int
+(** Queue application data; returns bytes accepted (bounded by the send
+    buffer). Transmits immediately as far as the peer's window allows. *)
+
+val send_buffer_space : conn -> int
+
+val recv : conn -> max:int -> bytes option
+(** Dequeue up to [max] bytes of in-order data; [None] when the queue is
+    empty (check {!recv_eof} to distinguish would-block from EOF). Also
+    sends a window update if consuming reopened a closed receive
+    window. *)
+
+val recv_available : conn -> int
+val recv_eof : conn -> bool
+(** Peer FIN received and queue drained. *)
+
+val close : conn -> unit
+(** Send FIN (half-close of our side). *)
+
+val abort : conn -> unit
+(** RST out, connection to CLOSED. *)
+
+(** {1 Blocking-support hooks (used by the stack's socket layer)} *)
+
+val set_recv_waiter : conn -> Uksched.Sched.tid option -> unit
+val set_send_waiter : conn -> Uksched.Sched.tid option -> unit
+val set_connect_waiter : conn -> Uksched.Sched.tid option -> unit
+
+val stats_retransmits : conn -> int
+val stats_fast_retransmits : conn -> int

@@ -1,0 +1,32 @@
+let get_u8 b i = Char.code (Bytes.get b i)
+let get_u16 b i = (get_u8 b i lsl 8) lor get_u8 b (i + 1)
+let get_u32 b i = (get_u16 b i lsl 16) lor get_u16 b (i + 2)
+let set_u8 b i v = Bytes.set b i (Char.chr (v land 0xff))
+
+let set_u16 b i v =
+  set_u8 b i (v lsr 8);
+  set_u8 b (i + 1) v
+
+let set_u32 b i v =
+  set_u16 b i (v lsr 16);
+  set_u16 b (i + 2) v
+
+let fold_carries s =
+  let rec go s = if s > 0xffff then go ((s land 0xffff) + (s lsr 16)) else s in
+  go s
+
+let partial_sum ?(initial = 0) b ~off ~len =
+  let s = ref initial in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    s := !s + get_u16 b !i;
+    i := !i + 2
+  done;
+  if !i < stop then s := !s + (get_u8 b !i lsl 8);
+  fold_carries !s
+
+let checksum ?initial b ~off ~len =
+  lnot (partial_sum ?initial b ~off ~len) land 0xffff
+
+let sum_words ws = fold_carries (List.fold_left ( + ) 0 ws)

@@ -1,0 +1,19 @@
+(** Byte-level serialization helpers (big-endian, as on the wire) and the
+    Internet checksum. *)
+
+val get_u8 : bytes -> int -> int
+val get_u16 : bytes -> int -> int
+val get_u32 : bytes -> int -> int
+val set_u8 : bytes -> int -> int -> unit
+val set_u16 : bytes -> int -> int -> unit
+val set_u32 : bytes -> int -> int -> unit
+
+val checksum : ?initial:int -> bytes -> off:int -> len:int -> int
+(** RFC 1071 one's-complement sum, finalized (complemented, 16-bit).
+    [initial] is an un-complemented partial sum (e.g. a pseudo-header). *)
+
+val partial_sum : ?initial:int -> bytes -> off:int -> len:int -> int
+(** Un-finalized running sum, for pseudo-header composition. *)
+
+val sum_words : int list -> int
+(** Partial sum over 16-bit words given as ints. *)

@@ -1,0 +1,1 @@
+lib/ukos/profiles.ml: List String Uksim

@@ -1,0 +1,1 @@
+lib/ukos/profiles.mli:

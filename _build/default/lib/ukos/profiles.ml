@@ -1,0 +1,139 @@
+type t = {
+  os_name : string;
+  image_kb : (string * int) list;
+  min_mem_mb : (string * int) list;
+  boot_ns : float option;
+  relative_request_cost : (string * float) list;
+  notes : string;
+}
+
+let ms = Uksim.Units.msec
+
+(* §5.3: Unikraft is 10-60% faster than native Linux (syscall cost + KPTI,
+   and mimalloc as the system-wide allocator). *)
+let linux_native =
+  {
+    os_name = "linux-native";
+    image_kb = [ ("hello", 16); ("nginx", 1200); ("redis", 1800); ("sqlite", 1100) ];
+    (* App binaries only; glibc and the kernel are not counted (paper Fig 9
+       caption). *)
+    min_mem_mb = [ ("hello", 3); ("nginx", 4); ("redis", 5); ("sqlite", 4) ];
+    boot_ns = None;
+    relative_request_cost = [ ("nginx", 1.35); ("redis", 1.2); ("sqlite", 1.15) ];
+    notes = "bare-metal host Linux 4.19, KPTI on";
+  }
+
+(* §5.3: 70-170% faster than the same app in a Linux VM. *)
+let linux_vm =
+  {
+    os_name = "linux-vm";
+    image_kb = [ ("hello", 52000); ("nginx", 53000); ("redis", 53600); ("sqlite", 53100) ];
+    (* Debian kernel + initrd + rootfs slice. *)
+    min_mem_mb = [ ("hello", 80); ("nginx", 96); ("redis", 112); ("sqlite", 96) ];
+    boot_ns = Some (ms 1600.0);
+    relative_request_cost = [ ("nginx", 2.4); ("redis", 1.9); ("sqlite", 1.5) ];
+    notes = "Debian guest, QEMU/KVM, virtio";
+  }
+
+(* §5.3: 30-80% faster than a Docker container. *)
+let docker =
+  {
+    os_name = "docker";
+    image_kb = [ ("hello", 5200); ("nginx", 22800); ("redis", 31500); ("sqlite", 24100) ];
+    min_mem_mb = [ ("hello", 6); ("nginx", 7); ("redis", 9); ("sqlite", 7) ];
+    boot_ns = Some (ms 650.0);
+    relative_request_cost = [ ("nginx", 1.65); ("redis", 1.4); ("sqlite", 1.2) ];
+    notes = "containerized on host Linux (bridge + veth + seccomp)";
+  }
+
+(* §5.3: Unikraft ~35% faster on Redis, ~25% on nginx; §5.1: OSv boots in
+   4-5 ms on Firecracker with a read-only filesystem. *)
+let osv =
+  {
+    os_name = "osv";
+    image_kb = [ ("hello", 6700); ("nginx", 8900); ("redis", 8100); ("sqlite", 7600) ];
+    min_mem_mb = [ ("hello", 35); ("nginx", 38); ("redis", 40); ("sqlite", 38) ];
+    boot_ns = Some (ms 4.5);
+    relative_request_cost = [ ("nginx", 1.25); ("redis", 1.35); ("sqlite", 1.25) ];
+    notes = "binary-compatible unikernel, monolithic kernel";
+  }
+
+(* §5.3: Rump performs poorly, unmaintained (couldn't raise file limits);
+   §5.1: 14-15 ms boot on Solo5. *)
+let rump =
+  {
+    os_name = "rump";
+    image_kb = [ ("hello", 9800); ("nginx", 12800); ("redis", 12100); ("sqlite", 11400) ];
+    min_mem_mb = [ ("hello", 64); ("nginx", 64); ("redis", 64); ("sqlite", 64) ];
+    boot_ns = Some (ms 14.5);
+    relative_request_cost = [ ("nginx", 2.8); ("redis", 2.8); ("sqlite", 1.6) ];
+    notes = "NetBSD anykernel; configuration limited by bitrot";
+  }
+
+(* §5.3: no nginx support; Redis unstable (no virtio, uHyve bottlenecks);
+   §5.1: 30-32 ms boot on uHyve. *)
+let hermitux =
+  {
+    os_name = "hermitux";
+    image_kb = [ ("hello", 3200); ("redis", 4900); ("sqlite", 4400) ];
+    min_mem_mb = [ ("hello", 16); ("redis", 18); ("sqlite", 16) ];
+    boot_ns = Some (ms 31.0);
+    relative_request_cost = [ ("redis", 3.2); ("sqlite", 1.4) ];
+    notes = "binary-compatible via syscall rewriting; uHyve VMM";
+  }
+
+(* §5.3: Unikraft ~50% faster on both apps (Lupine ported to QEMU/KVM);
+   §5.1: 70 ms boot on Firecracker with KML. *)
+let lupine =
+  {
+    os_name = "lupine";
+    image_kb = [ ("hello", 34000); ("nginx", 36000); ("redis", 35600); ("sqlite", 35100) ];
+    min_mem_mb = [ ("hello", 38); ("nginx", 40); ("redis", 42); ("sqlite", 40) ];
+    boot_ns = Some (ms 70.0);
+    relative_request_cost = [ ("nginx", 1.5); ("redis", 1.5); ("sqlite", 1.3) ];
+    notes = "specialized Linux + KML patches";
+  }
+
+let lupine_nokml =
+  {
+    lupine with
+    os_name = "lupine-nokml";
+    boot_ns = Some (ms 18.0);
+    relative_request_cost = [ ("nginx", 1.62); ("redis", 1.62); ("sqlite", 1.35) ];
+    notes = "specialized Linux without Kernel Mode Linux";
+  }
+
+(* §5.1: MirageOS boots in 1-2 ms on Solo5; §5.3/Fig 13: its HTTP-reply
+   server is well below the other systems. *)
+let mirageos =
+  {
+    os_name = "mirageos";
+    image_kb = [ ("hello", 1100); ("nginx", 1900) ];
+    (* "nginx" slot holds the Mirage HTTP-reply server of Fig 13. *)
+    min_mem_mb = [ ("hello", 10); ("nginx", 10) ];
+    boot_ns = Some (ms 1.5);
+    relative_request_cost = [ ("nginx", 3.0) ];
+    notes = "OCaml-only unikernel; HTTP-reply stands in for nginx";
+  }
+
+(* §5.1: Alpine Linux boots in ~330 ms on Firecracker. *)
+let alpine_fc =
+  {
+    os_name = "alpine-fc";
+    image_kb = [ ("hello", 28000); ("nginx", 30000); ("redis", 30800); ("sqlite", 29900) ];
+    min_mem_mb = [ ("hello", 48); ("nginx", 52); ("redis", 56); ("sqlite", 52) ];
+    boot_ns = Some (ms 330.0);
+    relative_request_cost = [ ("nginx", 2.6); ("redis", 2.2); ("sqlite", 1.5) ];
+    notes = "minimal Linux distribution on Firecracker";
+  }
+
+let all =
+  [ linux_native; linux_vm; docker; osv; rump; hermitux; lupine; lupine_nokml; mirageos;
+    alpine_fc ]
+
+let find name = List.find_opt (fun p -> String.equal p.os_name name) all
+let request_cost_factor t ~app = List.assoc_opt app t.relative_request_cost
+
+(* Firecracker's emulated virtio path costs throughput vs QEMU/KVM
+   (paper [24], §5.3). *)
+let firecracker_penalty = 0.82

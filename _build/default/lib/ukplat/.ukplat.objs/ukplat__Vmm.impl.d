@@ -1,0 +1,1 @@
+lib/ukplat/vmm.ml: List String Ukboot Uksim

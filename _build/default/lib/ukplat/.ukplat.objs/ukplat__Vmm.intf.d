@@ -1,0 +1,1 @@
+lib/ukplat/vmm.mli: Ukboot Uksim

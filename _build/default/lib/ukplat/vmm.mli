@@ -1,0 +1,49 @@
+(** Virtual machine monitor models (paper §5.1, Fig 10).
+
+    A VMM contributes (a) its own startup time — process creation, memory
+    setup, device model bring-up — which dominates total boot for tiny
+    guests, and (b) per-device guest-visible attach costs during early
+    boot. Startup times are the paper's measurements on the i7-9700K
+    testbed. *)
+
+type t = Qemu | Qemu_microvm | Firecracker | Solo5 | Xen | Linuxu
+
+val all : t list
+val name : t -> string
+val of_name : string -> t option
+
+val startup_ns : t -> float
+(** Time from VMM invocation to first guest instruction: QEMU ≈ 40 ms,
+    QEMU microVM ≈ 10 ms, Firecracker ≈ 3 ms, Solo5 ≈ 3 ms (Fig 10);
+    Xen's xl toolstack is far slower; linuxu is a process exec. *)
+
+val guest_early_init_ns : t -> float
+(** Platform bring-up inside the guest before constructors run (console,
+    interrupt controller, clock calibration). *)
+
+val nic_attach_ns : t -> float
+(** Extra guest boot time for one virtio NIC (feature negotiation, queue
+    setup) — the "one NIC" bars of Fig 10. *)
+
+val ninep_attach_ns : t -> float
+(** Extra guest boot time for the 9pfs device: 0.3 ms on KVM, 2.7 ms on
+    Xen (paper §5.2 / text2). *)
+
+type boot_breakdown = {
+  vmm : t;
+  vmm_startup_ns : float;
+  guest_ns : float;
+  total_ns : float;
+}
+
+val boot :
+  t ->
+  clock:Uksim.Clock.t ->
+  ?nics:int ->
+  ?with_9p:bool ->
+  inittab:Ukboot.Boot.Inittab.t ->
+  ?main:(unit -> unit) ->
+  unit ->
+  boot_breakdown * Ukboot.Boot.report
+(** Run a full boot: charge VMM startup, guest early init, device
+    attaches, then the image's constructor table (and [main]). *)

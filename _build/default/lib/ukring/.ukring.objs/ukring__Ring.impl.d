@@ -1,0 +1,1 @@
+lib/ukring/ring.ml: Array List Option

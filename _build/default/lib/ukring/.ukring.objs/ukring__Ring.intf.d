@@ -1,0 +1,1 @@
+lib/ukring/ring.mli:

@@ -1,0 +1,66 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  mutable head : int; (* next dequeue position (free-running) *)
+  mutable tail : int; (* next enqueue position (free-running) *)
+  mutable enq_total : int;
+  mutable drop_total : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  let cap = next_pow2 capacity in
+  { slots = Array.make cap None; mask = cap - 1; head = 0; tail = 0; enq_total = 0;
+    drop_total = 0 }
+
+let capacity t = t.mask + 1
+let length t = t.tail - t.head
+let is_empty t = t.head = t.tail
+let is_full t = length t = capacity t
+
+let enqueue t v =
+  if is_full t then begin
+    t.drop_total <- t.drop_total + 1;
+    false
+  end
+  else begin
+    t.slots.(t.tail land t.mask) <- Some v;
+    t.tail <- t.tail + 1;
+    t.enq_total <- t.enq_total + 1;
+    true
+  end
+
+let dequeue t =
+  if is_empty t then None
+  else begin
+    let i = t.head land t.mask in
+    let v = t.slots.(i) in
+    t.slots.(i) <- None;
+    t.head <- t.head + 1;
+    v
+  end
+
+let peek t = if is_empty t then None else t.slots.(t.head land t.mask)
+
+let enqueue_burst t items =
+  let room = capacity t - length t in
+  let n = min room (Array.length items) in
+  for i = 0 to n - 1 do
+    ignore (enqueue t items.(i))
+  done;
+  t.drop_total <- t.drop_total + (Array.length items - n);
+  n
+
+let dequeue_burst t ~max:max_n =
+  (* Explicit recursion: the dequeues must happen in order (List.init's
+     application order is unspecified). *)
+  let n = min max_n (length t) in
+  let rec take k acc = if k = 0 then List.rev acc else take (k - 1) (Option.get (dequeue t) :: acc) in
+  take n []
+
+let enqueued_total t = t.enq_total
+let dropped_total t = t.drop_total

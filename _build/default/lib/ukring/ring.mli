@@ -1,0 +1,35 @@
+(** uk_ring: bounded single-producer/single-consumer ring buffer — the
+    descriptor-ring shape under every virtio queue (FreeBSD's buf_ring,
+    which Unikraft's lib/ukring ports).
+
+    A power-of-two slot array indexed by free-running head/tail counters;
+    producer touches only [tail], consumer only [head], so in a real
+    kernel the two sides never contend on a lock. Burst variants mirror
+    the uknetdev/ukblock batch APIs. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Rounded up to a power of two; capacity must be positive. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+
+val enqueue : 'a t -> 'a -> bool
+(** [false] when full. *)
+
+val dequeue : 'a t -> 'a option
+
+val peek : 'a t -> 'a option
+
+val enqueue_burst : 'a t -> 'a array -> int
+(** As many as fit; returns the count accepted. *)
+
+val dequeue_burst : 'a t -> max:int -> 'a list
+(** In FIFO order. *)
+
+val enqueued_total : 'a t -> int
+val dropped_total : 'a t -> int
+(** Rejected enqueues (ring-full events). *)

@@ -1,0 +1,1 @@
+lib/uksched/sched.ml: Effect Hashtbl Queue Uksim

@@ -1,0 +1,1 @@
+lib/uksched/sched.mli: Uksim

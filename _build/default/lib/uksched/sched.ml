@@ -1,0 +1,213 @@
+type tid = int
+type kind = Cooperative | Preemptive | Null
+
+exception Deadlock of string list
+exception Thread_exit
+
+type _ Effect.t +=
+  | Yield : unit Effect.t
+  | Block : unit Effect.t
+  | Sleep : int -> unit Effect.t
+  | Self : tid Effect.t
+
+(* What a thread's fiber reports back to the trampoline when it stops. *)
+type outcome =
+  | Done
+  | Yielded of (unit, outcome) Effect.Deep.continuation
+  | Blocked_k of (unit, outcome) Effect.Deep.continuation
+  | Slept of int * (unit, outcome) Effect.Deep.continuation
+
+type tstate = Sready | Srunning | Sblocked | Sexited
+
+type thread = {
+  tid : tid;
+  tname : string;
+  daemon : bool;
+  mutable state : tstate;
+  mutable cont : (unit, outcome) Effect.Deep.continuation option;
+  mutable body : (unit -> unit) option; (* not yet started *)
+}
+
+type t = {
+  skind : kind;
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  slice : int; (* cycles; max_int when not preemptive *)
+  ready : thread Queue.t;
+  threads : (tid, thread) Hashtbl.t;
+  mutable next_tid : int;
+  mutable current : thread option;
+  mutable dispatch_at : int;
+  mutable switches : int;
+}
+
+let make skind ?(slice = max_int) ~clock ~engine () =
+  {
+    skind;
+    clock;
+    engine;
+    slice;
+    ready = Queue.create ();
+    threads = Hashtbl.create 16;
+    next_tid = 1;
+    current = None;
+    dispatch_at = 0;
+    switches = 0;
+  }
+
+let create_cooperative ~clock ~engine = make Cooperative ~clock ~engine ()
+
+let create_preemptive ~slice_cycles ~clock ~engine =
+  if slice_cycles <= 0 then invalid_arg "Sched.create_preemptive: slice must be positive";
+  make Preemptive ~slice:slice_cycles ~clock ~engine ()
+
+let create_null ~clock ~engine = make Null ~clock ~engine ()
+
+let kind t = t.skind
+
+let name t =
+  match t.skind with Cooperative -> "coop" | Preemptive -> "preempt" | Null -> "null"
+
+let yield () = Effect.perform Yield
+let self () = Effect.perform Self
+let block () = Effect.perform Block
+let sleep_ns ns = Effect.perform (Sleep (Uksim.Clock.cycles_of_ns ns))
+let exit_thread () = raise Thread_exit
+
+let handler th =
+  {
+    Effect.Deep.retc = (fun o -> o);
+    exnc = (function Thread_exit -> Done | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield ->
+            Some (fun (k : (a, outcome) Effect.Deep.continuation) -> Yielded k)
+        | Block -> Some (fun (k : (a, outcome) Effect.Deep.continuation) -> Blocked_k k)
+        | Sleep c ->
+            Some (fun (k : (a, outcome) Effect.Deep.continuation) -> Slept (c, k))
+        | Self ->
+            Some
+              (fun (k : (a, outcome) Effect.Deep.continuation) ->
+                Effect.Deep.continue k th.tid)
+        | _ -> None);
+  }
+
+(* The null "scheduler": run the body to completion inline. Yields are
+   no-ops, sleeps advance the clock synchronously, blocking is a
+   programming error in a run-to-completion unikernel. *)
+let null_handler t th =
+  {
+    Effect.Deep.retc = (fun () -> ());
+    exnc = (function Thread_exit -> () | e -> raise e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Yield -> Some (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k ())
+        | Block ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                ignore k;
+                raise (Deadlock [ th.tname ]))
+        | Sleep c ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) ->
+                Uksim.Engine.run ~until:(Uksim.Clock.cycles t.clock + c) t.engine;
+                Effect.Deep.continue k ())
+        | Self ->
+            Some
+              (fun (k : (a, unit) Effect.Deep.continuation) -> Effect.Deep.continue k th.tid)
+        | _ -> None);
+  }
+
+let spawn t ?name:(tname = "thread") ?(daemon = false) f =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th = { tid; tname; daemon; state = Sready; cont = None; body = Some f } in
+  Hashtbl.replace t.threads tid th;
+  (match t.skind with
+  | Null ->
+      th.state <- Srunning;
+      let saved = t.current in
+      t.current <- Some th;
+      Effect.Deep.match_with f () (null_handler t th);
+      th.state <- Sexited;
+      t.current <- saved
+  | Cooperative | Preemptive -> Queue.push th t.ready);
+  tid
+
+let wake t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th when th.state = Sblocked ->
+      th.state <- Sready;
+      Queue.push th t.ready
+  | Some _ | None -> ()
+
+let dispatch t th =
+  t.switches <- t.switches + 1;
+  Uksim.Clock.advance t.clock Uksim.Cost.context_switch;
+  th.state <- Srunning;
+  t.current <- Some th;
+  t.dispatch_at <- Uksim.Clock.cycles t.clock;
+  let out =
+    match th.body with
+    | Some f ->
+        th.body <- None;
+        Effect.Deep.match_with
+          (fun () ->
+            f ();
+            Done)
+          () (handler th)
+    | None -> (
+        match th.cont with
+        | Some k ->
+            th.cont <- None;
+            Effect.Deep.continue k ()
+        | None -> Done)
+  in
+  t.current <- None;
+  match out with
+  | Done -> th.state <- Sexited
+  | Yielded k ->
+      th.cont <- Some k;
+      th.state <- Sready;
+      Queue.push th t.ready
+  | Blocked_k k ->
+      th.cont <- Some k;
+      th.state <- Sblocked
+  | Slept (c, k) ->
+      th.cont <- Some k;
+      th.state <- Sblocked;
+      Uksim.Engine.after t.engine c (fun () -> wake t th.tid)
+
+let blocked_names t =
+  Hashtbl.fold
+    (fun _ th acc ->
+      if th.state = Sblocked && not th.daemon then th.tname :: acc else acc)
+    t.threads []
+
+let rec run t =
+  match Queue.take_opt t.ready with
+  | Some th ->
+      (* A thread can sit in the queue with a stale state (e.g. woken twice
+         before running); only dispatch genuinely ready ones. *)
+      if th.state = Sready then dispatch t th;
+      run t
+  | None ->
+      let blocked = blocked_names t in
+      if blocked <> [] then
+        if Uksim.Engine.step t.engine then run t else raise (Deadlock blocked)
+
+let checkpoint t =
+  match (t.skind, t.current) with
+  | Preemptive, Some _ ->
+      if Uksim.Clock.cycles t.clock - t.dispatch_at >= t.slice then yield ()
+  | (Preemptive | Cooperative | Null), _ -> ()
+
+let alive t =
+  Hashtbl.fold (fun _ th acc -> if th.state = Sexited then acc else acc + 1) t.threads 0
+
+let context_switches t = t.switches
+
+let thread_name t tid =
+  match Hashtbl.find_opt t.threads tid with Some th -> Some th.tname | None -> None

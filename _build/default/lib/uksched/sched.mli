@@ -1,0 +1,75 @@
+(** The uksched API (paper §3.3).
+
+    Scheduling in Unikraft is available but optional. This module provides
+    the scheduler interface plus three implementations:
+
+    - {!create_cooperative}: run-to-yield threads (the paper's default for
+      Redis-style single-threaded servers);
+    - {!create_preemptive}: round-robin with a virtual-time timeslice;
+      preemption points are the OS API entry points (see {!checkpoint});
+    - {!create_null}: no scheduler at all — [spawn] runs the function to
+      completion immediately (run-to-completion unikernels, §3.3).
+
+    Threads are OCaml effect-based fibers; the scheduler trampolines them so
+    arbitrarily many context switches use constant stack. All switches
+    charge {!Uksim.Cost.context_switch} to the scheduler's clock. *)
+
+type t
+type tid = int
+
+type kind = Cooperative | Preemptive | Null
+
+val create_cooperative : clock:Uksim.Clock.t -> engine:Uksim.Engine.t -> t
+val create_preemptive : slice_cycles:int -> clock:Uksim.Clock.t -> engine:Uksim.Engine.t -> t
+val create_null : clock:Uksim.Clock.t -> engine:Uksim.Engine.t -> t
+
+val kind : t -> kind
+val name : t -> string
+
+val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> tid
+(** Create a thread. Under the null scheduler the body runs to completion
+    before [spawn] returns. Otherwise it becomes runnable and will run on
+    {!run}. May also be called from inside a running thread. [daemon]
+    threads (default false) do not keep {!run} alive: when only daemons
+    remain blocked, [run] returns instead of raising [Deadlock]. *)
+
+val run : t -> unit
+(** Trampoline until no thread is runnable and no engine event can make one
+    runnable. Raises [Deadlock] if blocked non-daemon threads remain but no
+    event can wake them. *)
+
+exception Deadlock of string list
+(** Names of the stuck threads. *)
+
+(** {1 Callable from inside a thread} *)
+
+val yield : unit -> unit
+(** Give up the CPU; the thread stays runnable. Performs an effect — only
+    valid inside a thread of a running scheduler (no-op under null). *)
+
+val self : unit -> tid
+
+val block : unit -> unit
+(** Block until {!wake}. *)
+
+val sleep_ns : float -> unit
+(** Block for a span of virtual time. *)
+
+val exit_thread : unit -> 'a
+(** Terminate the current thread. *)
+
+(** {1 Callable from anywhere} *)
+
+val wake : t -> tid -> unit
+(** Make a blocked thread runnable; no-op if it is not blocked. *)
+
+val checkpoint : t -> unit
+(** Preemption point: under the preemptive scheduler, yields if the current
+    thread has exceeded its timeslice. OS APIs call this on entry. No-op
+    for other schedulers or outside threads. *)
+
+val alive : t -> int
+(** Threads not yet exited. *)
+
+val context_switches : t -> int
+val thread_name : t -> tid -> string option

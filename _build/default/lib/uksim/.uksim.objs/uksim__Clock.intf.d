@@ -1,0 +1,1 @@
+lib/uksim/clock.mli:

@@ -1,0 +1,1 @@
+lib/uksim/engine.ml: Clock Heapq

@@ -1,0 +1,1 @@
+lib/uksim/rng.mli:

@@ -1,0 +1,1 @@
+lib/uksim/stats.ml: Array List Printf Stdlib

@@ -1,0 +1,1 @@
+lib/uksim/stats.mli:

@@ -1,0 +1,22 @@
+type t = { mutable now : int }
+
+let ghz = 3.6
+
+let create () = { now = 0 }
+let cycles t = t.now
+let ns t = float_of_int t.now /. ghz
+
+let advance t c =
+  if c < 0 then invalid_arg "Clock.advance: negative cycles";
+  t.now <- t.now + c
+
+let cycles_of_ns ns = int_of_float (ceil (ns *. ghz))
+let ns_of_cycles c = float_of_int c /. ghz
+let advance_ns t x = advance t (cycles_of_ns x)
+let reset t = t.now <- 0
+
+type span = int
+
+let start t = t.now
+let elapsed_cycles t s = t.now - s
+let elapsed_ns t s = ns_of_cycles (t.now - s)

@@ -1,0 +1,38 @@
+(** Virtual time.
+
+    The simulator's base unit is the CPU cycle of the paper's testbed (an
+    Intel i7-9700K at 3.6 GHz). A clock is an explicit mutable value so
+    independent experiments can run isolated clocks. *)
+
+type t
+
+val ghz : float
+(** Simulated core frequency, 3.6 GHz as in the paper. *)
+
+val create : unit -> t
+(** A fresh clock at cycle 0. *)
+
+val cycles : t -> int
+(** Elapsed cycles since creation. *)
+
+val ns : t -> float
+(** Elapsed time in nanoseconds. *)
+
+val advance : t -> int -> unit
+(** [advance t c] spends [c] cycles. Negative [c] is an error. *)
+
+val advance_ns : t -> float -> unit
+(** Spend wall time expressed in nanoseconds (rounded to whole cycles). *)
+
+val cycles_of_ns : float -> int
+val ns_of_cycles : int -> float
+
+val reset : t -> unit
+(** Rewind to cycle 0. *)
+
+type span
+(** A measurement in progress. *)
+
+val start : t -> span
+val elapsed_cycles : t -> span -> int
+val elapsed_ns : t -> span -> float

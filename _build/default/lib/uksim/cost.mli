@@ -1,0 +1,52 @@
+(** Calibrated primitive costs, in cycles.
+
+    Anchored to the paper's own measurements on an Intel i7-9700K @ 3.6 GHz
+    (Table 1 and §5/§6 of the Unikraft paper). Everything else in the
+    simulator composes these primitives, so figure *shapes* follow from the
+    same mechanisms as on the testbed. *)
+
+val function_call : int
+(** A plain (shim) function call: 4 cycles / 1.11 ns (Table 1). *)
+
+val syscall_unikraft : int
+(** Unikraft run-time syscall translation: 84 cycles / 23.33 ns (Table 1). *)
+
+val syscall_linux : int
+(** Linux syscall with KPTI and other mitigations: 222 cycles (Table 1). *)
+
+val syscall_linux_nomitig : int
+(** Linux syscall without mitigations: 154 cycles (Table 1). *)
+
+val vm_exit : int
+(** A lightweight VM exit/entry round trip (e.g. virtio kick to vhost). *)
+
+val interrupt_delivery : int
+(** Virtual interrupt injection + guest handler entry. *)
+
+val context_switch : int
+(** Guest-internal thread context switch (register save/restore). *)
+
+val page_table_entry_write : int
+(** Writing and accounting one page-table entry during boot-time
+    population. *)
+
+val tlb_miss : int
+(** One 4-level page walk. *)
+
+val memcpy_per_byte : float
+(** Bulk copy cost per byte (cached, ~16 B/cycle). *)
+
+val memcpy : int -> int
+(** [memcpy n] is the cycle cost of copying [n] bytes (includes fixed
+    call overhead). *)
+
+val checksum_per_byte : float
+(** Internet checksum cost per byte. *)
+
+val checksum : int -> int
+
+val cache_miss : int
+(** Last-level cache miss / memory fetch. *)
+
+val cache_hit : int
+(** L1 hit. *)

@@ -1,0 +1,38 @@
+type t = { clock : Clock.t; queue : (unit -> unit) Heapq.t }
+
+let create clock = { clock; queue = Heapq.create () }
+let clock t = t.clock
+
+let at t cycle f =
+  if cycle < Clock.cycles t.clock then invalid_arg "Engine.at: event in the past";
+  Heapq.push t.queue cycle f
+
+let after t d f =
+  if d < 0 then invalid_arg "Engine.after: negative delay";
+  at t (Clock.cycles t.clock + d) f
+
+let after_ns t d = after t (Clock.cycles_of_ns d)
+let pending t = Heapq.length t.queue
+
+let step t =
+  match Heapq.pop t.queue with
+  | None -> false
+  | Some (cycle, f) ->
+      if cycle > Clock.cycles t.clock then
+        Clock.advance t.clock (cycle - Clock.cycles t.clock);
+      f ();
+      true
+
+let rec run ?until t =
+  match until with
+  | None -> if step t then run t
+  | Some limit -> (
+      match Heapq.peek t.queue with
+      | Some (cycle, _) when cycle <= limit ->
+          ignore (step t);
+          run ~until:limit t
+      | Some _ | None ->
+          if Clock.cycles t.clock < limit then
+            Clock.advance t.clock (limit - Clock.cycles t.clock))
+
+let run_for_ns t d = run ~until:(Clock.cycles t.clock + Clock.cycles_of_ns d) t

@@ -1,0 +1,33 @@
+(** Discrete-event execution engine.
+
+    Events are closures scheduled at absolute or relative cycle timestamps on
+    a shared {!Clock.t}. Running the engine pops events in time order,
+    advancing the clock to each event's timestamp before executing it. *)
+
+type t
+
+val create : Clock.t -> t
+val clock : t -> Clock.t
+
+val at : t -> int -> (unit -> unit) -> unit
+(** [at t cycle f] schedules [f] at absolute cycle [cycle]. Scheduling in the
+    past raises [Invalid_argument]. *)
+
+val after : t -> int -> (unit -> unit) -> unit
+(** [after t d f] schedules [f] [d >= 0] cycles from now. *)
+
+val after_ns : t -> float -> (unit -> unit) -> unit
+
+val pending : t -> int
+(** Number of scheduled, not-yet-run events. *)
+
+val step : t -> bool
+(** Run the next event, if any; [true] if one ran. *)
+
+val run : ?until:int -> t -> unit
+(** Drain the queue, or stop once the next event would be past cycle
+    [until] (that event stays queued and the clock advances to [until]). *)
+
+val run_for_ns : t -> float -> unit
+(** [run_for_ns t d] runs events for the next [d] nanoseconds of virtual
+    time. *)

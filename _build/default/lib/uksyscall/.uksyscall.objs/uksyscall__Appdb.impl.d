@@ -1,0 +1,1 @@
+lib/uksyscall/appdb.ml: Array Int List Printf Set Shim Sysno

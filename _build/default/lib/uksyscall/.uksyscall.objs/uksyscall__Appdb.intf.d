@@ -1,0 +1,1 @@
+lib/uksyscall/appdb.mli: Shim

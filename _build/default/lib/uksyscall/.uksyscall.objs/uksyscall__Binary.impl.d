@@ -1,0 +1,1 @@
+lib/uksyscall/binary.ml: Array Fs_errno List Printf Shim Ukdebug Uksim

@@ -1,0 +1,1 @@
+lib/uksyscall/binary.mli: Shim Ukdebug Uksim

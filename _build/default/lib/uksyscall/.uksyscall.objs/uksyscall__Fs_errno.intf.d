@@ -1,0 +1,1 @@
+lib/uksyscall/fs_errno.mli:

@@ -1,0 +1,1 @@
+lib/uksyscall/shim.ml: Array Fs_errno Hashtbl List Option Printf Sysno Uksim

@@ -1,0 +1,1 @@
+lib/uksyscall/shim.mli: Fs_errno Uksim

@@ -1,0 +1,1 @@
+lib/uksyscall/sysno.ml: Array Hashtbl Lazy List Printf Seq

@@ -1,0 +1,173 @@
+(* Encoded output of the paper's static+dynamic syscall analysis over the
+   30 most popular Debian server applications. Sets are expressed as the
+   common runtime core every ELF/glibc program touches, plus per-category
+   and per-application extras. *)
+
+let n = Sysno.number
+
+let nums names = List.filter_map n names
+
+(* Syscalls essentially every glibc-linked server touches at startup. *)
+let core =
+  nums
+    [ "read"; "write"; "open"; "close"; "fstat"; "lseek"; "mmap"; "mprotect"; "munmap"; "brk";
+      "rt_sigaction"; "rt_sigprocmask"; "ioctl"; "access"; "getpid"; "exit"; "uname"; "fcntl";
+      "getcwd"; "getuid"; "getgid"; "geteuid"; "getegid"; "arch_prctl"; "gettid"; "futex";
+      "set_tid_address"; "exit_group"; "clock_gettime"; "openat"; "newfstatat"; "getdents64";
+      "readlink"; "getrlimit"; "set_robust_list"; "prlimit64"; "getrandom_placeholder" ]
+
+(* "getrandom" is beyond sysno 313 on x86-64 (318); the heatmap range stops
+   at 313, so we drop the placeholder above. *)
+let core = List.filter (fun x -> x <= Sysno.max_sysno) core
+
+let net =
+  nums
+    [ "socket"; "connect"; "accept"; "accept4"; "bind"; "listen"; "sendto"; "recvfrom";
+      "sendmsg"; "recvmsg"; "shutdown"; "getsockname"; "getpeername"; "setsockopt";
+      "getsockopt"; "poll"; "select"; "epoll_create1"; "epoll_ctl"; "epoll_wait"; "pipe2" ]
+
+let storage =
+  nums
+    [ "pread64"; "pwrite64"; "fsync"; "fdatasync"; "ftruncate"; "rename"; "unlink"; "mkdir";
+      "stat"; "lstat"; "statfs"; "fallocate"; "flock"; "sync_file_range" ]
+
+let proc =
+  nums
+    [ "clone"; "fork"; "execve"; "wait4"; "kill"; "setsid"; "setuid"; "setgid"; "setgroups";
+      "chdir"; "umask"; "dup"; "dup2"; "dup3"; "pipe"; "prctl"; "sigaltstack"; "tgkill" ]
+
+let timers = nums [ "nanosleep"; "setitimer"; "alarm"; "timerfd_create"; "timerfd_settime"; "eventfd2" ]
+let shm = nums [ "shmget"; "shmat"; "shmctl"; "shmdt"; "semget"; "semop"; "semctl" ]
+let aio = nums [ "io_setup"; "io_submit"; "io_getevents"; "io_destroy" ]
+let inotify = nums [ "inotify_init1"; "inotify_add_watch"; "inotify_rm_watch" ]
+let xattr = nums [ "getxattr"; "setxattr"; "listxattr"; "removexattr"; "lgetxattr" ]
+let sched = nums [ "sched_yield"; "sched_getaffinity"; "sched_setaffinity"; "getcpu" ]
+
+let union lists =
+  List.sort_uniq compare (List.concat lists)
+
+(* (app, syscall set) — category composition + app-specific extras. *)
+let table =
+  [
+    ("apache2", union [ core; net; storage; proc; timers; shm; sched; nums [ "sendfile"; "writev"; "madvise" ] ]);
+    ("nginx", union [ core; net; storage; proc; timers; sched; nums [ "sendfile"; "writev"; "pwritev"; "madvise"; "recvmmsg" ] ]);
+    ("mysql-server", union [ core; net; storage; proc; timers; aio; sched; nums [ "readv"; "writev"; "madvise"; "mremap" ] ]);
+    ("postgresql", union [ core; net; storage; proc; timers; shm; sched; nums [ "readv"; "writev"; "sync"; "getrusage"; "setitimer" ] ]);
+    ("mongodb", union [ core; net; storage; proc; timers; aio; sched; nums [ "madvise"; "mremap"; "getrusage" ] ]);
+    ("redis-server", union [ core; net; storage; proc; timers; sched; nums [ "writev"; "madvise"; "getrusage" ] ]);
+    ("memcached", union [ core; net; proc; timers; sched; nums [ "writev"; "getrusage"; "sendmmsg" ] ]);
+    ("bind9", union [ core; net; storage; proc; timers; sched; nums [ "writev"; "sendmmsg"; "recvmmsg"; "getrusage" ] ]);
+    ("dnsmasq", union [ core; net; proc; timers; nums [ "recvmmsg" ] ]);
+    ("openssh-server", union [ core; net; storage; proc; timers; nums [ "chown"; "chmod"; "getgroups"; "setresuid"; "setresgid"; "getsid" ] ]);
+    ("vsftpd", union [ core; net; storage; proc; timers; nums [ "chown"; "chmod"; "chroot"; "sendfile"; "setresuid" ] ]);
+    ("postfix", union [ core; net; storage; proc; timers; nums [ "chown"; "chmod"; "link"; "utimes"; "setresuid"; "setresgid" ] ]);
+    ("exim4", union [ core; net; storage; proc; timers; nums [ "chown"; "link"; "utimes"; "getgroups" ] ]);
+    ("dovecot", union [ core; net; storage; proc; timers; inotify; nums [ "chown"; "link"; "writev"; "pwritev"; "preadv" ] ]);
+    ("squid", union [ core; net; storage; proc; timers; sched; nums [ "chown"; "writev"; "getrusage"; "madvise" ] ]);
+    ("haproxy", union [ core; net; proc; timers; sched; nums [ "writev"; "splice"; "sendfile"; "getrusage" ] ]);
+    ("varnish", union [ core; net; storage; proc; timers; shm; sched; nums [ "writev"; "madvise"; "mremap" ] ]);
+    ("node", union [ core; net; storage; proc; timers; inotify; sched; nums [ "writev"; "madvise"; "mremap"; "pipe" ] ]);
+    ("php-fpm", union [ core; net; storage; proc; timers; shm; nums [ "writev"; "chown"; "chmod"; "getrusage" ] ]);
+    ("lighttpd", union [ core; net; storage; proc; timers; nums [ "sendfile"; "writev"; "madvise" ] ]);
+    ("etcd", union [ core; net; storage; proc; timers; sched; nums [ "writev"; "madvise"; "mremap"; "sync" ] ]);
+    ("rabbitmq", union [ core; net; storage; proc; timers; sched; nums [ "writev"; "madvise"; "getrusage" ] ]);
+    ("influxdb", union [ core; net; storage; proc; timers; sched; nums [ "writev"; "madvise"; "mremap" ] ]);
+    ("sqlite3", union [ core; storage; nums [ "pread64"; "pwrite64"; "fdatasync" ] ]);
+    ("samba", union [ core; net; storage; proc; timers; shm; xattr; nums [ "chown"; "chmod"; "link"; "sendfile"; "writev" ] ]);
+    ("nfs-kernel-server", union [ core; net; storage; proc; timers; nums [ "mount"; "sync" ] ]);
+    ("rsync", union [ core; net; storage; proc; timers; xattr; nums [ "chown"; "chmod"; "link"; "utimes"; "mknod" ] ]);
+    ("cups", union [ core; net; storage; proc; timers; nums [ "chown"; "chmod"; "getgroups"; "writev" ] ]);
+    ("ntp", union [ core; net; proc; timers; nums [ "adjtimex"; "settimeofday"; "clock_settime"; "clock_adjtime" ] ]);
+    ("telegraf", union [ core; net; storage; proc; timers; sched; nums [ "writev"; "madvise" ] ]);
+  ]
+
+let apps = List.map fst table
+
+let required app =
+  match List.assoc_opt app table with
+  | Some l -> l
+  | None -> invalid_arg (Printf.sprintf "Appdb.required: unknown application %s" app)
+
+(* The 146 syscalls Unikraft implemented at paper time: the runtime core,
+   files, sockets, threads/futexes, timers — but no processes
+   (fork/execve/wait4), no epoll/eventfd (in progress then), no SysV IPC,
+   no AIO, no inotify, no xattrs. *)
+let unikraft_supported =
+  let extra =
+    nums
+      [ "stat"; "lstat"; "poll"; "select"; "pread64"; "pwrite64"; "readv"; "writev"; "pipe";
+        "pipe2"; "dup"; "dup2"; "dup3"; "sched_yield"; "madvise"; "nanosleep"; "getitimer";
+        "setitimer"; "alarm"; "sendfile"; "socket"; "connect"; "accept"; "accept4"; "sendto";
+        "recvfrom"; "sendmsg"; "recvmsg"; "shutdown"; "bind"; "listen"; "getsockname";
+        "getpeername"; "socketpair"; "setsockopt"; "getsockopt"; "fsync"; "fdatasync";
+        "truncate"; "ftruncate"; "getdents"; "chdir"; "fchdir"; "rename"; "mkdir"; "rmdir";
+        "link"; "unlink"; "symlink"; "chmod"; "fchmod"; "chown"; "fchown"; "umask";
+        "gettimeofday"; "getrusage"; "setuid"; "setgid";
+        "setpgid"; "getppid"; "getpgrp"; "setsid"; "setreuid"; "setregid"; "getgroups";
+        "setgroups"; "setresuid"; "getresuid"; "setresgid"; "getresgid";
+        "sigaltstack"; "statfs"; "fstatfs";
+        "getpriority"; "setpriority"; "prctl";
+        "setrlimit"; "sync"; "time"; "mremap";
+        "tkill"; "tgkill"; "utimes"; "utimensat"; "mkdirat"; "unlinkat";
+        "renameat"; "linkat"; "symlinkat"; "readlinkat"; "fchmodat"; "fchownat"; "faccessat";
+        "pselect6"; "ppoll"; "splice"; "preadv"; "pwritev"; "recvmmsg";
+        "sendmmsg"; "clock_settime"; "clock_getres"; "clock_nanosleep";
+        "fallocate"; "flock";
+        "kill"; "sched_getaffinity"; "sched_setaffinity"; "getcpu"; "settimeofday" ]
+  in
+  List.sort_uniq compare (core @ extra)
+
+let install_supported shim =
+  List.iter
+    (fun sysno -> if not (Shim.supports shim sysno) then Shim.register_stub shim ~sysno ~ret:0)
+    unikraft_supported
+
+module Iset = Set.Make (Int)
+
+let supported_set = Iset.of_list unikraft_supported
+
+type heat_cell = { sysno : int; sname : string; needed_by : int; supported : bool }
+
+let heatmap () =
+  let needs = Array.make (Sysno.max_sysno + 1) 0 in
+  List.iter (fun (_, reqs) -> List.iter (fun s -> needs.(s) <- needs.(s) + 1) reqs) table;
+  List.init (Sysno.max_sysno + 1) (fun i ->
+      { sysno = i; sname = Sysno.name i; needed_by = needs.(i); supported = Iset.mem i supported_set })
+
+type coverage = {
+  app : string;
+  n_required : int;
+  now : float;
+  plus5 : float;
+  plus10 : float;
+  plus15 : float;
+}
+
+let most_wanted_missing k =
+  let cells = heatmap () in
+  let missing =
+    List.filter (fun c -> (not c.supported) && c.needed_by > 0) cells
+    |> List.sort (fun a b -> compare (b.needed_by, a.sysno) (a.needed_by, b.sysno))
+  in
+  List.filteri (fun i _ -> i < k) missing |> List.map (fun c -> c.sysno)
+
+let coverage () =
+  let frac extra (_, reqs) =
+    let extra = Iset.of_list extra in
+    let supported =
+      List.length (List.filter (fun s -> Iset.mem s supported_set || Iset.mem s extra) reqs)
+    in
+    float_of_int supported /. float_of_int (List.length reqs)
+  in
+  List.map
+    (fun ((app, reqs) as row) ->
+      {
+        app;
+        n_required = List.length reqs;
+        now = frac [] row;
+        plus5 = frac (most_wanted_missing 5) row;
+        plus10 = frac (most_wanted_missing 10) row;
+        plus15 = frac (most_wanted_missing 15) row;
+      })
+    table
+  |> List.sort compare

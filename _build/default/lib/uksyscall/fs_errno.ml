@@ -1,0 +1,26 @@
+type t =
+  | Enosys
+  | Enoent
+  | Ebadf
+  | Einval
+  | Enomem
+  | Eagain
+  | Enotsup
+
+let to_code = function
+  | Enosys -> -38
+  | Enoent -> -2
+  | Ebadf -> -9
+  | Einval -> -22
+  | Enomem -> -12
+  | Eagain -> -11
+  | Enotsup -> -95
+
+let to_string = function
+  | Enosys -> "ENOSYS"
+  | Enoent -> "ENOENT"
+  | Ebadf -> "EBADF"
+  | Einval -> "EINVAL"
+  | Enomem -> "ENOMEM"
+  | Eagain -> "EAGAIN"
+  | Enotsup -> "ENOTSUP"

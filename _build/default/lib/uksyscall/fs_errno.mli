@@ -1,0 +1,15 @@
+(** Errno values crossing the syscall boundary. *)
+
+type t =
+  | Enosys
+  | Enoent
+  | Ebadf
+  | Einval
+  | Enomem
+  | Eagain
+  | Enotsup
+
+val to_code : t -> int
+(** Negative return-value encoding (e.g. ENOSYS = -38). *)
+
+val to_string : t -> string

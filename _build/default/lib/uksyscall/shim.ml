@@ -1,0 +1,69 @@
+type dispatch = Native_link | Binary_compat | Linux_vm | Linux_vm_nomitig
+
+let dispatch_cost = function
+  | Native_link -> Uksim.Cost.function_call
+  | Binary_compat -> Uksim.Cost.syscall_unikraft
+  | Linux_vm -> Uksim.Cost.syscall_linux
+  | Linux_vm_nomitig -> Uksim.Cost.syscall_linux_nomitig
+
+type handler = int array -> (int, Fs_errno.t) result
+
+and t = {
+  clock : Uksim.Clock.t;
+  dmode : dispatch;
+  table : handler option array;
+  enosys : (int, int) Hashtbl.t;
+  histogram : int array;
+  mutable tracer : (int -> unit) option;
+  mutable count : int;
+}
+
+let create ~clock ~mode =
+  { clock; dmode = mode; table = Array.make (Sysno.max_sysno + 1) None;
+    enosys = Hashtbl.create 16; histogram = Array.make (Sysno.max_sysno + 1) 0;
+    tracer = None; count = 0 }
+
+let mode t = t.dmode
+
+let register t ~sysno h =
+  if sysno < 0 || sysno > Sysno.max_sysno then invalid_arg "Shim.register: sysno out of range";
+  (match t.table.(sysno) with
+  | Some _ -> invalid_arg (Printf.sprintf "Shim.register: duplicate handler for %s" (Sysno.name sysno))
+  | None -> ());
+  t.table.(sysno) <- Some h
+
+let register_stub t ~sysno ~ret = register t ~sysno (fun _ -> Ok ret)
+
+let supports t n = n >= 0 && n <= Sysno.max_sysno && Option.is_some t.table.(n)
+let supported_count t =
+  Array.fold_left (fun acc h -> if Option.is_some h then acc + 1 else acc) 0 t.table
+
+let supported_set t =
+  let acc = ref [] in
+  Array.iteri (fun i h -> if Option.is_some h then acc := i :: !acc) t.table;
+  List.rev !acc
+
+let call t ~sysno args =
+  Uksim.Clock.advance t.clock (dispatch_cost t.dmode);
+  t.count <- t.count + 1;
+  (match t.tracer with Some f -> f sysno | None -> ());
+  if sysno >= 0 && sysno <= Sysno.max_sysno then
+    t.histogram.(sysno) <- t.histogram.(sysno) + 1;
+  if sysno < 0 || sysno > Sysno.max_sysno then Error Fs_errno.Enosys
+  else
+    match t.table.(sysno) with
+    | Some h -> h args
+    | None ->
+        (* The shim auto-stubs missing syscalls with ENOSYS (paper §4.1). *)
+        Hashtbl.replace t.enosys sysno
+          (1 + Option.value ~default:0 (Hashtbl.find_opt t.enosys sysno));
+        Error Fs_errno.Enosys
+
+let enosys_hits t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.enosys [] |> List.sort compare
+let calls_made t = t.count
+let set_tracer t f = t.tracer <- f
+
+let call_counts t =
+  let acc = ref [] in
+  Array.iteri (fun i n -> if n > 0 then acc := (i, n) :: !acc) t.histogram;
+  List.rev !acc

@@ -1,0 +1,57 @@
+(** The syscall shim micro-library (paper §4, Table 1).
+
+    Libraries register handlers per syscall number; the shim generates a
+    libc-level syscall interface. Dispatch cost depends on how the
+    application reached us:
+
+    - {!Native_link}: application objects linked against Unikraft — the
+      "syscall" is a plain function call (4 cycles, Table 1 bottom row);
+    - {!Binary_compat}: run-time syscall-instruction translation as in
+      OSv/HermiTux-style binary compatibility (84 cycles);
+    - {!Linux_vm} / {!Linux_vm_nomitig}: baseline Linux guest syscall cost
+      with/without KPTI and other mitigations (222 / 154 cycles) — used by
+      the ukos baseline models.
+
+    Unregistered syscalls return [ENOSYS] (the paper notes many
+    applications run fine with some syscalls stubbed this way). *)
+
+type dispatch = Native_link | Binary_compat | Linux_vm | Linux_vm_nomitig
+
+val dispatch_cost : dispatch -> int
+
+type handler = int array -> (int, Fs_errno.t) result
+(** Arguments are raw register values; result is the return value or an
+    errno. *)
+
+and t
+
+val create : clock:Uksim.Clock.t -> mode:dispatch -> t
+val mode : t -> dispatch
+
+val register : t -> sysno:int -> handler -> unit
+(** Raises [Invalid_argument] on out-of-range numbers or duplicates. *)
+
+val register_stub : t -> sysno:int -> ret:int -> unit
+(** Register a trivial stub returning [ret] (the paper's "quickly stubbed
+    in a unikernel context", e.g. getcpu -> 0). *)
+
+val supports : t -> int -> bool
+val supported_count : t -> int
+val supported_set : t -> int list
+
+val call : t -> sysno:int -> int array -> (int, Fs_errno.t) result
+(** Charges the dispatch cost, then runs the handler; unknown syscalls
+    charge the cost and return [Error Enosys]. *)
+
+val enosys_hits : t -> (int * int) list
+(** (sysno, count) of ENOSYS returns — which stubs the workload leans
+    on. *)
+
+val calls_made : t -> int
+
+val set_tracer : t -> (int -> unit) option -> unit
+(** strace-style hook invoked with each syscall number before dispatch —
+    the dynamic-analysis instrument behind the paper's Fig 5/7 study. *)
+
+val call_counts : t -> (int * int) list
+(** (sysno, calls) histogram across the shim's lifetime, sorted. *)

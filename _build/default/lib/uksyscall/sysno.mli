@@ -1,0 +1,9 @@
+(** The x86-64 Linux syscall numbering, 0 (read) .. 313 (finit_module) —
+    the range the paper's Fig 5 heatmap covers. *)
+
+val max_sysno : int
+val name : int -> string
+(** Raises [Invalid_argument] outside [0..max_sysno]. *)
+
+val number : string -> int option
+val all : (int * string) list

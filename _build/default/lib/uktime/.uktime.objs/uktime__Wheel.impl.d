@@ -1,0 +1,1 @@
+lib/uktime/wheel.ml: Array List

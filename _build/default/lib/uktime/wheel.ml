@@ -1,0 +1,128 @@
+(* Varghese-Lauck hashed hierarchical wheel: 4 levels x 256 slots.
+   Level 0 slots are one tick wide; level k slots cover 256^k ticks.
+   Cancellation is O(1) by marking; slots skip dead entries when they
+   fire or cascade. *)
+
+let slots_per_level = 256
+let levels = 4
+
+type state = Pending | Fired | Cancelled
+
+type timer = {
+  deadline_tick : int;
+  callback : unit -> unit;
+  mutable st : state;
+}
+
+type t = {
+  granularity : int;
+  mutable cur_tick : int;
+  wheel : timer list ref array array; (* level x slot, reversed insertion *)
+  mutable n_pending : int;
+  mutable n_fired : int;
+  mutable n_cascades : int;
+}
+
+let create ?(granularity = 256) ~now () =
+  if granularity <= 0 then invalid_arg "Wheel.create: granularity must be positive";
+  {
+    granularity;
+    cur_tick = now / granularity;
+    wheel = Array.init levels (fun _ -> Array.init slots_per_level (fun _ -> ref []));
+    n_pending = 0;
+    n_fired = 0;
+    n_cascades = 0;
+  }
+
+let span_of_level level =
+  (* ticks covered by one slot of [level] *)
+  let rec pow acc k = if k = 0 then acc else pow (acc * slots_per_level) (k - 1) in
+  pow 1 level
+
+(* Place a pending timer into the right slot for the current time. *)
+let place t (timer : timer) =
+  let delta = max 1 (timer.deadline_tick - t.cur_tick) in
+  let rec find_level level =
+    if level >= levels - 1 then levels - 1
+    else if delta < span_of_level (level + 1) then level
+    else find_level (level + 1)
+  in
+  let level = find_level 0 in
+  let span = span_of_level level in
+  let slot = timer.deadline_tick / span mod slots_per_level in
+  let cell = t.wheel.(level).(slot) in
+  cell := timer :: !cell
+
+let arm t ~deadline callback =
+  let deadline_tick = max (t.cur_tick + 1) (deadline / t.granularity) in
+  let timer = { deadline_tick; callback; st = Pending } in
+  place t timer;
+  t.n_pending <- t.n_pending + 1;
+  timer
+
+let cancel t timer =
+  match timer.st with
+  | Pending ->
+      timer.st <- Cancelled;
+      t.n_pending <- t.n_pending - 1;
+      true
+  | Fired | Cancelled -> false
+
+(* Fire or re-place every live timer in a level-0 slot that is due. *)
+let fire_slot t slot =
+  let cell = t.wheel.(0).(slot) in
+  let entries = List.rev !cell in
+  cell := [];
+  List.iter
+    (fun timer ->
+      match timer.st with
+      | Cancelled | Fired -> ()
+      | Pending ->
+          if timer.deadline_tick <= t.cur_tick then begin
+            timer.st <- Fired;
+            t.n_pending <- t.n_pending - 1;
+            t.n_fired <- t.n_fired + 1;
+            timer.callback ()
+          end
+          else
+            (* Same slot index, later lap: goes around again. *)
+            place t timer)
+    entries
+
+(* Pull a higher-level slot's timers down into finer wheels. *)
+let cascade t level slot =
+  let cell = t.wheel.(level).(slot) in
+  let entries = !cell in
+  cell := [];
+  List.iter
+    (fun timer ->
+      match timer.st with
+      | Cancelled | Fired -> ()
+      | Pending ->
+          t.n_cascades <- t.n_cascades + 1;
+          place t timer)
+    entries
+
+let tick t =
+  t.cur_tick <- t.cur_tick + 1;
+  (* Cascade on wrap boundaries, highest level first so timers settle. *)
+  for level = levels - 1 downto 1 do
+    let span = span_of_level level in
+    if t.cur_tick mod span = 0 then cascade t level (t.cur_tick / span mod slots_per_level)
+  done;
+  fire_slot t (t.cur_tick mod slots_per_level)
+
+let advance t ~now =
+  let target = now / t.granularity in
+  if target < t.cur_tick then invalid_arg "Wheel.advance: time went backwards";
+  let before = t.n_fired in
+  if t.n_pending = 0 then t.cur_tick <- target
+  else
+    while t.cur_tick < target do
+      if t.n_pending = 0 then t.cur_tick <- target else tick t
+    done;
+  t.n_fired - before
+
+let pending t = t.n_pending
+let fired t = t.n_fired
+let cascades t = t.n_cascades

@@ -1,0 +1,1 @@
+lib/ukvfs/fs.mli:

@@ -1,0 +1,1 @@
+lib/ukvfs/ninep.ml: Buffer Bytes Char List Printf String

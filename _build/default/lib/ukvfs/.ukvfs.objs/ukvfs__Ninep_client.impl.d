@@ -1,0 +1,1 @@
+lib/ukvfs/ninep_client.ml: Buffer Bytes Fs Hashtbl List Ninep Ninep_server String Uksim

@@ -1,0 +1,1 @@
+lib/ukvfs/ninep_client.mli: Fs Ninep Ninep_server Uksim

@@ -1,0 +1,1 @@
+lib/ukvfs/ninep_server.ml: Bytes Fs Hashtbl List Ninep String

@@ -1,0 +1,1 @@
+lib/ukvfs/ninep_server.mli: Fs

@@ -1,0 +1,1 @@
+lib/ukvfs/ramfs.ml: Buffer Bytes Fs Hashtbl List Uksim

@@ -1,0 +1,1 @@
+lib/ukvfs/ramfs.mli: Fs Uksim

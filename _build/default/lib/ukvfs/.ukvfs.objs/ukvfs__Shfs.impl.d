@@ -1,0 +1,1 @@
+lib/ukvfs/shfs.ml: Array Bytes Char Fs Hashtbl List String Uksim

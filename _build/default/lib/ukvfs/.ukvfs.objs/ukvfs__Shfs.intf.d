@@ -1,0 +1,1 @@
+lib/ukvfs/shfs.mli: Fs Uksim

@@ -1,0 +1,1 @@
+lib/ukvfs/vfs.ml: Bytes Fs Hashtbl List String Uksim

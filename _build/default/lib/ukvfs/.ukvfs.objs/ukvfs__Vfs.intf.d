@@ -1,0 +1,1 @@
+lib/ukvfs/vfs.mli: Fs Uksim

@@ -1,0 +1,56 @@
+type errno =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Ebadf
+  | Enospc
+  | Einval
+  | Eio
+  | Enosys
+
+let errno_to_string = function
+  | Enoent -> "ENOENT"
+  | Eexist -> "EEXIST"
+  | Enotdir -> "ENOTDIR"
+  | Eisdir -> "EISDIR"
+  | Ebadf -> "EBADF"
+  | Enospc -> "ENOSPC"
+  | Einval -> "EINVAL"
+  | Eio -> "EIO"
+  | Enosys -> "ENOSYS"
+
+type filetype = Regular | Directory
+
+type stat = { size : int; ftype : filetype }
+
+type handle = int
+
+type t = {
+  fsname : string;
+  open_file : string -> create:bool -> (handle, errno) result;
+  read : handle -> off:int -> len:int -> (bytes, errno) result;
+  write : handle -> off:int -> bytes -> (int, errno) result;
+  close : handle -> unit;
+  stat : string -> (stat, errno) result;
+  mkdir : string -> (unit, errno) result;
+  unlink : string -> (unit, errno) result;
+  readdir : string -> (string list, errno) result;
+  fsync : handle -> (unit, errno) result;
+}
+
+let split_path p = List.filter (fun c -> c <> "") (String.split_on_char '/' p)
+
+let not_supported fsname =
+  {
+    fsname;
+    open_file = (fun _ ~create:_ -> Error Enosys);
+    read = (fun _ ~off:_ ~len:_ -> Error Enosys);
+    write = (fun _ ~off:_ _ -> Error Enosys);
+    close = (fun _ -> ());
+    stat = (fun _ -> Error Enosys);
+    mkdir = (fun _ -> Error Enosys);
+    unlink = (fun _ -> Error Enosys);
+    readdir = (fun _ -> Error Enosys);
+    fsync = (fun _ -> Error Enosys);
+  }

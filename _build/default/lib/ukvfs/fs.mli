@@ -1,0 +1,45 @@
+(** Filesystem provider interface consumed by vfscore.
+
+    A filesystem is a record of operations (the OCaml rendering of
+    Unikraft's vnode ops), addressed by paths relative to its mount point
+    ("/" = the filesystem root, components separated by '/'). *)
+
+type errno =
+  | Enoent
+  | Eexist
+  | Enotdir
+  | Eisdir
+  | Ebadf
+  | Enospc
+  | Einval
+  | Eio
+  | Enosys
+
+val errno_to_string : errno -> string
+
+type filetype = Regular | Directory
+
+type stat = { size : int; ftype : filetype }
+
+type handle = int
+
+type t = {
+  fsname : string;
+  open_file : string -> create:bool -> (handle, errno) result;
+  read : handle -> off:int -> len:int -> (bytes, errno) result;
+      (** Short reads at EOF; empty at/after EOF. *)
+  write : handle -> off:int -> bytes -> (int, errno) result;
+  close : handle -> unit;
+  stat : string -> (stat, errno) result;
+  mkdir : string -> (unit, errno) result;
+  unlink : string -> (unit, errno) result;
+  readdir : string -> (string list, errno) result;
+  fsync : handle -> (unit, errno) result;
+}
+
+val split_path : string -> string list
+(** "/a/b//c" -> ["a"; "b"; "c"]. *)
+
+val not_supported : string -> t
+(** A provider whose every operation fails with [Enosys] — a base to
+    derive partial filesystems from. *)

@@ -1,0 +1,287 @@
+type qid = { qtype : int; version : int; path : int }
+
+let qid_file path = { qtype = 0x00; version = 0; path }
+let qid_dir path = { qtype = 0x80; version = 0; path }
+
+type msg =
+  | Tversion of { msize : int; version : string }
+  | Rversion of { msize : int; version : string }
+  | Tattach of { fid : int; uname : string; aname : string }
+  | Rattach of qid
+  | Twalk of { fid : int; newfid : int; wnames : string list }
+  | Rwalk of qid list
+  | Topen of { fid : int; mode : int }
+  | Ropen of { q : qid; iounit : int }
+  | Tcreate of { fid : int; name : string; perm : int; mode : int }
+  | Rcreate of { q : qid; iounit : int }
+  | Tread of { fid : int; offset : int; count : int }
+  | Rread of bytes
+  | Twrite of { fid : int; offset : int; data : bytes }
+  | Rwrite of int
+  | Tclunk of int
+  | Rclunk
+  | Tremove of int
+  | Rremove
+  | Tstat of int
+  | Rstat of { name : string; length : int; is_dir : bool }
+  | Rerror of string
+
+type tagged = { tag : int; body : msg }
+
+let type_code = function
+  | Tversion _ -> 100
+  | Rversion _ -> 101
+  | Tattach _ -> 104
+  | Rattach _ -> 105
+  | Rerror _ -> 107
+  | Twalk _ -> 110
+  | Rwalk _ -> 111
+  | Topen _ -> 112
+  | Ropen _ -> 113
+  | Tcreate _ -> 114
+  | Rcreate _ -> 115
+  | Tread _ -> 116
+  | Rread _ -> 117
+  | Twrite _ -> 118
+  | Rwrite _ -> 119
+  | Tclunk _ -> 120
+  | Rclunk -> 121
+  | Tremove _ -> 122
+  | Rremove -> 123
+  | Tstat _ -> 124
+  | Rstat _ -> 125
+
+let msg_name m =
+  match m with
+  | Tversion _ -> "Tversion"
+  | Rversion _ -> "Rversion"
+  | Tattach _ -> "Tattach"
+  | Rattach _ -> "Rattach"
+  | Rerror _ -> "Rerror"
+  | Twalk _ -> "Twalk"
+  | Rwalk _ -> "Rwalk"
+  | Topen _ -> "Topen"
+  | Ropen _ -> "Ropen"
+  | Tcreate _ -> "Tcreate"
+  | Rcreate _ -> "Rcreate"
+  | Tread _ -> "Tread"
+  | Rread _ -> "Rread"
+  | Twrite _ -> "Twrite"
+  | Rwrite _ -> "Rwrite"
+  | Tclunk _ -> "Tclunk"
+  | Rclunk -> "Rclunk"
+  | Tremove _ -> "Tremove"
+  | Rremove -> "Rremove"
+  | Tstat _ -> "Tstat"
+  | Rstat _ -> "Rstat"
+
+(* --- little-endian writer/reader ---------------------------------------- *)
+
+module Wr = struct
+  let u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+  let u16 buf v =
+    u8 buf v;
+    u8 buf (v lsr 8)
+
+  let u32 buf v =
+    u16 buf v;
+    u16 buf (v lsr 16)
+
+  let u64 buf v =
+    u32 buf v;
+    u32 buf (v lsr 32)
+
+  let str buf s =
+    u16 buf (String.length s);
+    Buffer.add_string buf s
+
+  let data buf b =
+    u32 buf (Bytes.length b);
+    Buffer.add_bytes buf b
+
+  let qid buf (q : qid) =
+    u8 buf q.qtype;
+    u32 buf q.version;
+    u64 buf q.path
+end
+
+module Rd = struct
+  type cursor = { b : bytes; mutable pos : int }
+
+  exception Truncated
+
+  let check c n = if c.pos + n > Bytes.length c.b then raise Truncated
+
+  let u8 c =
+    check c 1;
+    let v = Char.code (Bytes.get c.b c.pos) in
+    c.pos <- c.pos + 1;
+    v
+
+  let u16 c =
+    let lo = u8 c in
+    lo lor (u8 c lsl 8)
+
+  let u32 c =
+    let lo = u16 c in
+    lo lor (u16 c lsl 16)
+
+  let u64 c =
+    let lo = u32 c in
+    lo lor (u32 c lsl 32)
+
+  let str c =
+    let n = u16 c in
+    check c n;
+    let s = Bytes.sub_string c.b c.pos n in
+    c.pos <- c.pos + n;
+    s
+
+  let data c =
+    let n = u32 c in
+    check c n;
+    let b = Bytes.sub c.b c.pos n in
+    c.pos <- c.pos + n;
+    b
+
+  let qid c =
+    let qtype = u8 c in
+    let version = u32 c in
+    let path = u64 c in
+    { qtype; version; path }
+end
+
+let encode { tag; body } =
+  let buf = Buffer.create 64 in
+  Wr.u32 buf 0 (* size patched below *);
+  Wr.u8 buf (type_code body);
+  Wr.u16 buf tag;
+  (match body with
+  | Tversion { msize; version } | Rversion { msize; version } ->
+      Wr.u32 buf msize;
+      Wr.str buf version
+  | Tattach { fid; uname; aname } ->
+      Wr.u32 buf fid;
+      Wr.str buf uname;
+      Wr.str buf aname
+  | Rattach q -> Wr.qid buf q
+  | Twalk { fid; newfid; wnames } ->
+      Wr.u32 buf fid;
+      Wr.u32 buf newfid;
+      Wr.u16 buf (List.length wnames);
+      List.iter (Wr.str buf) wnames
+  | Rwalk qids ->
+      Wr.u16 buf (List.length qids);
+      List.iter (Wr.qid buf) qids
+  | Topen { fid; mode } ->
+      Wr.u32 buf fid;
+      Wr.u8 buf mode
+  | Ropen { q; iounit } | Rcreate { q; iounit } ->
+      Wr.qid buf q;
+      Wr.u32 buf iounit
+  | Tcreate { fid; name; perm; mode } ->
+      Wr.u32 buf fid;
+      Wr.str buf name;
+      Wr.u32 buf perm;
+      Wr.u8 buf mode
+  | Tread { fid; offset; count } ->
+      Wr.u32 buf fid;
+      Wr.u64 buf offset;
+      Wr.u32 buf count
+  | Rread b -> Wr.data buf b
+  | Twrite { fid; offset; data } ->
+      Wr.u32 buf fid;
+      Wr.u64 buf offset;
+      Wr.data buf data
+  | Rwrite n -> Wr.u32 buf n
+  | Tclunk fid | Tremove fid | Tstat fid -> Wr.u32 buf fid
+  | Rclunk | Rremove -> ()
+  | Rstat { name; length; is_dir } ->
+      Wr.str buf name;
+      Wr.u64 buf length;
+      Wr.u8 buf (if is_dir then 1 else 0)
+  | Rerror e -> Wr.str buf e);
+  let out = Buffer.to_bytes buf in
+  (* Patch the size field (little-endian). *)
+  let size = Bytes.length out in
+  Bytes.set out 0 (Char.chr (size land 0xff));
+  Bytes.set out 1 (Char.chr ((size lsr 8) land 0xff));
+  Bytes.set out 2 (Char.chr ((size lsr 16) land 0xff));
+  Bytes.set out 3 (Char.chr ((size lsr 24) land 0xff));
+  out
+
+(* Sequential n-element read ([List.init]'s application order is
+   unspecified, which would scramble the cursor). *)
+let rec read_n n f = if n <= 0 then [] else let x = f () in x :: read_n (n - 1) f
+
+let decode b =
+  let c = { Rd.b; pos = 0 } in
+  match
+    let size = Rd.u32 c in
+    if size <> Bytes.length b then Error "ninep: size mismatch"
+    else begin
+      let ty = Rd.u8 c in
+      let tag = Rd.u16 c in
+      let body =
+        match ty with
+        | 100 ->
+            let msize = Rd.u32 c in
+            Ok (Tversion { msize; version = Rd.str c })
+        | 101 ->
+            let msize = Rd.u32 c in
+            Ok (Rversion { msize; version = Rd.str c })
+        | 104 ->
+            let fid = Rd.u32 c in
+            let uname = Rd.str c in
+            Ok (Tattach { fid; uname; aname = Rd.str c })
+        | 105 -> Ok (Rattach (Rd.qid c))
+        | 107 -> Ok (Rerror (Rd.str c))
+        | 110 ->
+            let fid = Rd.u32 c in
+            let newfid = Rd.u32 c in
+            let n = Rd.u16 c in
+            Ok (Twalk { fid; newfid; wnames = read_n n (fun () -> Rd.str c) })
+        | 111 ->
+            let n = Rd.u16 c in
+            Ok (Rwalk (read_n n (fun () -> Rd.qid c)))
+        | 112 ->
+            let fid = Rd.u32 c in
+            Ok (Topen { fid; mode = Rd.u8 c })
+        | 113 ->
+            let q = Rd.qid c in
+            Ok (Ropen { q; iounit = Rd.u32 c })
+        | 114 ->
+            let fid = Rd.u32 c in
+            let name = Rd.str c in
+            let perm = Rd.u32 c in
+            Ok (Tcreate { fid; name; perm; mode = Rd.u8 c })
+        | 115 ->
+            let q = Rd.qid c in
+            Ok (Rcreate { q; iounit = Rd.u32 c })
+        | 116 ->
+            let fid = Rd.u32 c in
+            let offset = Rd.u64 c in
+            Ok (Tread { fid; offset; count = Rd.u32 c })
+        | 117 -> Ok (Rread (Rd.data c))
+        | 118 ->
+            let fid = Rd.u32 c in
+            let offset = Rd.u64 c in
+            Ok (Twrite { fid; offset; data = Rd.data c })
+        | 119 -> Ok (Rwrite (Rd.u32 c))
+        | 120 -> Ok (Tclunk (Rd.u32 c))
+        | 121 -> Ok Rclunk
+        | 122 -> Ok (Tremove (Rd.u32 c))
+        | 123 -> Ok Rremove
+        | 124 -> Ok (Tstat (Rd.u32 c))
+        | 125 ->
+            let name = Rd.str c in
+            let length = Rd.u64 c in
+            Ok (Rstat { name; length; is_dir = Rd.u8 c = 1 })
+        | n -> Error (Printf.sprintf "ninep: unknown message type %d" n)
+      in
+      match body with Ok m -> Ok { tag; body = m } | Error e -> Error e
+    end
+  with
+  | result -> result
+  | exception Rd.Truncated -> Error "ninep: truncated message"

@@ -1,0 +1,42 @@
+(** 9P2000 protocol subset (paper §5.2): message types and wire codec.
+
+    Little-endian framing per the Plan 9 manual: size[4] type[1] tag[2]
+    body. We implement the message set Unikraft's 9pfs actually uses
+    (version/attach/walk/open/create/read/write/clunk/remove/stat), with
+    one documented simplification: Rstat carries (name, length, directory
+    flag) rather than the full 9P stat structure, and directory reads
+    return newline-separated names. *)
+
+type qid = { qtype : int; version : int; path : int }
+
+val qid_file : int -> qid
+val qid_dir : int -> qid
+
+type msg =
+  | Tversion of { msize : int; version : string }
+  | Rversion of { msize : int; version : string }
+  | Tattach of { fid : int; uname : string; aname : string }
+  | Rattach of qid
+  | Twalk of { fid : int; newfid : int; wnames : string list }
+  | Rwalk of qid list
+  | Topen of { fid : int; mode : int }
+  | Ropen of { q : qid; iounit : int }
+  | Tcreate of { fid : int; name : string; perm : int; mode : int }
+  | Rcreate of { q : qid; iounit : int }
+  | Tread of { fid : int; offset : int; count : int }
+  | Rread of bytes
+  | Twrite of { fid : int; offset : int; data : bytes }
+  | Rwrite of int
+  | Tclunk of int
+  | Rclunk
+  | Tremove of int
+  | Rremove
+  | Tstat of int
+  | Rstat of { name : string; length : int; is_dir : bool }
+  | Rerror of string
+
+type tagged = { tag : int; body : msg }
+
+val encode : tagged -> bytes
+val decode : bytes -> (tagged, string) result
+val msg_name : msg -> string

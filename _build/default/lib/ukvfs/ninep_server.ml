@@ -1,0 +1,140 @@
+let msize = 65536
+let iounit = 8192
+
+type fid_state = { path : string; mutable handle : Fs.handle option }
+
+type t = {
+  backing : Fs.t;
+  fids : (int, fid_state) Hashtbl.t;
+  mutable next_qid : int;
+}
+
+let create ~backing = { backing; fids = Hashtbl.create 32; next_qid = 1 }
+
+let fresh_qid t is_dir =
+  let q = t.next_qid in
+  t.next_qid <- q + 1;
+  if is_dir then Ninep.qid_dir q else Ninep.qid_file q
+
+let errno_msg e = Ninep.Rerror (Fs.errno_to_string e)
+
+let join_path base name = if base = "/" then "/" ^ name else base ^ "/" ^ name
+
+let dir_listing t path =
+  match t.backing.Fs.readdir path with
+  | Ok names -> Ok (Bytes.of_string (String.concat "\n" names))
+  | Error e -> Error e
+
+let process t (m : Ninep.msg) : Ninep.msg =
+  match m with
+  | Ninep.Tversion { msize = client_msize; version } ->
+      if version <> "9P2000" then Ninep.Rerror "unsupported version"
+      else Ninep.Rversion { msize = min msize client_msize; version = "9P2000" }
+  | Tattach { fid; _ } ->
+      Hashtbl.replace t.fids fid { path = "/"; handle = None };
+      Rattach (fresh_qid t true)
+  | Twalk { fid; newfid; wnames } -> (
+      match Hashtbl.find_opt t.fids fid with
+      | None -> Rerror "unknown fid"
+      | Some st ->
+          let rec walk path acc = function
+            | [] -> Ok (path, List.rev acc)
+            | name :: rest -> (
+                let next = join_path path name in
+                match t.backing.Fs.stat next with
+                | Ok { Fs.ftype = Fs.Directory; _ } -> walk next (fresh_qid t true :: acc) rest
+                | Ok { Fs.ftype = Fs.Regular; _ } when rest = [] ->
+                    Ok (next, List.rev (fresh_qid t false :: acc))
+                | Ok _ -> Error Fs.Enotdir
+                | Error e -> Error e)
+          in
+          (match walk st.path [] wnames with
+          | Ok (path, qids) ->
+              Hashtbl.replace t.fids newfid { path; handle = None };
+              Rwalk qids
+          | Error e -> errno_msg e))
+  | Topen { fid; mode = _ } -> (
+      match Hashtbl.find_opt t.fids fid with
+      | None -> Rerror "unknown fid"
+      | Some st -> (
+          match t.backing.Fs.stat st.path with
+          | Ok { Fs.ftype = Fs.Directory; _ } -> Ropen { q = fresh_qid t true; iounit }
+          | Ok { Fs.ftype = Fs.Regular; _ } -> (
+              match t.backing.Fs.open_file st.path ~create:false with
+              | Ok h ->
+                  st.handle <- Some h;
+                  Ropen { q = fresh_qid t false; iounit }
+              | Error e -> errno_msg e)
+          | Error e -> errno_msg e))
+  | Tcreate { fid; name; perm = _; mode = _ } -> (
+      match Hashtbl.find_opt t.fids fid with
+      | None -> Rerror "unknown fid"
+      | Some st -> (
+          let path = join_path st.path name in
+          match t.backing.Fs.open_file path ~create:true with
+          | Ok h ->
+              Hashtbl.replace t.fids fid { path; handle = Some h };
+              Rcreate { q = fresh_qid t false; iounit }
+          | Error e -> errno_msg e))
+  | Tread { fid; offset; count } -> (
+      match Hashtbl.find_opt t.fids fid with
+      | None -> Rerror "unknown fid"
+      | Some st -> (
+          let count = min count iounit in
+          match st.handle with
+          | Some h -> (
+              match t.backing.Fs.read h ~off:offset ~len:count with
+              | Ok data -> Rread data
+              | Error e -> errno_msg e)
+          | None -> (
+              (* Directory read: our simplified listing format. *)
+              match dir_listing t st.path with
+              | Ok all ->
+                  let len = Bytes.length all in
+                  if offset >= len then Rread Bytes.empty
+                  else Rread (Bytes.sub all offset (min count (len - offset)))
+              | Error e -> errno_msg e)))
+  | Twrite { fid; offset; data } -> (
+      match Hashtbl.find_opt t.fids fid with
+      | None -> Rerror "unknown fid"
+      | Some { handle = Some h; _ } -> (
+          let data =
+            if Bytes.length data > iounit then Bytes.sub data 0 iounit else data
+          in
+          match t.backing.Fs.write h ~off:offset data with
+          | Ok n -> Rwrite n
+          | Error e -> errno_msg e)
+      | Some { handle = None; _ } -> Rerror "not open for writing")
+  | Tclunk fid ->
+      (match Hashtbl.find_opt t.fids fid with
+      | Some { handle = Some h; _ } -> t.backing.Fs.close h
+      | Some { handle = None; _ } | None -> ());
+      Hashtbl.remove t.fids fid;
+      Rclunk
+  | Tremove fid -> (
+      match Hashtbl.find_opt t.fids fid with
+      | None -> Rerror "unknown fid"
+      | Some st ->
+          Hashtbl.remove t.fids fid;
+          (match t.backing.Fs.unlink st.path with Ok () -> Rremove | Error e -> errno_msg e))
+  | Tstat fid -> (
+      match Hashtbl.find_opt t.fids fid with
+      | None -> Rerror "unknown fid"
+      | Some st -> (
+          match t.backing.Fs.stat st.path with
+          | Ok { Fs.size; ftype } ->
+              Rstat
+                {
+                  name = (match List.rev (Fs.split_path st.path) with n :: _ -> n | [] -> "/");
+                  length = size;
+                  is_dir = ftype = Fs.Directory;
+                }
+          | Error e -> errno_msg e))
+  | Rversion _ | Rattach _ | Rwalk _ | Ropen _ | Rcreate _ | Rread _ | Rwrite _ | Rclunk
+  | Rremove | Rstat _ | Rerror _ ->
+      Rerror "unexpected R-message"
+
+let handle t raw =
+  match Ninep.decode raw with
+  | Error e -> Ninep.encode { tag = 0xffff; body = Ninep.Rerror e }
+  | Ok { tag; body } -> Ninep.encode { tag; body = process t body }

@@ -1,0 +1,161 @@
+type node = Dir of (string, node) Hashtbl.t | File of Buffer.t
+
+type state = {
+  clock : Uksim.Clock.t;
+  root : (string, node) Hashtbl.t;
+  handles : (int, Buffer.t) Hashtbl.t;
+  mutable next_handle : int;
+  mutable used : int;
+  capacity : int;
+}
+
+let op_cost = 90 (* hashtable hop per component, memory-speed *)
+
+let charge t c = Uksim.Clock.advance t.clock c
+
+(* Walk to the parent dir of [path]; returns (dir table, basename). *)
+let walk_parent t path =
+  let rec go dir = function
+    | [] -> Error Fs.Einval
+    | [ base ] -> Ok (dir, base)
+    | comp :: rest -> (
+        charge t op_cost;
+        match Hashtbl.find_opt dir comp with
+        | Some (Dir d) -> go d rest
+        | Some (File _) -> Error Fs.Enotdir
+        | None -> Error Fs.Enoent)
+  in
+  go t.root (Fs.split_path path)
+
+let find_node t path =
+  let rec go dir = function
+    | [] -> Ok (Dir dir)
+    | comp :: rest -> (
+        charge t op_cost;
+        match Hashtbl.find_opt dir comp with
+        | Some (Dir d) -> go d rest
+        | Some (File _ as f) -> if rest = [] then Ok f else Error Fs.Enotdir
+        | None -> Error Fs.Enoent)
+  in
+  go t.root (Fs.split_path path)
+
+let create ~clock ?(capacity = 64 * 1024 * 1024) () =
+  let t =
+    { clock; root = Hashtbl.create 64; handles = Hashtbl.create 32; next_handle = 1;
+      used = 0; capacity }
+  in
+  let open_file path ~create =
+    charge t op_cost;
+    match find_node t path with
+    | Ok (File buf) ->
+        let h = t.next_handle in
+        t.next_handle <- h + 1;
+        Hashtbl.replace t.handles h buf;
+        Ok h
+    | Ok (Dir _) -> Error Fs.Eisdir
+    | Error Fs.Enoent when create -> (
+        match walk_parent t path with
+        | Error e -> Error e
+        | Ok (dir, base) ->
+            let buf = Buffer.create 256 in
+            Hashtbl.replace dir base (File buf);
+            let h = t.next_handle in
+            t.next_handle <- h + 1;
+            Hashtbl.replace t.handles h buf;
+            Ok h)
+    | Error e -> Error e
+  in
+  let read h ~off ~len =
+    charge t op_cost;
+    match Hashtbl.find_opt t.handles h with
+    | None -> Error Fs.Ebadf
+    | Some buf ->
+        if off < 0 || len < 0 then Error Fs.Einval
+        else begin
+          let size = Buffer.length buf in
+          let n = max 0 (min len (size - off)) in
+          charge t (Uksim.Cost.memcpy n);
+          Ok (Bytes.sub (Buffer.to_bytes buf) off n)
+        end
+  in
+  let write h ~off data =
+    charge t op_cost;
+    match Hashtbl.find_opt t.handles h with
+    | None -> Error Fs.Ebadf
+    | Some buf ->
+        if off < 0 then Error Fs.Einval
+        else begin
+          let n = Bytes.length data in
+          let size = Buffer.length buf in
+          let grow = max 0 (off + n - size) in
+          if t.used + grow > t.capacity then Error Fs.Enospc
+          else begin
+            charge t (Uksim.Cost.memcpy n);
+            t.used <- t.used + grow;
+            (* Buffer has no random-access write; rebuild the region. *)
+            let content = Buffer.to_bytes buf in
+            let out = Bytes.make (max size (off + n)) '\000' in
+            Bytes.blit content 0 out 0 size;
+            Bytes.blit data 0 out off n;
+            Buffer.clear buf;
+            Buffer.add_bytes buf out;
+            Ok n
+          end
+        end
+  in
+  let close h = Hashtbl.remove t.handles h in
+  let stat path =
+    charge t op_cost;
+    match find_node t path with
+    | Ok (File buf) -> Ok { Fs.size = Buffer.length buf; ftype = Fs.Regular }
+    | Ok (Dir _) -> Ok { Fs.size = 0; ftype = Fs.Directory }
+    | Error e -> Error e
+  in
+  let mkdir path =
+    charge t op_cost;
+    match walk_parent t path with
+    | Error e -> Error e
+    | Ok (dir, base) ->
+        if Hashtbl.mem dir base then Error Fs.Eexist
+        else begin
+          Hashtbl.replace dir base (Dir (Hashtbl.create 16));
+          Ok ()
+        end
+  in
+  let unlink path =
+    charge t op_cost;
+    match walk_parent t path with
+    | Error e -> Error e
+    | Ok (dir, base) -> (
+        match Hashtbl.find_opt dir base with
+        | Some (File buf) ->
+            t.used <- t.used - Buffer.length buf;
+            Hashtbl.remove dir base;
+            Ok ()
+        | Some (Dir d) ->
+            if Hashtbl.length d = 0 then begin
+              Hashtbl.remove dir base;
+              Ok ()
+            end
+            else Error Fs.Eexist
+        | None -> Error Fs.Enoent)
+  in
+  let readdir path =
+    charge t op_cost;
+    match find_node t path with
+    | Ok (Dir d) -> Ok (Hashtbl.fold (fun k _ acc -> k :: acc) d [] |> List.sort compare)
+    | Ok (File _) -> Error Fs.Enotdir
+    | Error e -> Error e
+  in
+  {
+    Fs.fsname = "ramfs";
+    open_file;
+    read;
+    write;
+    close;
+    stat;
+    mkdir;
+    unlink;
+    readdir;
+    fsync = (fun _ -> Ok ());
+  }

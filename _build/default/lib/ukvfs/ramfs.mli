@@ -1,0 +1,7 @@
+(** In-memory filesystem (Unikraft's default root when no persistent
+    storage is configured, §5.2). A real directory tree with growable
+    files; operation costs are memory-speed. *)
+
+val create : clock:Uksim.Clock.t -> ?capacity:int -> unit -> Fs.t
+(** [capacity] caps total file bytes (default 64 MiB); writes beyond it
+    fail with [Enospc]. *)

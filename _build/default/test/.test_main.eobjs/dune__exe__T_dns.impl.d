@@ -1,0 +1,1 @@
+test/t_dns.ml: Alcotest Bytes List Printf QCheck QCheck_alcotest String Ukapps Uknetdev Uknetstack Uksched Uksim

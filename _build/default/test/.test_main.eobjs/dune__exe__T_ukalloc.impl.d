@@ -1,0 +1,1 @@
+test/t_ukalloc.ml: Alcotest Alloc Array Bootalloc Buddy Checked List Mimalloc Option Oscar Printf QCheck QCheck_alcotest Tinyalloc Tlsf Ukalloc Uksim

@@ -1,0 +1,1 @@
+test/t_ukapps.ml: Alcotest Bytes List Map Option Printf QCheck QCheck_alcotest String Ukalloc Ukapps Uknetdev Uknetstack Uksched Uksim Ukvfs

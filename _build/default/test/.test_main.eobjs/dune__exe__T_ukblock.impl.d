@@ -1,0 +1,1 @@
+test/t_ukblock.ml: Alcotest Array Buffer Bytes Char List Printf QCheck QCheck_alcotest Ukblock Uknetdev Uknetstack Uksched Uksim

@@ -1,0 +1,1 @@
+test/t_ukbuild.ml: Alcotest List Printf Ukbuild Ukgraph

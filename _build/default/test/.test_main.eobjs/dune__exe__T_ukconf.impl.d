@@ -1,0 +1,1 @@
+test/t_ukconf.ml: Alcotest List QCheck QCheck_alcotest String Ukconf

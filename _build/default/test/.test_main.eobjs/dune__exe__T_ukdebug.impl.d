@@ -1,0 +1,1 @@
+test/t_ukdebug.ml: Alcotest List String Ukdebug Uksim

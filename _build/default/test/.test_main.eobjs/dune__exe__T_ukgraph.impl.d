@@ -1,0 +1,1 @@
+test/t_ukgraph.ml: Alcotest List Printf QCheck QCheck_alcotest String Ukgraph

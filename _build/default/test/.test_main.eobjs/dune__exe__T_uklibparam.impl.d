@@ -1,0 +1,1 @@
+test/t_uklibparam.ml: Alcotest Astring_contains List Option Result Ukdebug Uklibparam Uknetdev Uknetstack Ukplat Uksim Unikraft

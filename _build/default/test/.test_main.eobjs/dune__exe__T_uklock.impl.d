@@ -1,0 +1,1 @@
+test/t_uklock.ml: Alcotest List Lock Uklock Uksched Uksim

@@ -1,0 +1,1 @@
+test/t_ukmmu.ml: Alcotest List Option Printf Ukboot Ukmmu Ukplat Uksim

@@ -1,0 +1,1 @@
+test/t_uknetdev.ml: Alcotest Array Bytes Gen List Option Printf QCheck QCheck_alcotest Ukalloc Uknetdev Uksim

@@ -1,0 +1,1 @@
+test/t_uknetstack.ml: Alcotest Array Buffer Bytes Char Gen List Option Printf QCheck QCheck_alcotest Uknetdev Uknetstack Uksched Uksim

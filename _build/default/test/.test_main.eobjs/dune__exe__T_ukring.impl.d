@@ -1,0 +1,1 @@
+test/t_ukring.ml: Alcotest Array Fun List QCheck QCheck_alcotest Queue Ukring

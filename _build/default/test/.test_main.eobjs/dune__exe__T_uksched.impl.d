@@ -1,0 +1,1 @@
+test/t_uksched.ml: Alcotest Buffer List Printf Sched Uksched Uksim

@@ -1,0 +1,1 @@
+test/t_uksec.ml: Alcotest List Option Printf QCheck QCheck_alcotest Result Ukalloc Ukdebug Ukmpk Uksim Uksyscall

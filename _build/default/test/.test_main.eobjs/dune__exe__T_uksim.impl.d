@@ -1,0 +1,1 @@
+test/t_uksim.ml: Alcotest Clock Cost Engine Float Fmt Heapq List QCheck QCheck_alcotest Rng Stats Uksim Units

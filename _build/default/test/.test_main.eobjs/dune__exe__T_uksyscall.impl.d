@@ -1,0 +1,1 @@
+test/t_uksyscall.ml: Alcotest Int List Option Set Uksim Uksyscall

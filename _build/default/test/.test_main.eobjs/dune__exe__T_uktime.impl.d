@@ -1,0 +1,1 @@
+test/t_uktime.ml: Alcotest List QCheck QCheck_alcotest Uktime

@@ -1,0 +1,1 @@
+test/t_ukvfs.ml: Alcotest Bytes Gen List Printf QCheck QCheck_alcotest Result String Uksim Ukvfs

@@ -1,0 +1,1 @@
+test/t_unikraft.ml: Alcotest Bytes List Option Printf Result String Ukalloc Ukapps Ukboot Ukconf Ukdebug Ukmpk Uknetdev Uknetstack Ukos Ukplat Uksim Ukvfs Unikraft

@@ -1,0 +1,247 @@
+(* Tests for the ukblock API and its devices, plus the lossy-wire fault
+   model and TCP recovery over it. *)
+
+module B = Ukblock.Blockdev
+module V = Ukblock.Virtio_blk
+module Wire = Uknetdev.Wire
+module S = Uknetstack.Stack
+module A = Uknetstack.Addr
+
+let env () =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  (clock, engine)
+
+let test_ramdisk_rw () =
+  let clock, _ = env () in
+  let d = V.create_ramdisk ~clock () in
+  let data = Bytes.make 1024 'a' in
+  (match d.B.write_sync ~lba:10 data with Ok () -> () | Error e -> Alcotest.fail (B.error_to_string e));
+  (match d.B.read_sync ~lba:10 ~sectors:2 with
+  | Ok got -> Alcotest.(check bytes) "roundtrip" data got
+  | Error e -> Alcotest.fail (B.error_to_string e));
+  match d.B.read_sync ~lba:11 ~sectors:1 with
+  | Ok got -> Alcotest.(check char) "second sector" 'a' (Bytes.get got 0)
+  | Error _ -> Alcotest.fail "partial read"
+
+let test_bounds () =
+  let clock, _ = env () in
+  let d = V.create_ramdisk ~clock ~capacity_sectors:8 () in
+  (match d.B.read_sync ~lba:7 ~sectors:2 with
+  | Error B.Ebounds -> ()
+  | _ -> Alcotest.fail "read past end");
+  (match d.B.write_sync ~lba:0 (Bytes.make 100 'x') with
+  | Error B.Ebounds -> ()
+  | _ -> Alcotest.fail "unaligned write accepted");
+  match d.B.read_sync ~lba:(-1) ~sectors:1 with
+  | Error B.Ebounds -> ()
+  | _ -> Alcotest.fail "negative lba"
+
+let test_virtio_blk_async () =
+  let clock, engine = env () in
+  let d = V.create ~clock ~engine ~host_latency_ns:10_000.0 () in
+  let reqs = Array.init 8 (fun i -> B.Write { lba = i * 8; data = Bytes.make 512 'q' }) in
+  Alcotest.(check int) "all submitted" 8 (d.B.submit reqs);
+  Alcotest.(check int) "pending" 8 (d.B.pending ());
+  Alcotest.(check (list int)) "nothing complete yet" []
+    (List.map (fun _ -> 0) (d.B.poll_completions ~max:16));
+  (* Advance past the host latency. *)
+  Uksim.Clock.advance_ns clock 50_000.0;
+  let done_ = d.B.poll_completions ~max:16 in
+  Alcotest.(check int) "all complete" 8 (List.length done_);
+  Alcotest.(check int) "none pending" 0 (d.B.pending ());
+  List.iter
+    (fun c -> match c.B.result with Ok _ -> () | Error e -> Alcotest.fail (B.error_to_string e))
+    done_
+
+let test_virtio_blk_interrupt () =
+  let clock, engine = env () in
+  let d = V.create ~clock ~engine ~host_latency_ns:5_000.0 () in
+  let irqs = ref 0 in
+  d.B.set_completion_handler (Some (fun () -> incr irqs));
+  ignore (d.B.submit (Array.init 4 (fun i -> B.Read { lba = i; sectors = 1 })));
+  Uksim.Engine.run engine;
+  (* One idle-to-busy transition for the burst. *)
+  Alcotest.(check int) "one interrupt" 1 !irqs;
+  Alcotest.(check int) "completions there" 4 (List.length (d.B.poll_completions ~max:8))
+
+let test_virtio_blk_queue_depth () =
+  let clock, engine = env () in
+  let d = V.create ~clock ~engine ~queue_depth:4 () in
+  let reqs = Array.init 10 (fun i -> B.Read { lba = i; sectors = 1 }) in
+  Alcotest.(check int) "bounded by queue depth" 4 (d.B.submit reqs)
+
+let test_virtio_blk_latency_charged () =
+  let clock, engine = env () in
+  let d = V.create ~clock ~engine ~host_latency_ns:20_000.0 () in
+  let s = Uksim.Clock.start clock in
+  (match d.B.read_sync ~lba:0 ~sectors:1 with Ok _ -> () | Error _ -> Alcotest.fail "read");
+  Alcotest.(check bool) "sync read pays the host latency" true
+    (Uksim.Clock.elapsed_ns clock s >= 20_000.0)
+
+let test_batch_amortizes_kick () =
+  (* One kick per submit call: batching 32 requests beats 32 single
+     submissions — the ukblock analogue of tx_burst batching. *)
+  let cost n_calls batch =
+    let clock, engine = env () in
+    let d = V.create ~clock ~engine () in
+    let s = Uksim.Clock.start clock in
+    for _ = 1 to n_calls do
+      ignore (d.B.submit (Array.init batch (fun i -> B.Read { lba = i; sectors = 1 })))
+    done;
+    Uksim.Clock.elapsed_cycles clock s
+  in
+  Alcotest.(check bool) "batched submit cheaper" true (cost 1 32 < cost 32 1)
+
+(* --- lossy wire + TCP recovery ------------------------------------------ *)
+
+let test_wire_loss_counted () =
+  let _, engine = env () in
+  let a, b = Wire.create_pair ~engine ~loss:0.5 ~seed:7 () in
+  Wire.attach_sink b;
+  for _ = 1 to 1000 do
+    Wire.send a (Bytes.make 64 'l')
+  done;
+  Uksim.Engine.run engine;
+  let dropped = Wire.dropped_frames a in
+  Alcotest.(check int) "conservation" 1000 (dropped + Wire.rx_frames b);
+  Alcotest.(check bool)
+    (Printf.sprintf "about half dropped (%d)" dropped)
+    true
+    (dropped > 350 && dropped < 650)
+
+let test_wire_duplication () =
+  let _, engine = env () in
+  let a, b = Wire.create_pair ~engine ~duplicate:0.3 ~seed:11 () in
+  Wire.attach_sink b;
+  for _ = 1 to 1000 do
+    Wire.send a (Bytes.make 64 'd')
+  done;
+  Uksim.Engine.run engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "duplicates delivered (%d)" (Wire.rx_frames b))
+    true
+    (Wire.rx_frames b > 1200)
+
+let test_tcp_over_lossy_virtio () =
+  (* End-to-end: a TCP transfer across a 2%-loss, 1%-duplication link
+     completes intact via retransmission. *)
+  let clock, engine = env () in
+  let sched = Uksched.Sched.create_cooperative ~clock ~engine in
+  let wa, wb = Wire.create_pair ~engine ~loss:0.02 ~duplicate:0.01 ~seed:3 () in
+  let mk wire ip mac =
+    let dev =
+      Uknetdev.Virtio_net.create ~clock ~engine ~backend:Uknetdev.Virtio_net.Vhost_net ~wire ()
+    in
+    let s =
+      S.create ~clock ~engine ~sched ~dev
+        { S.mac = A.Mac.of_int mac; ip = A.Ipv4.of_string ip;
+          netmask = A.Ipv4.of_string "255.255.255.0"; gateway = None }
+    in
+    S.start s;
+    s
+  in
+  let server = mk wa "10.1.0.1" 0x1 in
+  let client = mk wb "10.1.0.2" 0x2 in
+  let payload = Bytes.init 40_000 (fun i -> Char.chr (i land 0xff)) in
+  let received = Buffer.create 40_000 in
+  ignore
+    (Uksched.Sched.spawn sched ~name:"sink" (fun () ->
+         let l = S.Tcp_socket.listen server ~port:9 () in
+         match S.Tcp_socket.accept ~block:true l with
+         | None -> ()
+         | Some flow ->
+             let rec drain () =
+               match S.Tcp_socket.recv ~block:true server flow ~max:8192 with
+               | None -> ()
+               | Some b ->
+                   Buffer.add_bytes received b;
+                   drain ()
+             in
+             drain ()));
+  ignore
+    (Uksched.Sched.spawn sched ~name:"source" (fun () ->
+         let flow = S.Tcp_socket.connect client ~dst:(A.Ipv4.of_string "10.1.0.1", 9) in
+         let sent = ref 0 in
+         while !sent < Bytes.length payload do
+           let chunk = Bytes.sub payload !sent (min 8192 (Bytes.length payload - !sent)) in
+           sent := !sent + S.Tcp_socket.send ~block:true client flow chunk
+         done;
+         S.Tcp_socket.close client flow));
+  Uksched.Sched.run sched;
+  Alcotest.(check int) "every byte arrived" (Bytes.length payload) (Buffer.length received);
+  Alcotest.(check bytes) "in order and uncorrupted" payload (Buffer.to_bytes received);
+  Alcotest.(check bool) "the link really dropped frames" true
+    (Wire.dropped_frames wa + Wire.dropped_frames wb > 0)
+
+let tcp_lossy_prop =
+  QCheck.Test.make ~name:"TCP delivers intact streams across random lossy links" ~count:8
+    QCheck.(pair (int_range 1 1000) (int_range 0 60))
+    (fun (seed, loss_permille) ->
+      let clock = Uksim.Clock.create () in
+      let engine = Uksim.Engine.create clock in
+      let sched = Uksched.Sched.create_cooperative ~clock ~engine in
+      let loss = float_of_int loss_permille /. 1000.0 in
+      let wa, wb = Wire.create_pair ~engine ~loss ~duplicate:0.01 ~seed () in
+      let mk wire ip mac =
+        let dev =
+          Uknetdev.Virtio_net.create ~clock ~engine ~backend:Uknetdev.Virtio_net.Vhost_net
+            ~wire ()
+        in
+        let s =
+          S.create ~clock ~engine ~sched ~dev
+            { S.mac = A.Mac.of_int mac; ip = A.Ipv4.of_string ip;
+              netmask = A.Ipv4.of_string "255.255.255.0"; gateway = None }
+        in
+        S.start s;
+        s
+      in
+      let server = mk wa "10.2.0.1" 0x1 in
+      let client = mk wb "10.2.0.2" 0x2 in
+      let payload = Bytes.init 8000 (fun i -> Char.chr ((i * 7) land 0xff)) in
+      let received = Buffer.create 8000 in
+      ignore
+        (Uksched.Sched.spawn sched ~name:"sink" (fun () ->
+             let l = S.Tcp_socket.listen server ~port:5 () in
+             match S.Tcp_socket.accept ~block:true l with
+             | None -> ()
+             | Some flow ->
+                 let rec drain () =
+                   match S.Tcp_socket.recv ~block:true server flow ~max:4096 with
+                   | None -> ()
+                   | Some b ->
+                       Buffer.add_bytes received b;
+                       drain ()
+                 in
+                 drain ()));
+      ignore
+        (Uksched.Sched.spawn sched ~name:"source" (fun () ->
+             let flow = S.Tcp_socket.connect client ~dst:(A.Ipv4.of_string "10.2.0.1", 5) in
+             let sent = ref 0 in
+             while !sent < Bytes.length payload do
+               let chunk =
+                 Bytes.sub payload !sent (min 2048 (Bytes.length payload - !sent))
+               in
+               sent := !sent + S.Tcp_socket.send ~block:true client flow chunk
+             done;
+             S.Tcp_socket.close client flow));
+      (match Uksched.Sched.run sched with
+      | () -> ()
+      | exception Uksched.Sched.Deadlock _ -> ()
+      | exception Failure _ -> ());
+      Bytes.equal payload (Buffer.to_bytes received))
+
+let suite =
+  [
+    Alcotest.test_case "ramdisk read/write" `Quick test_ramdisk_rw;
+    Alcotest.test_case "bounds checking" `Quick test_bounds;
+    Alcotest.test_case "virtio-blk async completion" `Quick test_virtio_blk_async;
+    Alcotest.test_case "virtio-blk interrupts" `Quick test_virtio_blk_interrupt;
+    Alcotest.test_case "queue depth" `Quick test_virtio_blk_queue_depth;
+    Alcotest.test_case "host latency charged" `Quick test_virtio_blk_latency_charged;
+    Alcotest.test_case "batched submit amortizes kicks" `Quick test_batch_amortizes_kick;
+    Alcotest.test_case "wire loss injection" `Quick test_wire_loss_counted;
+    Alcotest.test_case "wire duplication" `Quick test_wire_duplication;
+    Alcotest.test_case "TCP recovers over lossy virtio link" `Quick test_tcp_over_lossy_virtio;
+    QCheck_alcotest.to_alcotest tcp_lossy_prop;
+  ]

@@ -1,0 +1,183 @@
+(* Tests for the build/link model: micro-library inventories, the linker
+   with DCE/LTO, the catalog, the porting study (Table 2) and the
+   developer survey (Fig 6). *)
+
+module M = Ukbuild.Microlib
+module R = Ukbuild.Registry
+module L = Ukbuild.Linker
+module C = Ukbuild.Catalog
+module P = Ukbuild.Porting
+
+let test_microlib_determinism () =
+  let a = M.define ~name:"libx" ~kind:M.Library ~code_size:50000 () in
+  let b = M.define ~name:"libx" ~kind:M.Library ~code_size:50000 () in
+  Alcotest.(check (list string)) "same inventory" (M.api_symbols a) (M.api_symbols b);
+  Alcotest.(check int) "sizes partition code_size" 50000 (M.total_size a)
+
+let test_microlib_used_apis_fraction () =
+  let callee = M.define ~name:"dep" ~kind:M.Library ~code_size:80000 ~n_clusters:10 () in
+  let caller =
+    M.define ~name:"app" ~kind:M.App ~deps:[ ("dep", 0.5) ] ~code_size:10000 ()
+  in
+  let used = M.used_apis ~caller ~callee in
+  Alcotest.(check int) "half the surface" 5 (List.length used);
+  Alcotest.(check (list string)) "deterministic subset" used (M.used_apis ~caller ~callee);
+  let stranger = M.define ~name:"other" ~kind:M.App ~code_size:1000 () in
+  Alcotest.(check (list string)) "no edge, no use" [] (M.used_apis ~caller:stranger ~callee)
+
+let test_registry_closure () =
+  let r = R.create () in
+  R.add_all r
+    [
+      M.define ~name:"a" ~kind:M.App ~deps:[ ("b", 1.0) ] ~code_size:1000 ();
+      M.define ~name:"b" ~kind:M.Library ~deps:[ ("c", 1.0) ] ~code_size:1000 ();
+      M.define ~name:"c" ~kind:M.Library ~code_size:1000 ();
+      M.define ~name:"lonely" ~kind:M.Library ~code_size:1000 ();
+    ];
+  (match R.closure r [ "a" ] with
+  | Ok libs -> Alcotest.(check (list string)) "transitive" [ "a"; "b"; "c" ] libs
+  | Error _ -> Alcotest.fail "closure");
+  let r2 = R.create () in
+  R.add r2 (M.define ~name:"x" ~kind:M.App ~deps:[ ("ghost", 1.0) ] ~code_size:100 ());
+  match R.closure r2 [ "x" ] with
+  | Error "ghost" -> ()
+  | Error e -> Alcotest.failf "wrong missing lib: %s" e
+  | Ok _ -> Alcotest.fail "missing dependency undetected"
+
+let link ?(flags = L.default_flags) ?(alloc = "alloc-tlsf") ?(sched = "sched-coop") ?(net = false)
+    ?(fs = false) app plat =
+  let r = C.registry () in
+  let roots = C.app_roots ~app ~net ~fs ~alloc ~sched () in
+  match L.link r ~name:app ~platform:plat ~roots ~flags () with
+  | Ok img -> img
+  | Error e -> Alcotest.failf "link failed: %s" e
+
+let link_hello ?(flags = L.default_flags) plat =
+  let r = C.registry () in
+  match L.link r ~name:"hello" ~platform:plat ~roots:[ "app-hello" ] ~flags () with
+  | Ok img -> img
+  | Error e -> Alcotest.failf "link failed: %s" e
+
+let test_hello_sizes () =
+  (* Fig 9: ~200KB on KVM, tens of KB on Xen. *)
+  let kvm = link_hello "plat-kvm" in
+  let xen = link_hello "plat-xen" in
+  let kb i = i.L.image_bytes / 1024 in
+  Alcotest.(check bool)
+    (Printf.sprintf "kvm hello ~200KB (%dKB)" (kb kvm))
+    true
+    (kb kvm > 120 && kb kvm < 300);
+  Alcotest.(check bool)
+    (Printf.sprintf "xen hello well under kvm (%dKB)" (kb xen))
+    true
+    (kb xen < 90 && kb xen * 2 < kb kvm)
+
+let test_app_sizes_under_2mb () =
+  (* Fig 8: all images below 2MB with DCE+LTO. *)
+  List.iter
+    (fun (app, net, fs) ->
+      let img = link app "plat-kvm" ~net ~fs in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s = %dKB" app (img.L.image_bytes / 1024))
+        true
+        (img.L.image_bytes < 2 * 1024 * 1024))
+    [ ("app-nginx", true, false); ("app-redis", true, false); ("app-sqlite", false, true) ]
+
+let test_dce_lto_monotone () =
+  (* Fig 8's ablation: every optimization strictly helps. *)
+  let size flags = (link ~flags "app-nginx" "plat-kvm" ~net:true).L.image_bytes in
+  let none = size { L.dce = false; lto = false } in
+  let dce = size { L.dce = true; lto = false } in
+  let lto = size { L.dce = false; lto = true } in
+  let both = size { L.dce = true; lto = true } in
+  Alcotest.(check bool) "dce helps" true (dce < none);
+  Alcotest.(check bool) "lto helps" true (lto < none);
+  Alcotest.(check bool) "both best" true (both < dce && both < lto)
+
+let test_dep_graph_shape () =
+  (* Figs 2/3: nginx pulls in the network stack; hello stays tiny. *)
+  let nginx = link "app-nginx" "plat-kvm" ~net:true in
+  let hello = link_hello "plat-kvm" in
+  Alcotest.(check bool) "nginx includes lwip" true (List.mem "lwip" nginx.L.libs);
+  Alcotest.(check bool) "nginx includes vfscore" true (List.mem "vfscore" nginx.L.libs);
+  Alcotest.(check bool) "hello has no network stack" false (List.mem "lwip" hello.L.libs);
+  Alcotest.(check bool) "hello has no scheduler" false (List.mem "sched-coop" hello.L.libs);
+  Alcotest.(check bool) "far fewer libs" true
+    (List.length hello.L.libs * 2 < List.length nginx.L.libs);
+  let g = nginx.L.dep_graph in
+  Alcotest.(check bool) "graph edge app->lwip" true
+    (Ukgraph.Digraph.mem_edge g "app-nginx" "lwip")
+
+let test_unknown_roots () =
+  Alcotest.check_raises "unknown app" (Invalid_argument "Catalog.app_roots: unknown app nope")
+    (fun () -> ignore (C.app_roots ~app:"nope" ~net:false ~fs:false ()))
+
+(* --- Table 2 ------------------------------------------------------------- *)
+
+let test_table2_shape () =
+  let rows = P.table2 () in
+  Alcotest.(check int) "24 libraries" 24 (List.length rows);
+  (* With the compat layer everything builds (paper: "almost all"). *)
+  List.iter
+    (fun r ->
+      if not (r.P.musl_compat && r.P.newlib_compat) then
+        Alcotest.failf "%s: compat layer build failed" r.P.name)
+    rows
+
+let test_table2_std_matches_paper () =
+  let rows = P.table2 () in
+  let get name = List.find (fun r -> r.P.name = name) rows in
+  (* Spot-check the published check/cross marks. *)
+  Alcotest.(check bool) "helloworld builds everywhere" true
+    (let r = get "lib-helloworld" in
+     r.P.musl_std && r.P.newlib_std);
+  Alcotest.(check bool) "nginx needs the compat layer" false (get "lib-nginx").P.musl_std;
+  Alcotest.(check bool) "duktape: musl yes" true (get "lib-duktape").P.musl_std;
+  Alcotest.(check bool) "duktape: newlib no" false (get "lib-duktape").P.newlib_std;
+  Alcotest.(check bool) "zydis: musl yes, newlib no" true
+    (let r = get "lib-zydis" in
+     r.P.musl_std && not r.P.newlib_std);
+  Alcotest.(check (float 0.001)) "ruby size" 5.6 (get "lib-ruby").P.musl_mb;
+  Alcotest.(check int) "ruby glue LoC" 37 (get "lib-ruby").P.glue
+
+let test_table2_newlib_bigger () =
+  (* Paper: newlib images are consistently larger than musl ones. *)
+  List.iter
+    (fun r ->
+      if r.P.newlib_mb < r.P.musl_mb then Alcotest.failf "%s: newlib smaller" r.P.name)
+    (P.table2 ())
+
+let test_link_check_errors () =
+  let e = List.find (fun (x : P.entry) -> x.P.lib = "lib-nginx") P.entries in
+  match P.link_check e { P.libc = P.Musl; compat_layer = false } with
+  | Error syms -> Alcotest.(check bool) "unresolved symbols listed" true (List.length syms > 0)
+  | Ok () -> Alcotest.fail "nginx/musl/std must fail"
+
+(* --- Fig 6 ---------------------------------------------------------------- *)
+
+let test_survey_trend () =
+  let q = P.Survey.by_quarter () in
+  Alcotest.(check int) "six quarters" 6 (List.length q);
+  let deps_of (_, (_, d, _, _)) = d in
+  let os_of (_, (_, _, o, _)) = o in
+  let first = List.hd q and last = List.nth q 5 in
+  Alcotest.(check bool) "dependency effort collapsed" true
+    (deps_of last < deps_of first /. 5.0);
+  Alcotest.(check bool) "OS-primitive effort collapsed" true (os_of last < os_of first /. 5.0)
+
+let suite =
+  [
+    Alcotest.test_case "microlib determinism" `Quick test_microlib_determinism;
+    Alcotest.test_case "used_apis fractions" `Quick test_microlib_used_apis_fraction;
+    Alcotest.test_case "registry closure" `Quick test_registry_closure;
+    Alcotest.test_case "hello image sizes (Fig 9)" `Quick test_hello_sizes;
+    Alcotest.test_case "apps under 2MB (Fig 8)" `Quick test_app_sizes_under_2mb;
+    Alcotest.test_case "DCE/LTO monotone (Fig 8)" `Quick test_dce_lto_monotone;
+    Alcotest.test_case "dependency graphs (Figs 2/3)" `Quick test_dep_graph_shape;
+    Alcotest.test_case "unknown roots rejected" `Quick test_unknown_roots;
+    Alcotest.test_case "Table 2 shape" `Quick test_table2_shape;
+    Alcotest.test_case "Table 2 std columns" `Quick test_table2_std_matches_paper;
+    Alcotest.test_case "Table 2 newlib sizes" `Quick test_table2_newlib_bigger;
+    Alcotest.test_case "link check reports symbols" `Quick test_link_check_errors;
+    Alcotest.test_case "survey trend (Fig 6)" `Quick test_survey_trend;
+  ]

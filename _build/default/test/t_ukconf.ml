@@ -1,0 +1,174 @@
+(* Tests for the Kconfig model: expressions, schema, resolution. *)
+
+module E = Ukconf.Expr
+module K = Ukconf.Kopt
+module S = Ukconf.Schema
+module C = Ukconf.Config
+
+let test_expr_eval () =
+  let env = function "a" -> true | "b" -> false | _ -> false in
+  Alcotest.(check bool) "var" true (E.eval env (E.Var "a"));
+  Alcotest.(check bool) "not" true (E.eval env (E.Not (E.Var "b")));
+  Alcotest.(check bool) "and" false (E.eval env (E.And (E.Var "a", E.Var "b")));
+  Alcotest.(check bool) "or" true (E.eval env (E.Or (E.Var "a", E.Var "b")));
+  Alcotest.(check bool) "true" true (E.eval env E.True)
+
+let test_expr_vars () =
+  let e = E.And (E.Var "x", E.Or (E.Not (E.Var "y"), E.Var "x")) in
+  Alcotest.(check (list string)) "deduplicated sorted vars" [ "x"; "y" ] (E.vars e)
+
+let test_expr_conj () =
+  Alcotest.(check bool) "empty conj is true" true (E.eval (fun _ -> false) (E.conj []));
+  let e = E.conj [ E.Var "a"; E.Var "b" ] in
+  Alcotest.(check bool) "conj of two" false (E.eval (function "a" -> true | _ -> false) e)
+
+let test_expr_print () =
+  Alcotest.(check string) "rendering" "a && !(b || c)"
+    (E.to_string (E.And (E.Var "a", E.Not (E.Or (E.Var "b", E.Var "c")))))
+
+let mk_schema () =
+  let s = S.create () in
+  S.add_all s
+    [
+      K.bool "NET" ~doc:"networking";
+      K.bool "LWIP" ~depends:(E.Var "NET");
+      K.bool "MIMALLOC" ~selects:[ "THREADS" ];
+      K.bool "THREADS";
+      K.int "MEM" ~default:32 ~min:2 ~max:1024;
+      K.choice "ALLOC" ~default:"tlsf" ~alternatives:[ "tlsf"; "buddy" ];
+      K.string "NAME" ~default:"uk";
+    ];
+  s
+
+let test_schema_duplicate () =
+  let s = mk_schema () in
+  Alcotest.check_raises "duplicate rejected"
+    (Invalid_argument "Schema.add: duplicate option NET") (fun () -> S.add s (K.bool "NET"))
+
+let test_schema_closed () =
+  let s = mk_schema () in
+  (match S.check_closed s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "unexpected: %s" (String.concat "," e));
+  S.add s (K.bool "BROKEN" ~depends:(E.Var "NOPE"));
+  match S.check_closed s with
+  | Ok () -> Alcotest.fail "should detect dangling reference"
+  | Error _ -> ()
+
+let test_resolve_defaults () =
+  let s = mk_schema () in
+  match C.resolve s [] with
+  | Error _ -> Alcotest.fail "defaults should resolve"
+  | Ok c ->
+      Alcotest.(check bool) "NET defaults off" false (C.get_bool c "NET");
+      Alcotest.(check int) "MEM default" 32 (C.get_int c "MEM");
+      Alcotest.(check string) "ALLOC default" "tlsf" (C.get_choice c "ALLOC")
+
+let test_resolve_select () =
+  let s = mk_schema () in
+  match C.resolve s [ ("MIMALLOC", K.Bool true) ] with
+  | Error _ -> Alcotest.fail "should resolve"
+  | Ok c -> Alcotest.(check bool) "THREADS selected" true (C.get_bool c "THREADS")
+
+let test_resolve_select_conflict () =
+  let s = mk_schema () in
+  match C.resolve s [ ("MIMALLOC", K.Bool true); ("THREADS", K.Bool false) ] with
+  | Ok _ -> Alcotest.fail "conflict should be reported"
+  | Error errs ->
+      Alcotest.(check bool) "select conflict present" true
+        (List.exists (function C.Select_conflict _ -> true | _ -> false) errs)
+
+let test_resolve_dependency () =
+  let s = mk_schema () in
+  (match C.resolve s [ ("LWIP", K.Bool true) ] with
+  | Ok _ -> Alcotest.fail "LWIP without NET must fail"
+  | Error errs ->
+      Alcotest.(check bool) "unmet dep" true
+        (List.exists (function C.Unmet_dependency _ -> true | _ -> false) errs));
+  match C.resolve s [ ("NET", K.Bool true); ("LWIP", K.Bool true) ] with
+  | Ok c -> Alcotest.(check bool) "LWIP on" true (C.get_bool c "LWIP")
+  | Error _ -> Alcotest.fail "should resolve with NET"
+
+let test_resolve_explicit_off_ok () =
+  (* "# CONFIG_LWIP is not set" is valid even with NET off. *)
+  let s = mk_schema () in
+  match C.resolve s [ ("LWIP", K.Bool false) ] with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "explicit n with unmet deps must be accepted"
+
+let test_resolve_type_errors () =
+  let s = mk_schema () in
+  (match C.resolve s [ ("MEM", K.Bool true) ] with
+  | Ok _ -> Alcotest.fail "type mismatch"
+  | Error _ -> ());
+  (match C.resolve s [ ("MEM", K.Int 9999) ] with
+  | Ok _ -> Alcotest.fail "range violation"
+  | Error _ -> ());
+  (match C.resolve s [ ("ALLOC", K.Choice "nope") ] with
+  | Ok _ -> Alcotest.fail "bad choice"
+  | Error _ -> ());
+  match C.resolve s [ ("UNKNOWN", K.Bool true) ] with
+  | Ok _ -> Alcotest.fail "unknown option"
+  | Error errs ->
+      Alcotest.(check bool) "unknown" true
+        (List.exists (function C.Unknown_option _ -> true | _ -> false) errs)
+
+let test_dotconfig () =
+  let s = mk_schema () in
+  match C.resolve s [ ("NET", K.Bool true) ] with
+  | Error _ -> Alcotest.fail "resolve"
+  | Ok c ->
+      let text = C.to_dotconfig c in
+      Alcotest.(check bool) "y line" true
+        (String.length text > 0
+        && List.mem "CONFIG_NET=y" (String.split_on_char '\n' text));
+      Alcotest.(check bool) "not-set line" true
+        (List.mem "# CONFIG_LWIP is not set" (String.split_on_char '\n' text))
+
+let test_menu_tree () =
+  let s = S.create () in
+  S.add s (K.bool "A" ~menu:[ "top" ]);
+  S.add s (K.bool "B" ~menu:[ "top"; "sub" ]);
+  S.add s (K.bool "C" ~menu:[ "top" ]);
+  let tree = S.menu_tree s in
+  Alcotest.(check int) "two menus" 2 (List.length tree);
+  let top = List.assoc [ "top" ] tree in
+  Alcotest.(check (list string)) "grouping" [ "A"; "C" ]
+    (List.map (fun (o : K.t) -> o.K.name) top)
+
+let test_kopt_validation () =
+  Alcotest.check_raises "choice default must be alternative"
+    (Invalid_argument "Kopt.choice: default not among alternatives") (fun () ->
+      ignore (K.choice "X" ~default:"z" ~alternatives:[ "a" ]))
+
+let select_idempotent_prop =
+  QCheck.Test.make ~name:"resolution is deterministic" ~count:50
+    QCheck.(list (pair (oneofl [ "NET"; "LWIP"; "MIMALLOC"; "THREADS" ]) bool))
+    (fun assigns ->
+      let s1 = mk_schema () and s2 = mk_schema () in
+      let a = List.map (fun (n, b) -> (n, K.Bool b)) assigns in
+      (* Later assignments override earlier ones in both runs equally. *)
+      match (C.resolve s1 a, C.resolve s2 a) with
+      | Ok c1, Ok c2 -> C.to_dotconfig c1 = C.to_dotconfig c2
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "expr eval" `Quick test_expr_eval;
+    Alcotest.test_case "expr vars" `Quick test_expr_vars;
+    Alcotest.test_case "expr conj" `Quick test_expr_conj;
+    Alcotest.test_case "expr printing" `Quick test_expr_print;
+    Alcotest.test_case "schema duplicates" `Quick test_schema_duplicate;
+    Alcotest.test_case "schema closure check" `Quick test_schema_closed;
+    Alcotest.test_case "resolve defaults" `Quick test_resolve_defaults;
+    Alcotest.test_case "select propagation" `Quick test_resolve_select;
+    Alcotest.test_case "select conflict" `Quick test_resolve_select_conflict;
+    Alcotest.test_case "dependency enforcement" `Quick test_resolve_dependency;
+    Alcotest.test_case "explicit off with unmet deps" `Quick test_resolve_explicit_off_ok;
+    Alcotest.test_case "type and range errors" `Quick test_resolve_type_errors;
+    Alcotest.test_case "dotconfig rendering" `Quick test_dotconfig;
+    Alcotest.test_case "menu tree" `Quick test_menu_tree;
+    Alcotest.test_case "kopt validation" `Quick test_kopt_validation;
+    QCheck_alcotest.to_alcotest select_idempotent_prop;
+  ]

@@ -1,0 +1,108 @@
+(* Tests for the ukdebug micro-library (paper §7). *)
+
+module D = Ukdebug.Debug
+
+let mk ?threshold ?assertions ?print_stack_bottom () =
+  let clock = Uksim.Clock.create () in
+  let out = ref [] in
+  let t =
+    D.create ~clock ?threshold ?assertions ?print_stack_bottom
+      ~sink:(fun s -> out := s :: !out)
+      ()
+  in
+  (clock, t, out)
+
+let test_threshold_filtering () =
+  let _, t, out = mk ~threshold:D.Warn () in
+  D.printk t D.Crit "critical";
+  D.printk t D.Warn "warning";
+  D.printk t D.Info "info";
+  D.printk t D.Debug "debug";
+  Alcotest.(check int) "two emitted" 2 (D.messages_emitted t);
+  Alcotest.(check int) "two suppressed" 2 (D.messages_suppressed t);
+  Alcotest.(check (list string)) "prefixes" [ "[CRIT] critical"; "[WARN] warning" ]
+    (List.rev !out)
+
+let test_threshold_change () =
+  let _, t, _ = mk ~threshold:D.Crit () in
+  D.printk t D.Info "dropped";
+  D.set_threshold t D.Debug;
+  D.printk t D.Info "kept";
+  Alcotest.(check int) "after raise" 1 (D.messages_emitted t)
+
+let test_print_cost () =
+  let clock, t, _ = mk () in
+  D.printk t D.Info "x";
+  Alcotest.(check bool) "console write costs cycles" true (Uksim.Clock.cycles clock > 0);
+  let c = Uksim.Clock.cycles clock in
+  D.printk t D.Debug "suppressed";
+  Alcotest.(check int) "suppressed messages are free" c (Uksim.Clock.cycles clock)
+
+let test_stack_bottom_annotation () =
+  let _, t, out = mk ~print_stack_bottom:(Some 0x8000) () in
+  D.printk t D.Info "hello";
+  match !out with
+  | [ line ] ->
+      Alcotest.(check string) "bottom-of-stack in prefix" "[INFO @0x8000] hello" line
+  | _ -> Alcotest.fail "one line"
+
+let test_assertions () =
+  let _, t, _ = mk () in
+  D.uk_assert t true "fine";
+  Alcotest.check_raises "failure raises" (D.Assertion_failed "boom") (fun () ->
+      D.uk_assert t false "boom");
+  let _, off, _ = mk ~assertions:false () in
+  D.uk_assert off false "ignored";
+  Alcotest.(check bool) "compiled out" false (D.assertions_enabled off)
+
+let test_tracepoints () =
+  let _, t, _ = mk () in
+  D.Trace.register t "tx";
+  D.Trace.register t "rx";
+  D.Trace.fire t "tx" 1;
+  D.Trace.fire t "rx" 2;
+  D.Trace.fire t "tx" 3;
+  Alcotest.(check int) "tx fired twice" 2 (D.Trace.count t "tx");
+  let names = List.map (fun e -> e.D.Trace.tp_name) (D.Trace.events t) in
+  Alcotest.(check (list string)) "order" [ "tx"; "rx"; "tx" ] names;
+  Alcotest.check_raises "unregistered"
+    (Invalid_argument "Trace.fire: unregistered trace point nope") (fun () ->
+      D.Trace.fire t "nope" 0)
+
+let test_trace_ring_overflow () =
+  let _, t, _ = mk () in
+  D.Trace.register t "e";
+  for i = 1 to 300 do
+    D.Trace.fire t "e" i
+  done;
+  let evs = D.Trace.events t in
+  Alcotest.(check int) "capped at ring size" 256 (List.length evs);
+  Alcotest.(check int) "total count kept" 300 (D.Trace.count t "e");
+  (match evs with
+  | first :: _ -> Alcotest.(check int) "oldest surviving event" 45 first.D.Trace.arg
+  | [] -> Alcotest.fail "events");
+  D.Trace.clear t;
+  Alcotest.(check int) "cleared" 0 (List.length (D.Trace.events t))
+
+let test_disassembler () =
+  let _, t, _ = mk () in
+  (match D.Disasm.disassemble t ~arch:"x86_64" [ 0x90 lsl 24 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "no plugin yet");
+  D.Disasm.register t D.Disasm.zydis_like;
+  match D.Disasm.disassemble t ~arch:"x86_64" [ 0x90 lsl 24; 0xc3 lsl 24; (0x0f lsl 24) lor 41 ] with
+  | Ok [ "nop"; "ret"; "syscall ; nr=41" ] -> ()
+  | Ok l -> Alcotest.failf "unexpected: %s" (String.concat "|" l)
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "threshold filtering" `Quick test_threshold_filtering;
+    Alcotest.test_case "threshold change" `Quick test_threshold_change;
+    Alcotest.test_case "print cost accounting" `Quick test_print_cost;
+    Alcotest.test_case "stack-bottom annotation" `Quick test_stack_bottom_annotation;
+    Alcotest.test_case "assertions" `Quick test_assertions;
+    Alcotest.test_case "trace points" `Quick test_tracepoints;
+    Alcotest.test_case "trace ring overflow" `Quick test_trace_ring_overflow;
+    Alcotest.test_case "disassembler plug-in" `Quick test_disassembler;
+  ]

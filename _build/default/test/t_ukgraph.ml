@@ -1,0 +1,141 @@
+(* Tests for the graph toolkit and the Linux kernel dataset (Fig 1). *)
+
+module G = Ukgraph.Digraph
+module LK = Ukgraph.Linux_kernel
+
+let mk edges =
+  let g = G.create () in
+  List.iter (fun (a, b) -> G.add_edge g a b) edges;
+  g
+
+let test_basics () =
+  let g = mk [ ("a", "b"); ("b", "c"); ("a", "c") ] in
+  Alcotest.(check int) "nodes" 3 (G.n_nodes g);
+  Alcotest.(check int) "edges" 3 (G.n_edges g);
+  Alcotest.(check bool) "mem_edge" true (G.mem_edge g "a" "b");
+  Alcotest.(check bool) "no reverse edge" false (G.mem_edge g "b" "a");
+  Alcotest.(check (list string)) "succs" [ "b"; "c" ] (G.succs g "a");
+  Alcotest.(check (list string)) "preds" [ "a"; "b" ] (G.preds g "c")
+
+let test_weights () =
+  let g = G.create () in
+  G.add_edge ~weight:3 g "x" "y";
+  G.add_edge ~weight:4 g "x" "y";
+  Alcotest.(check int) "weights accumulate" 7 (G.weight g "x" "y");
+  Alcotest.(check int) "total weight" 7 (G.total_weight g);
+  Alcotest.(check int) "absent weight" 0 (G.weight g "y" "x")
+
+let test_reachable () =
+  let g = mk [ ("a", "b"); ("b", "c"); ("d", "e") ] in
+  let r = G.reachable_set g [ "a" ] in
+  Alcotest.(check (list string)) "closure of a" [ "a"; "b"; "c" ] r;
+  Alcotest.(check (list string)) "unknown root" [] (G.reachable_set g [ "nope" ])
+
+let test_topo () =
+  let g = mk [ ("app", "libc"); ("libc", "kernel"); ("app", "kernel") ] in
+  (match G.topo_sort g with
+  | Error _ -> Alcotest.fail "acyclic graph"
+  | Ok order ->
+      let pos x =
+        let rec go i = function
+          | [] -> -1
+          | y :: rest -> if String.equal x y then i else go (i + 1) rest
+        in
+        go 0 order
+      in
+      (* Dependencies (successors) come before dependents. *)
+      Alcotest.(check bool) "kernel before libc" true (pos "kernel" < pos "libc");
+      Alcotest.(check bool) "libc before app" true (pos "libc" < pos "app"));
+  Alcotest.(check bool) "no cycle" false (G.has_cycle g)
+
+let test_cycle_detection () =
+  let g = mk [ ("a", "b"); ("b", "c"); ("c", "a") ] in
+  Alcotest.(check bool) "cycle found" true (G.has_cycle g);
+  match G.topo_sort g with
+  | Ok _ -> Alcotest.fail "cycle must be reported"
+  | Error cycle -> Alcotest.(check bool) "cycle nonempty" true (List.length cycle >= 1)
+
+let test_transpose () =
+  let g = mk [ ("a", "b") ] in
+  let t = G.transpose g in
+  Alcotest.(check bool) "edge reversed" true (G.mem_edge t "b" "a");
+  Alcotest.(check bool) "original gone" false (G.mem_edge t "a" "b")
+
+let test_subgraph () =
+  let g = mk [ ("a", "b"); ("b", "c") ] in
+  let s = G.subgraph g (fun n -> n <> "c") in
+  Alcotest.(check int) "nodes filtered" 2 (G.n_nodes s);
+  Alcotest.(check int) "edges filtered" 1 (G.n_edges s)
+
+let test_dot () =
+  let g = mk [ ("a", "b") ] in
+  let dot = G.to_dot ~name:"test" g in
+  Alcotest.(check bool) "digraph header" true
+    (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  Alcotest.(check bool) "edge present" true
+    (let re = {|"a" -> "b"|} in
+     let rec contains i =
+       i + String.length re <= String.length dot
+       && (String.sub dot i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+let reachability_monotone_prop =
+  QCheck.Test.make ~name:"adding edges never shrinks reachability" ~count:100
+    QCheck.(pair (list (pair (int_bound 8) (int_bound 8))) (pair (int_bound 8) (int_bound 8)))
+    (fun (edges, (x, y)) ->
+      let name i = Printf.sprintf "n%d" i in
+      let g = G.create () in
+      List.iter (fun (a, b) -> G.add_edge g (name a) (name b)) edges;
+      G.add_node g (name x);
+      let before = G.reachable_set g [ name 0 ] in
+      G.add_edge g (name x) (name y);
+      let after = G.reachable_set g [ name 0 ] in
+      List.for_all (fun n -> List.mem n after) before)
+
+(* --- Fig 1 dataset ------------------------------------------------------- *)
+
+let test_linux_density () =
+  (* The paper's point: the Linux component graph is dense, so removing
+     any component means understanding many dependents. *)
+  Alcotest.(check bool) "dense graph" true (LK.density () > 0.4);
+  Alcotest.(check int) "14 components" 14 (List.length LK.components)
+
+let test_linux_sinks () =
+  (* kernel, mm and lib are universal dependencies. *)
+  let g = LK.graph () in
+  List.iter
+    (fun sink ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s depended on by >= 10 components" sink)
+        true
+        (G.in_degree g sink >= 10))
+    [ "kernel"; "lib"; "mm" ]
+
+let test_linux_removal_impact () =
+  let impact = LK.removal_impact "mm" in
+  Alcotest.(check bool) "removing mm touches most of the kernel" true
+    (List.length impact >= 10);
+  Alcotest.(check bool) "drivers depend on mm" true (List.mem "drivers" impact)
+
+let test_linux_counts () =
+  Alcotest.(check int) "drivers->kernel dependency count" 12400
+    (LK.dependency_count ~from_:"drivers" ~to_:"kernel");
+  Alcotest.(check int) "absent edge" 0 (LK.dependency_count ~from_:"init" ~to_:"sound")
+
+let suite =
+  [
+    Alcotest.test_case "digraph basics" `Quick test_basics;
+    Alcotest.test_case "edge weights" `Quick test_weights;
+    Alcotest.test_case "reachability" `Quick test_reachable;
+    Alcotest.test_case "topological sort" `Quick test_topo;
+    Alcotest.test_case "cycle detection" `Quick test_cycle_detection;
+    Alcotest.test_case "transpose" `Quick test_transpose;
+    Alcotest.test_case "subgraph" `Quick test_subgraph;
+    Alcotest.test_case "dot output" `Quick test_dot;
+    QCheck_alcotest.to_alcotest reachability_monotone_prop;
+    Alcotest.test_case "linux graph is dense (Fig 1)" `Quick test_linux_density;
+    Alcotest.test_case "linux universal sinks" `Quick test_linux_sinks;
+    Alcotest.test_case "linux removal impact" `Quick test_linux_removal_impact;
+    Alcotest.test_case "linux dependency counts" `Quick test_linux_counts;
+  ]

@@ -1,0 +1,175 @@
+(* Tests for uklock: mutexes, semaphores, condition variables, in both
+   compiled-out and threaded modes. *)
+
+open Uklock
+
+let env () =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  Uksched.Sched.create_cooperative ~clock ~engine
+
+let test_nop_mutex () =
+  let m = Lock.Mutex.create Lock.Compiled_out in
+  Lock.Mutex.lock m;
+  Alcotest.(check bool) "nop mutex never reports locked" false (Lock.Mutex.locked m);
+  Lock.Mutex.unlock m;
+  Alcotest.(check bool) "try_lock always true" true (Lock.Mutex.try_lock m)
+
+let test_mutex_exclusion () =
+  let s = env () in
+  let m = Lock.Mutex.create (Lock.Threaded s) in
+  let in_critical = ref 0 in
+  let max_seen = ref 0 in
+  let worker () =
+    for _ = 1 to 5 do
+      Lock.Mutex.lock m;
+      incr in_critical;
+      max_seen := max !max_seen !in_critical;
+      Uksched.Sched.yield ();
+      decr in_critical;
+      Lock.Mutex.unlock m
+    done
+  in
+  ignore (Uksched.Sched.spawn s worker);
+  ignore (Uksched.Sched.spawn s worker);
+  Uksched.Sched.run s;
+  Alcotest.(check int) "never two holders" 1 !max_seen
+
+let test_mutex_fifo_handoff () =
+  let s = env () in
+  let m = Lock.Mutex.create (Lock.Threaded s) in
+  let order = ref [] in
+  ignore
+    (Uksched.Sched.spawn s ~name:"holder" (fun () ->
+         Lock.Mutex.lock m;
+         Uksched.Sched.yield ();
+         Uksched.Sched.yield ();
+         Lock.Mutex.unlock m));
+  let contender tag =
+    ignore
+      (Uksched.Sched.spawn s ~name:tag (fun () ->
+           Lock.Mutex.lock m;
+           order := tag :: !order;
+           Lock.Mutex.unlock m))
+  in
+  contender "first";
+  contender "second";
+  Uksched.Sched.run s;
+  Alcotest.(check (list string)) "handoff order" [ "first"; "second" ] (List.rev !order)
+
+let test_mutex_unlock_free () =
+  let s = env () in
+  let m = Lock.Mutex.create (Lock.Threaded s) in
+  Alcotest.check_raises "unlock of free mutex" (Invalid_argument "Lock.Mutex.unlock: not locked")
+    (fun () -> Lock.Mutex.unlock m)
+
+let test_with_lock_exception_safe () =
+  let s = env () in
+  let m = Lock.Mutex.create (Lock.Threaded s) in
+  ignore
+    (Uksched.Sched.spawn s (fun () ->
+         (try Lock.Mutex.with_lock m (fun () -> failwith "boom") with Failure _ -> ());
+         Alcotest.(check bool) "released after exception" false (Lock.Mutex.locked m)));
+  Uksched.Sched.run s
+
+let test_try_lock () =
+  let s = env () in
+  let m = Lock.Mutex.create (Lock.Threaded s) in
+  ignore
+    (Uksched.Sched.spawn s (fun () ->
+         Alcotest.(check bool) "first try succeeds" true (Lock.Mutex.try_lock m);
+         Alcotest.(check bool) "second try fails" false (Lock.Mutex.try_lock m);
+         Lock.Mutex.unlock m));
+  Uksched.Sched.run s
+
+let test_semaphore_counting () =
+  let s = env () in
+  let sem = Lock.Semaphore.create (Lock.Threaded s) 2 in
+  let active = ref 0 and peak = ref 0 in
+  let worker () =
+    Lock.Semaphore.wait sem;
+    incr active;
+    peak := max !peak !active;
+    Uksched.Sched.yield ();
+    decr active;
+    Lock.Semaphore.signal sem
+  in
+  for _ = 1 to 5 do
+    ignore (Uksched.Sched.spawn s worker)
+  done;
+  Uksched.Sched.run s;
+  Alcotest.(check bool) "at most two concurrent" true (!peak <= 2);
+  Alcotest.(check int) "count restored" 2 (Lock.Semaphore.count sem)
+
+let test_semaphore_try () =
+  let s = env () in
+  let sem = Lock.Semaphore.create (Lock.Threaded s) 1 in
+  Alcotest.(check bool) "try succeeds" true (Lock.Semaphore.try_wait sem);
+  Alcotest.(check bool) "try fails at zero" false (Lock.Semaphore.try_wait sem);
+  Lock.Semaphore.signal sem;
+  Alcotest.(check int) "count back to one" 1 (Lock.Semaphore.count sem)
+
+let test_semaphore_negative () =
+  Alcotest.check_raises "negative initial count"
+    (Invalid_argument "Lock.Semaphore.create: negative count") (fun () ->
+      ignore (Lock.Semaphore.create Lock.Compiled_out (-1)))
+
+let test_condvar_signal () =
+  let s = env () in
+  let m = Lock.Mutex.create (Lock.Threaded s) in
+  let cv = Lock.Condvar.create (Lock.Threaded s) in
+  let ready = ref false in
+  let observed = ref false in
+  ignore
+    (Uksched.Sched.spawn s ~name:"waiter" (fun () ->
+         Lock.Mutex.lock m;
+         while not !ready do
+           Lock.Condvar.wait cv m
+         done;
+         observed := true;
+         Lock.Mutex.unlock m));
+  ignore
+    (Uksched.Sched.spawn s ~name:"signaller" (fun () ->
+         Lock.Mutex.lock m;
+         ready := true;
+         Lock.Condvar.signal cv;
+         Lock.Mutex.unlock m));
+  Uksched.Sched.run s;
+  Alcotest.(check bool) "condition observed" true !observed
+
+let test_condvar_broadcast () =
+  let s = env () in
+  let m = Lock.Mutex.create (Lock.Threaded s) in
+  let cv = Lock.Condvar.create (Lock.Threaded s) in
+  let released = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Uksched.Sched.spawn s (fun () ->
+           Lock.Mutex.lock m;
+           Lock.Condvar.wait cv m;
+           incr released;
+           Lock.Mutex.unlock m))
+  done;
+  ignore
+    (Uksched.Sched.spawn s (fun () ->
+         Uksched.Sched.yield ();
+         Lock.Mutex.lock m;
+         Lock.Condvar.broadcast cv;
+         Lock.Mutex.unlock m));
+  Uksched.Sched.run s;
+  Alcotest.(check int) "all waiters released" 3 !released
+
+let suite =
+  [
+    Alcotest.test_case "compiled-out mutex" `Quick test_nop_mutex;
+    Alcotest.test_case "mutual exclusion" `Quick test_mutex_exclusion;
+    Alcotest.test_case "FIFO handoff" `Quick test_mutex_fifo_handoff;
+    Alcotest.test_case "unlock of free mutex" `Quick test_mutex_unlock_free;
+    Alcotest.test_case "with_lock exception safety" `Quick test_with_lock_exception_safe;
+    Alcotest.test_case "try_lock" `Quick test_try_lock;
+    Alcotest.test_case "counting semaphore" `Quick test_semaphore_counting;
+    Alcotest.test_case "semaphore try_wait" `Quick test_semaphore_try;
+    Alcotest.test_case "semaphore validation" `Quick test_semaphore_negative;
+    Alcotest.test_case "condvar signal" `Quick test_condvar_signal;
+    Alcotest.test_case "condvar broadcast" `Quick test_condvar_broadcast;
+  ]

@@ -1,0 +1,184 @@
+(* Tests for page tables (ukmmu), boot orchestration (ukboot), and VMM
+   models (ukplat). *)
+
+module Pt = Ukmmu.Pagetable
+module Boot = Ukboot.Boot
+module Vmm = Ukplat.Vmm
+
+let mib = Uksim.Units.mib
+
+let test_static_identity () =
+  let clock = Uksim.Clock.create () in
+  let pt = Pt.create ~clock ~mode:Pt.Static ~ram_bytes:(mib 4) in
+  Alcotest.(check int) "all pages mapped" (mib 4 / 4096) (Pt.mapped_pages pt);
+  Alcotest.(check (option int)) "identity translation" (Some 0x1234) (Pt.translate pt 0x1234);
+  Alcotest.(check (option int)) "beyond ram unmapped" None (Pt.translate pt (mib 8))
+
+let test_static_boot_constant () =
+  (* Fig 21: pre-initialized page tables boot in O(1) regardless of RAM. *)
+  let boot_cycles ram =
+    let clock = Uksim.Clock.create () in
+    ignore (Pt.create ~clock ~mode:Pt.Static ~ram_bytes:ram);
+    Uksim.Clock.cycles clock
+  in
+  Alcotest.(check int) "32MB == 1GB boot cost" (boot_cycles (mib 32)) (boot_cycles (mib 1024));
+  let clock = Uksim.Clock.create () in
+  let pt = Pt.create ~clock ~mode:Pt.Static ~ram_bytes:(mib 32) in
+  Alcotest.(check int) "no charged entry writes" 0 (Pt.boot_entry_writes pt)
+
+let test_dynamic_boot_proportional () =
+  (* Fig 21: dynamic population grows linearly with RAM. *)
+  let boot_cycles ram =
+    let clock = Uksim.Clock.create () in
+    ignore (Pt.create ~clock ~mode:Pt.Dynamic ~ram_bytes:ram);
+    Uksim.Clock.cycles clock
+  in
+  let c32 = boot_cycles (mib 32) and c128 = boot_cycles (mib 128) in
+  Alcotest.(check bool)
+    (Printf.sprintf "roughly 4x: %d vs %d" c32 c128)
+    true
+    (c128 > 3 * c32 && c128 < 5 * c32)
+
+let test_dynamic_vs_static_paper_point () =
+  (* "a guest with a 32MB dynamic page-table takes slightly longer to boot
+     than one with a pre-initialized 1GB page-table" *)
+  let cycles mode ram =
+    let clock = Uksim.Clock.create () in
+    ignore (Pt.create ~clock ~mode ~ram_bytes:ram);
+    Uksim.Clock.cycles clock
+  in
+  Alcotest.(check bool) "dynamic 32MB > static 1GB" true
+    (cycles Pt.Dynamic (mib 32) > cycles Pt.Static (mib 1024))
+
+let test_dynamic_map_unmap () =
+  let clock = Uksim.Clock.create () in
+  let pt = Pt.create ~clock ~mode:Pt.Dynamic ~ram_bytes:(mib 1) in
+  let vaddr = mib 512 in
+  Pt.map_page pt ~vaddr ~paddr:0x5000;
+  Alcotest.(check (option int)) "mapped" (Some (0x5000 lor 0x123)) (Pt.translate pt (vaddr + 0x123));
+  Pt.unmap_page pt ~vaddr;
+  Alcotest.(check (option int)) "unmapped" None (Pt.translate pt vaddr);
+  Alcotest.check_raises "unaligned rejected"
+    (Invalid_argument "Pagetable.map_page: 0x7b not page-aligned") (fun () ->
+      Pt.map_page pt ~vaddr:123 ~paddr:0)
+
+let test_static_immutable () =
+  let clock = Uksim.Clock.create () in
+  let pt = Pt.create ~clock ~mode:Pt.Static ~ram_bytes:(mib 1) in
+  Alcotest.check_raises "static is immutable"
+    (Invalid_argument "Pagetable.map_page: static page table is immutable") (fun () ->
+      Pt.map_page pt ~vaddr:0 ~paddr:0)
+
+let test_protected32 () =
+  let clock = Uksim.Clock.create () in
+  let pt = Pt.create ~clock ~mode:Pt.Protected32 ~ram_bytes:(mib 8) in
+  Alcotest.(check (option int)) "identity" (Some 42) (Pt.translate pt 42);
+  Alcotest.(check int) "no tables" 0 (Pt.mapped_pages pt);
+  Alcotest.(check int) "no tlb misses ever" 0 (Pt.tlb_misses pt)
+
+let test_tlb () =
+  let clock = Uksim.Clock.create () in
+  let pt = Pt.create ~clock ~mode:Pt.Static ~ram_bytes:(mib 1) in
+  ignore (Pt.translate pt 0x1000);
+  let misses1 = Pt.tlb_misses pt in
+  ignore (Pt.translate pt 0x1004);
+  Alcotest.(check int) "second access hits" misses1 (Pt.tlb_misses pt);
+  Alcotest.(check bool) "hits recorded" true (Pt.tlb_hits pt >= 1);
+  Pt.tlb_flush pt;
+  ignore (Pt.translate pt 0x1000);
+  Alcotest.(check int) "miss after flush" (misses1 + 1) (Pt.tlb_misses pt)
+
+let test_table_overhead () =
+  let clock = Uksim.Clock.create () in
+  let pt = Pt.create ~clock ~mode:Pt.Static ~ram_bytes:(mib 2) in
+  (* 2MB = 512 PTEs = 1 leaf + PD + PDPT + PML4. *)
+  Alcotest.(check int) "table pages" 4 (Pt.table_count pt);
+  Alcotest.(check int) "table bytes" (4 * 4096) (Pt.table_bytes pt)
+
+(* --- ukboot --------------------------------------------------------------- *)
+
+let test_inittab_ordering () =
+  let tab = Boot.Inittab.create () in
+  Boot.Inittab.register tab ~level:Boot.Level.fs ~name:"fs" (fun () -> ());
+  Boot.Inittab.register tab ~level:Boot.Level.early ~name:"early" (fun () -> ());
+  Boot.Inittab.register tab ~level:Boot.Level.alloc ~name:"alloc-a" (fun () -> ());
+  Boot.Inittab.register tab ~level:Boot.Level.alloc ~name:"alloc-b" (fun () -> ());
+  Alcotest.(check (list (pair int string)))
+    "level order, registration order within level"
+    [ (1, "early"); (3, "alloc-a"); (3, "alloc-b"); (6, "fs") ]
+    (Boot.Inittab.entries tab)
+
+let test_boot_report () =
+  let clock = Uksim.Clock.create () in
+  let tab = Boot.Inittab.create () in
+  Boot.Inittab.register tab ~level:1 ~name:"a" (fun () -> Uksim.Clock.advance clock 3600);
+  Boot.Inittab.register tab ~level:2 ~name:"b" (fun () -> Uksim.Clock.advance clock 7200);
+  let main_ran = ref false in
+  let r = Boot.run ~clock ~main:(fun () -> main_ran := true) tab in
+  Alcotest.(check bool) "main ran" true !main_ran;
+  Alcotest.(check (float 0.1)) "boot time excludes main" 3000.0 r.Boot.guest_boot_ns;
+  Alcotest.(check int) "two phases" 2 (List.length r.Boot.phases);
+  let b = List.nth r.Boot.phases 1 in
+  Alcotest.(check (float 0.1)) "phase duration" 2000.0 b.Boot.duration_ns;
+  Alcotest.(check (float 0.1)) "phase start offset" 1000.0 b.Boot.start_ns
+
+let test_inittab_level_range () =
+  let tab = Boot.Inittab.create () in
+  Alcotest.check_raises "bad level" (Invalid_argument "Inittab.register: level must be in 1..7")
+    (fun () -> Boot.Inittab.register tab ~level:0 ~name:"x" (fun () -> ()))
+
+(* --- ukplat ---------------------------------------------------------------- *)
+
+let test_vmm_startup_ordering () =
+  (* Fig 10: QEMU slowest, microVM middle, FC/Solo5 fastest. *)
+  let s v = Vmm.startup_ns v in
+  Alcotest.(check bool) "fc < microvm" true (s Vmm.Firecracker < s Vmm.Qemu_microvm);
+  Alcotest.(check bool) "microvm < qemu" true (s Vmm.Qemu_microvm < s Vmm.Qemu);
+  Alcotest.(check (float 0.1)) "qemu = 40ms" 40e6 (s Vmm.Qemu)
+
+let test_vmm_boot_breakdown () =
+  let clock = Uksim.Clock.create () in
+  let tab = Boot.Inittab.create () in
+  Boot.Inittab.register tab ~level:1 ~name:"ctor" (fun () -> Uksim.Clock.advance clock 36_000);
+  let bd, report = Vmm.boot Vmm.Solo5 ~clock ~nics:1 ~inittab:tab () in
+  Alcotest.(check (float 1.0)) "vmm startup" 3e6 bd.Vmm.vmm_startup_ns;
+  Alcotest.(check bool) "guest time includes nic + ctors" true
+    (bd.Vmm.guest_ns >= 10_000.0 +. report.Boot.guest_boot_ns);
+  Alcotest.(check (float 1.0)) "total = vmm + guest" (bd.Vmm.vmm_startup_ns +. bd.Vmm.guest_ns)
+    bd.Vmm.total_ns
+
+let test_vmm_9p_attach () =
+  (* Paper: +0.3ms boot on KVM with the 9pfs device. *)
+  let boot_ns with_9p =
+    let clock = Uksim.Clock.create () in
+    let tab = Boot.Inittab.create () in
+    let bd, _ = Vmm.boot Vmm.Qemu ~clock ~with_9p ~inittab:tab () in
+    bd.Vmm.guest_ns
+  in
+  Alcotest.(check (float 1000.0)) "9p adds 0.3ms" 3.0e5 (boot_ns true -. boot_ns false)
+
+let test_vmm_names () =
+  List.iter
+    (fun v -> Alcotest.(check (option string)) "roundtrip" (Some (Vmm.name v)) (Option.map Vmm.name (Vmm.of_name (Vmm.name v))))
+    Vmm.all
+
+let suite =
+  [
+    Alcotest.test_case "static identity map" `Quick test_static_identity;
+    Alcotest.test_case "static boot O(1) (Fig 21)" `Quick test_static_boot_constant;
+    Alcotest.test_case "dynamic boot linear (Fig 21)" `Quick test_dynamic_boot_proportional;
+    Alcotest.test_case "dynamic 32MB vs static 1GB (Fig 21)" `Quick
+      test_dynamic_vs_static_paper_point;
+    Alcotest.test_case "dynamic map/unmap" `Quick test_dynamic_map_unmap;
+    Alcotest.test_case "static immutable" `Quick test_static_immutable;
+    Alcotest.test_case "protected 32-bit mode" `Quick test_protected32;
+    Alcotest.test_case "TLB hits and misses" `Quick test_tlb;
+    Alcotest.test_case "table overhead" `Quick test_table_overhead;
+    Alcotest.test_case "inittab ordering" `Quick test_inittab_ordering;
+    Alcotest.test_case "boot report" `Quick test_boot_report;
+    Alcotest.test_case "inittab level range" `Quick test_inittab_level_range;
+    Alcotest.test_case "VMM startup ordering (Fig 10)" `Quick test_vmm_startup_ordering;
+    Alcotest.test_case "VMM boot breakdown" `Quick test_vmm_boot_breakdown;
+    Alcotest.test_case "9p attach cost (text2)" `Quick test_vmm_9p_attach;
+    Alcotest.test_case "VMM name roundtrip" `Quick test_vmm_names;
+  ]

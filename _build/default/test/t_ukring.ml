@@ -1,0 +1,74 @@
+(* Tests for the uk_ring SPSC buffer. *)
+
+module R = Ukring.Ring
+
+let test_fifo () =
+  let r = R.create ~capacity:4 in
+  Alcotest.(check bool) "enq 1" true (R.enqueue r 1);
+  Alcotest.(check bool) "enq 2" true (R.enqueue r 2);
+  Alcotest.(check (option int)) "peek" (Some 1) (R.peek r);
+  Alcotest.(check (option int)) "deq 1" (Some 1) (R.dequeue r);
+  Alcotest.(check (option int)) "deq 2" (Some 2) (R.dequeue r);
+  Alcotest.(check (option int)) "empty" None (R.dequeue r)
+
+let test_capacity_rounding () =
+  let r = R.create ~capacity:5 in
+  Alcotest.(check int) "rounded to 8" 8 (R.capacity r);
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Ring.create: capacity must be positive")
+    (fun () -> ignore (R.create ~capacity:0))
+
+let test_full_rejects () =
+  let r = R.create ~capacity:2 in
+  Alcotest.(check bool) "fills" true (R.enqueue r 'a' && R.enqueue r 'b');
+  Alcotest.(check bool) "full" true (R.is_full r);
+  Alcotest.(check bool) "rejected" false (R.enqueue r 'c');
+  Alcotest.(check int) "drop counted" 1 (R.dropped_total r);
+  ignore (R.dequeue r);
+  Alcotest.(check bool) "room again" true (R.enqueue r 'd')
+
+let test_bursts () =
+  let r = R.create ~capacity:8 in
+  Alcotest.(check int) "burst in" 8 (R.enqueue_burst r (Array.init 10 Fun.id));
+  Alcotest.(check int) "overflow dropped" 2 (R.dropped_total r);
+  Alcotest.(check (list int)) "burst out, FIFO" [ 0; 1; 2 ] (R.dequeue_burst r ~max:3);
+  Alcotest.(check int) "remaining" 5 (R.length r)
+
+let test_wraparound () =
+  (* Free-running indices must survive many laps. *)
+  let r = R.create ~capacity:4 in
+  for lap = 1 to 10_000 do
+    Alcotest.(check bool) "enq" true (R.enqueue r lap);
+    Alcotest.(check (option int)) "deq" (Some lap) (R.dequeue r)
+  done;
+  Alcotest.(check int) "totals" 10_000 (R.enqueued_total r)
+
+let ring_model_prop =
+  QCheck.Test.make ~name:"ring behaves as a bounded FIFO queue" ~count:200
+    QCheck.(list (option (int_bound 1000)))
+    (fun ops ->
+      (* Some x = enqueue x; None = dequeue. Compare against Queue with
+         the same capacity bound. *)
+      let r = R.create ~capacity:8 in
+      let cap = R.capacity r in
+      let model = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some x ->
+              let accepted = R.enqueue r x in
+              let model_accepts = Queue.length model < cap in
+              if model_accepts then Queue.push x model;
+              accepted = model_accepts
+          | None -> R.dequeue r = Queue.take_opt model)
+        ops
+      && R.length r = Queue.length model)
+
+let suite =
+  [
+    Alcotest.test_case "fifo order" `Quick test_fifo;
+    Alcotest.test_case "capacity rounding" `Quick test_capacity_rounding;
+    Alcotest.test_case "full ring rejects" `Quick test_full_rejects;
+    Alcotest.test_case "bursts" `Quick test_bursts;
+    Alcotest.test_case "index wraparound" `Quick test_wraparound;
+    QCheck_alcotest.to_alcotest ring_model_prop;
+  ]

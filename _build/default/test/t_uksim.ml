@@ -1,0 +1,193 @@
+(* Tests for the simulation substrate: clock, RNG, heap, engine, stats. *)
+
+open Uksim
+
+let test_clock_basics () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at zero" 0 (Clock.cycles c);
+  Clock.advance c 360;
+  Alcotest.(check int) "advance" 360 (Clock.cycles c);
+  Alcotest.(check (float 0.001)) "ns conversion at 3.6GHz" 100.0 (Clock.ns c);
+  Clock.advance_ns c 100.0;
+  Alcotest.(check int) "advance_ns rounds up" 720 (Clock.cycles c);
+  Clock.reset c;
+  Alcotest.(check int) "reset" 0 (Clock.cycles c)
+
+let test_clock_negative () =
+  let c = Clock.create () in
+  Alcotest.check_raises "negative advance" (Invalid_argument "Clock.advance: negative cycles")
+    (fun () -> Clock.advance c (-1))
+
+let test_clock_span () =
+  let c = Clock.create () in
+  Clock.advance c 100;
+  let s = Clock.start c in
+  Clock.advance c 250;
+  Alcotest.(check int) "span cycles" 250 (Clock.elapsed_cycles c s)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next a) (Rng.next b)
+  done
+
+let test_rng_bounds () =
+  let r = Rng.create 99 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of bounds: %d" v
+  done;
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r 5 9 in
+    if v < 5 || v > 9 then Alcotest.failf "int_in out of bounds: %d" v
+  done;
+  for _ = 1 to 100 do
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "float out of bounds: %f" f
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 1 in
+  let b = Rng.split a in
+  let xa = Rng.next a and xb = Rng.next b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let test_rng_errors () =
+  let r = Rng.create 0 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "empty choose" (Invalid_argument "Rng.choose: empty array") (fun () ->
+      ignore (Rng.choose r [||]))
+
+let test_heapq_order () =
+  let h = Heapq.create () in
+  List.iter (fun (k, v) -> Heapq.push h k v) [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
+  let out = ref [] in
+  let rec drain () =
+    match Heapq.pop h with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c"; "d"; "e" ] (List.rev !out)
+
+let test_heapq_fifo_ties () =
+  let h = Heapq.create () in
+  List.iter (fun v -> Heapq.push h 1 v) [ "first"; "second"; "third" ];
+  let take () = match Heapq.pop h with Some (_, v) -> v | None -> "" in
+  let a = take () in
+  let b = take () in
+  let c = take () in
+  Alcotest.(check (list string)) "FIFO among equal keys" [ "first"; "second"; "third" ]
+    [ a; b; c ]
+
+let heapq_sorts_prop =
+  QCheck.Test.make ~name:"heapq pops in nondecreasing key order" ~count:200
+    QCheck.(list (int_bound 1000))
+    (fun keys ->
+      let h = Heapq.create () in
+      List.iter (fun k -> Heapq.push h k k) keys;
+      let rec drain acc =
+        match Heapq.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort compare keys)
+
+let test_engine_ordering () =
+  let c = Clock.create () in
+  let e = Engine.create c in
+  let log = ref [] in
+  Engine.after e 100 (fun () -> log := "b" :: !log);
+  Engine.after e 50 (fun () -> log := "a" :: !log);
+  Engine.after e 150 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 150 (Clock.cycles c)
+
+let test_engine_until () =
+  let c = Clock.create () in
+  let e = Engine.create c in
+  let fired = ref 0 in
+  Engine.after e 100 (fun () -> incr fired);
+  Engine.after e 300 (fun () -> incr fired);
+  Engine.run ~until:200 e;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "clock advanced to limit" 200 (Clock.cycles c);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "second fired" 2 !fired
+
+let test_engine_cascade () =
+  let c = Clock.create () in
+  let e = Engine.create c in
+  let log = ref [] in
+  Engine.after e 10 (fun () ->
+      log := 1 :: !log;
+      Engine.after e 10 (fun () -> log := 2 :: !log));
+  Engine.run e;
+  Alcotest.(check (list int)) "events can schedule events" [ 1; 2 ] (List.rev !log);
+  Alcotest.(check int) "cascade timing" 20 (Clock.cycles c)
+
+let test_engine_past () =
+  let c = Clock.create () in
+  let e = Engine.create c in
+  Clock.advance c 100;
+  Alcotest.check_raises "past event rejected" (Invalid_argument "Engine.at: event in the past")
+    (fun () -> Engine.at e 50 (fun () -> ()))
+
+let test_stats_percentiles () =
+  let s = Stats.create () in
+  for i = 1 to 100 do
+    Stats.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 0.01)) "mean" 50.5 (Stats.mean s);
+  Alcotest.(check (float 0.01)) "median" 50.5 (Stats.median s);
+  Alcotest.(check (float 0.5)) "p99" 99.0 (Stats.percentile s 99.0);
+  Alcotest.(check (float 0.01)) "min" 1.0 (Stats.min s);
+  Alcotest.(check (float 0.01)) "max" 100.0 (Stats.max s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  Alcotest.(check bool) "mean of empty is nan" true (Float.is_nan (Stats.mean s));
+  Alcotest.(check int) "count" 0 (Stats.count s)
+
+let test_stats_throughput () =
+  Alcotest.(check (float 0.01)) "1000 events in 1ms = 1M/s" 1_000_000.0
+    (Stats.throughput_per_sec ~events:1000 ~elapsed_ns:1e6)
+
+let test_units () =
+  Alcotest.(check int) "kib" 2048 (Units.kib 2);
+  Alcotest.(check string) "pp_bytes MB" "1.4MB" (Fmt.str "%a" Units.pp_bytes 1468006);
+  Alcotest.(check string) "pp_ns ms" "3.00ms" (Fmt.str "%a" Units.pp_ns 3.0e6)
+
+let test_cost_table1 () =
+  (* The paper's Table 1 anchors. *)
+  Alcotest.(check int) "function call = 4 cycles" 4 Cost.function_call;
+  Alcotest.(check int) "unikraft syscall = 84" 84 Cost.syscall_unikraft;
+  Alcotest.(check int) "linux syscall = 222" 222 Cost.syscall_linux;
+  Alcotest.(check int) "linux no-mitigations = 154" 154 Cost.syscall_linux_nomitig
+
+let suite =
+  [
+    Alcotest.test_case "clock basics" `Quick test_clock_basics;
+    Alcotest.test_case "clock rejects negative" `Quick test_clock_negative;
+    Alcotest.test_case "clock spans" `Quick test_clock_span;
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng split" `Quick test_rng_split_independent;
+    Alcotest.test_case "rng errors" `Quick test_rng_errors;
+    Alcotest.test_case "heapq ordering" `Quick test_heapq_order;
+    Alcotest.test_case "heapq FIFO ties" `Quick test_heapq_fifo_ties;
+    QCheck_alcotest.to_alcotest heapq_sorts_prop;
+    Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
+    Alcotest.test_case "engine until" `Quick test_engine_until;
+    Alcotest.test_case "engine cascade" `Quick test_engine_cascade;
+    Alcotest.test_case "engine rejects past" `Quick test_engine_past;
+    Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
+    Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "stats throughput" `Quick test_stats_throughput;
+    Alcotest.test_case "units formatting" `Quick test_units;
+    Alcotest.test_case "cost table anchors (Table 1)" `Quick test_cost_table1;
+  ]

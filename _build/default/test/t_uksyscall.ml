@@ -1,0 +1,156 @@
+(* Tests for the syscall shim, the x86-64 numbering, and the 30-app
+   requirement dataset (Table 1, Figs 5 and 7). *)
+
+module Sysno = Uksyscall.Sysno
+module Shim = Uksyscall.Shim
+module Appdb = Uksyscall.Appdb
+module Errno = Uksyscall.Fs_errno
+
+let test_sysno_table () =
+  Alcotest.(check int) "range matches the paper's heatmap" 313 Sysno.max_sysno;
+  Alcotest.(check string) "0 = read" "read" (Sysno.name 0);
+  Alcotest.(check string) "1 = write" "write" (Sysno.name 1);
+  Alcotest.(check string) "57 = fork" "fork" (Sysno.name 57);
+  Alcotest.(check string) "313 = finit_module" "finit_module" (Sysno.name 313);
+  Alcotest.(check (option int)) "reverse lookup" (Some 41) (Sysno.number "socket");
+  Alcotest.(check (option int)) "unknown" None (Sysno.number "frobnicate");
+  Alcotest.(check int) "all entries" 314 (List.length Sysno.all)
+
+let test_dispatch_costs () =
+  (* Table 1 through the shim. *)
+  Alcotest.(check int) "native link" 4 (Shim.dispatch_cost Shim.Native_link);
+  Alcotest.(check int) "binary compat" 84 (Shim.dispatch_cost Shim.Binary_compat);
+  Alcotest.(check int) "linux" 222 (Shim.dispatch_cost Shim.Linux_vm);
+  Alcotest.(check int) "linux no mitigations" 154 (Shim.dispatch_cost Shim.Linux_vm_nomitig)
+
+let test_shim_register_call () =
+  let clock = Uksim.Clock.create () in
+  let shim = Shim.create ~clock ~mode:Shim.Native_link in
+  Shim.register shim ~sysno:39 (fun _ -> Ok 1234) (* getpid *);
+  (match Shim.call shim ~sysno:39 [||] with
+  | Ok 1234 -> ()
+  | _ -> Alcotest.fail "handler result");
+  Alcotest.(check int) "dispatch charged" 4 (Uksim.Clock.cycles clock);
+  Alcotest.(check bool) "supports" true (Shim.supports shim 39);
+  Alcotest.check_raises "duplicate" (Invalid_argument "Shim.register: duplicate handler for getpid")
+    (fun () -> Shim.register shim ~sysno:39 (fun _ -> Ok 0))
+
+let test_shim_enosys () =
+  let clock = Uksim.Clock.create () in
+  let shim = Shim.create ~clock ~mode:Shim.Binary_compat in
+  (match Shim.call shim ~sysno:57 [||] (* fork *) with
+  | Error Errno.Enosys -> ()
+  | _ -> Alcotest.fail "unregistered syscall must ENOSYS");
+  (match Shim.call shim ~sysno:57 [||] with Error _ -> () | Ok _ -> Alcotest.fail "again");
+  Alcotest.(check (list (pair int int))) "enosys accounting" [ (57, 2) ] (Shim.enosys_hits shim);
+  Alcotest.(check int) "cost still charged" (2 * 84) (Uksim.Clock.cycles clock);
+  Alcotest.(check int) "calls counted" 2 (Shim.calls_made shim)
+
+let test_shim_stub () =
+  let clock = Uksim.Clock.create () in
+  let shim = Shim.create ~clock ~mode:Shim.Native_link in
+  Shim.register_stub shim ~sysno:309 ~ret:0 (* getcpu, the paper's example *);
+  match Shim.call shim ~sysno:309 [||] with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "stub"
+
+let test_appdb_counts () =
+  Alcotest.(check int) "30 applications" 30 (List.length Appdb.apps);
+  Alcotest.(check int) "146 supported syscalls (§4.1)" 146
+    (List.length Appdb.unikraft_supported)
+
+let test_appdb_heatmap () =
+  let hm = Appdb.heatmap () in
+  Alcotest.(check int) "one cell per syscall" 314 (List.length hm);
+  let needed = List.filter (fun c -> c.Appdb.needed_by > 0) hm in
+  (* "more than half the syscalls are not even needed" *)
+  Alcotest.(check bool) "under half needed" true (List.length needed < 157);
+  let universal = List.filter (fun c -> c.Appdb.needed_by = 30) hm in
+  Alcotest.(check bool) "read/write universal" true
+    (List.exists (fun c -> c.Appdb.sname = "read") universal
+    && List.exists (fun c -> c.Appdb.sname = "write") universal)
+
+let test_appdb_coverage_monotone () =
+  (* Fig 7: implementing the next-most-wanted syscalls only helps. *)
+  List.iter
+    (fun c ->
+      let open Appdb in
+      if not (c.now <= c.plus5 && c.plus5 <= c.plus10 && c.plus10 <= c.plus15 && c.plus15 <= 1.0)
+      then Alcotest.failf "%s: coverage not monotone" c.app)
+    (Appdb.coverage ())
+
+let test_appdb_mostly_green () =
+  (* Fig 7's first take-away: all apps are close to full support. *)
+  List.iter
+    (fun c ->
+      if c.Appdb.now < 0.75 then
+        Alcotest.failf "%s: only %.0f%% supported" c.Appdb.app (100.0 *. c.Appdb.now))
+    (Appdb.coverage ())
+
+let test_appdb_processes_unsupported () =
+  (* Unikraft has no processes: fork/execve must be outside the set. *)
+  let module I = Set.Make (Int) in
+  let s = I.of_list Appdb.unikraft_supported in
+  let n name = Option.get (Sysno.number name) in
+  Alcotest.(check bool) "no fork" false (I.mem (n "fork") s);
+  Alcotest.(check bool) "no execve" false (I.mem (n "execve") s);
+  Alcotest.(check bool) "no epoll_wait (wip at paper time)" false (I.mem (n "epoll_wait") s);
+  Alcotest.(check bool) "read supported" true (I.mem (n "read") s);
+  Alcotest.(check bool) "socket supported" true (I.mem (n "socket") s)
+
+let test_appdb_install () =
+  let clock = Uksim.Clock.create () in
+  let shim = Shim.create ~clock ~mode:Shim.Native_link in
+  Appdb.install_supported shim;
+  Alcotest.(check int) "all supported registered" 146 (Shim.supported_count shim);
+  match Shim.call shim ~sysno:(Option.get (Sysno.number "getpid")) [||] with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "stubbed syscall callable"
+
+let test_most_wanted () =
+  let top5 = Appdb.most_wanted_missing 5 in
+  Alcotest.(check int) "five returned" 5 (List.length top5);
+  (* They must all be unsupported and wanted by many apps. *)
+  let module I = Set.Make (Int) in
+  let s = I.of_list Appdb.unikraft_supported in
+  List.iter (fun n -> if I.mem n s then Alcotest.fail "already supported") top5
+
+let test_tracer_and_histogram () =
+  (* The strace-style instrument behind the paper's dynamic analysis. *)
+  let clock = Uksim.Clock.create () in
+  let shim = Shim.create ~clock ~mode:Shim.Native_link in
+  Appdb.install_supported shim;
+  let traced = ref [] in
+  Shim.set_tracer shim (Some (fun n -> traced := n :: !traced));
+  ignore (Shim.call shim ~sysno:0 [||]);
+  ignore (Shim.call shim ~sysno:1 [||]);
+  ignore (Shim.call shim ~sysno:0 [||]);
+  Alcotest.(check (list int)) "trace order" [ 0; 1; 0 ] (List.rev !traced);
+  Alcotest.(check (list (pair int int))) "histogram" [ (0, 2); (1, 1) ]
+    (Shim.call_counts shim);
+  Shim.set_tracer shim None;
+  ignore (Shim.call shim ~sysno:0 [||]);
+  Alcotest.(check int) "tracer detached" 3 (List.length !traced)
+
+let test_required_error () =
+  Alcotest.check_raises "unknown app"
+    (Invalid_argument "Appdb.required: unknown application no-such-app") (fun () ->
+      ignore (Appdb.required "no-such-app"))
+
+let suite =
+  [
+    Alcotest.test_case "x86-64 syscall table" `Quick test_sysno_table;
+    Alcotest.test_case "dispatch costs (Table 1)" `Quick test_dispatch_costs;
+    Alcotest.test_case "register and call" `Quick test_shim_register_call;
+    Alcotest.test_case "ENOSYS stubbing" `Quick test_shim_enosys;
+    Alcotest.test_case "trivial stubs" `Quick test_shim_stub;
+    Alcotest.test_case "appdb counts" `Quick test_appdb_counts;
+    Alcotest.test_case "heatmap shape (Fig 5)" `Quick test_appdb_heatmap;
+    Alcotest.test_case "coverage monotone (Fig 7)" `Quick test_appdb_coverage_monotone;
+    Alcotest.test_case "apps mostly supported (Fig 7)" `Quick test_appdb_mostly_green;
+    Alcotest.test_case "process syscalls unsupported" `Quick test_appdb_processes_unsupported;
+    Alcotest.test_case "install on shim" `Quick test_appdb_install;
+    Alcotest.test_case "most wanted missing" `Quick test_most_wanted;
+    Alcotest.test_case "strace tracer + histogram" `Quick test_tracer_and_histogram;
+    Alcotest.test_case "unknown app error" `Quick test_required_error;
+  ]

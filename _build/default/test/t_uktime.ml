@@ -1,0 +1,111 @@
+(* Tests for the hierarchical timing wheel. *)
+
+module W = Uktime.Wheel
+
+let test_fires_in_order () =
+  let w = W.create ~now:0 () in
+  let log = ref [] in
+  ignore (W.arm w ~deadline:50_000 (fun () -> log := 2 :: !log));
+  ignore (W.arm w ~deadline:10_000 (fun () -> log := 1 :: !log));
+  ignore (W.arm w ~deadline:90_000 (fun () -> log := 3 :: !log));
+  let fired = W.advance w ~now:100_000 in
+  Alcotest.(check int) "three fired" 3 fired;
+  Alcotest.(check (list int)) "deadline order" [ 1; 2; 3 ] (List.rev !log);
+  Alcotest.(check int) "none pending" 0 (W.pending w)
+
+let test_not_early () =
+  let w = W.create ~now:0 () in
+  let hit = ref false in
+  ignore (W.arm w ~deadline:1_000_000 (fun () -> hit := true));
+  ignore (W.advance w ~now:500_000);
+  Alcotest.(check bool) "not fired early" false !hit;
+  ignore (W.advance w ~now:1_100_000);
+  Alcotest.(check bool) "fired eventually" true !hit
+
+let test_cancel () =
+  let w = W.create ~now:0 () in
+  let hit = ref false in
+  let timer = W.arm w ~deadline:5_000 (fun () -> hit := true) in
+  Alcotest.(check bool) "cancel pending" true (W.cancel w timer);
+  Alcotest.(check bool) "second cancel fails" false (W.cancel w timer);
+  ignore (W.advance w ~now:10_000);
+  Alcotest.(check bool) "cancelled never fires" false !hit;
+  Alcotest.(check int) "pending drained" 0 (W.pending w)
+
+let test_past_deadline_clamped () =
+  let w = W.create ~now:1_000_000 () in
+  let hit = ref false in
+  ignore (W.arm w ~deadline:10 (fun () -> hit := true));
+  ignore (W.advance w ~now:1_010_000);
+  Alcotest.(check bool) "past deadline fires promptly" true !hit
+
+let test_long_range_cascading () =
+  (* A deadline far beyond level 0 must survive cascades and fire. *)
+  let w = W.create ~granularity:16 ~now:0 () in
+  let hit = ref false in
+  let far = 16 * 256 * 300 (* level-2 territory *) in
+  ignore (W.arm w ~deadline:far (fun () -> hit := true));
+  ignore (W.advance w ~now:(far - 1000));
+  Alcotest.(check bool) "still pending" false !hit;
+  ignore (W.advance w ~now:(far + 1000));
+  Alcotest.(check bool) "fired after cascading" true !hit;
+  Alcotest.(check bool) "cascade happened" true (W.cascades w > 0)
+
+let test_rearm_from_callback () =
+  let w = W.create ~now:0 () in
+  let count = ref 0 in
+  let rec periodic at () =
+    incr count;
+    if !count < 5 then ignore (W.arm w ~deadline:(at + 10_000) (periodic (at + 10_000)))
+  in
+  ignore (W.arm w ~deadline:10_000 (periodic 10_000));
+  ignore (W.advance w ~now:100_000);
+  Alcotest.(check int) "periodic timer" 5 !count
+
+let test_backwards_time () =
+  let w = W.create ~now:100_000 () in
+  Alcotest.check_raises "no time travel" (Invalid_argument "Wheel.advance: time went backwards")
+    (fun () -> ignore (W.advance w ~now:0))
+
+let wheel_matches_heap_prop =
+  QCheck.Test.make ~name:"wheel fires exactly the timers a sorted model fires" ~count:100
+    QCheck.(pair (list (int_range 1 2_000_000)) (int_range 1 2_500_000))
+    (fun (deadlines, horizon) ->
+      let w = W.create ~now:0 () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d -> ignore (W.arm w ~deadline:d (fun () -> fired := i :: !fired)))
+        deadlines;
+      ignore (W.advance w ~now:horizon);
+      (* The wheel rounds deadlines to ticks (granularity 256) and never
+         fires early relative to the tick grid. *)
+      let tick d = ((max d 256 + 255) / 256 * 256) - 256 in
+      List.for_all
+        (fun (i, d) ->
+          let did = List.mem i !fired in
+          let must = tick d + 512 <= horizon in
+          let may_not = d > horizon + 512 in
+          (not must || did) && not (may_not && did))
+        (List.mapi (fun i d -> (i, d)) deadlines))
+
+let test_many_timers () =
+  let w = W.create ~now:0 () in
+  for i = 1 to 50_000 do
+    ignore (W.arm w ~deadline:(i * 100) (fun () -> ()))
+  done;
+  Alcotest.(check int) "all pending" 50_000 (W.pending w);
+  ignore (W.advance w ~now:6_000_000);
+  Alcotest.(check int) "all fired" 50_000 (W.fired w)
+
+let suite =
+  [
+    Alcotest.test_case "fires in deadline order" `Quick test_fires_in_order;
+    Alcotest.test_case "never early" `Quick test_not_early;
+    Alcotest.test_case "cancel" `Quick test_cancel;
+    Alcotest.test_case "past deadlines clamp" `Quick test_past_deadline_clamped;
+    Alcotest.test_case "long-range cascading" `Quick test_long_range_cascading;
+    Alcotest.test_case "re-arm from callback" `Quick test_rearm_from_callback;
+    Alcotest.test_case "backwards time rejected" `Quick test_backwards_time;
+    QCheck_alcotest.to_alcotest wheel_matches_heap_prop;
+    Alcotest.test_case "50k timers" `Quick test_many_timers;
+  ]

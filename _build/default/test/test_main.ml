@@ -1,0 +1,27 @@
+(* Aggregated test runner for the whole ukraft reproduction. *)
+
+let () =
+  Alcotest.run "ukraft"
+    [
+      ("uksim", T_uksim.suite);
+      ("ukconf", T_ukconf.suite);
+      ("ukgraph", T_ukgraph.suite);
+      ("ukbuild", T_ukbuild.suite);
+      ("ukalloc", T_ukalloc.suite);
+      ("uksched", T_uksched.suite);
+      ("uklock", T_uklock.suite);
+      ("ukmmu+ukboot+ukplat", T_ukmmu.suite);
+      ("uknetdev", T_uknetdev.suite);
+      ("ukblock", T_ukblock.suite);
+      ("uknetstack", T_uknetstack.suite);
+      ("ukvfs", T_ukvfs.suite);
+      ("uksyscall", T_uksyscall.suite);
+      ("ukdebug", T_ukdebug.suite);
+      ("uksec (mpk/asan/binary)", T_uksec.suite);
+      ("uktime", T_uktime.suite);
+      ("ukring", T_ukring.suite);
+      ("uklibparam", T_uklibparam.suite);
+      ("ukapps", T_ukapps.suite);
+      ("dns", T_dns.suite);
+      ("unikraft", T_unikraft.suite);
+    ]
