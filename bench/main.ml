@@ -9,7 +9,7 @@
      UKRAFT_FAST=1 dune exec bench/main.exe   # reduced request counts *)
 
 let experiments : Common.experiment list =
-  Exp_build.all @ Exp_boot.all @ Exp_perf.all @ Exp_io.all @ Exp_ablation.all
+  Exp_build.all @ Exp_boot.all @ Exp_perf.all @ Exp_io.all @ Exp_ablation.all @ Exp_chaos.all
 
 let run_one (e : Common.experiment) =
   Common.section e.Common.id e.Common.title;

@@ -5,7 +5,7 @@ type content =
   | Via_vfs of Ukvfs.Vfs.t
   | Via_shfs of Ukvfs.Shfs.t
 
-type stats = { requests : int; errors_404 : int; bytes_sent : int }
+type stats = { requests : int; errors_404 : int; errors_503 : int; bytes_sent : int }
 
 type t = {
   clock : Uksim.Clock.t;
@@ -83,16 +83,23 @@ let handle_request t req_line =
   (* Per-request buffer from the app allocator, as nginx's request pool. *)
   let pool = Ukalloc.Alloc.uk_malloc t.alloc 1024 in
   let reply =
-    match parse_request req_line with
-    | None -> response ~status:"400 Bad Request" ~body:"bad request"
-    | Some path -> (
-        match lookup t path with
-        | Some body ->
-            charge t (Uksim.Cost.memcpy (String.length body));
-            response ~status:"200 OK" ~body
-        | None ->
-            t.st <- { t.st with errors_404 = t.st.errors_404 + 1 };
-            response ~status:"404 Not Found" ~body:"not found")
+    match pool with
+    | None ->
+        (* Allocator under pressure: shed the request instead of serving
+           it half-built (degraded mode). *)
+        t.st <- { t.st with errors_503 = t.st.errors_503 + 1 };
+        response ~status:"503 Service Unavailable" ~body:"overloaded"
+    | Some _ -> (
+        match parse_request req_line with
+        | None -> response ~status:"400 Bad Request" ~body:"bad request"
+        | Some path -> (
+            match lookup t path with
+            | Some body ->
+                charge t (Uksim.Cost.memcpy (String.length body));
+                response ~status:"200 OK" ~body
+            | None ->
+                t.st <- { t.st with errors_404 = t.st.errors_404 + 1 };
+                response ~status:"404 Not Found" ~body:"not found"))
   in
   charge t respond_cost;
   (match pool with Some addr -> Ukalloc.Alloc.uk_free t.alloc addr | None -> ());
@@ -139,7 +146,7 @@ let handle_connection t flow =
 let create ~clock ~sched ~stack ~alloc ?(port = 80) content =
   let t =
     { clock; sched; stack; alloc; content;
-      st = { requests = 0; errors_404 = 0; bytes_sent = 0 } }
+      st = { requests = 0; errors_404 = 0; errors_503 = 0; bytes_sent = 0 } }
   in
   let _ =
     Uksched.Sched.spawn sched ~name:"httpd-accept" ~daemon:true (fun () ->

@@ -12,7 +12,14 @@ type content =
 
 type t
 
-type stats = { requests : int; errors_404 : int; bytes_sent : int }
+type stats = {
+  requests : int;
+  errors_404 : int;
+  errors_503 : int;
+      (** requests shed in degraded mode (the per-request pool allocation
+          failed — e.g. under a {!Ukfault.Faultalloc} OOM sweep) *)
+  bytes_sent : int;
+}
 
 val default_page : string
 (** The paper's 612-byte static page. *)

@@ -1,0 +1,46 @@
+(** Allocation-failure injection over the ukalloc API.
+
+    Wraps an {!Ukalloc.Alloc.t} so chosen allocation attempts return
+    [None], proving every caller handles out-of-memory instead of
+    assuming success. Three triggers compose (any one firing fails the
+    attempt):
+
+    - [fail_nth n]: the [n]th attempt (1-based) fails — sweeping [n]
+      across a workload is a systematic OOM coverage sweep;
+    - [fail_every n]: every [n]th attempt fails;
+    - [fail_rate p] (with the wrap-time [rng]): each attempt fails with
+      probability [p].
+
+    An attempt is any [malloc]/[calloc]/[memalign]/[realloc] call.
+    [free] always passes through. An optional pressure handler fires on
+    every injected failure — the hook degraded-mode logic (load shedding,
+    cache eviction) can attach to. *)
+
+type t
+
+val wrap :
+  ?rng:Uksim.Rng.t ->
+  ?fail_nth:int ->
+  ?fail_every:int ->
+  ?fail_rate:float ->
+  Ukalloc.Alloc.t ->
+  t
+(** [fail_rate > 0.0] requires [rng]. With no trigger configured the shim
+    is a transparent pass-through (useful as an always-on seam). *)
+
+val alloc : t -> Ukalloc.Alloc.t
+(** The shimmed allocator to hand to consumers. *)
+
+val attempts : t -> int
+(** Allocation attempts observed so far. *)
+
+val injected_failures : t -> int
+
+val under_pressure : t -> bool
+(** True once at least one failure has been injected; cleared by
+    {!clear_pressure}. Degraded-mode consumers poll this. *)
+
+val clear_pressure : t -> unit
+
+val set_pressure_handler : t -> (unit -> unit) option -> unit
+(** Called synchronously on each injected failure. *)

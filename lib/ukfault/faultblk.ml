@@ -1,0 +1,124 @@
+module B = Ukblock.Blockdev
+
+type plan = {
+  io_error : float;
+  torn_write : float;
+  latency_spike : float;
+  spike_ns : float;
+}
+
+let plan ?(io_error = 0.0) ?(torn_write = 0.0) ?(latency_spike = 0.0) ?(spike_ns = 2.0e6) () =
+  { io_error; torn_write; latency_spike; spike_ns }
+
+type stats = {
+  forwarded : int;
+  io_errors : int;
+  torn_writes : int;
+  latency_spikes : int;
+}
+
+(* Per-request verdict; like Faultnet, a fixed number of Rng draws per
+   request keeps the stream aligned across plans. *)
+type verdict = Pass | Fail_io | Tear
+
+type t = {
+  clock : Uksim.Clock.t;
+  rng : Uksim.Rng.t;
+  p : plan;
+  inner : B.t;
+  synthetic : B.completion Queue.t;
+  mutable st : stats;
+  mutable wrapped : B.t option;
+}
+
+let judge t ~is_write =
+  let u_err = Uksim.Rng.float t.rng 1.0 in
+  let u_torn = Uksim.Rng.float t.rng 1.0 in
+  let u_spike = Uksim.Rng.float t.rng 1.0 in
+  if u_spike < t.p.latency_spike then begin
+    t.st <- { t.st with latency_spikes = t.st.latency_spikes + 1 };
+    Uksim.Clock.advance_ns t.clock t.p.spike_ns
+  end;
+  if u_err < t.p.io_error then begin
+    t.st <- { t.st with io_errors = t.st.io_errors + 1 };
+    Fail_io
+  end
+  else if is_write && u_torn < t.p.torn_write then begin
+    t.st <- { t.st with torn_writes = t.st.torn_writes + 1; io_errors = t.st.io_errors + 1 };
+    Tear
+  end
+  else begin
+    t.st <- { t.st with forwarded = t.st.forwarded + 1 };
+    Pass
+  end
+
+(* Persist the first half of a torn write's sectors, then fail it. *)
+let tear t ~lba data =
+  let ss = t.inner.B.sector_size in
+  let sectors = Bytes.length data / ss in
+  let prefix = sectors / 2 in
+  if prefix > 0 then ignore (t.inner.B.write_sync ~lba (Bytes.sub data 0 (prefix * ss)))
+
+let wrap ~clock ~rng ~plan:p inner =
+  let t =
+    { clock; rng; p; inner; synthetic = Queue.create (); st = { forwarded = 0; io_errors = 0;
+      torn_writes = 0; latency_spikes = 0 }; wrapped = None }
+  in
+  let submit reqs =
+    let accepted = ref 0 in
+    (try
+       Array.iter
+         (fun req ->
+           let is_write = match req with B.Write _ -> true | B.Read _ -> false in
+           match judge t ~is_write with
+           | Pass ->
+               if t.inner.B.submit [| req |] = 1 then incr accepted
+               else raise Exit (* inner queue full: stop accepting *)
+           | Fail_io ->
+               Queue.push { B.req; result = Error B.Eio } t.synthetic;
+               incr accepted
+           | Tear ->
+               (match req with B.Write { lba; data } -> tear t ~lba data | B.Read _ -> ());
+               Queue.push { B.req; result = Error B.Eio } t.synthetic;
+               incr accepted)
+         reqs
+     with Exit -> ());
+    !accepted
+  in
+  let poll_completions ~max =
+    let rec take acc n =
+      if n >= max then List.rev acc
+      else
+        match Queue.take_opt t.synthetic with
+        | Some c -> take (c :: acc) (n + 1)
+        | None -> List.rev acc @ t.inner.B.poll_completions ~max:(max - n)
+    in
+    take [] 0
+  in
+  let read_sync ~lba ~sectors =
+    match judge t ~is_write:false with
+    | Fail_io | Tear -> Error B.Eio
+    | Pass -> t.inner.B.read_sync ~lba ~sectors
+  in
+  let write_sync ~lba data =
+    match judge t ~is_write:true with
+    | Fail_io -> Error B.Eio
+    | Tear ->
+        tear t ~lba data;
+        Error B.Eio
+    | Pass -> t.inner.B.write_sync ~lba data
+  in
+  let dev =
+    { inner with
+      B.name = inner.B.name ^ "+fault";
+      submit;
+      poll_completions;
+      pending = (fun () -> Queue.length t.synthetic + inner.B.pending ());
+      read_sync;
+      write_sync }
+  in
+  t.wrapped <- Some dev;
+  t
+
+let dev t = match t.wrapped with Some d -> d | None -> assert false
+let stats t = t.st

@@ -1,0 +1,35 @@
+(** Deterministic block-device fault injection over the ukblock API.
+
+    Wraps a {!Ukblock.Blockdev.t} with seeded injection of I/O errors,
+    torn writes (a prefix of the sectors reaches the medium, then the
+    request fails — the classic power-cut artifact), and latency spikes.
+    The wrapped record is a drop-in replacement; both the synchronous
+    convenience calls and the submit/poll queue path are intercepted. *)
+
+type plan = {
+  io_error : float;  (** per-request probability of [Eio] *)
+  torn_write : float;  (** per-write probability the first half of the
+                           sectors is persisted and the request then
+                           fails with [Eio] *)
+  latency_spike : float;  (** per-request probability of stalling the
+                              caller for [spike_ns] before the request
+                              proceeds *)
+  spike_ns : float;
+}
+
+val plan :
+  ?io_error:float -> ?torn_write:float -> ?latency_spike:float -> ?spike_ns:float -> unit -> plan
+(** All rates default to 0.0; [spike_ns] defaults to 2 ms. *)
+
+type stats = {
+  forwarded : int;
+  io_errors : int;  (** injected [Eio] failures *)
+  torn_writes : int;
+  latency_spikes : int;
+}
+
+type t
+
+val wrap : clock:Uksim.Clock.t -> rng:Uksim.Rng.t -> plan:plan -> Ukblock.Blockdev.t -> t
+val dev : t -> Ukblock.Blockdev.t
+val stats : t -> stats

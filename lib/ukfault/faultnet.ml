@@ -1,0 +1,128 @@
+type plan = {
+  drop : float;
+  drop_every : int;
+  duplicate : float;
+  corrupt : float;
+  reorder : float;
+  reorder_delay_ns : float;
+  flap_period_ns : float;
+  flap_down_ns : float;
+}
+
+let plan ?(drop = 0.0) ?(drop_every = 0) ?(duplicate = 0.0) ?(corrupt = 0.0) ?(reorder = 0.0)
+    ?(reorder_delay_ns = 50_000.0) ?(flap_period_ns = 0.0) ?(flap_down_ns = 0.0) () =
+  if drop < 0.0 || drop > 1.0 then invalid_arg "Faultnet.plan: drop not in [0,1]";
+  if drop_every < 0 then invalid_arg "Faultnet.plan: negative drop_every";
+  { drop; drop_every; duplicate; corrupt; reorder; reorder_delay_ns; flap_period_ns;
+    flap_down_ns }
+
+type stats = {
+  forwarded : int;
+  dropped : int;
+  duplicated : int;
+  corrupted : int;
+  reordered : int;
+  flap_dropped : int;
+}
+
+type t = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  rng : Uksim.Rng.t;
+  p : plan;
+  inner : Uknetdev.Netdev.t;
+  mutable passed : int; (* frames not randomly dropped, drives drop_every *)
+  mutable st : stats;
+  mutable wrapped : Uknetdev.Netdev.t option;
+}
+
+let zero_stats =
+  { forwarded = 0; dropped = 0; duplicated = 0; corrupted = 0; reordered = 0; flap_dropped = 0 }
+
+let link_up t =
+  t.p.flap_period_ns <= 0.0 || t.p.flap_down_ns <= 0.0
+  || Float.rem (Uksim.Clock.ns t.clock) t.p.flap_period_ns
+     < t.p.flap_period_ns -. t.p.flap_down_ns
+
+let copy_frame nb = Uknetdev.Netbuf.of_bytes (Uknetdev.Netbuf.to_payload nb)
+
+let flip_bit t nb aux =
+  let data = Uknetdev.Netbuf.data nb in
+  let len = Uknetdev.Netbuf.len nb in
+  if len > 0 then begin
+    let bit = aux mod (len * 8) in
+    let i = Uknetdev.Netbuf.offset nb + (bit / 8) in
+    Bytes.set data i (Char.chr (Char.code (Bytes.get data i) lxor (1 lsl (bit mod 8))));
+    t.st <- { t.st with corrupted = t.st.corrupted + 1 }
+  end
+
+(* The fate of one frame: [None] = consumed by the injector (dropped or
+   held back for delayed redelivery), [Some nb] = forward now. Exactly
+   five Rng draws per frame, whatever happens, so the random stream stays
+   aligned across plans that differ only in rates. *)
+let judge t ~qid nb =
+  let u_drop = Uksim.Rng.float t.rng 1.0 in
+  let u_dup = Uksim.Rng.float t.rng 1.0 in
+  let u_corrupt = Uksim.Rng.float t.rng 1.0 in
+  let u_reorder = Uksim.Rng.float t.rng 1.0 in
+  let aux = Uksim.Rng.int t.rng max_int in
+  if not (link_up t) then begin
+    t.st <- { t.st with flap_dropped = t.st.flap_dropped + 1 };
+    None
+  end
+  else if u_drop < t.p.drop then begin
+    t.st <- { t.st with dropped = t.st.dropped + 1 };
+    None
+  end
+  else begin
+    t.passed <- t.passed + 1;
+    if t.p.drop_every > 0 && t.passed mod t.p.drop_every = 0 then begin
+      t.st <- { t.st with dropped = t.st.dropped + 1 };
+      None
+    end
+    else begin
+      let dup = if u_dup < t.p.duplicate then Some (copy_frame nb) else None in
+      if u_corrupt < t.p.corrupt then flip_bit t nb aux;
+      (match dup with
+      | Some d ->
+          t.st <- { t.st with duplicated = t.st.duplicated + 1 };
+          ignore (t.inner.Uknetdev.Netdev.tx_burst ~qid [| d |])
+      | None -> ());
+      if u_reorder < t.p.reorder then begin
+        t.st <- { t.st with reordered = t.st.reordered + 1 };
+        Uksim.Engine.after_ns t.engine t.p.reorder_delay_ns (fun () ->
+            ignore (t.inner.Uknetdev.Netdev.tx_burst ~qid [| nb |]));
+        None
+      end
+      else Some nb
+    end
+  end
+
+let tx_burst t ~qid pkts =
+  let offered = Array.length pkts in
+  let survivors =
+    Array.to_list pkts |> List.filter_map (fun nb -> judge t ~qid nb) |> Array.of_list
+  in
+  if Array.length survivors > 0 then begin
+    let accepted = t.inner.Uknetdev.Netdev.tx_burst ~qid survivors in
+    t.st <-
+      { t.st with
+        forwarded = t.st.forwarded + accepted;
+        dropped = t.st.dropped + (Array.length survivors - accepted) }
+  end;
+  offered
+
+let wrap ~clock ~engine ~rng ~plan:p inner =
+  let t =
+    { clock; engine; rng; p; inner; passed = 0; st = zero_stats; wrapped = None }
+  in
+  let dev =
+    { inner with
+      Uknetdev.Netdev.name = inner.Uknetdev.Netdev.name ^ "+fault";
+      tx_burst = (fun ~qid pkts -> tx_burst t ~qid pkts) }
+  in
+  t.wrapped <- Some dev;
+  t
+
+let dev t = match t.wrapped with Some d -> d | None -> assert false
+let stats t = t.st

@@ -41,6 +41,11 @@ val run : t -> unit
 exception Deadlock of string list
 (** Names of the stuck threads. *)
 
+exception Thread_exit
+(** Raised by {!exit_thread}; the scheduler treats it as a normal thread
+    termination (exported so crash barriers like {!Supervisor} can tell a
+    voluntary exit from a crash). *)
+
 (** {1 Callable from inside a thread} *)
 
 val yield : unit -> unit

@@ -14,7 +14,9 @@ val at : t -> int -> (unit -> unit) -> unit
     past raises [Invalid_argument]. *)
 
 val after : t -> int -> (unit -> unit) -> unit
-(** [after t d f] schedules [f] [d >= 0] cycles from now. *)
+(** [after t d f] schedules [f] [d] cycles from now. Negative [d] raises
+    [Invalid_argument] (like {!at} with a timestamp in the past); [d = 0]
+    is valid and fires at the current cycle. *)
 
 val after_ns : t -> float -> (unit -> unit) -> unit
 

@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI entry point: build, run the full test suite, then smoke the chaos
+# soak at its fixed seed (UKRAFT_FAST shrinks the workloads; the run is
+# deterministic, so any numeric drift is a real regression).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== chaos smoke (fixed seed, fast workloads) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only chaos
+
+echo "== ci ok =="

@@ -137,6 +137,25 @@ let test_engine_past () =
   Alcotest.check_raises "past event rejected" (Invalid_argument "Engine.at: event in the past")
     (fun () -> Engine.at e 50 (fun () -> ()))
 
+let test_engine_after_edges () =
+  let c = Clock.create () in
+  let e = Engine.create c in
+  Alcotest.check_raises "negative delay rejected"
+    (Invalid_argument "Engine.after: negative delay") (fun () ->
+      Engine.after e (-1) (fun () -> ()));
+  Alcotest.(check int) "nothing was scheduled" 0 (Engine.pending e);
+  (* Zero delay is valid: fires at the current cycle. *)
+  let fired = ref false in
+  Engine.after e 0 (fun () -> fired := true);
+  Engine.run e;
+  Alcotest.(check bool) "zero-delay event fired" true !fired;
+  Alcotest.(check int) "clock did not move" 0 (Clock.cycles c);
+  (* [at] exactly at the current cycle is valid too (only the strict past
+     raises). *)
+  Clock.advance c 10;
+  Engine.at e 10 (fun () -> ());
+  Alcotest.(check int) "boundary event accepted" 1 (Engine.pending e)
+
 let test_stats_percentiles () =
   let s = Stats.create () in
   for i = 1 to 100 do
@@ -185,6 +204,7 @@ let suite =
     Alcotest.test_case "engine until" `Quick test_engine_until;
     Alcotest.test_case "engine cascade" `Quick test_engine_cascade;
     Alcotest.test_case "engine rejects past" `Quick test_engine_past;
+    Alcotest.test_case "engine after: negative/zero edges" `Quick test_engine_after_edges;
     Alcotest.test_case "stats percentiles" `Quick test_stats_percentiles;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
     Alcotest.test_case "stats throughput" `Quick test_stats_throughput;

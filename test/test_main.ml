@@ -14,6 +14,8 @@ let () =
       ("uknetdev", T_uknetdev.suite);
       ("ukblock", T_ukblock.suite);
       ("uknetstack", T_uknetstack.suite);
+      ("ukfault", T_ukfault.suite);
+      ("uktcp-loss", T_uktcp_loss.suite);
       ("ukvfs", T_ukvfs.suite);
       ("uksyscall", T_uksyscall.suite);
       ("ukdebug", T_ukdebug.suite);
