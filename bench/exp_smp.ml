@@ -1,0 +1,148 @@
+(* Core-scaling benchmark over the uksmp substrate.
+
+   The paper's evaluation is single-core; this experiment measures what
+   the multicore substrate buys: httpd and RESP throughput at 1/2/4/8
+   server cores (weak scaling — fixed per-core load, so ideal scaling is
+   rate proportional to cores with flat elapsed), a per-core-arena vs.
+   shared-lock allocator ablation at 4 cores, and a same-seed 8-core
+   determinism replay. A machine-readable summary lands in
+   BENCH_smp.json for CI to gate on. *)
+
+open Common
+module Cluster = Ukapps.Cluster
+module Spin = Uklock.Lock.Spin
+
+let core_counts = [ 1; 2; 4; 8 ]
+let page = String.make 612 'x' (* the paper's static page size *)
+
+let httpd_requests_per_core () = scaled 4000
+let resp_requests_per_core () = scaled 8000
+
+let run_httpd ?(alloc_mode = Cluster.Arena) ?(seed = 1) ~n () =
+  let c = Cluster.create ~seed ~alloc_mode ~n () in
+  ignore (Cluster.add_httpd c (Ukapps.Httpd.In_memory [ ("/index.html", page) ]));
+  let r =
+    Cluster.run_httpd_load c ~connections_per_core:8
+      ~requests_per_core:(httpd_requests_per_core ()) ()
+  in
+  (c, r)
+
+let run_resp ?(alloc_mode = Cluster.Arena) ?(seed = 1) ~n workload =
+  let c = Cluster.create ~seed ~alloc_mode ~n () in
+  (* 4096 keys covers Resp_bench's whole key space, so GETs are all hits. *)
+  ignore (Cluster.add_resp c ~populate:4096 ());
+  (* Prepopulation runs on core 0 before the load; drop its lock traffic so
+     the reported spin stats cover only the measured serving phase. *)
+  Spin.reset_stats (Cluster.alloc_spin c);
+  let r =
+    Cluster.run_resp_load c ~connections_per_core:8
+      ~requests_per_core:(resp_requests_per_core ()) workload
+  in
+  (c, r)
+
+(* One line that must replay byte-identically for a fixed seed. *)
+let httpd_fingerprint c (r : Ukapps.Wrk.result) =
+  Printf.sprintf "trace=%016x requests=%d errors=%d rate=%.6f elapsed=%.6f"
+    (Cluster.trace_hash c) r.Ukapps.Wrk.requests r.Ukapps.Wrk.errors
+    r.Ukapps.Wrk.rate_per_sec r.Ukapps.Wrk.elapsed_ns
+
+let smp =
+  {
+    id = "smp";
+    title = "core scaling: httpd + RESP over uksmp (1/2/4/8 cores)";
+    run =
+      (fun () ->
+        (* --- httpd scaling curve --- *)
+        row "httpd, %d requests/core, 8 connections/core (weak scaling)\n"
+          (httpd_requests_per_core ());
+        row "%-8s %12s %10s %12s %8s\n" "cores" "kreq/s" "speedup" "elapsed ms" "errors";
+        let httpd_rates =
+          List.map
+            (fun n ->
+              let _, r = run_httpd ~n () in
+              (n, r))
+            core_counts
+        in
+        let base_rate =
+          (List.assoc 1 httpd_rates).Ukapps.Wrk.rate_per_sec
+        in
+        List.iter
+          (fun (n, (r : Ukapps.Wrk.result)) ->
+            row "%-8d %12.1f %9.2fx %12.2f %8d\n" n (kreq r.rate_per_sec)
+              (r.rate_per_sec /. base_rate) (ms r.elapsed_ns) r.errors)
+          httpd_rates;
+        let speedup_4 =
+          (List.assoc 4 httpd_rates).Ukapps.Wrk.rate_per_sec /. base_rate
+        in
+
+        (* --- RESP scaling curves --- *)
+        let resp_curve workload label =
+          row "\nRESP %s, %d requests/core, pipeline 16 (weak scaling)\n" label
+            (resp_requests_per_core ());
+          row "%-8s %12s %10s %8s\n" "cores" "kreq/s" "speedup" "errors";
+          let runs =
+            List.map
+              (fun n ->
+                let _, r = run_resp ~n workload in
+                (n, r))
+              core_counts
+          in
+          let base = (List.assoc 1 runs).Ukapps.Resp_bench.rate_per_sec in
+          List.iter
+            (fun (n, (r : Ukapps.Resp_bench.result)) ->
+              row "%-8d %12.1f %9.2fx %8d\n" n (kreq r.rate_per_sec)
+                (r.rate_per_sec /. base) r.errors)
+            runs;
+          runs
+        in
+        ignore (resp_curve Ukapps.Resp_bench.Get "GET");
+        let set_runs = resp_curve Ukapps.Resp_bench.Set "SET" in
+        ignore set_runs;
+
+        (* --- allocator ablation: per-core arena vs one shared lock --- *)
+        row "\nallocator ablation, RESP SET at 4 cores\n";
+        row "%-14s %12s %16s %16s\n" "allocator" "kreq/s" "spin waits" "spin wait cyc";
+        let ablate mode label =
+          let c, r = run_resp ~alloc_mode:mode ~n:4 Ukapps.Resp_bench.Set in
+          let st = Spin.stats (Cluster.alloc_spin c) in
+          row "%-14s %12.1f %16d %16d\n" label
+            (kreq r.Ukapps.Resp_bench.rate_per_sec)
+            st.Spin.contended st.Spin.wait_cycles;
+          r.Ukapps.Resp_bench.rate_per_sec
+        in
+        let arena_rate = ablate Cluster.Arena "per-core arena" in
+        let shared_rate = ablate Cluster.Shared_lock "shared lock" in
+        row "arena/shared: %.2fx\n" (arena_rate /. shared_rate);
+
+        (* --- determinism: same seed, 8 cores, twice --- *)
+        let fp () =
+          let c, r = run_httpd ~seed:7 ~n:8 () in
+          httpd_fingerprint c r
+        in
+        let fp1 = fp () and fp2 = fp () in
+        let det_ok = String.equal fp1 fp2 in
+        row "\ndeterminism (8 cores, seed 7): %s\n"
+          (if det_ok then "byte-identical replay" else "MISMATCH");
+        row "  run 1: %s\n  run 2: %s\n" fp1 fp2;
+
+        (* --- machine-readable summary for CI --- *)
+        let oc = open_out "BENCH_smp.json" in
+        Printf.fprintf oc "{\n";
+        Printf.fprintf oc "  \"id\": \"smp\",\n";
+        Printf.fprintf oc "  \"fast\": %b,\n" fast;
+        Printf.fprintf oc "  \"httpd_rate_per_sec\": {%s},\n"
+          (String.concat ", "
+             (List.map
+                (fun (n, (r : Ukapps.Wrk.result)) ->
+                  Printf.sprintf "\"%d\": %.1f" n r.rate_per_sec)
+                httpd_rates));
+        Printf.fprintf oc "  \"speedup_4\": %.3f,\n" speedup_4;
+        Printf.fprintf oc "  \"arena_rate_per_sec\": %.1f,\n" arena_rate;
+        Printf.fprintf oc "  \"sharedlock_rate_per_sec\": %.1f,\n" shared_rate;
+        Printf.fprintf oc "  \"determinism_ok\": %b\n" det_ok;
+        Printf.fprintf oc "}\n";
+        close_out oc;
+        row "wrote BENCH_smp.json\n");
+  }
+
+let all = [ smp ]

@@ -10,6 +10,12 @@
 
 let experiments : Common.experiment list =
   Exp_build.all @ Exp_boot.all @ Exp_perf.all @ Exp_io.all @ Exp_ablation.all @ Exp_chaos.all
+  @ Exp_smp.all
+
+let print_experiments oc =
+  List.iter
+    (fun (e : Common.experiment) -> Printf.fprintf oc "%-12s %s\n" e.Common.id e.Common.title)
+    experiments
 
 let run_one (e : Common.experiment) =
   Common.section e.Common.id e.Common.title;
@@ -30,17 +36,15 @@ let () =
     in
     go args
   in
-  if has "--list" then
-    List.iter
-      (fun (e : Common.experiment) -> Printf.printf "%-12s %s\n" e.Common.id e.Common.title)
-      experiments
+  if has "--list" then print_experiments stdout
   else begin
     (match value "--only" with
     | Some id -> (
         match List.find_opt (fun (e : Common.experiment) -> e.Common.id = id) experiments with
         | Some e -> run_one e
         | None ->
-            Printf.eprintf "unknown experiment %s (try --list)\n" id;
+            Printf.eprintf "unknown experiment %s; available experiments:\n" id;
+            print_experiments stderr;
             exit 1)
     | None ->
         Printf.printf "ukraft experiment harness - reproducing the Unikraft paper (EuroSys'21)\n";

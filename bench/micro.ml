@@ -89,7 +89,7 @@ let alloc_tests =
 
 (* Support-library group: the data structures under the drivers. *)
 let support_tests =
-  let ring = Ukring.Ring.create ~capacity:256 in
+  let ring = Ukring.Ring.create ~capacity:256 () in
   let wheel_clock = ref 0 in
   let wheel = Uktime.Wheel.create ~now:0 () in
   let dns_msg =

@@ -1,0 +1,211 @@
+(* Multicore serving harness: 2n cores over uksmp — n server cores and n
+   client cores — joined by a multi-queue loopback pair with RSS.
+
+   Topology (for n = 2):
+
+     server core 0  stack qid 0 --\            /-- stack qid 0  client core 2
+                                   loopback pair
+     server core 1  stack qid 1 --/            \-- stack qid 1  client core 3
+
+   Each side behaves like one machine with a multi-queue NIC: all queues
+   of a side share that side's MAC and IP, and one stack instance owns
+   each queue (SO_REUSEPORT-style sharding — every per-core stack runs its
+   own listener on the same port). The symmetric RSS hash sends both
+   directions of a flow to queue [hash mod n], and the load runners pick
+   client source ports whose hash selects their own queue, so core j talks
+   to server core j and flows never cross cores. *)
+
+module S = Uknetstack.Stack
+module A = Uknetstack.Addr
+
+type alloc_mode = Arena | Shared_lock
+
+type t = {
+  smp : Uksmp.Smp.t;
+  n : int;
+  mode : alloc_mode;
+  server_stacks : S.t array;
+  client_stacks : S.t array;
+  allocs : Ukalloc.Alloc.t array; (* server-side per-core views *)
+  alloc_spin : Uklock.Lock.Spin.t;
+  arena : Ukalloc.Percore.t option;
+  backend : Ukalloc.Alloc.t;
+}
+
+let server_ip = A.Ipv4.of_string "10.0.0.1"
+let client_ip = A.Ipv4.of_string "10.0.0.2"
+
+let create ?(seed = 1) ?(alloc_mode = Arena) ~n () =
+  if n <= 0 then invalid_arg "Cluster.create: n must be positive";
+  let smp = Uksmp.Smp.create ~seed ~cores:(2 * n) () in
+  let queues side =
+    (* server cores are 0..n-1, client cores n..2n-1 *)
+    Array.init n (fun i ->
+        let core = (match side with `Server -> i | `Client -> n + i) in
+        (Uksmp.Smp.clock_of smp ~core, Uksmp.Smp.engine_of smp ~core))
+  in
+  let dev_a, dev_b =
+    Uknetdev.Loopback.create_pair
+      ~clock:(Uksmp.Smp.clock_of smp ~core:0)
+      ~engine:(Uksmp.Smp.engine_of smp ~core:0)
+      ~queues_a:(queues `Server) ~queues_b:(queues `Client) ()
+  in
+  (* The allocator backend lives on a dummy clock: its internal charges go
+     nowhere, and the spinlock hold in Percore / shared_lock_views is the
+     modeled cost — identical for both modes, so the ablation compares
+     pure serialization. *)
+  let backend =
+    Ukalloc.Tlsf.create ~clock:(Uksim.Clock.create ()) ~base:(1 lsl 26) ~len:(1 lsl 26)
+  in
+  let server_clocks = Array.init n (fun i -> Uksmp.Smp.clock_of smp ~core:i) in
+  let allocs, alloc_spin, arena =
+    match alloc_mode with
+    | Arena ->
+        let arena = Ukalloc.Percore.create ~clocks:server_clocks ~backend () in
+        ( Array.init n (fun i -> Ukalloc.Percore.view arena ~core:i),
+          Ukalloc.Percore.lock arena,
+          Some arena )
+    | Shared_lock ->
+        let views, spin = Ukalloc.Percore.shared_lock_views ~clocks:server_clocks ~backend () in
+        (views, spin, None)
+  in
+  let mk_stack ~core ~dev ~qid ~ip ~mac =
+    let s =
+      S.create
+        ~clock:(Uksmp.Smp.clock_of smp ~core)
+        ~engine:(Uksmp.Smp.engine_of smp ~core)
+        ~sched:(Uksmp.Smp.sched_of smp ~core)
+        ~dev ~qid
+        { S.mac = A.Mac.of_int mac; ip; netmask = A.Ipv4.of_string "255.255.255.0";
+          gateway = None }
+    in
+    S.start s;
+    s
+  in
+  let server_stacks =
+    Array.init n (fun i -> mk_stack ~core:i ~dev:dev_a ~qid:i ~ip:server_ip ~mac:0xA)
+  in
+  let client_stacks =
+    Array.init n (fun j -> mk_stack ~core:(n + j) ~dev:dev_b ~qid:j ~ip:client_ip ~mac:0xB)
+  in
+  { smp; n; mode = alloc_mode; server_stacks; client_stacks; allocs; alloc_spin; arena;
+    backend }
+
+let smp t = t.smp
+let n t = t.n
+let mode t = t.mode
+let server_stack t i = t.server_stacks.(i)
+let client_stack t j = t.client_stacks.(j)
+let alloc_view t i = t.allocs.(i)
+let alloc_spin t = t.alloc_spin
+let arena t = t.arena
+let trace_hash t = Uksmp.Smp.trace_hash t.smp
+let elapsed_ns t = Uksmp.Smp.elapsed_ns t.smp
+
+(* Distribute globally unique source ports so that connection [ci] of
+   client core [j] hashes to queue [j]. Ports must be globally unique
+   because all client stacks share one IP — a reused port would collide
+   in the target server stack's connection table. *)
+let steered_ports t ~dport ~per_core =
+  let buckets = Array.make t.n [] in
+  let filled = ref 0 in
+  let p = ref 20000 in
+  while !filled < t.n do
+    let q =
+      Uknetdev.Rss.queue_of_tuple ~n_queues:t.n ~proto:6
+        ~src_ip:(A.Ipv4.to_int client_ip) ~src_port:!p ~dst_ip:(A.Ipv4.to_int server_ip)
+        ~dst_port:dport
+    in
+    if List.length buckets.(q) < per_core then begin
+      buckets.(q) <- !p :: buckets.(q);
+      if List.length buckets.(q) = per_core then incr filled
+    end;
+    incr p;
+    if !p > 60000 then invalid_arg "Cluster.steered_ports: port search exhausted"
+  done;
+  Array.map (fun l -> Array.of_list (List.rev l)) buckets
+
+let t_start t =
+  (* Barrier before the load: align every core on the slowest core's
+     present (bring-up work — stacks, servers, prepopulation — is uneven
+     across cores). Without this, a lagging core's first contended lock
+     acquire would spin across the whole bring-up epoch and pollute the
+     contention stats; with it, the measurement window opens with all
+     cores synchronized, as a wall-clock benchmark would. *)
+  let target = ref 0 in
+  for core = 0 to (2 * t.n) - 1 do
+    target := max !target (Uksim.Clock.cycles (Uksmp.Smp.clock_of t.smp ~core))
+  done;
+  for core = 0 to (2 * t.n) - 1 do
+    let c = Uksmp.Smp.clock_of t.smp ~core in
+    let d = !target - Uksim.Clock.cycles c in
+    if d > 0 then Uksim.Clock.advance c d
+  done;
+  Uksim.Clock.ns (Uksmp.Smp.clock_of t.smp ~core:0)
+
+(* --- httpd ---------------------------------------------------------------- *)
+
+let add_httpd t ?(port = 80) content =
+  Array.init t.n (fun i ->
+      Httpd.create
+        ~clock:(Uksmp.Smp.clock_of t.smp ~core:i)
+        ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
+        ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port content)
+
+let run_httpd_load t ?(port = 80) ?(connections_per_core = 8) ?(requests_per_core = 4000)
+    ?path () =
+  let agg = Wrk.new_agg () in
+  let ports = steered_ports t ~dport:port ~per_core:connections_per_core in
+  for j = 0 to t.n - 1 do
+    let core = t.n + j in
+    Wrk.spawn
+      ~clock:(Uksmp.Smp.clock_of t.smp ~core)
+      ~sched:(Uksmp.Smp.sched_of t.smp ~core)
+      ~stack:t.client_stacks.(j) ~server:(server_ip, port)
+      ~connections:connections_per_core ~requests:requests_per_core ?path
+      ~port_for:(fun ci -> Some ports.(j).(ci))
+      ~agg ()
+  done;
+  let start = t_start t in
+  Uksmp.Smp.run t.smp;
+  Wrk.result_of_agg agg ~t_start:start
+
+(* --- RESP store ----------------------------------------------------------- *)
+
+let add_resp t ?(port = 6379) ?(populate = 0) () =
+  let workers =
+    let first = ref None in
+    Array.init t.n (fun i ->
+        let w =
+          Resp_store.create
+            ~clock:(Uksmp.Smp.clock_of t.smp ~core:i)
+            ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
+            ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port ?share_with:!first ()
+        in
+        if !first = None then first := Some w;
+        w)
+  in
+  (* Pre-populate the shared database (key pattern matches Resp_bench's)
+     through worker 0 so GET workloads measure hits. *)
+  for k = 0 to populate - 1 do
+    ignore (Resp_store.execute workers.(0) [ "SET"; Printf.sprintf "key:%06d" k; "xxx" ])
+  done;
+  workers
+
+let run_resp_load t ?(port = 6379) ?(connections_per_core = 8) ?(pipeline = 16)
+    ?(requests_per_core = 10_000) workload =
+  let agg = Resp_bench.new_agg () in
+  let ports = steered_ports t ~dport:port ~per_core:connections_per_core in
+  for j = 0 to t.n - 1 do
+    let core = t.n + j in
+    Resp_bench.spawn
+      ~clock:(Uksmp.Smp.clock_of t.smp ~core)
+      ~sched:(Uksmp.Smp.sched_of t.smp ~core)
+      ~stack:t.client_stacks.(j) ~server:(server_ip, port)
+      ~connections:connections_per_core ~pipeline ~requests:requests_per_core
+      ~port_for:(fun ci -> Some ports.(j).(ci))
+      ~agg workload
+  done;
+  let start = t_start t in
+  Uksmp.Smp.run t.smp;
+  Resp_bench.result_of_agg agg ~t_start:start

@@ -1,0 +1,68 @@
+(** Multicore serving harness over {!Uksmp.Smp}: [n] server cores and [n]
+    client cores joined by a multi-queue loopback link with symmetric RSS.
+
+    Each side models one machine with a multi-queue NIC: queue [i] of the
+    server side belongs to core [i], queue [j] of the client side to core
+    [n + j]; all queues of a side share that side's MAC and IP, and one
+    per-core {!Uknetstack.Stack} owns each queue. Servers listen on every
+    core (SO_REUSEPORT-style sharding); load runners pick client source
+    ports whose RSS hash steers each flow to the matching queue index, so
+    core [j] drives server core [j] and flows never cross cores. Runs are
+    deterministic: same seed, same core count — same {!trace_hash}. *)
+
+type t
+
+type alloc_mode =
+  | Arena  (** per-core magazines over the shared backend ({!Ukalloc.Percore}) *)
+  | Shared_lock  (** every allocation takes one global spinlock — the ablation baseline *)
+
+val create : ?seed:int -> ?alloc_mode:alloc_mode -> n:int -> unit -> t
+(** [2 * n] cores, stacks brought up and started (per-core bring-up runs
+    in parallel virtual time). Default [alloc_mode] is [Arena]. *)
+
+val smp : t -> Uksmp.Smp.t
+val n : t -> int
+val mode : t -> alloc_mode
+val server_stack : t -> int -> Uknetstack.Stack.t
+val client_stack : t -> int -> Uknetstack.Stack.t
+val alloc_view : t -> int -> Ukalloc.Alloc.t
+val alloc_spin : t -> Uklock.Lock.Spin.t
+(** The allocator's backend lock (arena refill lock, or the global lock in
+    [Shared_lock] mode) — its stats quantify allocator contention. *)
+
+val arena : t -> Ukalloc.Percore.t option
+(** The arena, in [Arena] mode. *)
+
+val trace_hash : t -> int
+val elapsed_ns : t -> float
+
+val add_httpd : t -> ?port:int -> Httpd.content -> Httpd.t array
+(** One worker per server core (port defaults to 80). *)
+
+val run_httpd_load :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?requests_per_core:int ->
+  ?path:string ->
+  unit ->
+  Wrk.result
+(** Spawn one wrk client group per client core (defaults: 8 connections,
+    4000 requests per core) and drive the whole SMP domain to completion.
+    Weak scaling: the per-core load is fixed, so ideal scaling keeps
+    elapsed flat while total throughput grows with [n]. *)
+
+val add_resp : t -> ?port:int -> ?populate:int -> unit -> Resp_store.t array
+(** One worker per server core sharing a single database (port defaults to
+    6379); [populate] pre-loads that many keys in Resp_bench's key pattern
+    so GET workloads measure hits. *)
+
+val run_resp_load :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?pipeline:int ->
+  ?requests_per_core:int ->
+  Resp_bench.workload ->
+  Resp_bench.result
+(** Defaults: 8 connections, pipeline 16, 10k requests per core. *)

@@ -148,15 +148,19 @@ let create ~clock ~sched ~stack ~alloc ?(port = 80) content =
     { clock; sched; stack; alloc; content;
       st = { requests = 0; errors_404 = 0; errors_503 = 0; bytes_sent = 0 } }
   in
+  (* Listen synchronously so the port is open before any other core's
+     virtual time reaches a connect (see the Resp_store note). *)
+  let l = S.Tcp_socket.listen stack ~port () in
   let _ =
-    Uksched.Sched.spawn sched ~name:"httpd-accept" ~daemon:true (fun () ->
-        let l = S.Tcp_socket.listen stack ~port () in
+    (* Pinned: server threads charge this instance's clock and stack, so
+       work stealing must not migrate them to another core. *)
+    Uksched.Sched.spawn sched ~name:"httpd-accept" ~daemon:true ~pinned:true (fun () ->
         let rec loop () =
           match S.Tcp_socket.accept ~block:true l with
           | Some flow ->
               let _ =
-                Uksched.Sched.spawn sched ~name:"httpd-conn" ~daemon:true (fun () ->
-                    handle_connection t flow)
+                Uksched.Sched.spawn sched ~name:"httpd-conn" ~daemon:true ~pinned:true
+                  (fun () -> handle_connection t flow)
               in
               loop ()
           | None -> loop ()
@@ -166,3 +170,15 @@ let create ~clock ~sched ~stack ~alloc ?(port = 80) content =
   t
 
 let stats t = t.st
+
+let sum_stats ts =
+  List.fold_left
+    (fun acc t ->
+      {
+        requests = acc.requests + t.st.requests;
+        errors_404 = acc.errors_404 + t.st.errors_404;
+        errors_503 = acc.errors_503 + t.st.errors_503;
+        bytes_sent = acc.bytes_sent + t.st.bytes_sent;
+      })
+    { requests = 0; errors_404 = 0; errors_503 = 0; bytes_sent = 0 }
+    ts

@@ -32,6 +32,12 @@ val create :
   ?port:int ->
   content ->
   t
-(** Spawns the accept thread (daemon); port defaults to 80. *)
+(** Spawns the accept thread (daemon, pinned to [sched]'s core); port
+    defaults to 80. Multi-worker SMP mode: create one instance per core,
+    each on its own per-core stack/clock/alloc view — RSS then spreads
+    connections across them like SO_REUSEPORT sharding. *)
 
 val stats : t -> stats
+
+val sum_stats : t list -> stats
+(** Aggregate over SMP workers. *)

@@ -9,20 +9,22 @@ type result = {
   errors : int;
 }
 
+(* Shared across client groups (one per core in SMP runs); every finishing
+   connection pushes the end-time forward. *)
+type agg = { mutable errors : int; mutable requests : int; mutable t_end : float }
+
+let new_agg () = { errors = 0; requests = 0; t_end = 0.0 }
+
 (* Client-side cost of producing a command and consuming a reply — the
    benchmark tool runs on its own pinned core in the paper, so this only
    matters for pipelining depth, not for contention with the server. *)
 let client_cmd_cost = 120
 
-let run ~clock ~sched ~stack ~server ?(connections = 30) ?(pipeline = 16) ?(requests = 100_000)
-    ?(value_size = 3) workload =
+let spawn ~clock ~sched ~stack ~server ?(connections = 30) ?(pipeline = 16)
+    ?(requests = 100_000) ?(value_size = 3) ?(port_for = fun _ -> None) ~agg workload =
   let value = String.make value_size 'x' in
   let per_conn = max 1 (requests / connections) in
-  let total = per_conn * connections in
-  let errors = ref 0 in
-  let done_count = ref 0 in
-  let t_start = ref 0.0 in
-  let t_end = ref 0.0 in
+  agg.requests <- agg.requests + (per_conn * connections);
   let key_of i = Printf.sprintf "key:%06d" (i land 0xfff) in
   let command i =
     match workload with
@@ -30,7 +32,7 @@ let run ~clock ~sched ~stack ~server ?(connections = 30) ?(pipeline = 16) ?(requ
     | Set -> Resp.encode_command [ "SET"; key_of i; value ]
   in
   let client_thread ci () =
-    let flow = S.Tcp_socket.connect stack ~dst:server in
+    let flow = S.Tcp_socket.connect stack ?lport:(port_for ci) ~dst:server () in
     let parser = Resp.Parser.create () in
     let replies_needed = ref 0 in
     let sent = ref 0 in
@@ -46,13 +48,13 @@ let run ~clock ~sched ~stack ~server ?(connections = 30) ?(pipeline = 16) ?(requ
                 match Resp.Parser.next parser with
                 | Ok (Some v) ->
                     Uksim.Clock.advance clock client_cmd_cost;
-                    (match v with Resp.Error _ -> incr errors | _ -> ());
+                    (match v with Resp.Error _ -> agg.errors <- agg.errors + 1 | _ -> ());
                     decr replies_needed;
                     incr received;
                     drain ()
                 | Ok None -> ()
                 | Error _ ->
-                    incr errors;
+                    agg.errors <- agg.errors + 1;
                     decr replies_needed;
                     drain ()
             in
@@ -69,23 +71,33 @@ let run ~clock ~sched ~stack ~server ?(connections = 30) ?(pipeline = 16) ?(requ
       done;
       sent := !sent + batch;
       replies_needed := batch;
-      ignore (S.Tcp_socket.send ~block:true stack flow (Buffer.to_bytes buf));
+      ignore (S.Tcp_socket.send ~block:true stack flow (Bytes.of_string (Buffer.contents buf)));
       read_replies ()
     done;
     ignore !received;
     S.Tcp_socket.close stack flow;
-    done_count := !done_count + 1;
-    if !done_count = connections then t_end := Uksim.Clock.ns clock
+    agg.t_end <- Float.max agg.t_end (Uksim.Clock.ns clock)
   in
-  t_start := Uksim.Clock.ns clock;
   for ci = 0 to connections - 1 do
-    ignore (Uksched.Sched.spawn sched ~name:(Printf.sprintf "bench-%d" ci) (client_thread ci))
-  done;
-  Uksched.Sched.run sched;
-  let elapsed = !t_end -. !t_start in
+    (* Pinned: the client charges its home core's clock and stack. *)
+    ignore
+      (Uksched.Sched.spawn sched ~name:(Printf.sprintf "bench-%d" ci) ~pinned:true
+         (client_thread ci))
+  done
+
+let result_of_agg agg ~t_start =
+  let elapsed = agg.t_end -. t_start in
   {
-    requests = total;
+    requests = agg.requests;
     elapsed_ns = elapsed;
-    rate_per_sec = Uksim.Stats.throughput_per_sec ~events:total ~elapsed_ns:elapsed;
-    errors = !errors;
+    rate_per_sec = Uksim.Stats.throughput_per_sec ~events:agg.requests ~elapsed_ns:elapsed;
+    errors = agg.errors;
   }
+
+let run ~clock ~sched ~stack ~server ?connections ?pipeline ?requests ?value_size workload =
+  let agg = new_agg () in
+  let t_start = Uksim.Clock.ns clock in
+  spawn ~clock ~sched ~stack ~server ?connections ?pipeline ?requests ?value_size ~agg
+    workload;
+  Uksched.Sched.run sched;
+  result_of_agg agg ~t_start

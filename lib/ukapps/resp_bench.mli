@@ -16,6 +16,29 @@ type result = {
   errors : int;
 }
 
+type agg
+(** Shared aggregator for SMP runs — see {!Wrk.agg}. *)
+
+val new_agg : unit -> agg
+
+val spawn :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  server:Uknetstack.Addr.Ipv4.t * int ->
+  ?connections:int ->
+  ?pipeline:int ->
+  ?requests:int ->
+  ?value_size:int ->
+  ?port_for:(int -> int option) ->
+  agg:agg ->
+  workload ->
+  unit
+(** Spawn the client threads (pinned) without driving the scheduler;
+    [port_for ci] forces connection [ci]'s source port for RSS steering. *)
+
+val result_of_agg : agg -> t_start:float -> result
+
 val run :
   clock:Uksim.Clock.t ->
   sched:Uksched.Sched.t ->

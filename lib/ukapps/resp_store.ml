@@ -185,29 +185,33 @@ let handle_connection t flow =
   in
   serve ()
 
-let create ~clock ~sched ~stack ~alloc ?(port = 6379) () =
-  let t =
-    {
-      clock;
-      sched;
-      stack;
-      alloc;
-      table = Hashtbl.create 4096;
-      lists = Hashtbl.create 64;
-      commands = 0;
-      hits = 0;
-      misses = 0;
-    }
+let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?share_with () =
+  (* [share_with]: SMP workers serve one logical database — every worker
+     reuses the first worker's key space (per-worker command counters stay
+     separate; see [sum_stats]). *)
+  let table, lists =
+    match share_with with
+    | Some peer -> (peer.table, peer.lists)
+    | None -> (Hashtbl.create 4096, Hashtbl.create 64)
   in
+  let t =
+    { clock; sched; stack; alloc; table; lists; commands = 0; hits = 0; misses = 0 }
+  in
+  (* Listen synchronously so the port is open before any other core's
+     virtual time reaches a connect — under SMP this core's clock may
+     lag or lead the clients' by the time the coordinator first steps
+     the accept thread. *)
+  let l = S.Tcp_socket.listen stack ~port () in
   let _ =
-    Uksched.Sched.spawn sched ~name:"redis-accept" ~daemon:true (fun () ->
-        let l = S.Tcp_socket.listen stack ~port () in
+    (* Pinned: server threads charge this instance's clock and stack, so
+       work stealing must not migrate them to another core. *)
+    Uksched.Sched.spawn sched ~name:"redis-accept" ~daemon:true ~pinned:true (fun () ->
         let rec loop () =
           match S.Tcp_socket.accept ~block:true l with
           | Some flow ->
               let _ =
-                Uksched.Sched.spawn sched ~name:"redis-conn" ~daemon:true (fun () ->
-                    handle_connection t flow)
+                Uksched.Sched.spawn sched ~name:"redis-conn" ~daemon:true ~pinned:true
+                  (fun () -> handle_connection t flow)
               in
               loop ()
           | None -> loop ()
@@ -217,4 +221,16 @@ let create ~clock ~sched ~stack ~alloc ?(port = 6379) () =
   t
 
 let stats t = { commands = t.commands; hits = t.hits; misses = t.misses }
+
+let sum_stats ts =
+  List.fold_left
+    (fun (acc : stats) t ->
+      ({
+         commands = acc.commands + t.commands;
+         hits = acc.hits + t.hits;
+         misses = acc.misses + t.misses;
+       }
+        : stats))
+    { commands = 0; hits = 0; misses = 0 }
+    ts
 let dbsize t = Hashtbl.length t.table

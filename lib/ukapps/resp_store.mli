@@ -17,12 +17,19 @@ val create :
   stack:Uknetstack.Stack.t ->
   alloc:Ukalloc.Alloc.t ->
   ?port:int ->
+  ?share_with:t ->
   unit ->
   t
-(** Spawns the accept thread (daemon) on [sched]; port defaults to
-    6379. *)
+(** Spawns the accept thread (daemon, pinned) on [sched]; port defaults to
+    6379. [share_with] reuses another instance's key space — SMP workers
+    on per-core stacks then serve one logical database (commands and
+    hit/miss counters stay per-worker; see {!sum_stats}). *)
 
 val stats : t -> stats
+
+val sum_stats : t list -> stats
+(** Aggregate over SMP workers sharing one database. *)
+
 val dbsize : t -> int
 
 val execute : t -> string list -> Resp.value

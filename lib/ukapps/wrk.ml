@@ -9,6 +9,19 @@ type result = {
   errors : int;
 }
 
+(* Shared across client groups (one group per core in SMP runs): every
+   finishing connection pushes the end-time forward, so the elapsed window
+   closes with the last connection on the slowest core. *)
+type agg = {
+  latencies : Uksim.Stats.t;
+  mutable errors : int;
+  mutable requests : int; (* total scheduled *)
+  mutable t_end : float;
+}
+
+let new_agg () =
+  { latencies = Uksim.Stats.create (); errors = 0; requests = 0; t_end = 0.0 }
+
 let client_cost = 150 (* request formatting + response validation *)
 
 (* Scan an HTTP response stream; return bytes consumed when one full
@@ -39,17 +52,13 @@ let response_complete s =
       let total = hdr_end + 4 + body_len in
       if String.length s >= total then Some total else None
 
-let run ~clock ~sched ~stack ~server ?(connections = 30) ?(requests = 30_000)
-    ?(path = "/index.html") () =
+let spawn ~clock ~sched ~stack ~server ?(connections = 30) ?(requests = 30_000)
+    ?(path = "/index.html") ?(port_for = fun _ -> None) ~agg () =
   let per_conn = max 1 (requests / connections) in
-  let total = per_conn * connections in
+  agg.requests <- agg.requests + (per_conn * connections);
   let request = Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" path in
-  let latencies = Uksim.Stats.create () in
-  let errors = ref 0 in
-  let finished = ref 0 in
-  let t_start = ref 0.0 and t_end = ref 0.0 in
-  let client_thread _ci () =
-    let flow = S.Tcp_socket.connect stack ~dst:server in
+  let client_thread ci () =
+    let flow = S.Tcp_socket.connect stack ?lport:(port_for ci) ~dst:server () in
     let acc = Buffer.create 2048 in
     for _ = 1 to per_conn do
       Uksim.Clock.advance clock client_cost;
@@ -62,12 +71,14 @@ let run ~clock ~sched ~stack ~server ?(connections = 30) ?(requests = 30_000)
             let rest = String.sub s consumed (String.length s - consumed) in
             Buffer.clear acc;
             Buffer.add_string acc rest;
-            if not (String.length s >= 12 && String.sub s 9 3 = "200") then incr errors;
-            Uksim.Stats.add latencies ((Uksim.Clock.ns clock -. sent_at) /. 1000.0)
+            if not (String.length s >= 12 && String.sub s 9 3 = "200") then
+              agg.errors <- agg.errors + 1;
+            Uksim.Stats.add agg.latencies ((Uksim.Clock.ns clock -. sent_at) /. 1000.0)
         | None -> (
             match S.Tcp_socket.recv ~block:true stack flow ~max:65536 with
             | None ->
-                incr errors;
+                agg.errors <- agg.errors + 1;
+                agg.t_end <- Float.max agg.t_end (Uksim.Clock.ns clock);
                 Uksched.Sched.exit_thread ()
             | Some data ->
                 Buffer.add_bytes acc data;
@@ -76,20 +87,29 @@ let run ~clock ~sched ~stack ~server ?(connections = 30) ?(requests = 30_000)
       await ()
     done;
     S.Tcp_socket.close stack flow;
-    incr finished;
-    if !finished = connections then t_end := Uksim.Clock.ns clock
+    agg.t_end <- Float.max agg.t_end (Uksim.Clock.ns clock)
   in
-  t_start := Uksim.Clock.ns clock;
   for ci = 0 to connections - 1 do
-    ignore (Uksched.Sched.spawn sched ~name:(Printf.sprintf "wrk-%d" ci) (client_thread ci))
-  done;
-  Uksched.Sched.run sched;
-  let elapsed = !t_end -. !t_start in
+    (* Pinned: the client charges its home core's clock and stack. *)
+    ignore
+      (Uksched.Sched.spawn sched ~name:(Printf.sprintf "wrk-%d" ci) ~pinned:true
+         (client_thread ci))
+  done
+
+let result_of_agg agg ~t_start =
+  let elapsed = agg.t_end -. t_start in
   {
-    requests = total;
+    requests = agg.requests;
     elapsed_ns = elapsed;
-    rate_per_sec = Uksim.Stats.throughput_per_sec ~events:total ~elapsed_ns:elapsed;
-    latency_us_mean = Uksim.Stats.mean latencies;
-    latency_us_p99 = Uksim.Stats.percentile latencies 99.0;
-    errors = !errors;
+    rate_per_sec = Uksim.Stats.throughput_per_sec ~events:agg.requests ~elapsed_ns:elapsed;
+    latency_us_mean = Uksim.Stats.mean agg.latencies;
+    latency_us_p99 = Uksim.Stats.percentile agg.latencies 99.0;
+    errors = agg.errors;
   }
+
+let run ~clock ~sched ~stack ~server ?connections ?requests ?path () =
+  let agg = new_agg () in
+  let t_start = Uksim.Clock.ns clock in
+  spawn ~clock ~sched ~stack ~server ?connections ?requests ?path ~agg ();
+  Uksched.Sched.run sched;
+  result_of_agg agg ~t_start

@@ -16,6 +16,32 @@ type result = {
   errors : int;
 }
 
+type agg
+(** Shared aggregator for SMP runs: {!spawn} one client group per core
+    into the same [agg], drive the cores (e.g. [Uksmp.Smp.run]), then read
+    {!result_of_agg}. Every finishing connection pushes the end-time
+    forward, so elapsed closes with the slowest core. *)
+
+val new_agg : unit -> agg
+
+val spawn :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  server:Uknetstack.Addr.Ipv4.t * int ->
+  ?connections:int ->
+  ?requests:int ->
+  ?path:string ->
+  ?port_for:(int -> int option) ->
+  agg:agg ->
+  unit ->
+  unit
+(** Spawn the client threads (pinned) without driving the scheduler.
+    [port_for ci] forces connection [ci]'s source port — used to steer its
+    RSS hash to a chosen queue. Defaults as {!run}. *)
+
+val result_of_agg : agg -> t_start:float -> result
+
 val run :
   clock:Uksim.Clock.t ->
   sched:Uksched.Sched.t ->

@@ -5,13 +5,16 @@ module Mutex = struct
     sched : Uksched.Sched.t;
     mutable holder : Uksched.Sched.tid option;
     waiters : Uksched.Sched.tid Queue.t;
+    mutable waits : int;
+    mutable wait_cycles : int;
   }
 
   type t = Nop | Real of inner
 
   let create = function
     | Compiled_out -> Nop
-    | Threaded sched -> Real { sched; holder = None; waiters = Queue.create () }
+    | Threaded sched ->
+        Real { sched; holder = None; waiters = Queue.create (); waits = 0; wait_cycles = 0 }
 
   let rec lock = function
     | Nop -> ()
@@ -19,8 +22,12 @@ module Mutex = struct
         match m.holder with
         | None -> m.holder <- Some (Uksched.Sched.self ())
         | Some _ ->
+            let clk = Uksched.Sched.clock m.sched in
+            let blocked_at = Uksim.Clock.cycles clk in
             Queue.push (Uksched.Sched.self ()) m.waiters;
             Uksched.Sched.block ();
+            m.waits <- m.waits + 1;
+            m.wait_cycles <- m.wait_cycles + (Uksim.Clock.cycles clk - blocked_at);
             (* Woken by unlock, which already transferred ownership to us;
                re-check defensively in case of spurious wakeups. *)
             if m.holder <> Some (Uksched.Sched.self ()) then lock t)
@@ -47,6 +54,10 @@ module Mutex = struct
             | None -> m.holder <- None))
 
   let locked = function Nop -> false | Real m -> m.holder <> None
+
+  let contention = function
+    | Nop -> (0, 0)
+    | Real m -> (m.waits, m.wait_cycles)
 
   let with_lock t f =
     lock t;
@@ -106,6 +117,51 @@ module Semaphore = struct
         | None -> s.n <- s.n + 1)
 
   let count = function Nop r -> !r | Real s -> s.n
+end
+
+(* A cross-core spinlock for the SMP model. Per-core clocks all count
+   cycles since boot on one global axis, so the lock can be simulated
+   conservatively with a single [free_at] watermark: an acquirer whose
+   clock is behind the watermark spins (its clock advances to the
+   watermark, the wait is recorded), then holds the lock for [hold]
+   cycles. Deterministic given a deterministic acquisition order. *)
+module Spin = struct
+  type stats = {
+    acquisitions : int;
+    contended : int;
+    wait_cycles : int;
+    held_cycles : int;
+  }
+
+  type t = {
+    sname : string;
+    mutable free_at : int;
+    mutable st : stats;
+  }
+
+  let create ?(name = "spinlock") () =
+    { sname = name; free_at = 0;
+      st = { acquisitions = 0; contended = 0; wait_cycles = 0; held_cycles = 0 } }
+
+  let name t = t.sname
+
+  let acquire t clock ~hold =
+    if hold < 0 then invalid_arg "Lock.Spin.acquire: negative hold";
+    let now = Uksim.Clock.cycles clock in
+    let wait = max 0 (t.free_at - now) in
+    if wait > 0 then begin
+      Uksim.Clock.advance clock wait;
+      t.st <- { t.st with contended = t.st.contended + 1; wait_cycles = t.st.wait_cycles + wait }
+    end;
+    let entered = Uksim.Clock.cycles clock in
+    Uksim.Clock.advance clock hold;
+    t.free_at <- entered + hold;
+    t.st <-
+      { t.st with acquisitions = t.st.acquisitions + 1; held_cycles = t.st.held_cycles + hold }
+
+  let stats t = t.st
+  let reset_stats t =
+    t.st <- { acquisitions = 0; contended = 0; wait_cycles = 0; held_cycles = 0 }
 end
 
 module Condvar = struct

@@ -22,6 +22,11 @@ module Mutex : sig
       free compiled-in mutex raises [Invalid_argument]. *)
 
   val locked : t -> bool
+
+  val contention : t -> int * int
+  (** [(waits, wait_cycles)]: how many lock acquisitions had to block, and
+      the total virtual cycles spent blocked. [(0, 0)] when compiled out. *)
+
   val with_lock : t -> (unit -> 'a) -> 'a
 end
 
@@ -37,6 +42,34 @@ module Semaphore : sig
   val try_wait : t -> bool
   val signal : t -> unit
   val count : t -> int
+end
+
+(** Cross-core spinlock for the SMP model (consumed by [lib/uksmp] and the
+    per-core allocator). Unlike {!Mutex} it involves no scheduler: per-core
+    clocks all count cycles since boot on one shared time axis, so the lock
+    is simulated with a [free_at] watermark — an acquirer whose clock is
+    behind the watermark spins (its clock advances to the watermark and the
+    wait is recorded as contention), then holds the lock for a caller-stated
+    number of cycles. *)
+module Spin : sig
+  type t
+
+  type stats = {
+    acquisitions : int;
+    contended : int;  (** acquisitions that found the lock held *)
+    wait_cycles : int;  (** total cycles spent spinning *)
+    held_cycles : int;  (** total cycles the lock was held *)
+  }
+
+  val create : ?name:string -> unit -> t
+
+  val acquire : t -> Uksim.Clock.t -> hold:int -> unit
+  (** Acquire on the core owning [clock], hold for [hold] cycles, release.
+      Advances [clock] by the spin wait (if any) plus [hold]. *)
+
+  val stats : t -> stats
+  val reset_stats : t -> unit
+  val name : t -> string
 end
 
 module Condvar : sig

@@ -1,11 +1,15 @@
-type side = {
-  clock : Uksim.Clock.t;
-  engine : Uksim.Engine.t;
-  latency : int;
-  ring_size : int;
+type queue = {
+  q_clock : Uksim.Clock.t;
+  q_engine : Uksim.Engine.t;
   rx_ring : bytes Queue.t;
   mutable conf : Netdev.queue_conf option;
   mutable irq_armed : bool;
+}
+
+type side = {
+  latency : int;
+  ring_size : int;
+  queues : queue array;
   mutable st : Netdev.stats;
   mutable peer : side option;
 }
@@ -13,48 +17,72 @@ type side = {
 let tx_cost = 40
 let rx_cost = 35
 
-let deliver s frame =
-  match s.conf with
+let deliver s q frame =
+  match q.conf with
   | None -> s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 }
   | Some conf ->
-      if Queue.length s.rx_ring >= s.ring_size then
+      if Queue.length q.rx_ring >= s.ring_size then
         s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 }
       else begin
-        Queue.push frame s.rx_ring;
+        Queue.push frame q.rx_ring;
         match (conf.Netdev.mode, conf.Netdev.rx_handler) with
-        | Netdev.Interrupt_driven, Some handler when s.irq_armed ->
-            s.irq_armed <- false;
+        | Netdev.Interrupt_driven, Some handler when q.irq_armed ->
+            q.irq_armed <- false;
             s.st <- { s.st with rx_irqs = s.st.rx_irqs + 1 };
-            Uksim.Clock.advance s.clock Uksim.Cost.interrupt_delivery;
+            Uksim.Clock.advance q.q_clock Uksim.Cost.interrupt_delivery;
             handler ()
         | (Netdev.Interrupt_driven | Netdev.Polling), _ -> ()
       end
 
 let dev_of_side name s =
-  let catch_up () = Uksim.Engine.run ~until:(Uksim.Clock.cycles s.clock) s.engine in
-  let check_qid qid = if qid <> 0 then invalid_arg "Loopback: single queue device" in
+  let n_queues = Array.length s.queues in
+  let check_qid qid =
+    if qid < 0 || qid >= n_queues then invalid_arg (Printf.sprintf "%s: bad qid %d" name qid)
+  in
+  let catch_up q = Uksim.Engine.run ~until:(Uksim.Clock.cycles q.q_clock) q.q_engine in
   {
     Netdev.name;
     mtu = 1500;
-    max_queues = 1;
+    max_queues = n_queues;
     configure_queue =
       (fun ~qid conf ->
         check_qid qid;
-        s.conf <- Some conf;
-        s.irq_armed <- conf.Netdev.mode = Netdev.Interrupt_driven);
+        let q = s.queues.(qid) in
+        q.conf <- Some conf;
+        q.irq_armed <- conf.Netdev.mode = Netdev.Interrupt_driven);
     tx_burst =
       (fun ~qid pkts ->
         check_qid qid;
-        catch_up ();
+        let q = s.queues.(qid) in
+        catch_up q;
         let peer = match s.peer with Some p -> p | None -> assert false in
+        let peer_n = Array.length peer.queues in
         let n = Array.length pkts in
         let bytes = ref 0 in
         Array.iter
           (fun nb ->
-            Uksim.Clock.advance s.clock tx_cost;
+            Uksim.Clock.advance q.q_clock tx_cost;
             let payload = Netbuf.to_payload nb in
             bytes := !bytes + Bytes.length payload;
-            Uksim.Engine.after s.engine s.latency (fun () -> deliver peer payload))
+            (* Each peer queue may live on its own core clock: deliver on
+               that queue's engine, no earlier than its local present. *)
+            let deliver_to tq =
+              let pq = peer.queues.(tq) in
+              let at =
+                max (Uksim.Clock.cycles pq.q_clock) (Uksim.Clock.cycles q.q_clock + s.latency)
+              in
+              Uksim.Engine.at pq.q_engine at (fun () -> deliver peer pq payload)
+            in
+            match Rss.queue_of_frame payload ~n_queues:peer_n with
+            | Some tq -> deliver_to tq
+            | None when peer_n = 1 -> deliver_to 0
+            | None ->
+                (* No 5-tuple (ARP, non-IP): mirror to every queue so each
+                   per-queue stack can resolve/answer it — like NIC
+                   broadcast replication across RSS contexts. *)
+                for tq = 0 to peer_n - 1 do
+                  deliver_to tq
+                done)
           pkts;
         s.st <- { s.st with tx_pkts = s.st.tx_pkts + n; tx_bytes = s.st.tx_bytes + !bytes };
         n);
@@ -65,17 +93,18 @@ let dev_of_side name s =
     rx_burst =
       (fun ~qid ~max:max_pkts ->
         check_qid qid;
-        catch_up ();
-        match s.conf with
+        let q = s.queues.(qid) in
+        catch_up q;
+        match q.conf with
         | None -> []
         | Some conf ->
             let rec take acc n =
               if n >= max_pkts then List.rev acc
               else
-                match Queue.take_opt s.rx_ring with
+                match Queue.take_opt q.rx_ring with
                 | None -> List.rev acc
                 | Some frame -> (
-                    Uksim.Clock.advance s.clock rx_cost;
+                    Uksim.Clock.advance q.q_clock rx_cost;
                     match conf.Netdev.rx_alloc () with
                     | None ->
                         s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 };
@@ -91,32 +120,44 @@ let dev_of_side name s =
                         take (nb :: acc) (n + 1))
             in
             let pkts = take [] 0 in
-            if conf.Netdev.mode = Netdev.Interrupt_driven && Queue.is_empty s.rx_ring then
-              s.irq_armed <- true;
+            if conf.Netdev.mode = Netdev.Interrupt_driven && Queue.is_empty q.rx_ring then
+              q.irq_armed <- true;
             pkts);
     rx_pending =
       (fun ~qid ->
         check_qid qid;
-        catch_up ();
-        Queue.length s.rx_ring);
+        let q = s.queues.(qid) in
+        catch_up q;
+        Queue.length q.rx_ring);
     stats = (fun () -> s.st);
   }
 
-let create_pair ~clock ~engine ?(latency_ns = 2000.0) ?(ring_size = 512) () =
-  let mk () =
-    {
-      clock;
-      engine;
-      latency = Uksim.Clock.cycles_of_ns latency_ns;
-      ring_size;
-      rx_ring = Queue.create ();
-      conf = None;
-      irq_armed = false;
-      st = Netdev.zero_stats;
-      peer = None;
-    }
+let create_pair ~clock ~engine ?(latency_ns = 2000.0) ?(ring_size = 512) ?(n_queues = 1)
+    ?queues_a ?queues_b () =
+  if n_queues <= 0 then invalid_arg "Loopback.create_pair: n_queues must be positive";
+  let mk_queue (q_clock, q_engine) =
+    { q_clock; q_engine; rx_ring = Queue.create (); conf = None; irq_armed = false }
   in
-  let a = mk () and b = mk () in
+  let mk_side = function
+    | Some qs when Array.length qs > 0 ->
+        {
+          latency = Uksim.Clock.cycles_of_ns latency_ns;
+          ring_size;
+          queues = Array.map mk_queue qs;
+          st = Netdev.zero_stats;
+          peer = None;
+        }
+    | Some _ -> invalid_arg "Loopback.create_pair: empty queue array"
+    | None ->
+        {
+          latency = Uksim.Clock.cycles_of_ns latency_ns;
+          ring_size;
+          queues = Array.init n_queues (fun _ -> mk_queue (clock, engine));
+          st = Netdev.zero_stats;
+          peer = None;
+        }
+  in
+  let a = mk_side queues_a and b = mk_side queues_b in
   a.peer <- Some b;
   b.peer <- Some a;
   (dev_of_side "loopback-a" a, dev_of_side "loopback-b" b)

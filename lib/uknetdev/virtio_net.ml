@@ -96,9 +96,17 @@ let create ~clock ~engine ~backend ~wire ?(ring_size = 256) ?(n_queues = 1) () =
       st = Netdev.zero_stats;
     }
   in
-  (* All inbound frames land on queue 0 (no RSS in the single-queue
-     evaluation setups). *)
-  Wire.set_receiver wire (Some (fun frame -> deliver t 0 frame));
+  (* Inbound steering: with one queue everything lands on queue 0; with
+     several, RSS hashes the 5-tuple (frames without one — ARP, non-IP —
+     take queue 0, the device's default queue). *)
+  Wire.set_receiver wire
+    (Some
+       (fun frame ->
+         let qid =
+           if n_queues = 1 then 0
+           else match Rss.queue_of_frame frame ~n_queues with Some q -> q | None -> 0
+         in
+         deliver t qid frame));
   let check_qid qid =
     if qid < 0 || qid >= n_queues then invalid_arg "Virtio_net: bad queue id"
   in

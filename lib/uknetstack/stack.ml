@@ -52,6 +52,7 @@ type t = {
   engine : Uksim.Engine.t;
   sched : Uksched.Sched.t option;
   dev : Nd.t;
+  qid : int; (* the device queue this stack owns (multi-queue RSS setups) *)
   cfg : conf;
   pool : Nb.Pool.t;
   arp_table : (int, Addr.Mac.t) Hashtbl.t;
@@ -84,7 +85,7 @@ let give_buf t nb = try Nb.Pool.give t.pool nb with Invalid_argument _ -> ()
 (* --- transmit path ----------------------------------------------------- *)
 
 let tx_frame t nb =
-  let sent = t.dev.Nd.tx_burst ~qid:0 [| nb |] in
+  let sent = t.dev.Nd.tx_burst ~qid:t.qid [| nb |] in
   if sent = 1 then t.st <- { t.st with tx_pkts = t.st.tx_pkts + 1 };
   give_buf t nb
 
@@ -360,7 +361,7 @@ let process_frame t nb =
 
 let poll t =
   Frag.expire t.frag;
-  let pkts = t.dev.Nd.rx_burst ~qid:0 ~max:64 in
+  let pkts = t.dev.Nd.rx_burst ~qid:t.qid ~max:64 in
   List.iter
     (fun nb ->
       process_frame t nb;
@@ -374,7 +375,7 @@ let rx_alloc_of t () = Nb.Pool.take t.pool
    0.49 ms nginx boot floor in Fig 14). *)
 let stack_init_cost = 1_250_000
 
-let create ~clock ~engine ?sched ?alloc ~dev ?(pool_size = 512) cfg =
+let create ~clock ~engine ?sched ?alloc ~dev ?(qid = 0) ?(pool_size = 512) cfg =
   Uksim.Clock.advance clock stack_init_cost;
   let pool = Nb.Pool.create ~clock ?alloc ~count:pool_size ~size:2048 () in
   let t =
@@ -383,6 +384,7 @@ let create ~clock ~engine ?sched ?alloc ~dev ?(pool_size = 512) cfg =
       engine;
       sched;
       dev;
+      qid;
       cfg;
       pool;
       arp_table = Hashtbl.create 32;
@@ -400,7 +402,7 @@ let create ~clock ~engine ?sched ?alloc ~dev ?(pool_size = 512) cfg =
       tcp_io = None;
     }
   in
-  dev.Nd.configure_queue ~qid:0
+  dev.Nd.configure_queue ~qid
     { Nd.rx_alloc = rx_alloc_of t; mode = Nd.Polling; rx_handler = None };
   t
 
@@ -410,7 +412,9 @@ let start t =
   | Some sched ->
       if t.service_tid = None then begin
         let tid =
-          Uksched.Sched.spawn sched ~name:"netstack-input" ~daemon:true (fun () ->
+          (* Pinned: the stack charges its home clock, so work stealing
+             must not migrate it to another core. *)
+          Uksched.Sched.spawn sched ~name:"netstack-input" ~daemon:true ~pinned:true (fun () ->
               let rec loop () =
                 let n = poll t in
                 if n > 0 then begin
@@ -426,7 +430,7 @@ let start t =
         in
         t.service_tid <- Some tid;
         (* Interrupt mode: the device wakes the service thread. *)
-        t.dev.Nd.configure_queue ~qid:0
+        t.dev.Nd.configure_queue ~qid:t.qid
           {
             Nd.rx_alloc = rx_alloc_of t;
             mode = Nd.Interrupt_driven;
@@ -527,8 +531,16 @@ module Tcp_socket = struct
     in
     pick 0
 
-  let connect stack ~dst:(dip, dport) =
-    let lport = fresh_port stack ~dst:(dip, dport) in
+  let connect stack ?lport ~dst:(dip, dport) () =
+    let lport =
+      match lport with
+      | None -> fresh_port stack ~dst:(dip, dport)
+      | Some p ->
+          if p <= 0 || p > 0xffff then invalid_arg "Tcp_socket.connect: bad lport";
+          if Hashtbl.mem stack.conns (conn_key ~lport:p ~rip:dip ~rport:dport) then
+            invalid_arg "Tcp_socket.connect: lport in use for this destination";
+          p
+    in
     let conn =
       Tcp.create_active (tcp_io stack) ~local:(stack.cfg.ip, lport) ~remote:(dip, dport)
         ~iss:(next_iss stack)

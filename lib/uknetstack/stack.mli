@@ -37,13 +37,16 @@ val create :
   ?sched:Uksched.Sched.t ->
   ?alloc:Ukalloc.Alloc.t ->
   dev:Uknetdev.Netdev.t ->
+  ?qid:int ->
   ?pool_size:int ->
   conf ->
   t
-(** Configures queue 0 of [dev] (polling mode; {!start} switches it to
-    interrupt mode). [pool_size] netbufs are pre-allocated (default 512),
-    backed by [alloc] when given — the paper's "memory pools in the
-    networking stack". Bring-up charges lwIP-scale init cost. *)
+(** Configures queue [qid] of [dev] (default 0; polling mode — {!start}
+    switches it to interrupt mode). In multi-queue RSS setups one stack
+    instance owns each queue, all sharing the device's MAC/IP. [pool_size]
+    netbufs are pre-allocated (default 512), backed by [alloc] when given —
+    the paper's "memory pools in the networking stack". Bring-up charges
+    lwIP-scale init cost. *)
 
 val conf : t -> conf
 val stats : t -> stats
@@ -84,9 +87,12 @@ module Tcp_socket : sig
   val listen : stack -> port:int -> ?backlog:int -> unit -> listener
   val accept : ?block:bool -> listener -> flow option
 
-  val connect : stack -> dst:Addr.Ipv4.t * int -> flow
+  val connect : stack -> ?lport:int -> dst:Addr.Ipv4.t * int -> unit -> flow
   (** Blocks (scheduler) or spins (no scheduler) until established; raises
-      [Failure] if the connection is refused/aborted. *)
+      [Failure] if the connection is refused/aborted. [lport] forces the
+      source port (so clients can steer the flow's RSS hash to a chosen
+      queue); raises [Invalid_argument] if it is out of range or already
+      used for this destination. Default: a fresh ephemeral port. *)
 
   val send : ?block:bool -> stack -> flow -> bytes -> int
   (** Bytes accepted into the send buffer. [block:true] waits for buffer

@@ -1,8 +1,11 @@
 type 'a t = {
   slots : 'a option array;
   mask : int;
+  mpsc : bool; (* multi-producer enqueues allowed (buf_ring's CAS variant) *)
   mutable head : int; (* next dequeue position (free-running) *)
   mutable tail : int; (* next enqueue position (free-running) *)
+  mutable owner : int option; (* SPSC: the producer registered by enqueue_from *)
+  per_producer : (int, int) Hashtbl.t; (* producer -> accepted enqueues *)
   mutable enq_total : int;
   mutable drop_total : int;
 }
@@ -11,11 +14,13 @@ let next_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create ~capacity =
+let create ?(mpsc = false) ~capacity () =
   if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
   let cap = next_pow2 capacity in
-  { slots = Array.make cap None; mask = cap - 1; head = 0; tail = 0; enq_total = 0;
-    drop_total = 0 }
+  { slots = Array.make cap None; mask = cap - 1; mpsc; head = 0; tail = 0; owner = None;
+    per_producer = Hashtbl.create 4; enq_total = 0; drop_total = 0 }
+
+let is_mpsc t = t.mpsc
 
 let capacity t = t.mask + 1
 let length t = t.tail - t.head
@@ -33,6 +38,28 @@ let enqueue t v =
     t.enq_total <- t.enq_total + 1;
     true
   end
+
+let enqueue_from t ~producer v =
+  if not t.mpsc then begin
+    match t.owner with
+    | None -> t.owner <- Some producer
+    | Some p when p <> producer ->
+        invalid_arg
+          (Printf.sprintf
+             "Ring.enqueue_from: SPSC ring owned by producer %d, enqueue from %d \
+              (create with ~mpsc:true for multi-producer use)"
+             p producer)
+    | Some _ -> ()
+  end;
+  let accepted = enqueue t v in
+  if accepted then
+    Hashtbl.replace t.per_producer producer
+      (1 + Option.value ~default:0 (Hashtbl.find_opt t.per_producer producer));
+  accepted
+
+let producers t =
+  Hashtbl.fold (fun p n acc -> (p, n) :: acc) t.per_producer []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let dequeue t =
   if is_empty t then None

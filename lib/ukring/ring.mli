@@ -5,12 +5,24 @@
     A power-of-two slot array indexed by free-running head/tail counters;
     producer touches only [tail], consumer only [head], so in a real
     kernel the two sides never contend on a lock. Burst variants mirror
-    the uknetdev/ukblock batch APIs. *)
+    the uknetdev/ukblock batch APIs.
+
+    The single-producer half of that contract is easy to violate once
+    work stealing moves threads between cores, so it is enforced at
+    runtime: producers that identify themselves via {!enqueue_from}
+    register with the ring, and a second producer identity on an SPSC
+    ring raises instead of silently corrupting. Rings created with
+    [~mpsc:true] model buf_ring's CAS-based multi-producer variant —
+    any producer may enqueue, with per-producer accounting. *)
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** Rounded up to a power of two; capacity must be positive. *)
+val create : ?mpsc:bool -> capacity:int -> unit -> 'a t
+(** Rounded up to a power of two; capacity must be positive. [mpsc]
+    (default false) permits multiple distinct producers in
+    {!enqueue_from}. *)
+
+val is_mpsc : 'a t -> bool
 
 val capacity : 'a t -> int
 val length : 'a t -> int
@@ -18,7 +30,18 @@ val is_empty : 'a t -> bool
 val is_full : 'a t -> bool
 
 val enqueue : 'a t -> 'a -> bool
-(** [false] when full. *)
+(** [false] when full. Anonymous — no producer contract is checked; use
+    {!enqueue_from} wherever the producer can be identified. *)
+
+val enqueue_from : 'a t -> producer:int -> 'a -> bool
+(** Enqueue, identifying the producer (e.g. a core id). On an SPSC ring
+    the first producer registers as the owner and any other producer
+    raises [Invalid_argument]; on an [~mpsc:true] ring all producers are
+    accepted. [false] when full. *)
+
+val producers : 'a t -> (int * int) list
+(** [(producer, accepted enqueues)] for every producer seen by
+    {!enqueue_from}, sorted by producer id. *)
 
 val dequeue : 'a t -> 'a option
 

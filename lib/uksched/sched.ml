@@ -23,6 +23,7 @@ type thread = {
   tid : tid;
   tname : string;
   daemon : bool;
+  pinned : bool; (* never migrated by Sched.steal *)
   mutable state : tstate;
   mutable cont : (unit, outcome) Effect.Deep.continuation option;
   mutable body : (unit -> unit) option; (* not yet started *)
@@ -39,6 +40,18 @@ type t = {
   mutable current : thread option;
   mutable dispatch_at : int;
   mutable switches : int;
+  mutable grp : group option;
+}
+
+(* A group ties several per-core schedulers into one SMP domain: tids are
+   unique across members, and wakes addressed to a member that no longer
+   owns the thread (it migrated) are routed to the owner. The optional
+   remote-wake hook lets uksmp charge an IPI when that routing crosses
+   cores. *)
+and group = {
+  mutable members : t list; (* registration order *)
+  g_next : int ref;
+  mutable remote_wake : (src:t -> dst:t -> unit) option;
 }
 
 let make skind ?(slice = max_int) ~clock ~engine () =
@@ -53,6 +66,7 @@ let make skind ?(slice = max_int) ~clock ~engine () =
     current = None;
     dispatch_at = 0;
     switches = 0;
+    grp = None;
   }
 
 let create_cooperative ~clock ~engine = make Cooperative ~clock ~engine ()
@@ -64,9 +78,21 @@ let create_preemptive ~slice_cycles ~clock ~engine =
 let create_null ~clock ~engine = make Null ~clock ~engine ()
 
 let kind t = t.skind
+let clock t = t.clock
+let engine t = t.engine
 
 let name t =
   match t.skind with Cooperative -> "coop" | Preemptive -> "preempt" | Null -> "null"
+
+let create_group () = { members = []; g_next = ref 1; remote_wake = None }
+
+let join_group g t =
+  (match t.grp with Some _ -> invalid_arg "Sched.join_group: already grouped" | None -> ());
+  t.grp <- Some g;
+  g.members <- g.members @ [ t ];
+  g.g_next := max !(g.g_next) t.next_tid
+
+let set_remote_wake g hook = g.remote_wake <- hook
 
 let yield () = Effect.perform Yield
 let self () = Effect.perform Self
@@ -120,10 +146,19 @@ let null_handler t th =
         | _ -> None);
   }
 
-let spawn t ?name:(tname = "thread") ?(daemon = false) f =
-  let tid = t.next_tid in
-  t.next_tid <- tid + 1;
-  let th = { tid; tname; daemon; state = Sready; cont = None; body = Some f } in
+let spawn t ?name:(tname = "thread") ?(daemon = false) ?(pinned = false) f =
+  let tid =
+    match t.grp with
+    | Some g ->
+        let v = !(g.g_next) in
+        g.g_next := v + 1;
+        v
+    | None ->
+        let v = t.next_tid in
+        t.next_tid <- v + 1;
+        v
+  in
+  let th = { tid; tname; daemon; pinned; state = Sready; cont = None; body = Some f } in
   Hashtbl.replace t.threads tid th;
   (match t.skind with
   | Null ->
@@ -136,12 +171,28 @@ let spawn t ?name:(tname = "thread") ?(daemon = false) f =
   | Cooperative | Preemptive -> Queue.push th t.ready);
   tid
 
-let wake t tid =
+let wake_local t tid =
   match Hashtbl.find_opt t.threads tid with
   | Some th when th.state = Sblocked ->
       th.state <- Sready;
-      Queue.push th t.ready
-  | Some _ | None -> ()
+      Queue.push th t.ready;
+      true
+  | Some _ | None -> false
+
+(* Wakes route through the group when the thread is not (or no longer)
+   local — either it migrated via [steal], or the waker holds a stale
+   scheduler reference (a stack or lock created on another core). *)
+let wake t tid =
+  if not (Hashtbl.mem t.threads tid) then
+    match t.grp with
+    | None -> ()
+    | Some g -> (
+        match List.find_opt (fun m -> m != t && Hashtbl.mem m.threads tid) g.members with
+        | Some owner ->
+            if wake_local owner tid then
+              (match g.remote_wake with Some hook -> hook ~src:t ~dst:owner | None -> ())
+        | None -> ())
+  else ignore (wake_local t tid)
 
 let dispatch t th =
   t.switches <- t.switches + 1;
@@ -186,6 +237,38 @@ let blocked_names t =
       if th.state = Sblocked && not th.daemon then th.tname :: acc else acc)
     t.threads []
 
+(* One unit of progress for an external coordinator (uksmp): dispatch one
+   ready thread, else run one engine event. A popped-but-stale queue entry
+   still counts as progress (the queue shrank). *)
+let step t =
+  match Queue.take_opt t.ready with
+  | Some th ->
+      if th.state = Sready then dispatch t th;
+      true
+  | None -> Uksim.Engine.step t.engine
+
+let runnable t =
+  Queue.fold (fun acc th -> if th.state = Sready then acc + 1 else acc) 0 t.ready
+
+let steal ~from_ t =
+  if from_ == t then false
+  else begin
+    let n = Queue.length from_.ready in
+    let stolen = ref None in
+    for _ = 1 to n do
+      let th = Queue.pop from_.ready in
+      if Option.is_none !stolen && th.state = Sready && not th.pinned then stolen := Some th
+      else Queue.push th from_.ready
+    done;
+    match !stolen with
+    | None -> false
+    | Some th ->
+        Hashtbl.remove from_.threads th.tid;
+        Hashtbl.replace t.threads th.tid th;
+        Queue.push th t.ready;
+        true
+  end
+
 let rec run t =
   match Queue.take_opt t.ready with
   | Some th ->
@@ -211,3 +294,5 @@ let context_switches t = t.switches
 
 let thread_name t tid =
   match Hashtbl.find_opt t.threads tid with Some th -> Some th.tname | None -> None
+
+let stuck t = blocked_names t

@@ -26,12 +26,18 @@ val create_null : clock:Uksim.Clock.t -> engine:Uksim.Engine.t -> t
 val kind : t -> kind
 val name : t -> string
 
-val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> tid
+val clock : t -> Uksim.Clock.t
+val engine : t -> Uksim.Engine.t
+
+val spawn : t -> ?name:string -> ?daemon:bool -> ?pinned:bool -> (unit -> unit) -> tid
 (** Create a thread. Under the null scheduler the body runs to completion
     before [spawn] returns. Otherwise it becomes runnable and will run on
     {!run}. May also be called from inside a running thread. [daemon]
     threads (default false) do not keep {!run} alive: when only daemons
-    remain blocked, [run] returns instead of raising [Deadlock]. *)
+    remain blocked, [run] returns instead of raising [Deadlock]. [pinned]
+    threads (default false) are never migrated by {!steal} — pin anything
+    whose costs are charged to a specific core's clock (per-core service
+    loops, accept loops, load generators). *)
 
 val run : t -> unit
 (** Trampoline until no thread is runnable and no engine event can make one
@@ -78,3 +84,41 @@ val alive : t -> int
 
 val context_switches : t -> int
 val thread_name : t -> tid -> string option
+
+(** {1 SMP coordination (consumed by [lib/uksmp])}
+
+    A single scheduler instance stays single-core; multicore runs are
+    built from one cooperative scheduler per core, joined into a group
+    and driven by an external coordinator that interleaves {!step} calls
+    in virtual-time order. *)
+
+type group
+(** A set of schedulers sharing one tid namespace and wake routing. *)
+
+val create_group : unit -> group
+
+val join_group : group -> t -> unit
+(** Joining makes tids unique across members and reroutes {!wake} calls
+    that name a thread which migrated (or was addressed via a stale
+    scheduler reference) to its current owner. Raises [Invalid_argument]
+    if the scheduler is already in a group. *)
+
+val set_remote_wake : group -> (src:t -> dst:t -> unit) option -> unit
+(** Hook invoked when a wake is routed from one member to another and
+    actually unblocks a thread — uksmp charges the IPI cost here. *)
+
+val step : t -> bool
+(** Make one unit of progress: dispatch one ready thread, else run one
+    engine event. [false] when neither is possible. *)
+
+val runnable : t -> int
+(** Number of genuinely ready threads in the run queue. *)
+
+val steal : from_:t -> t -> bool
+(** [steal ~from_ t] migrates the oldest ready, unpinned thread of
+    [from_] into [t]'s run queue (with its identity and continuation).
+    Requires both schedulers to be in the same group so later wakes find
+    the thread. [false] if nothing was stealable. *)
+
+val stuck : t -> string list
+(** Names of blocked non-daemon threads (the {!Deadlock} payload). *)

@@ -50,3 +50,25 @@ val cache_miss : int
 
 val cache_hit : int
 (** L1 hit. *)
+
+(** {1 SMP-model costs (consumed by [lib/uksmp])} *)
+
+val ipi : int
+(** Cross-core inter-processor interrupt: send, remote vector entry and
+    acknowledge. Charged to the receiving core. *)
+
+val cache_migration : int
+(** Cold-cache penalty when a stolen task starts on a different core
+    (working-set re-warm, modelled as a burst of LLC misses). *)
+
+val alloc_backend_op : int
+(** One alloc/free critical section on a shared (lock-protected)
+    allocator backend. *)
+
+val arena_refill_per_obj : int
+(** Per-object cost of a batched magazine refill from the shared backend
+    (amortized list carving; cheaper than {!alloc_backend_op} because one
+    lock acquisition covers the whole batch). *)
+
+val arena_fast_path : int
+(** Per-core magazine hit: lock-free pop/push. *)

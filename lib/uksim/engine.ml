@@ -13,6 +13,7 @@ let after t d f =
 
 let after_ns t d = after t (Clock.cycles_of_ns d)
 let pending t = Heapq.length t.queue
+let next_at t = match Heapq.peek t.queue with Some (cycle, _) -> Some cycle | None -> None
 
 let step t =
   match Heapq.pop t.queue with

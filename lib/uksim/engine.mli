@@ -23,6 +23,11 @@ val after_ns : t -> float -> (unit -> unit) -> unit
 val pending : t -> int
 (** Number of scheduled, not-yet-run events. *)
 
+val next_at : t -> int option
+(** Absolute cycle of the earliest queued event, if any. Lets a
+    coordinator (e.g. the uksmp multicore loop) order several engines on
+    one time axis without popping. *)
+
 val step : t -> bool
 (** Run the next event, if any; [true] if one ran. *)
 

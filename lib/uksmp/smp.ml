@@ -1,0 +1,171 @@
+(* Multicore simulation substrate.
+
+   Everything stays sequential OCaml: a "core" is a (clock, engine,
+   cooperative scheduler) triple, and the coordinator interleaves
+   single-steps across cores in virtual-time order — conservative
+   discrete-event simulation with one local clock per core, all counting
+   cycles since boot on a shared absolute axis. The core whose next
+   possible action is earliest always runs next (ties to the lowest id),
+   so a run is a deterministic function of the seed and core count. *)
+
+type cstats = { steps : int; steals : int; stolen_from : int; ipis : int }
+
+type core = {
+  id : int;
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  sched : Uksched.Sched.t;
+  mutable c_steps : int;
+  mutable c_steals : int;
+  mutable c_stolen_from : int;
+  mutable c_ipis : int;
+}
+
+type t = {
+  cores : core array;
+  rng : Uksim.Rng.t;
+  group : Uksched.Sched.group;
+  mutable running : int option;
+  mutable trace : int;
+}
+
+let n_cores t = Array.length t.cores
+let sched_of t ~core = t.cores.(core).sched
+let clock_of t ~core = t.cores.(core).clock
+let engine_of t ~core = t.cores.(core).engine
+let current_core t = t.running
+
+let stats t ~core =
+  let c = t.cores.(core) in
+  { steps = c.c_steps; steals = c.c_steals; stolen_from = c.c_stolen_from; ipis = c.c_ipis }
+
+let core_of_sched t s =
+  let found = ref None in
+  Array.iter (fun c -> if c.sched == s then found := Some c) t.cores;
+  !found
+
+let create ?(seed = 1) ~cores () =
+  if cores <= 0 then invalid_arg "Smp.create: cores must be positive";
+  let group = Uksched.Sched.create_group () in
+  let mk id =
+    let clock = Uksim.Clock.create () in
+    let engine = Uksim.Engine.create clock in
+    let sched = Uksched.Sched.create_cooperative ~clock ~engine in
+    Uksched.Sched.join_group group sched;
+    { id; clock; engine; sched; c_steps = 0; c_steals = 0; c_stolen_from = 0; c_ipis = 0 }
+  in
+  let t =
+    {
+      cores = Array.init cores mk;
+      rng = Uksim.Rng.create (seed lxor 0x534d50 (* "SMP" *));
+      group;
+      running = None;
+      trace = 0;
+    }
+  in
+  (* A wake that crosses cores is an IPI: the destination pays delivery. *)
+  Uksched.Sched.set_remote_wake group
+    (Some
+       (fun ~src:_ ~dst ->
+         match core_of_sched t dst with
+         | Some c ->
+             Uksim.Clock.advance c.clock Uksim.Cost.ipi;
+             c.c_ipis <- c.c_ipis + 1
+         | None -> ()));
+  t
+
+let spawn_on t ~core ?name ?(pinned = false) f =
+  Uksched.Sched.spawn t.cores.(core).sched ?name ~pinned f
+
+let charge t cycles =
+  match t.running with
+  | Some i -> Uksim.Clock.advance t.cores.(i).clock cycles
+  | None -> invalid_arg "Smp.charge: no core is running"
+
+let ipi t ~src ~dst f =
+  let s = t.cores.(src) and d = t.cores.(dst) in
+  let at =
+    max (Uksim.Clock.cycles d.clock) (Uksim.Clock.cycles s.clock + Uksim.Cost.ipi)
+  in
+  d.c_ipis <- d.c_ipis + 1;
+  Uksim.Engine.at d.engine at f
+
+(* splitmix64-style avalanche, for the rolling trace hash. *)
+let mix h v =
+  let x = (h lxor v) land max_int in
+  let x = (x lxor (x lsr 30)) * 0x5851f42d4c957f2d land max_int in
+  let x = (x lxor (x lsr 27)) * 0x14057b7ef767814f land max_int in
+  x lxor (x lsr 31)
+
+let trace_hash t = t.trace
+
+let elapsed_ns t =
+  Array.fold_left (fun acc c -> Stdlib.max acc (Uksim.Clock.ns c.clock)) 0.0 t.cores
+
+(* When a core has nothing at all to do, it tries to poach the oldest
+   ready unpinned thread from a random victim that has work to spare.
+   The thief's clock jumps to the victim's present (it cannot run state
+   it has not yet seen) plus the cache-refill penalty of migration. *)
+let try_steal t thief =
+  let candidates =
+    Array.of_list
+      (List.filter
+         (fun c -> c.id <> thief.id && Uksched.Sched.runnable c.sched >= 2)
+         (Array.to_list t.cores))
+  in
+  Array.length candidates > 0
+  && begin
+       let victim = Uksim.Rng.choose t.rng candidates in
+       Uksched.Sched.steal ~from_:victim.sched thief.sched
+       && begin
+            let vc = Uksim.Clock.cycles victim.clock
+            and tc = Uksim.Clock.cycles thief.clock in
+            if vc > tc then Uksim.Clock.advance thief.clock (vc - tc);
+            Uksim.Clock.advance thief.clock Uksim.Cost.cache_migration;
+            thief.c_steals <- thief.c_steals + 1;
+            victim.c_stolen_from <- victim.c_stolen_from + 1;
+            t.trace <- mix (mix t.trace (0x57ea1 + thief.id)) victim.id;
+            true
+          end
+     end
+
+(* Earliest time [c] could act: now if it has a ready thread, else its
+   next event (no earlier than its local present), else never. *)
+let next_action c =
+  if Uksched.Sched.runnable c.sched > 0 then Some (Uksim.Clock.cycles c.clock)
+  else
+    match Uksim.Engine.next_at c.engine with
+    | Some cyc -> Some (Stdlib.max cyc (Uksim.Clock.cycles c.clock))
+    | None -> None
+
+let run t =
+  let rec loop () =
+    (* Fully idle cores attempt one steal each, in id order. *)
+    Array.iter
+      (fun c -> if next_action c = None then ignore (try_steal t c))
+      t.cores;
+    let best = ref None in
+    Array.iter
+      (fun c ->
+        match (next_action c, !best) with
+        | Some at, Some (bat, _) when at < bat -> best := Some (at, c)
+        | Some at, None -> best := Some (at, c)
+        | Some _, Some _ | None, _ -> ())
+      t.cores;
+    match !best with
+    | Some (_, c) ->
+        t.running <- Some c.id;
+        let progressed = Uksched.Sched.step c.sched in
+        t.running <- None;
+        if progressed then begin
+          c.c_steps <- c.c_steps + 1;
+          t.trace <- mix (mix t.trace c.id) (Uksim.Clock.cycles c.clock)
+        end;
+        loop ()
+    | None -> (
+        let stuck =
+          Array.fold_left (fun acc c -> acc @ Uksched.Sched.stuck c.sched) [] t.cores
+        in
+        match stuck with [] -> () | names -> raise (Uksched.Sched.Deadlock names))
+  in
+  loop ()

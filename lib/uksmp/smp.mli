@@ -1,0 +1,73 @@
+(** uksmp: multicore simulation substrate.
+
+    The Unikraft paper evaluates single-core unikernels and leaves SMP as
+    future work; this module models it. A {e core} is a (clock, engine,
+    cooperative scheduler) triple — all cores' clocks count cycles since
+    boot on one shared absolute axis, so cross-core timestamps compare
+    directly. {!run} interleaves single-steps across cores in virtual-time
+    order (the core whose next possible action is earliest runs next, ties
+    to the lowest id): conservative parallel discrete-event simulation,
+    fully deterministic for a given seed and core count at any host
+    machine — verified by {!trace_hash} replay checks.
+
+    Cross-core interactions and their calibrated costs:
+    - a wake that crosses cores (a thread migrated, or a stack on core A
+      wakes a thread on core B) charges {!Uksim.Cost.ipi} to the
+      destination core;
+    - a fully idle core steals the oldest ready {e unpinned} thread from a
+      random victim with work to spare; the thief's clock jumps to the
+      victim's present plus {!Uksim.Cost.cache_migration}. Threads whose
+      closures charge a specific core's clock must be spawned
+      [~pinned:true]; work-stealing is for core-agnostic tasks that charge
+      through {!charge}. *)
+
+type t
+
+val create : ?seed:int -> cores:int -> unit -> t
+(** [cores] fresh cores, schedulers joined into one {!Uksched.Sched.group}.
+    [seed] (default 1) drives steal-victim selection only. *)
+
+val n_cores : t -> int
+val sched_of : t -> core:int -> Uksched.Sched.t
+val clock_of : t -> core:int -> Uksim.Clock.t
+val engine_of : t -> core:int -> Uksim.Engine.t
+
+val spawn_on : t -> core:int -> ?name:string -> ?pinned:bool -> (unit -> unit) -> Uksched.Sched.tid
+(** Spawn a thread on a core's scheduler. [pinned] (default false) excludes
+    it from work stealing. *)
+
+val run : t -> unit
+(** Drive all cores until no thread is runnable, no event is pending, and
+    no steal can help. Raises {!Uksched.Sched.Deadlock} if blocked
+    non-daemon threads remain anywhere. *)
+
+val charge : t -> int -> unit
+(** Charge cycles to the clock of the core currently being stepped — how
+    migratable (unpinned) tasks account their work wherever they run.
+    Raises [Invalid_argument] outside {!run}. *)
+
+val ipi : t -> src:int -> dst:int -> (unit -> unit) -> unit
+(** Explicitly run a closure on another core: it fires on [dst]'s engine
+    no earlier than [dst]'s present and [src]'s present plus
+    {!Uksim.Cost.ipi}. *)
+
+val current_core : t -> int option
+(** The core being stepped right now, if any. *)
+
+(** {1 Observation} *)
+
+type cstats = {
+  steps : int;  (** coordinator steps that made progress on this core *)
+  steals : int;  (** threads this core stole *)
+  stolen_from : int;  (** threads stolen from this core *)
+  ipis : int;  (** cross-core wakes/IPIs delivered to this core *)
+}
+
+val stats : t -> core:int -> cstats
+
+val trace_hash : t -> int
+(** Rolling hash over (core, clock) of every step and every migration —
+    two runs with equal seeds and workloads must produce equal hashes. *)
+
+val elapsed_ns : t -> float
+(** Max over all core clocks. *)

@@ -14,4 +14,17 @@ dune runtest
 echo "== chaos smoke (fixed seed, fast workloads) =="
 UKRAFT_FAST=1 dune exec bench/main.exe -- --only chaos
 
+echo "== smp smoke (fixed seed, fast workloads) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only smp
+speedup=$(awk -F': ' '/"speedup_4"/ { sub(/,$/, "", $2); print $2 }' BENCH_smp.json)
+echo "4-core httpd speedup: ${speedup}x (gate: >= 2)"
+awk "BEGIN { exit !(${speedup} >= 2.0) }" || {
+  echo "FAIL: 4-core speedup ${speedup} below 2x"
+  exit 1
+}
+grep -q '"determinism_ok": true' BENCH_smp.json || {
+  echo "FAIL: same-seed smp replay was not byte-identical"
+  exit 1
+}
+
 echo "== ci ok =="

@@ -161,7 +161,7 @@ let test_tcp_over_lossy_virtio () =
              drain ()));
   ignore
     (Uksched.Sched.spawn sched ~name:"source" (fun () ->
-         let flow = S.Tcp_socket.connect client ~dst:(A.Ipv4.of_string "10.1.0.1", 9) in
+         let flow = S.Tcp_socket.connect client ~dst:(A.Ipv4.of_string "10.1.0.1", 9) () in
          let sent = ref 0 in
          while !sent < Bytes.length payload do
            let chunk = Bytes.sub payload !sent (min 8192 (Bytes.length payload - !sent)) in
@@ -216,7 +216,7 @@ let tcp_lossy_prop =
                  drain ()));
       ignore
         (Uksched.Sched.spawn sched ~name:"source" (fun () ->
-             let flow = S.Tcp_socket.connect client ~dst:(A.Ipv4.of_string "10.2.0.1", 5) in
+             let flow = S.Tcp_socket.connect client ~dst:(A.Ipv4.of_string "10.2.0.1", 5) () in
              let sent = ref 0 in
              while !sent < Bytes.length payload do
                let chunk =

@@ -493,7 +493,7 @@ let test_stack_tcp_end_to_end () =
              serve ()));
   ignore
     (Uksched.Sched.spawn sched ~name:"client" (fun () ->
-         let flow = S.Tcp_socket.connect s2 ~dst:(A.Ipv4.of_string "10.0.0.1", 80) in
+         let flow = S.Tcp_socket.connect s2 ~dst:(A.Ipv4.of_string "10.0.0.1", 80) () in
          for i = 1 to 3 do
            ignore
              (S.Tcp_socket.send ~block:true s2 flow (Bytes.of_string (Printf.sprintf "m%d" i)));

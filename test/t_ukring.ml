@@ -3,7 +3,7 @@
 module R = Ukring.Ring
 
 let test_fifo () =
-  let r = R.create ~capacity:4 in
+  let r = R.create ~capacity:4 () in
   Alcotest.(check bool) "enq 1" true (R.enqueue r 1);
   Alcotest.(check bool) "enq 2" true (R.enqueue r 2);
   Alcotest.(check (option int)) "peek" (Some 1) (R.peek r);
@@ -12,13 +12,13 @@ let test_fifo () =
   Alcotest.(check (option int)) "empty" None (R.dequeue r)
 
 let test_capacity_rounding () =
-  let r = R.create ~capacity:5 in
+  let r = R.create ~capacity:5 () in
   Alcotest.(check int) "rounded to 8" 8 (R.capacity r);
   Alcotest.check_raises "zero capacity" (Invalid_argument "Ring.create: capacity must be positive")
-    (fun () -> ignore (R.create ~capacity:0))
+    (fun () -> ignore (R.create ~capacity:0 ()))
 
 let test_full_rejects () =
-  let r = R.create ~capacity:2 in
+  let r = R.create ~capacity:2 () in
   Alcotest.(check bool) "fills" true (R.enqueue r 'a' && R.enqueue r 'b');
   Alcotest.(check bool) "full" true (R.is_full r);
   Alcotest.(check bool) "rejected" false (R.enqueue r 'c');
@@ -27,7 +27,7 @@ let test_full_rejects () =
   Alcotest.(check bool) "room again" true (R.enqueue r 'd')
 
 let test_bursts () =
-  let r = R.create ~capacity:8 in
+  let r = R.create ~capacity:8 () in
   Alcotest.(check int) "burst in" 8 (R.enqueue_burst r (Array.init 10 Fun.id));
   Alcotest.(check int) "overflow dropped" 2 (R.dropped_total r);
   Alcotest.(check (list int)) "burst out, FIFO" [ 0; 1; 2 ] (R.dequeue_burst r ~max:3);
@@ -35,12 +35,54 @@ let test_bursts () =
 
 let test_wraparound () =
   (* Free-running indices must survive many laps. *)
-  let r = R.create ~capacity:4 in
+  let r = R.create ~capacity:4 () in
   for lap = 1 to 10_000 do
     Alcotest.(check bool) "enq" true (R.enqueue r lap);
     Alcotest.(check (option int)) "deq" (Some lap) (R.dequeue r)
   done;
   Alcotest.(check int) "totals" 10_000 (R.enqueued_total r)
+
+let test_spsc_contract_enforced () =
+  (* The SPSC half of the contract is runtime-asserted: once a producer
+     registers via enqueue_from, any other producer identity raises
+     instead of silently corrupting under cross-core use. *)
+  let r = R.create ~capacity:4 () in
+  Alcotest.(check bool) "mode" false (R.is_mpsc r);
+  Alcotest.(check bool) "owner registers" true (R.enqueue_from r ~producer:0 10);
+  Alcotest.(check bool) "owner again" true (R.enqueue_from r ~producer:0 11);
+  Alcotest.check_raises "foreign producer rejected"
+    (Invalid_argument
+       "Ring.enqueue_from: SPSC ring owned by producer 0, enqueue from 3 (create with \
+        ~mpsc:true for multi-producer use)")
+    (fun () -> ignore (R.enqueue_from r ~producer:3 12));
+  (* the failed enqueue left the ring untouched *)
+  Alcotest.(check int) "length unchanged" 2 (R.length r);
+  Alcotest.(check (list (pair int int))) "accounting" [ (0, 2) ] (R.producers r)
+
+let test_mpsc_accepts_all_producers () =
+  let r = R.create ~mpsc:true ~capacity:8 () in
+  Alcotest.(check bool) "mode" true (R.is_mpsc r);
+  for core = 0 to 3 do
+    for v = 0 to 1 do
+      Alcotest.(check bool) "enq" true (R.enqueue_from r ~producer:core (core * 10 + v))
+    done
+  done;
+  Alcotest.(check (list int)) "fifo across producers"
+    [ 0; 1; 10; 11; 20; 21; 30; 31 ]
+    (R.dequeue_burst r ~max:8);
+  Alcotest.(check (list (pair int int))) "per-producer counts"
+    [ (0, 2); (1, 2); (2, 2); (3, 2) ]
+    (R.producers r)
+
+let test_mpsc_drop_not_counted_as_accepted () =
+  let r = R.create ~mpsc:true ~capacity:2 () in
+  Alcotest.(check bool) "fills" true (R.enqueue_from r ~producer:1 'a');
+  Alcotest.(check bool) "fills" true (R.enqueue_from r ~producer:2 'b');
+  Alcotest.(check bool) "full drop" false (R.enqueue_from r ~producer:1 'c');
+  Alcotest.(check int) "drop counted" 1 (R.dropped_total r);
+  Alcotest.(check (list (pair int int))) "only accepted counted"
+    [ (1, 1); (2, 1) ]
+    (R.producers r)
 
 let ring_model_prop =
   QCheck.Test.make ~name:"ring behaves as a bounded FIFO queue" ~count:200
@@ -48,7 +90,7 @@ let ring_model_prop =
     (fun ops ->
       (* Some x = enqueue x; None = dequeue. Compare against Queue with
          the same capacity bound. *)
-      let r = R.create ~capacity:8 in
+      let r = R.create ~capacity:8 () in
       let cap = R.capacity r in
       let model = Queue.create () in
       List.for_all
@@ -70,5 +112,8 @@ let suite =
     Alcotest.test_case "full ring rejects" `Quick test_full_rejects;
     Alcotest.test_case "bursts" `Quick test_bursts;
     Alcotest.test_case "index wraparound" `Quick test_wraparound;
+    Alcotest.test_case "SPSC producer contract enforced" `Quick test_spsc_contract_enforced;
+    Alcotest.test_case "MPSC accepts all producers" `Quick test_mpsc_accepts_all_producers;
+    Alcotest.test_case "MPSC drop accounting" `Quick test_mpsc_drop_not_counted_as_accepted;
     QCheck_alcotest.to_alcotest ring_model_prop;
   ]

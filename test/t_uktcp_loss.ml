@@ -52,7 +52,7 @@ let transfer ~total plan =
              pump ()));
   ignore
     (Uksched.Sched.spawn sched ~name:"client" (fun () ->
-         let flow = S.Tcp_socket.connect cstack ~dst:(A.Ipv4.of_string "10.0.0.2", 80) in
+         let flow = S.Tcp_socket.connect cstack ~dst:(A.Ipv4.of_string "10.0.0.2", 80) () in
          client_flow := Some flow;
          let sent = ref 0 in
          while !sent < total do

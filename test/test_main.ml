@@ -26,4 +26,5 @@ let () =
       ("ukapps", T_ukapps.suite);
       ("dns", T_dns.suite);
       ("unikraft", T_unikraft.suite);
+    ("uksmp", T_uksmp.suite);
     ]
