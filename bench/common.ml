@@ -5,8 +5,6 @@ module Vm = Unikraft.Vm
 module Vmm = Ukplat.Vmm
 module A = Uknetstack.Addr
 
-type experiment = { id : string; title : string; run : unit -> unit }
-
 let section id title =
   Printf.printf "\n=== %s: %s ===\n" id title
 
@@ -15,11 +13,8 @@ let row fmt = Printf.printf fmt
 let ms ns = ns /. 1e6
 let us ns = ns /. 1e3
 
-(* Scale factor for request counts: UKRAFT_FAST=1 shrinks workloads for
-   smoke runs. *)
-let fast = try Sys.getenv "UKRAFT_FAST" = "1" with Not_found -> false
-
-let scaled n = if fast then max 100 (n / 20) else n
+let fast = Bench.fast
+let scaled = Bench.scaled
 
 let ok = function
   | Ok v -> v
@@ -40,8 +35,15 @@ type served = {
 }
 
 let serve_vm ?(alloc = Cfg.Mimalloc) ?(net = Cfg.Vhost_net) ~app () =
+  (* One VM boot = one trial: drop the previous boot's instance sources
+     so metrics windows never mix dead components with live ones. *)
+  Bench.trial ();
   let clock = Uksim.Clock.create () in
   let engine = Uksim.Engine.create clock in
+  (* Feed the uktrace profiling sampler from the event loop; a no-op
+     when the default tracer is disabled. *)
+  Uksim.Engine.set_observer engine
+    (Some (fun cycles -> Uktrace.Tracer.attribute Uktrace.Tracer.default ~core:0 ~cycles));
   let wa, wb = Uknetdev.Wire.create_pair ~engine () in
   let cfg = ok (Cfg.make ~app ~net ~alloc ~mem_mb:64 ()) in
   let env = ok (Vm.boot ~vmm:Vmm.Qemu ~clock ~engine ~wire:wa cfg) in

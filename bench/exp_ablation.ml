@@ -11,8 +11,9 @@ module Wire = Uknetdev.Wire
    driver's fixed per-burst work. *)
 let abl_batch =
   {
-    id = "abl-batch";
-    title = "ablation: tx burst size vs throughput (vhost-user, 64B)";
+    Bench.id = "abl-batch";
+    group = "ablation";
+    descr = "ablation: tx burst size vs throughput (vhost-user, 64B)";
     run =
       (fun () ->
         let frames = scaled 40_000 in
@@ -43,8 +44,9 @@ let abl_batch =
 (* Polling vs interrupt-driven receive for a latency-sensitive consumer. *)
 let abl_netmode =
   {
-    id = "abl-netmode";
-    title = "ablation: polling vs interrupt rx under light load";
+    Bench.id = "abl-netmode";
+    group = "ablation";
+    descr = "ablation: polling vs interrupt rx under light load";
     run =
       (fun () ->
         let run_mode mode =
@@ -93,8 +95,9 @@ let abl_netmode =
    example). *)
 let abl_twoalloc =
   {
-    id = "abl-twoalloc";
-    title = "ablation: boot allocator + app allocator vs single buddy";
+    Bench.id = "abl-twoalloc";
+    group = "ablation";
+    descr = "ablation: boot allocator + app allocator vs single buddy";
     run =
       (fun () ->
         let boot_of alloc =
@@ -125,8 +128,9 @@ let abl_twoalloc =
    workload end to end. *)
 let abl_dispatch =
   {
-    id = "abl-dispatch";
-    title = "ablation: syscall dispatch mode vs workload time";
+    Bench.id = "abl-dispatch";
+    group = "ablation";
+    descr = "ablation: syscall dispatch mode vs workload time";
     run =
       (fun () ->
         let n = scaled 200_000 in
@@ -153,8 +157,9 @@ let abl_dispatch =
    vfscore vs the ukblock API). *)
 let abl_block =
   {
-    id = "abl-block";
-    title = "ablation: journal persistence — 9pfs file vs sync ukblock vs batched ukblock";
+    Bench.id = "abl-block";
+    group = "ablation";
+    descr = "ablation: journal persistence — 9pfs file vs sync ukblock vs batched ukblock";
     run =
       (fun () ->
         let records = 1000 in
@@ -226,8 +231,9 @@ let abl_block =
    sanitized allocator vs. their plain counterparts. *)
 let abl_security =
   {
-    id = "abl-security";
-    title = "ablation: cost of MPK compartments and ASan on hot paths";
+    Bench.id = "abl-security";
+    group = "ablation";
+    descr = "ablation: cost of MPK compartments and ASan on hot paths";
     run =
       (fun () ->
         (* MPK: seal SHFS data behind a compartment, cross a gate per
@@ -288,8 +294,9 @@ let abl_security =
    (§4.1 / HermiTux). *)
 let abl_bincompat =
   {
-    id = "abl-bincompat";
-    title = "ablation: binary compat (trap) vs binary rewriting";
+    Bench.id = "abl-bincompat";
+    group = "ablation";
+    descr = "ablation: binary compat (trap) vs binary rewriting";
     run =
       (fun () ->
         let module Bin = Uksyscall.Binary in
@@ -324,8 +331,9 @@ let abl_bincompat =
    churn (arm + cancel dominate; few timers ever fire). *)
 let abl_wheel =
   {
-    id = "abl-wheel";
-    title = "ablation: timing wheel vs heap for TCP-style timers";
+    Bench.id = "abl-wheel";
+    group = "ablation";
+    descr = "ablation: timing wheel vs heap for TCP-style timers";
     run =
       (fun () ->
         let n = scaled 200_000 in
@@ -356,6 +364,6 @@ let abl_wheel =
         row "=> both engines drain correctly; the wheel cancels in O(1) and never\n   pays log n per arm (structural, independent of constants)\n");
   }
 
-let all =
+let register () = List.iter Bench.register_exp
   [ abl_batch; abl_netmode; abl_twoalloc; abl_dispatch; abl_block; abl_security;
     abl_bincompat; abl_wheel ]

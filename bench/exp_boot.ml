@@ -5,8 +5,9 @@ open Common
 
 let fig10 =
   {
-    id = "fig10";
-    title = "boot time per VMM (guest vs VMM time)";
+    Bench.id = "fig10";
+    group = "boot";
+    descr = "boot time per VMM (guest vs VMM time)";
     run =
       (fun () ->
         row "%-14s %12s %14s %14s %12s\n" "vmm" "vmm(ms)" "guest,0nic(us)" "guest,1nic(us)"
@@ -32,7 +33,7 @@ let fig10 =
                 (ok (Vm.boot ~vmm ~clock ~engine ~wire:wa cfg)).Vm.breakdown
               end
             in
-            let b0 = boot 0 and b1 = boot 1 in
+            let b0, b1 = Bench.phase ("boot_" ^ Vmm.name vmm) (fun () -> (boot 0, boot 1)) in
             row "%-14s %12.2f %14.1f %14.1f %12.2f\n" (Vmm.name vmm)
               (ms b0.Vmm.vmm_startup_ns) (us b0.Vmm.guest_ns) (us b1.Vmm.guest_ns)
               (ms b1.Vmm.total_ns))
@@ -77,8 +78,9 @@ let alloc_n env ~count ~size =
 
 let fig11 =
   {
-    id = "fig11";
-    title = "minimum memory needed to run each application";
+    Bench.id = "fig11";
+    group = "boot";
+    descr = "minimum memory needed to run each application";
     run =
       (fun () ->
         let workloads =
@@ -111,8 +113,9 @@ let fig11 =
 
 let fig14 =
   {
-    id = "fig14";
-    title = "nginx guest boot time per allocator (1GB heap)";
+    Bench.id = "fig14";
+    group = "boot";
+    descr = "nginx guest boot time per allocator (1GB heap)";
     run =
       (fun () ->
         row "%-12s %14s\n" "allocator" "guest boot(ms)";
@@ -130,8 +133,9 @@ let fig14 =
 
 let fig21 =
   {
-    id = "fig21";
-    title = "boot time: static vs dynamic page-table initialization";
+    Bench.id = "fig21";
+    group = "boot";
+    descr = "boot time: static vs dynamic page-table initialization";
     run =
       (fun () ->
         row "%-8s %16s %16s\n" "RAM" "static(us)" "dynamic(us)";
@@ -155,8 +159,9 @@ let fig21 =
 
 let text1 =
   {
-    id = "text1";
-    title = "unikernel boot-time baselines (§5.1)";
+    Bench.id = "text1";
+    group = "boot";
+    descr = "unikernel boot-time baselines (§5.1)";
     run =
       (fun () ->
         row "%-14s %12s %s\n" "system" "boot(ms)" "notes";
@@ -178,8 +183,9 @@ let text1 =
 
 let text2 =
   {
-    id = "text2";
-    title = "9pfs device boot-time overhead (§5.2)";
+    Bench.id = "text2";
+    group = "boot";
+    descr = "9pfs device boot-time overhead (§5.2)";
     run =
       (fun () ->
         let boot vmm fs =
@@ -199,4 +205,4 @@ let text2 =
         row "=> paper: +0.3ms on KVM, +2.7ms on Xen\n");
   }
 
-let all = [ fig10; fig11; fig14; fig21; text1; text2 ]
+let register () = List.iter Bench.register_exp [ fig10; fig11; fig14; fig21; text1; text2 ]

@@ -9,8 +9,9 @@ module P = Ukbuild.Porting
 
 let fig01 =
   {
-    id = "fig01";
-    title = "Linux kernel component dependency graph";
+    Bench.id = "fig01";
+    group = "build";
+    descr = "Linux kernel component dependency graph";
     run =
       (fun () ->
         let g = Ukgraph.Linux_kernel.graph () in
@@ -38,8 +39,9 @@ let image_of ?(flags = L.default_flags) ?(net = false) ?(fs = false) ?alloc ?sch
 
 let dep_graph_exp id name app net alloc sched =
   {
-    id;
-    title = Printf.sprintf "%s Unikraft dependency graph" name;
+    Bench.id = id;
+    group = "build";
+    descr = Printf.sprintf "%s Unikraft dependency graph" name;
     run =
       (fun () ->
         let img = image_of ~net ?alloc ?sched ~plat:"plat-kvm" app in
@@ -63,8 +65,9 @@ let fig03 = dep_graph_exp "fig03" "helloworld" "app-hello" false None None
 
 let fig04 =
   {
-    id = "fig04";
-    title = "the Unikraft architecture: APIs and specialization scenarios";
+    Bench.id = "fig04";
+    group = "build";
+    descr = "the Unikraft architecture: APIs and specialization scenarios";
     run =
       (fun () ->
         row "%s\n"
@@ -99,8 +102,9 @@ let fig04 =
 
 let fig05 =
   {
-    id = "fig05";
-    title = "syscalls required by 30 server apps vs supported (heatmap)";
+    Bench.id = "fig05";
+    group = "build";
+    descr = "syscalls required by 30 server apps vs supported (heatmap)";
     run =
       (fun () ->
         let hm = Uksyscall.Appdb.heatmap () in
@@ -136,8 +140,9 @@ let fig05 =
 
 let fig06 =
   {
-    id = "fig06";
-    title = "developer survey: porting effort over time";
+    Bench.id = "fig06";
+    group = "build";
+    descr = "developer survey: porting effort over time";
     run =
       (fun () ->
         row "%-8s %10s %10s %10s %10s\n" "quarter" "lib(h)" "deps(h)" "OS(h)" "build(h)";
@@ -149,8 +154,9 @@ let fig06 =
 
 let fig07 =
   {
-    id = "fig07";
-    title = "syscall support per app: now / +5 / +10 / +15 most-wanted";
+    Bench.id = "fig07";
+    group = "build";
+    descr = "syscall support per app: now / +5 / +10 / +15 most-wanted";
     run =
       (fun () ->
         row "%-18s %5s %6s %6s %6s %6s\n" "application" "#req" "now" "+5" "+10" "+15";
@@ -167,8 +173,9 @@ let fig07 =
 
 let fig08 =
   {
-    id = "fig08";
-    title = "Unikraft image sizes with and without LTO and DCE";
+    Bench.id = "fig08";
+    group = "build";
+    descr = "Unikraft image sizes with and without LTO and DCE";
     run =
       (fun () ->
         row "%-12s %12s %12s %12s %12s\n" "app" "plain" "+DCE" "+LTO" "+DCE+LTO";
@@ -194,8 +201,9 @@ let fig08 =
 
 let fig09 =
   {
-    id = "fig09";
-    title = "image sizes: Unikraft vs other OSes (stripped, w/o LTO+DCE)";
+    Bench.id = "fig09";
+    group = "build";
+    descr = "image sizes: Unikraft vs other OSes (stripped, w/o LTO+DCE)";
     run =
       (fun () ->
         let flags = { L.dce = true; lto = false } in
@@ -229,8 +237,9 @@ let fig09 =
 
 let tab02 =
   {
-    id = "tab02";
-    title = "automated porting vs musl/newlib (Table 2)";
+    Bench.id = "tab02";
+    group = "build";
+    descr = "automated porting vs musl/newlib (Table 2)";
     run =
       (fun () ->
         let mark b = if b then "ok" else "X" in
@@ -250,4 +259,4 @@ let tab02 =
           (count (fun r -> r.P.newlib_std)));
   }
 
-let all = [ fig01; fig02; fig03; fig04; fig05; fig06; fig07; fig08; fig09; tab02 ]
+let register () = List.iter Bench.register_exp [ fig01; fig02; fig03; fig04; fig05; fig06; fig07; fig08; fig09; tab02 ]

@@ -29,6 +29,7 @@ type chaotic = {
 }
 
 let chaotic_link ?(seed = chaos_seed) plan =
+  Bench.trial ();
   let clock = Uksim.Clock.create () in
   let engine = Uksim.Engine.create clock in
   let sched = Uksched.Sched.create_cooperative ~clock ~engine in
@@ -261,13 +262,13 @@ let run_determinism () =
   if not identical then Common.row "  !! chaos run is NOT deterministic\n"
 
 let run () =
-  run_web ();
-  run_kv ();
-  run_supervision ();
-  run_oom ();
-  run_blk ();
-  run_determinism ()
+  Bench.phase "web" run_web;
+  Bench.phase "kv" run_kv;
+  Bench.phase "supervision" run_supervision;
+  Bench.phase "oom" run_oom;
+  Bench.phase "blk" run_blk;
+  Bench.phase "determinism" run_determinism
 
-let all =
-  [ { Common.id = "chaos"; title = "chaos soak: faults across net, alloc, block (ukfault)";
-      run } ]
+let register () =
+  Bench.register ~id:"chaos" ~group:"chaos"
+    ~descr:"chaos soak: faults across net, alloc, block (ukfault)" run

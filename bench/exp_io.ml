@@ -38,8 +38,9 @@ let tx_throughput ~backend ~size ~frames ?(extra_pkt_cost = 0) () =
 
 let fig19 =
   {
-    id = "fig19";
-    title = "TX throughput vs DPDK-in-a-Linux-VM (vhost-user / vhost-net)";
+    Bench.id = "fig19";
+    group = "io";
+    descr = "TX throughput vs DPDK-in-a-Linux-VM (vhost-user / vhost-net)";
     run =
       (fun () ->
         let frames = scaled 40_000 in
@@ -59,8 +60,9 @@ let fig19 =
 
 let fig20 =
   {
-    id = "fig20";
-    title = "9pfs read/write latency vs Linux VM, by block size";
+    Bench.id = "fig20";
+    group = "io";
+    descr = "9pfs read/write latency vs Linux VM, by block size";
     run =
       (fun () ->
         (* Host share with a 1MB file of random-ish data. *)
@@ -120,8 +122,9 @@ let fig20 =
 
 let fig22 =
   {
-    id = "fig22";
-    title = "specialized filesystem: open() with and without the VFS layer";
+    Bench.id = "fig22";
+    group = "io";
+    descr = "specialized filesystem: open() with and without the VFS layer";
     run =
       (fun () ->
         let n_files = 100 in
@@ -170,8 +173,9 @@ let linux_row ~label ~app ~syscalls ~stack ~virtio =
 
 let tab04 =
   {
-    id = "tab04";
-    title = "UDP key-value store: Linux vs Unikraft (Table 4)";
+    Bench.id = "tab04";
+    group = "io";
+    descr = "UDP key-value store: Linux vs Unikraft (Table 4)";
     run =
       (fun () ->
         (* Unikraft LWIP row: sockets over the stack, measured. *)
@@ -239,4 +243,4 @@ let tab04 =
         row "=> paper: LWIP 319k, uknetdev 6.3M (one core) vs DPDK 6.4M (two cores)\n");
   }
 
-let all = [ fig19; fig20; fig22; tab04 ]
+let register () = List.iter Bench.register_exp [ fig19; fig20; fig22; tab04 ]

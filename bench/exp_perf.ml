@@ -7,8 +7,9 @@ module Shim = Uksyscall.Shim
 
 let tab01 =
   {
-    id = "tab01";
-    title = "cost of binary compatibility / syscalls (Table 1)";
+    Bench.id = "tab01";
+    group = "perf";
+    descr = "cost of binary compatibility / syscalls (Table 1)";
     run =
       (fun () ->
         let n = 10_000 in
@@ -45,10 +46,12 @@ let redis_rate ?(alloc = Cfg.Mimalloc) ?(requests = 100_000) workload =
     Ukapps.Resp_store.create ~clock:s.clock ~sched:s.sched ~stack:(Option.get s.env.Vm.stack)
       ~alloc:s.env.Vm.alloc ()
   in
+  let wl = match workload with Ukapps.Resp_bench.Get -> "get" | _ -> "set" in
   let r =
-    Ukapps.Resp_bench.run ~clock:s.clock ~sched:s.sched ~stack:s.client_stack
-      ~server:(s.server_ip, 6379) ~connections:30 ~pipeline:16 ~requests:(scaled requests)
-      workload
+    Bench.phase (Printf.sprintf "redis_%s_%s" (alloc_name alloc) wl) (fun () ->
+        Ukapps.Resp_bench.run ~clock:s.clock ~sched:s.sched ~stack:s.client_stack
+          ~server:(s.server_ip, 6379) ~connections:30 ~pipeline:16 ~requests:(scaled requests)
+          workload)
   in
   r.Ukapps.Resp_bench.rate_per_sec
 
@@ -60,8 +63,9 @@ let nginx_rate ?(alloc = Cfg.Mimalloc) ?(requests = 30_000) () =
       (Ukapps.Httpd.In_memory [ ("/index.html", Ukapps.Httpd.default_page) ])
   in
   let r =
-    Ukapps.Wrk.run ~clock:s.clock ~sched:s.sched ~stack:s.client_stack
-      ~server:(s.server_ip, 80) ~connections:30 ~requests:(scaled requests) ()
+    Bench.phase ("wrk_" ^ alloc_name alloc) (fun () ->
+        Ukapps.Wrk.run ~clock:s.clock ~sched:s.sched ~stack:s.client_stack
+          ~server:(s.server_ip, 80) ~connections:30 ~requests:(scaled requests) ())
   in
   r.Ukapps.Wrk.rate_per_sec
 
@@ -72,8 +76,9 @@ let baseline_rate uk_rate profile app =
 
 let fig12 =
   {
-    id = "fig12";
-    title = "Redis throughput (30 conns, 100k reqs, pipelining 16)";
+    Bench.id = "fig12";
+    group = "perf";
+    descr = "Redis throughput (30 conns, 100k reqs, pipelining 16)";
     run =
       (fun () ->
         let uk = redis_rate Ukapps.Resp_bench.Get in
@@ -93,8 +98,9 @@ let fig12 =
 
 let fig13 =
   {
-    id = "fig13";
-    title = "nginx throughput, wrk, static 612B page (+Mirage HTTP-reply)";
+    Bench.id = "fig13";
+    group = "perf";
+    descr = "nginx throughput, wrk, static 612B page (+Mirage HTTP-reply)";
     run =
       (fun () ->
         let uk = nginx_rate () in
@@ -110,8 +116,9 @@ let fig13 =
 
 let fig15 =
   {
-    id = "fig15";
-    title = "nginx throughput per allocator";
+    Bench.id = "fig15";
+    group = "perf";
+    descr = "nginx throughput per allocator";
     run =
       (fun () ->
         row "%-12s %12s\n" "allocator" "req/s (k)";
@@ -151,8 +158,9 @@ let sqlite_insert_time ~alloc ~queries ?(per_stmt_overhead = 0) ?journal () =
 
 let fig16 =
   {
-    id = "fig16";
-    title = "SQLite insert speedup relative to mimalloc, by query count";
+    Bench.id = "fig16";
+    group = "perf";
+    descr = "SQLite insert speedup relative to mimalloc, by query count";
     run =
       (fun () ->
         let counts = List.map scaled [ 100; 1000; 10_000; 60_000 ] in
@@ -177,8 +185,9 @@ let fig16 =
 
 let fig17 =
   {
-    id = "fig17";
-    title = "60k SQLite insertions: native linux / newlib / musl / external";
+    Bench.id = "fig17";
+    group = "perf";
+    descr = "60k SQLite insertions: native linux / newlib / musl / external";
     run =
       (fun () ->
         let q = scaled 60_000 in
@@ -207,8 +216,9 @@ let fig17 =
 
 let fig18 =
   {
-    id = "fig18";
-    title = "Redis throughput per allocator and request type";
+    Bench.id = "fig18";
+    group = "perf";
+    descr = "Redis throughput per allocator and request type";
     run =
       (fun () ->
         row "%-12s %12s %12s\n" "allocator" "GET (k/s)" "SET (k/s)";
@@ -221,4 +231,4 @@ let fig18 =
         row "=> paper: no allocator wins everywhere; right choice buys up to 2.5x\n");
   }
 
-let all = [ tab01; fig12; fig13; fig15; fig16; fig17; fig18 ]
+let register () = List.iter Bench.register_exp [ tab01; fig12; fig13; fig15; fig16; fig17; fig18 ]

@@ -19,6 +19,7 @@ let httpd_requests_per_core () = scaled 4000
 let resp_requests_per_core () = scaled 8000
 
 let run_httpd ?(alloc_mode = Cluster.Arena) ?(seed = 1) ~n () =
+  Bench.trial ();
   let c = Cluster.create ~seed ~alloc_mode ~n () in
   ignore (Cluster.add_httpd c (Ukapps.Httpd.In_memory [ ("/index.html", page) ]));
   let r =
@@ -28,6 +29,7 @@ let run_httpd ?(alloc_mode = Cluster.Arena) ?(seed = 1) ~n () =
   (c, r)
 
 let run_resp ?(alloc_mode = Cluster.Arena) ?(seed = 1) ~n workload =
+  Bench.trial ();
   let c = Cluster.create ~seed ~alloc_mode ~n () in
   (* 4096 keys covers Resp_bench's whole key space, so GETs are all hits. *)
   ignore (Cluster.add_resp c ~populate:4096 ());
@@ -48,8 +50,9 @@ let httpd_fingerprint c (r : Ukapps.Wrk.result) =
 
 let smp =
   {
-    id = "smp";
-    title = "core scaling: httpd + RESP over uksmp (1/2/4/8 cores)";
+    Bench.id = "smp";
+    group = "smp";
+    descr = "core scaling: httpd + RESP over uksmp (1/2/4/8 cores)";
     run =
       (fun () ->
         (* --- httpd scaling curve --- *)
@@ -57,11 +60,12 @@ let smp =
           (httpd_requests_per_core ());
         row "%-8s %12s %10s %12s %8s\n" "cores" "kreq/s" "speedup" "elapsed ms" "errors";
         let httpd_rates =
-          List.map
-            (fun n ->
-              let _, r = run_httpd ~n () in
-              (n, r))
-            core_counts
+          Bench.phase "httpd_scaling" (fun () ->
+              List.map
+                (fun n ->
+                  let _, r = run_httpd ~n () in
+                  (n, r))
+                core_counts)
         in
         let base_rate =
           (List.assoc 1 httpd_rates).Ukapps.Wrk.rate_per_sec
@@ -81,11 +85,12 @@ let smp =
             (resp_requests_per_core ());
           row "%-8s %12s %10s %8s\n" "cores" "kreq/s" "speedup" "errors";
           let runs =
-            List.map
-              (fun n ->
-                let _, r = run_resp ~n workload in
-                (n, r))
-              core_counts
+            Bench.phase ("resp_" ^ String.lowercase_ascii label) (fun () ->
+                List.map
+                  (fun n ->
+                    let _, r = run_resp ~n workload in
+                    (n, r))
+                  core_counts)
           in
           let base = (List.assoc 1 runs).Ukapps.Resp_bench.rate_per_sec in
           List.iter
@@ -110,8 +115,12 @@ let smp =
             st.Spin.contended st.Spin.wait_cycles;
           r.Ukapps.Resp_bench.rate_per_sec
         in
-        let arena_rate = ablate Cluster.Arena "per-core arena" in
-        let shared_rate = ablate Cluster.Shared_lock "shared lock" in
+        let arena_rate, shared_rate =
+          Bench.phase "alloc_ablation" (fun () ->
+              let arena = ablate Cluster.Arena "per-core arena" in
+              let shared = ablate Cluster.Shared_lock "shared lock" in
+              (arena, shared))
+        in
         row "arena/shared: %.2fx\n" (arena_rate /. shared_rate);
 
         (* --- determinism: same seed, 8 cores, twice --- *)
@@ -119,30 +128,39 @@ let smp =
           let c, r = run_httpd ~seed:7 ~n:8 () in
           httpd_fingerprint c r
         in
-        let fp1 = fp () and fp2 = fp () in
+        let fp1, fp2 = Bench.phase "determinism" (fun () -> (fp (), fp ())) in
         let det_ok = String.equal fp1 fp2 in
         row "\ndeterminism (8 cores, seed 7): %s\n"
           (if det_ok then "byte-identical replay" else "MISMATCH");
         row "  run 1: %s\n  run 2: %s\n" fp1 fp2;
 
+        (* --- tracing invariance: same run with the tracer live --- *)
+        (* The uktrace determinism guarantee, gated in CI: spans and the
+           profiling sampler must not move the simulation by a cycle, so
+           the fingerprint (which includes the uksmp trace hash) has to
+           replay byte-identically with tracing on. *)
+        let tracer = Uktrace.Tracer.default in
+        let was = Uktrace.Tracer.enabled tracer in
+        Uktrace.Tracer.set_enabled tracer true;
+        let fp3 = fp () in
+        Uktrace.Tracer.set_enabled tracer was;
+        let trace_ok = String.equal fp1 fp3 in
+        row "tracing-on replay: %s\n"
+          (if trace_ok then "byte-identical (tracer is invisible)" else "MISMATCH");
+
         (* --- machine-readable summary for CI --- *)
-        let oc = open_out "BENCH_smp.json" in
-        Printf.fprintf oc "{\n";
-        Printf.fprintf oc "  \"id\": \"smp\",\n";
-        Printf.fprintf oc "  \"fast\": %b,\n" fast;
-        Printf.fprintf oc "  \"httpd_rate_per_sec\": {%s},\n"
-          (String.concat ", "
-             (List.map
-                (fun (n, (r : Ukapps.Wrk.result)) ->
-                  Printf.sprintf "\"%d\": %.1f" n r.rate_per_sec)
-                httpd_rates));
-        Printf.fprintf oc "  \"speedup_4\": %.3f,\n" speedup_4;
-        Printf.fprintf oc "  \"arena_rate_per_sec\": %.1f,\n" arena_rate;
-        Printf.fprintf oc "  \"sharedlock_rate_per_sec\": %.1f,\n" shared_rate;
-        Printf.fprintf oc "  \"determinism_ok\": %b\n" det_ok;
-        Printf.fprintf oc "}\n";
-        close_out oc;
-        row "wrote BENCH_smp.json\n");
+        Bench.emit "httpd_rate_per_sec"
+          (Printf.sprintf "{%s}"
+             (String.concat ", "
+                (List.map
+                   (fun (n, (r : Ukapps.Wrk.result)) ->
+                     Printf.sprintf "\"%d\": %.1f" n r.rate_per_sec)
+                   httpd_rates)));
+        Bench.emit "speedup_4" (Printf.sprintf "%.3f" speedup_4);
+        Bench.emit "arena_rate_per_sec" (Printf.sprintf "%.1f" arena_rate);
+        Bench.emit "sharedlock_rate_per_sec" (Printf.sprintf "%.1f" shared_rate);
+        Bench.emit_b "determinism_ok" det_ok;
+        Bench.emit_b "trace_invariant_ok" trace_ok);
   }
 
-let all = [ smp ]
+let register () = Bench.register_exp smp

@@ -4,51 +4,22 @@
    Usage:
      dune exec bench/main.exe                 # run everything
      dune exec bench/main.exe -- --only fig12 # one experiment
+     dune exec bench/main.exe -- --only perf  # one group
      dune exec bench/main.exe -- --list
      dune exec bench/main.exe -- --micro      # bechamel micro-benchmarks
-     UKRAFT_FAST=1 dune exec bench/main.exe   # reduced request counts *)
+     UKRAFT_FAST=1  dune exec bench/main.exe  # reduced request counts
+     UKRAFT_TRACE=1 dune exec bench/main.exe  # + Chrome TRACE_<id>.json
 
-let experiments : Common.experiment list =
-  Exp_build.all @ Exp_boot.all @ Exp_perf.all @ Exp_io.all @ Exp_ablation.all @ Exp_chaos.all
-  @ Exp_smp.all
-
-let print_experiments oc =
-  List.iter
-    (fun (e : Common.experiment) -> Printf.fprintf oc "%-12s %s\n" e.Common.id e.Common.title)
-    experiments
-
-let run_one (e : Common.experiment) =
-  Common.section e.Common.id e.Common.title;
-  let t0 = Unix.gettimeofday () in
-  (try e.Common.run ()
-   with exn ->
-     Printf.printf "!! experiment %s failed: %s\n" e.Common.id (Printexc.to_string exn));
-  Printf.printf "[%s done in %.1fs]\n%!" e.Common.id (Unix.gettimeofday () -. t0)
+   Experiments live in the Exp_* modules and self-describe through
+   Bench.register; every group run lands a BENCH_<group>.json with the
+   emitted results plus per-phase uktrace metrics snapshots. *)
 
 let () =
-  let args = Array.to_list Sys.argv in
-  let has flag = List.mem flag args in
-  let value flag =
-    let rec go = function
-      | a :: b :: _ when a = flag -> Some b
-      | _ :: rest -> go rest
-      | [] -> None
-    in
-    go args
-  in
-  if has "--list" then print_experiments stdout
-  else begin
-    (match value "--only" with
-    | Some id -> (
-        match List.find_opt (fun (e : Common.experiment) -> e.Common.id = id) experiments with
-        | Some e -> run_one e
-        | None ->
-            Printf.eprintf "unknown experiment %s; available experiments:\n" id;
-            print_experiments stderr;
-            exit 1)
-    | None ->
-        Printf.printf "ukraft experiment harness - reproducing the Unikraft paper (EuroSys'21)\n";
-        Printf.printf "fast mode: %b (set UKRAFT_FAST=1 to shrink workloads)\n" Common.fast;
-        List.iter run_one experiments);
-    if has "--micro" then Micro.run ()
-  end
+  Exp_build.register ();
+  Exp_boot.register ();
+  Exp_perf.register ();
+  Exp_io.register ();
+  Exp_ablation.register ();
+  Exp_chaos.register ();
+  Exp_smp.register ();
+  Bench.main ~micro:Micro.run ()

@@ -123,12 +123,14 @@ let boot ~vmm ?clock ?engine ?wire ?(ip = "172.44.0.2") ?(netmask = "255.255.255
                    the redzoned, quarantined wrapper. *)
                 let wrapped = Ukalloc.Asan.wrap ~clock a in
                 asan_t := Some wrapped;
-                Ukalloc.Alloc.Registry.register registry (Ukalloc.Asan.alloc wrapped);
-                alloc := Some (Ukalloc.Asan.alloc wrapped)
+                let traced = Ukalloc.Alloc.traced ~clock (Ukalloc.Asan.alloc wrapped) in
+                Ukalloc.Alloc.Registry.register registry traced;
+                alloc := Some traced
               end
               else begin
-                Ukalloc.Alloc.Registry.register registry a;
-                alloc := Some a
+                let traced = Ukalloc.Alloc.traced ~clock a in
+                Ukalloc.Alloc.Registry.register registry traced;
+                alloc := Some traced
               end);
           (match c.sched with
           | Config.None_ -> ()

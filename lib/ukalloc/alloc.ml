@@ -42,6 +42,31 @@ let log2_ceil n =
   let f = log2_floor n in
   if 1 lsl f = n then f else f + 1
 
+let source_of (a : t) =
+  Uktrace.Source.make ~subsystem:"ukalloc" ~name:a.name (fun () ->
+      let s = a.stats () in
+      [
+        ("allocs", Uktrace.Metric.Count s.allocs);
+        ("frees", Uktrace.Metric.Count s.frees);
+        ("failed", Uktrace.Metric.Count s.failed);
+        ("bytes_in_use", Uktrace.Metric.Level (float_of_int s.bytes_in_use));
+        ("peak_bytes", Uktrace.Metric.Level (float_of_int s.peak_bytes));
+        ("metadata_bytes", Uktrace.Metric.Level (float_of_int s.metadata_bytes));
+      ])
+
+let register_source a = Uktrace.Registry.register (source_of a)
+
+let traced ~clock (a : t) =
+  let sp name f = Uktrace.Tracer.span Uktrace.Tracer.default clock ~cat:"ukalloc" name f in
+  {
+    a with
+    malloc = (fun size -> sp "malloc" (fun () -> a.malloc size));
+    calloc = (fun n size -> sp "calloc" (fun () -> a.calloc n size));
+    memalign = (fun ~align size -> sp "memalign" (fun () -> a.memalign ~align size));
+    free = (fun addr -> sp "free" (fun () -> a.free addr));
+    realloc = (fun addr size -> sp "realloc" (fun () -> a.realloc addr size));
+  }
+
 module Registry = struct
   type allocator = t
 
@@ -54,6 +79,7 @@ module Registry = struct
   let register t (a : allocator) =
     if List.exists (fun (x : allocator) -> String.equal x.name a.name) t.order then
       invalid_arg (Printf.sprintf "Alloc.Registry.register: duplicate allocator %s" a.name);
+    register_source a;
     t.order <- a :: t.order
 
   let all t = List.rev t.order

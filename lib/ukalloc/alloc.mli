@@ -49,6 +49,24 @@ val round_up : int -> int -> int
 val log2_ceil : int -> int
 val log2_floor : int -> int
 
+(** {1 Observability}
+
+    Stats are exposed to harnesses through the {!Uktrace.Registry}, not by
+    reaching for the [stats] record directly: every allocator registered
+    with {!Registry.register} (the ukboot path) is mirrored as a
+    ["ukalloc.<name>"] source automatically. *)
+
+val source_of : t -> Uktrace.Source.t
+(** The allocator's stats as a registry source (samples mirror {!stats}). *)
+
+val register_source : t -> unit
+(** [Uktrace.Registry.register (source_of a)] — for allocators created
+    outside the boot registry. *)
+
+val traced : clock:Uksim.Clock.t -> t -> t
+(** Wrap every operation in a ["ukalloc"] tracepoint span timed on
+    [clock]. Free when the default tracer is disabled. *)
+
 (** {1 Registry}
 
     ukboot registers each initialized allocator here; the first registration

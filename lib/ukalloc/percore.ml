@@ -48,7 +48,7 @@ let create ~clocks ~backend ?(batch = 16) ?(max_cached = 64) () =
   if batch <= 0 then invalid_arg "Percore.create: batch must be positive";
   if max_cached < batch then invalid_arg "Percore.create: max_cached < batch";
   let n = Array.length clocks in
-  {
+  let t = {
     clocks;
     backend;
     batch;
@@ -68,6 +68,34 @@ let create ~clocks ~backend ?(batch = 16) ?(max_cached = 64) () =
     in_use = 0;
     peak = 0;
   }
+  in
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukalloc" ~name:"percore"
+       ~reset:(fun () ->
+         t.fast_hits <- 0;
+         t.refills <- 0;
+         t.flushes <- 0;
+         t.backend_oom <- 0)
+       (fun () ->
+         let objs = ref 0 and bytes = ref 0 in
+         Array.iter
+           (Array.iteri (fun c len ->
+                objs := !objs + len;
+                bytes := !bytes + (len * (1 lsl c))))
+           t.mag_len;
+         [
+           ("fast_hits", Uktrace.Metric.Count t.fast_hits);
+           ("refills", Uktrace.Metric.Count t.refills);
+           ("flushes", Uktrace.Metric.Count t.flushes);
+           ("backend_oom", Uktrace.Metric.Count t.backend_oom);
+           ("allocs", Uktrace.Metric.Count t.allocs);
+           ("frees", Uktrace.Metric.Count t.frees);
+           ("cached_objs", Uktrace.Metric.Level (float_of_int !objs));
+           ("cached_bytes", Uktrace.Metric.Level (float_of_int !bytes));
+           ("bytes_in_use", Uktrace.Metric.Level (float_of_int t.in_use));
+           ("peak_bytes", Uktrace.Metric.Level (float_of_int t.peak));
+         ]));
+  t
 
 let n_cores t = Array.length t.clocks
 let lock t = t.lock

@@ -38,6 +38,12 @@ let client_ip = A.Ipv4.of_string "10.0.0.2"
 let create ?(seed = 1) ?(alloc_mode = Arena) ~n () =
   if n <= 0 then invalid_arg "Cluster.create: n must be positive";
   let smp = Uksmp.Smp.create ~seed ~cores:(2 * n) () in
+  (* Feed the uktrace profiling sampler: per-step cycle deltas attribute
+     to whatever span is open on the stepped core. A no-op (and
+     behaviour-preserving) when the default tracer is disabled. *)
+  Uksmp.Smp.set_step_observer smp
+    (Some
+       (fun ~core ~cycles -> Uktrace.Tracer.attribute Uktrace.Tracer.default ~core ~cycles));
   let queues side =
     (* server cores are 0..n-1, client cores n..2n-1 *)
     Array.init n (fun i ->
@@ -150,7 +156,7 @@ let add_httpd t ?(port = 80) content =
       Httpd.create
         ~clock:(Uksmp.Smp.clock_of t.smp ~core:i)
         ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
-        ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port content)
+        ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port ~core:i content)
 
 let run_httpd_load t ?(port = 80) ?(connections_per_core = 8) ?(requests_per_core = 4000)
     ?path () =
@@ -180,7 +186,8 @@ let add_resp t ?(port = 6379) ?(populate = 0) () =
           Resp_store.create
             ~clock:(Uksmp.Smp.clock_of t.smp ~core:i)
             ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
-            ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port ?share_with:!first ()
+            ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port ~core:i
+            ?share_with:!first ()
         in
         if !first = None then first := Some w;
         w)

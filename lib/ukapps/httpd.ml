@@ -13,6 +13,7 @@ type t = {
   stack : S.t;
   alloc : Ukalloc.Alloc.t;
   content : content;
+  core : int; (* tracepoint lane; the owning core under SMP *)
   mutable st : stats;
 }
 
@@ -78,7 +79,11 @@ let parse_request line =
   | [ "GET"; path; _version ] -> Some path
   | _ -> None
 
-let handle_request t req_line =
+let rec handle_request t req_line =
+  Uktrace.Tracer.span Uktrace.Tracer.default t.clock ~core:t.core ~cat:"ukapps"
+    "http_request" (fun () -> handle_request_untraced t req_line)
+
+and handle_request_untraced t req_line =
   charge t parse_cost;
   (* Per-request buffer from the app allocator, as nginx's request pool. *)
   let pool = Ukalloc.Alloc.uk_malloc t.alloc 1024 in
@@ -143,11 +148,22 @@ let handle_connection t flow =
   in
   serve ()
 
-let create ~clock ~sched ~stack ~alloc ?(port = 80) content =
+let create ~clock ~sched ~stack ~alloc ?(port = 80) ?(core = 0) content =
   let t =
-    { clock; sched; stack; alloc; content;
+    { clock; sched; stack; alloc; content; core;
       st = { requests = 0; errors_404 = 0; errors_503 = 0; bytes_sent = 0 } }
   in
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukapps" ~name:"httpd"
+       ~reset:(fun () ->
+         t.st <- { requests = 0; errors_404 = 0; errors_503 = 0; bytes_sent = 0 })
+       (fun () ->
+         [
+           ("requests", Uktrace.Metric.Count t.st.requests);
+           ("errors_404", Uktrace.Metric.Count t.st.errors_404);
+           ("errors_503", Uktrace.Metric.Count t.st.errors_503);
+           ("bytes_sent", Uktrace.Metric.Count t.st.bytes_sent);
+         ]));
   (* Listen synchronously so the port is open before any other core's
      virtual time reaches a connect (see the Resp_store note). *)
   let l = S.Tcp_socket.listen stack ~port () in

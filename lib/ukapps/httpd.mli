@@ -30,12 +30,15 @@ val create :
   stack:Uknetstack.Stack.t ->
   alloc:Ukalloc.Alloc.t ->
   ?port:int ->
+  ?core:int ->
   content ->
   t
 (** Spawns the accept thread (daemon, pinned to [sched]'s core); port
     defaults to 80. Multi-worker SMP mode: create one instance per core,
     each on its own per-core stack/clock/alloc view — RSS then spreads
-    connections across them like SO_REUSEPORT sharding. *)
+    connections across them like SO_REUSEPORT sharding. [core] (default 0)
+    labels this worker's tracepoints; stats also register as an
+    ["ukapps.httpd"] {!Uktrace.Registry} source. *)
 
 val stats : t -> stats
 

@@ -11,6 +11,7 @@ type t = {
   alloc : Ukalloc.Alloc.t;
   table : (string, entry) Hashtbl.t;
   lists : (string, string list ref) Hashtbl.t;
+  core : int; (* tracepoint lane; the owning core under SMP *)
   mutable commands : int;
   mutable hits : int;
   mutable misses : int;
@@ -46,7 +47,11 @@ let with_cmd_objects t args f =
   List.iter (Ukalloc.Alloc.uk_free t.alloc) held;
   r
 
-let execute t args =
+let rec execute t args =
+  Uktrace.Tracer.span Uktrace.Tracer.default t.clock ~core:t.core ~cat:"ukapps"
+    "resp_command" (fun () -> execute_untraced t args)
+
+and execute_untraced t args =
   t.commands <- t.commands + 1;
   charge t cmd_cost;
   with_cmd_objects t args @@ fun () ->
@@ -185,7 +190,7 @@ let handle_connection t flow =
   in
   serve ()
 
-let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?share_with () =
+let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with () =
   (* [share_with]: SMP workers serve one logical database — every worker
      reuses the first worker's key space (per-worker command counters stay
      separate; see [sum_stats]). *)
@@ -195,8 +200,20 @@ let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?share_with () =
     | None -> (Hashtbl.create 4096, Hashtbl.create 64)
   in
   let t =
-    { clock; sched; stack; alloc; table; lists; commands = 0; hits = 0; misses = 0 }
+    { clock; sched; stack; alloc; table; lists; core; commands = 0; hits = 0; misses = 0 }
   in
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukapps" ~name:"resp"
+       ~reset:(fun () ->
+         t.commands <- 0;
+         t.hits <- 0;
+         t.misses <- 0)
+       (fun () ->
+         [
+           ("commands", Uktrace.Metric.Count t.commands);
+           ("hits", Uktrace.Metric.Count t.hits);
+           ("misses", Uktrace.Metric.Count t.misses);
+         ]));
   (* Listen synchronously so the port is open before any other core's
      virtual time reaches a connect — under SMP this core's clock may
      lag or lead the clients' by the time the coordinator first steps

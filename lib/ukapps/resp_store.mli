@@ -17,13 +17,16 @@ val create :
   stack:Uknetstack.Stack.t ->
   alloc:Ukalloc.Alloc.t ->
   ?port:int ->
+  ?core:int ->
   ?share_with:t ->
   unit ->
   t
 (** Spawns the accept thread (daemon, pinned) on [sched]; port defaults to
     6379. [share_with] reuses another instance's key space — SMP workers
     on per-core stacks then serve one logical database (commands and
-    hit/miss counters stay per-worker; see {!sum_stats}). *)
+    hit/miss counters stay per-worker; see {!sum_stats}). [core] (default
+    0) labels this worker's tracepoints; stats also register as an
+    ["ukapps.resp"] {!Uktrace.Registry} source. *)
 
 val stats : t -> stats
 

@@ -25,6 +25,20 @@ type t = {
   read_sync : lba:int -> sectors:int -> (bytes, error) result;
   write_sync : lba:int -> bytes -> (unit, error) result;
   flush : unit -> unit;
+  stats : unit -> stats;
 }
 
-type stats = { reads : int; writes : int; sectors_read : int; sectors_written : int }
+and stats = { reads : int; writes : int; sectors_read : int; sectors_written : int }
+
+let zero_stats = { reads = 0; writes = 0; sectors_read = 0; sectors_written = 0 }
+
+let register_source (dev : t) =
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukblock" ~name:dev.name (fun () ->
+         let s = dev.stats () in
+         [
+           ("reads", Uktrace.Metric.Count s.reads);
+           ("writes", Uktrace.Metric.Count s.writes);
+           ("sectors_read", Uktrace.Metric.Count s.sectors_read);
+           ("sectors_written", Uktrace.Metric.Count s.sectors_written);
+         ]))

@@ -33,6 +33,13 @@ type t = {
       (** Convenience: submit one read and wait for it. *)
   write_sync : lba:int -> bytes -> (unit, error) result;
   flush : unit -> unit;
+  stats : unit -> stats;  (** Completed-operation counters. *)
 }
 
-type stats = { reads : int; writes : int; sectors_read : int; sectors_written : int }
+and stats = { reads : int; writes : int; sectors_read : int; sectors_written : int }
+
+val zero_stats : stats
+
+val register_source : t -> unit
+(** Mirror [stats] as a ["ukblock.<name>"] source in the
+    {!Uktrace.Registry} (device implementations call this at create). *)

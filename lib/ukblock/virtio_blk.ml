@@ -40,9 +40,23 @@ let create ~clock ~engine ?(sector_size = 512) ?(capacity_sectors = 131072) ?(qu
   let inflight = ref 0 in
   let done_q : B.completion Queue.t = Queue.create () in
   let handler = ref None in
+  let st = ref B.zero_stats in
+  let note req = function
+    | Error _ -> ()
+    | Ok _ ->
+        let n = sectors_of ~sector_size req in
+        st :=
+          (match req with
+          | B.Read _ ->
+              { !st with B.reads = !st.B.reads + 1; sectors_read = !st.B.sectors_read + n }
+          | B.Write _ ->
+              { !st with B.writes = !st.B.writes + 1;
+                sectors_written = !st.B.sectors_written + n })
+  in
   let charge c = Uksim.Clock.advance clock c in
   let complete req =
     let result = do_request backing req in
+    note req result;
     let was_idle = Queue.is_empty done_q in
     Queue.push { B.req; result } done_q;
     decr inflight;
@@ -102,26 +116,44 @@ let create ~clock ~engine ?(sector_size = 512) ?(capacity_sectors = 131072) ?(qu
     if submit [| B.Write { lba; data } |] = 0 then Error B.Equeue_full
     else match (wait_one ()).B.result with Ok _ -> Ok () | Error e -> Error e
   in
-  {
-    B.name = "virtio-blk";
-    sector_size;
-    capacity_sectors;
-    submit;
-    poll_completions;
-    pending = (fun () -> !inflight);
-    set_completion_handler = (fun f -> handler := f);
-    read_sync;
-    write_sync;
-    flush = (fun () -> Uksim.Engine.run ~until:(Uksim.Clock.cycles clock) engine);
-  }
+  let dev =
+    {
+      B.name = "virtio-blk";
+      sector_size;
+      capacity_sectors;
+      submit;
+      poll_completions;
+      pending = (fun () -> !inflight);
+      set_completion_handler = (fun f -> handler := f);
+      read_sync;
+      write_sync;
+      flush = (fun () -> Uksim.Engine.run ~until:(Uksim.Clock.cycles clock) engine);
+      stats = (fun () -> !st);
+    }
+  in
+  B.register_source dev;
+  dev
 
 let create_ramdisk ~clock ?(sector_size = 512) ?(capacity_sectors = 131072) () =
   let backing = mk_backing ~sector_size ~capacity_sectors in
   let done_q : B.completion Queue.t = Queue.create () in
+  let st = ref B.zero_stats in
   let charge c = Uksim.Clock.advance clock c in
   let run req =
     charge (40 + Uksim.Cost.memcpy (sectors_of ~sector_size req * sector_size));
-    do_request backing req
+    let result = do_request backing req in
+    (match result with
+    | Error _ -> ()
+    | Ok _ ->
+        let n = sectors_of ~sector_size req in
+        st :=
+          (match req with
+          | B.Read _ ->
+              { !st with B.reads = !st.B.reads + 1; sectors_read = !st.B.sectors_read + n }
+          | B.Write _ ->
+              { !st with B.writes = !st.B.writes + 1;
+                sectors_written = !st.B.sectors_written + n }));
+    result
   in
   let submit reqs =
     Array.iter (fun req -> Queue.push { B.req; result = run req } done_q) reqs;
@@ -137,17 +169,22 @@ let create_ramdisk ~clock ?(sector_size = 512) ?(capacity_sectors = 131072) () =
     in
     take [] 0
   in
-  {
-    B.name = "ramdisk";
-    sector_size;
-    capacity_sectors;
-    submit;
-    poll_completions;
-    pending = (fun () -> 0);
-    set_completion_handler = (fun _ -> ());
-    read_sync = (fun ~lba ~sectors -> run (B.Read { lba; sectors }));
-    write_sync =
-      (fun ~lba data ->
-        match run (B.Write { lba; data }) with Ok _ -> Ok () | Error e -> Error e);
-    flush = (fun () -> ());
-  }
+  let dev =
+    {
+      B.name = "ramdisk";
+      sector_size;
+      capacity_sectors;
+      submit;
+      poll_completions;
+      pending = (fun () -> 0);
+      set_completion_handler = (fun _ -> ());
+      read_sync = (fun ~lba ~sectors -> run (B.Read { lba; sectors }));
+      write_sync =
+        (fun ~lba data ->
+          match run (B.Write { lba; data }) with Ok _ -> Ok () | Error e -> Error e);
+      flush = (fun () -> ());
+      stats = (fun () -> !st);
+    }
+  in
+  B.register_source dev;
+  dev

@@ -118,6 +118,17 @@ let wrap ~clock ~rng ~plan:p inner =
       write_sync }
   in
   t.wrapped <- Some dev;
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukfault" ~name:"blk"
+       ~reset:(fun () ->
+         t.st <- { forwarded = 0; io_errors = 0; torn_writes = 0; latency_spikes = 0 })
+       (fun () ->
+         [
+           ("forwarded", Uktrace.Metric.Count t.st.forwarded);
+           ("io_errors", Uktrace.Metric.Count t.st.io_errors);
+           ("torn_writes", Uktrace.Metric.Count t.st.torn_writes);
+           ("latency_spikes", Uktrace.Metric.Count t.st.latency_spikes);
+         ]));
   t
 
 let dev t = match t.wrapped with Some d -> d | None -> assert false

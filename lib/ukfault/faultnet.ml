@@ -122,6 +122,18 @@ let wrap ~clock ~engine ~rng ~plan:p inner =
       tx_burst = (fun ~qid pkts -> tx_burst t ~qid pkts) }
   in
   t.wrapped <- Some dev;
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukfault" ~name:"net"
+       ~reset:(fun () -> t.st <- zero_stats)
+       (fun () ->
+         [
+           ("forwarded", Uktrace.Metric.Count t.st.forwarded);
+           ("dropped", Uktrace.Metric.Count t.st.dropped);
+           ("duplicated", Uktrace.Metric.Count t.st.duplicated);
+           ("corrupted", Uktrace.Metric.Count t.st.corrupted);
+           ("reordered", Uktrace.Metric.Count t.st.reordered);
+           ("flap_dropped", Uktrace.Metric.Count t.st.flap_dropped);
+         ]));
   t
 
 let dev t = match t.wrapped with Some d -> d | None -> assert false

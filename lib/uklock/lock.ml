@@ -59,6 +59,12 @@ module Mutex = struct
     | Nop -> (0, 0)
     | Real m -> (m.waits, m.wait_cycles)
 
+  let reset_contention = function
+    | Nop -> ()
+    | Real m ->
+        m.waits <- 0;
+        m.wait_cycles <- 0
+
   let with_lock t f =
     lock t;
     match f () with
@@ -139,9 +145,25 @@ module Spin = struct
     mutable st : stats;
   }
 
+  let reset_stats t =
+    t.st <- { acquisitions = 0; contended = 0; wait_cycles = 0; held_cycles = 0 }
+
   let create ?(name = "spinlock") () =
-    { sname = name; free_at = 0;
-      st = { acquisitions = 0; contended = 0; wait_cycles = 0; held_cycles = 0 } }
+    let t =
+      { sname = name; free_at = 0;
+        st = { acquisitions = 0; contended = 0; wait_cycles = 0; held_cycles = 0 } }
+    in
+    Uktrace.Registry.register
+      (Uktrace.Source.make ~subsystem:"uklock" ~name
+         ~reset:(fun () -> reset_stats t)
+         (fun () ->
+           [
+             ("acquisitions", Uktrace.Metric.Count t.st.acquisitions);
+             ("contended", Uktrace.Metric.Count t.st.contended);
+             ("wait_cycles", Uktrace.Metric.Count t.st.wait_cycles);
+             ("held_cycles", Uktrace.Metric.Count t.st.held_cycles);
+           ]));
+    t
 
   let name t = t.sname
 
@@ -160,8 +182,6 @@ module Spin = struct
       { t.st with acquisitions = t.st.acquisitions + 1; held_cycles = t.st.held_cycles + hold }
 
   let stats t = t.st
-  let reset_stats t =
-    t.st <- { acquisitions = 0; contended = 0; wait_cycles = 0; held_cycles = 0 }
 end
 
 module Condvar = struct

@@ -27,6 +27,9 @@ module Mutex : sig
   (** [(waits, wait_cycles)]: how many lock acquisitions had to block, and
       the total virtual cycles spent blocked. [(0, 0)] when compiled out. *)
 
+  val reset_contention : t -> unit
+  (** Zero the contention counters (per-trial reset). *)
+
   val with_lock : t -> (unit -> 'a) -> 'a
 end
 
@@ -62,6 +65,8 @@ module Spin : sig
   }
 
   val create : ?name:string -> unit -> t
+  (** Also registers the lock's stats as a [Uktrace.Registry] source
+      under ["uklock.<name>"]. *)
 
   val acquire : t -> Uksim.Clock.t -> hold:int -> unit
   (** Acquire on the core owning [clock], hold for [hold] cycles, release.

@@ -362,11 +362,16 @@ let process_frame t nb =
 let poll t =
   Frag.expire t.frag;
   let pkts = t.dev.Nd.rx_burst ~qid:t.qid ~max:64 in
-  List.iter
-    (fun nb ->
-      process_frame t nb;
-      give_buf t nb)
-    pkts;
+  (match pkts with
+  | [] -> ()
+  | _ ->
+      Uktrace.Tracer.span Uktrace.Tracer.default t.clock ~cat:"uknetstack" "rx_burst"
+        (fun () ->
+          List.iter
+            (fun nb ->
+              process_frame t nb;
+              give_buf t nb)
+            pkts));
   List.length pkts
 
 let rx_alloc_of t () = Nb.Pool.take t.pool
@@ -404,6 +409,28 @@ let create ~clock ~engine ?sched ?alloc ~dev ?(qid = 0) ?(pool_size = 512) cfg =
   in
   dev.Nd.configure_queue ~qid
     { Nd.rx_alloc = rx_alloc_of t; mode = Nd.Polling; rx_handler = None };
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"uknetstack" ~name:"stack"
+       ~reset:(fun () -> t.st <- zero_stats)
+       (fun () ->
+         let rt = ref 0 and frt = ref 0 in
+         Hashtbl.iter
+           (fun _ c ->
+             rt := !rt + Tcp.stats_retransmits c;
+             frt := !frt + Tcp.stats_fast_retransmits c)
+           t.conns;
+         [
+           ("rx_eth", Uktrace.Metric.Count t.st.rx_eth);
+           ("rx_arp", Uktrace.Metric.Count t.st.rx_arp);
+           ("rx_icmp", Uktrace.Metric.Count t.st.rx_icmp);
+           ("rx_udp", Uktrace.Metric.Count t.st.rx_udp);
+           ("rx_tcp", Uktrace.Metric.Count t.st.rx_tcp);
+           ("rx_drop", Uktrace.Metric.Count t.st.rx_drop);
+           ("tx_pkts", Uktrace.Metric.Count t.st.tx_pkts);
+           ("arp_requests", Uktrace.Metric.Count t.st.arp_requests);
+           ("tcp_retransmits", Uktrace.Metric.Count !rt);
+           ("tcp_fast_retransmits", Uktrace.Metric.Count !frt);
+         ]));
   t
 
 let start t =

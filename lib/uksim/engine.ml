@@ -1,7 +1,12 @@
-type t = { clock : Clock.t; queue : (unit -> unit) Heapq.t }
+type t = {
+  clock : Clock.t;
+  queue : (unit -> unit) Heapq.t;
+  mutable observer : (int -> unit) option;
+}
 
-let create clock = { clock; queue = Heapq.create () }
+let create clock = { clock; queue = Heapq.create (); observer = None }
 let clock t = t.clock
+let set_observer t f = t.observer <- f
 
 let at t cycle f =
   if cycle < Clock.cycles t.clock then invalid_arg "Engine.at: event in the past";
@@ -21,7 +26,12 @@ let step t =
   | Some (cycle, f) ->
       if cycle > Clock.cycles t.clock then
         Clock.advance t.clock (cycle - Clock.cycles t.clock);
-      f ();
+      (match t.observer with
+      | None -> f ()
+      | Some obs ->
+          let c0 = Clock.cycles t.clock in
+          f ();
+          obs (Clock.cycles t.clock - c0));
       true
 
 let rec run ?until t =

@@ -31,6 +31,13 @@ val next_at : t -> int option
 val step : t -> bool
 (** Run the next event, if any; [true] if one ran. *)
 
+val set_observer : t -> (int -> unit) option -> unit
+(** [set_observer t (Some f)] calls [f cycles] after each event runs,
+    with the cycles the event's closure consumed (the idle advance to
+    the event's timestamp is excluded). Used by the uktrace profiling
+    sampler to attribute cycles; observers must not schedule events or
+    advance the clock. *)
+
 val run : ?until:int -> t -> unit
 (** Drain the queue, or stop once the next event would be past cycle
     [until] (that event stays queued and the clock advances to [until]). *)

@@ -19,6 +19,10 @@ let add t x =
 
 let count t = t.size
 
+let clear t =
+  t.size <- 0;
+  t.sorted <- true
+
 let fold f acc t =
   let r = ref acc in
   for i = 0 to t.size - 1 do

@@ -6,6 +6,10 @@ type t
 val create : unit -> t
 val add : t -> float -> unit
 val count : t -> int
+
+val clear : t -> unit
+(** Drop all observations (per-trial reset); capacity is kept. *)
+
 val mean : t -> float
 (** Mean of the observations; [nan] when empty. *)
 

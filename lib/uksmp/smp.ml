@@ -27,9 +27,11 @@ type t = {
   group : Uksched.Sched.group;
   mutable running : int option;
   mutable trace : int;
+  mutable step_observer : (core:int -> cycles:int -> unit) option;
 }
 
 let n_cores t = Array.length t.cores
+let set_step_observer t f = t.step_observer <- f
 let sched_of t ~core = t.cores.(core).sched
 let clock_of t ~core = t.cores.(core).clock
 let engine_of t ~core = t.cores.(core).engine
@@ -61,8 +63,29 @@ let create ?(seed = 1) ~cores () =
       group;
       running = None;
       trace = 0;
+      step_observer = None;
     }
   in
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"uksmp" ~name:"cores"
+       ~reset:(fun () ->
+         Array.iter
+           (fun c ->
+             c.c_steps <- 0;
+             c.c_steals <- 0;
+             c.c_stolen_from <- 0;
+             c.c_ipis <- 0)
+           t.cores)
+       (fun () ->
+         Array.to_list t.cores
+         |> List.concat_map (fun c ->
+                [
+                  (Printf.sprintf "core%d.steps" c.id, Uktrace.Metric.Count c.c_steps);
+                  (Printf.sprintf "core%d.steals" c.id, Uktrace.Metric.Count c.c_steals);
+                  (Printf.sprintf "core%d.stolen_from" c.id,
+                   Uktrace.Metric.Count c.c_stolen_from);
+                  (Printf.sprintf "core%d.ipis" c.id, Uktrace.Metric.Count c.c_ipis);
+                ])));
   (* A wake that crosses cores is an IPI: the destination pays delivery. *)
   Uksched.Sched.set_remote_wake group
     (Some
@@ -155,11 +178,15 @@ let run t =
     match !best with
     | Some (_, c) ->
         t.running <- Some c.id;
+        let c0 = Uksim.Clock.cycles c.clock in
         let progressed = Uksched.Sched.step c.sched in
         t.running <- None;
         if progressed then begin
           c.c_steps <- c.c_steps + 1;
-          t.trace <- mix (mix t.trace c.id) (Uksim.Clock.cycles c.clock)
+          t.trace <- mix (mix t.trace c.id) (Uksim.Clock.cycles c.clock);
+          match t.step_observer with
+          | Some obs -> obs ~core:c.id ~cycles:(Uksim.Clock.cycles c.clock - c0)
+          | None -> ()
         end;
         loop ()
     | None -> (

@@ -64,6 +64,15 @@ type cstats = {
 }
 
 val stats : t -> core:int -> cstats
+(** Per-core counters are also published to the {!Uktrace.Registry} as a
+    ["uksmp.cores"] source at {!create}; this accessor remains for direct
+    inspection. *)
+
+val set_step_observer : t -> (core:int -> cycles:int -> unit) option -> unit
+(** [set_step_observer t (Some f)] calls [f ~core ~cycles] after every
+    coordinator step that made progress, with the cycles the stepped
+    core's clock advanced. Feeds the uktrace profiling sampler; observers
+    must not touch clocks, engines or the RNG (determinism). *)
 
 val trace_hash : t -> int
 (** Rolling hash over (core, clock) of every step and every migration —

@@ -1,0 +1,185 @@
+(* The global metrics registry.
+
+   Subsystems register a Source.t per instance at creation time (a stack,
+   a spinlock, an allocator...); harnesses take uniform snapshots, diff
+   them across measurement windows, reset everything between trials, and
+   export JSON. A single global registry matches how the stats are used:
+   one simulated machine per process at a time, with [clear] as the
+   trial boundary.
+
+   Sticky sources (the tracer, registry-owned metric groups) survive
+   [clear]; instance sources do not — their objects are recreated each
+   trial anyway, and dropping the old closures lets the dead instances be
+   collected. *)
+
+type entry = { src : Source.t; uid : string; sticky : bool; gen : int }
+
+let max_sources = 4096
+
+type state = {
+  mutable entries : entry list; (* newest first *)
+  mutable dropped : int;
+  mutable gen : int; (* bumped by [clear]: uids never diff across trials *)
+  seen : (string, int) Hashtbl.t; (* base id -> #instances, for unique uids *)
+}
+
+let st = { entries = []; dropped = 0; gen = 0; seen = Hashtbl.create 64 }
+
+let unique_id base =
+  match Hashtbl.find_opt st.seen base with
+  | None ->
+      Hashtbl.replace st.seen base 1;
+      base
+  | Some n ->
+      Hashtbl.replace st.seen base (n + 1);
+      Printf.sprintf "%s#%d" base (n + 1)
+
+let register ?(sticky = false) src =
+  if List.length st.entries >= max_sources then st.dropped <- st.dropped + 1
+  else
+    st.entries <-
+      { src; uid = unique_id (Source.id src); sticky; gen = st.gen } :: st.entries
+
+let dropped_registrations () = st.dropped
+
+let clear () =
+  st.entries <- List.filter (fun e -> e.sticky) st.entries;
+  st.gen <- st.gen + 1;
+  Hashtbl.reset st.seen;
+  (* Re-seed uid dedup with the survivors. *)
+  List.iter (fun e -> Hashtbl.replace st.seen e.uid 1) st.entries
+
+let reset () = List.iter (fun e -> e.src.Source.reset ()) st.entries
+
+let sources () = List.rev_map (fun e -> e.src) st.entries
+
+(* --- registry-owned metrics -------------------------------------------- *)
+
+(* [counter ~subsystem name] style creation: metrics grouped into one
+   sticky source per subsystem, so ad-hoc instrumentation points need no
+   Source plumbing of their own. *)
+
+type owned = {
+  mutable metrics : (string * [ `C of Metric.Counter.t | `G of Metric.Gauge.t | `H of Metric.Histogram.t ]) list;
+}
+
+let owned : (string, owned) Hashtbl.t = Hashtbl.create 8
+
+let owned_group subsystem =
+  match Hashtbl.find_opt owned subsystem with
+  | Some g -> g
+  | None ->
+      let g = { metrics = [] } in
+      Hashtbl.replace owned subsystem g;
+      register ~sticky:true
+        (Source.make ~subsystem ~name:"metrics"
+           ~reset:(fun () ->
+             List.iter
+               (fun (_, m) ->
+                 match m with
+                 | `C c -> Metric.Counter.reset c
+                 | `G x -> Metric.Gauge.reset x
+                 | `H h -> Metric.Histogram.reset h)
+               g.metrics)
+           (fun () ->
+             List.rev_map
+               (fun (n, m) ->
+                 ( n,
+                   match m with
+                   | `C c -> Metric.Counter.value c
+                   | `G x -> Metric.Gauge.value x
+                   | `H h -> Metric.Histogram.value h ))
+               g.metrics));
+      g
+
+let counter ~subsystem name =
+  let g = owned_group subsystem in
+  let c = Metric.Counter.create () in
+  g.metrics <- (name, `C c) :: g.metrics;
+  c
+
+let gauge ~subsystem name =
+  let g = owned_group subsystem in
+  let x = Metric.Gauge.create () in
+  g.metrics <- (name, `G x) :: g.metrics;
+  x
+
+let histogram ~subsystem name =
+  let g = owned_group subsystem in
+  let h = Metric.Histogram.create () in
+  g.metrics <- (name, `H h) :: g.metrics;
+  h
+
+(* --- snapshots ---------------------------------------------------------- *)
+
+type entry_snap = { suid : string; sgen : int; samples : Source.sample list }
+type snapshot = entry_snap list
+
+let snapshot () =
+  List.rev_map
+    (fun e -> { suid = e.uid; sgen = e.gen; samples = e.src.Source.snapshot () })
+    st.entries
+
+let diff ~before ~after =
+  List.map
+    (fun e ->
+      (* Subtract only when the uid denotes the SAME registration — a
+         [clear] in between means the uid was reused by a new instance
+         whose counters started from zero. *)
+      match List.find_opt (fun b -> b.suid = e.suid && b.sgen = e.sgen) before with
+      | None -> e
+      | Some old ->
+          { e with
+            samples =
+              List.map
+                (fun (n, v) ->
+                  match List.assoc_opt n old.samples with
+                  | None -> (n, v)
+                  | Some b -> (n, Metric.diff_value ~before:b ~after:v))
+                e.samples })
+    after
+
+let is_empty_sample = function
+  | Metric.Count 0 -> true
+  | Metric.Level v -> v = 0.0
+  | Metric.Buckets b -> Array.for_all (fun n -> n = 0) b
+  | Metric.Count _ -> false
+
+let prune snap =
+  List.filter_map
+    (fun e ->
+      match List.filter (fun (_, v) -> not (is_empty_sample v)) e.samples with
+      | [] -> None
+      | kept -> Some { e with samples = kept })
+    snap
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?(indent = 0) snap =
+  let pad = String.make indent ' ' in
+  let source_json e =
+    Printf.sprintf "%s  \"%s\": {%s}" pad (escape e.suid)
+      (String.concat ", "
+         (List.map
+            (fun (n, v) -> Printf.sprintf "\"%s\": %s" (escape n) (Metric.value_to_json v))
+            e.samples))
+  in
+  if snap = [] then "{}"
+  else Printf.sprintf "{\n%s\n%s}" (String.concat ",\n" (List.map source_json snap)) pad
+
+let find snap uid =
+  Option.map (fun e -> e.samples) (List.find_opt (fun e -> e.suid = uid) snap)
+
+let find_sample snap uid name =
+  Option.bind (find snap uid) (fun samples -> List.assoc_opt name samples)

@@ -1,0 +1,61 @@
+(** The global metrics registry: one place every subsystem's stats live.
+
+    Components register a {!Source.t} per instance at creation time;
+    harnesses snapshot the whole registry, diff snapshots across
+    measurement windows, reset all sources between trials, and export the
+    result as JSON. [clear] is the trial boundary: it drops all
+    non-sticky (instance) sources so recreated components start from a
+    clean slate. *)
+
+val register : ?sticky:bool -> Source.t -> unit
+(** Add a source. Duplicate ["subsystem.name"] ids get a ["#n"] suffix.
+    [sticky] (default false) sources survive {!clear}. Registrations
+    beyond an internal cap are counted and dropped, not an error. *)
+
+val clear : unit -> unit
+(** Remove all non-sticky sources (per-trial setup). *)
+
+val reset : unit -> unit
+(** Call every registered source's [reset]. *)
+
+val sources : unit -> Source.t list
+(** Registration order. *)
+
+val dropped_registrations : unit -> int
+
+(** {1 Registry-owned metrics}
+
+    For instrumentation points that don't have a natural object to hang a
+    source on: metrics created here are grouped into one sticky
+    ["<subsystem>.metrics"] source per subsystem. *)
+
+val counter : subsystem:string -> string -> Metric.Counter.t
+val gauge : subsystem:string -> string -> Metric.Gauge.t
+val histogram : subsystem:string -> string -> Metric.Histogram.t
+
+(** {1 Snapshots} *)
+
+type entry_snap = {
+  suid : string;  (** source uid *)
+  sgen : int;  (** registration generation (bumped by {!clear}) *)
+  samples : Source.sample list;
+}
+
+type snapshot = entry_snap list
+(** Registration order. *)
+
+val snapshot : unit -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Per-sample {!Metric.diff_value}; sources present only in [after] — or
+    re-registered under a reused uid after a {!clear} — are kept as-is,
+    sources gone from [after] are dropped. *)
+
+val prune : snapshot -> snapshot
+(** Drop all-zero samples and then empty sources — keeps exported JSON
+    readable. *)
+
+val to_json : ?indent:int -> snapshot -> string
+
+val find : snapshot -> string -> Source.sample list option
+val find_sample : snapshot -> string -> string -> Metric.value option

@@ -1,0 +1,13 @@
+type sample = string * Metric.value
+
+type t = {
+  subsystem : string;
+  name : string;
+  snapshot : unit -> sample list;
+  reset : unit -> unit;
+}
+
+let make ~subsystem ~name ?(reset = fun () -> ()) snapshot =
+  { subsystem; name; snapshot; reset }
+
+let id t = t.subsystem ^ "." ^ t.name

@@ -1,0 +1,24 @@
+(** The common stats interface every subsystem registers behind.
+
+    A source is a named, resettable window onto one component's counters:
+    the component keeps whatever internal representation it likes and
+    exposes a [snapshot] closure producing metric samples, plus a [reset]
+    closure zeroing the resettable part. {!Registry} collects sources and
+    serves uniform snapshot/diff/to_json/reset over all of them. *)
+
+type sample = string * Metric.value
+
+type t = {
+  subsystem : string;  (** owning library, e.g. ["uklock"] *)
+  name : string;  (** instance name within the subsystem *)
+  snapshot : unit -> sample list;
+  reset : unit -> unit;
+}
+
+val make :
+  subsystem:string -> name:string -> ?reset:(unit -> unit) -> (unit -> sample list) -> t
+(** [reset] defaults to a no-op (for sources whose readings are pure
+    gauges). *)
+
+val id : t -> string
+(** ["subsystem.name"]. *)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file exported by uktrace.
+
+Usage: check_trace.py TRACE.json subsystem [subsystem ...]
+
+Checks that the file parses as Chrome trace JSON, that begin/end events
+balance per (pid, tid), and that every named subsystem contributed at
+least one complete span.
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) < 3:
+        fail(f"usage: {sys.argv[0]} TRACE.json subsystem [subsystem ...]")
+    path, subsystems = sys.argv[1], sys.argv[2:]
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+
+    begins = {}
+    depth = {}
+    orphans = 0  # E whose B fell off the bounded ring: fine, but counted
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("B", "E", "i", "I"):
+            fail(f"unexpected phase {ph!r} in {ev}")
+        if "ts" not in ev:
+            fail(f"event without ts: {ev}")
+        lane = (ev.get("pid"), ev.get("tid"))
+        if ph == "B":
+            begins[ev.get("cat")] = begins.get(ev.get("cat"), 0) + 1
+            depth[lane] = depth.get(lane, 0) + 1
+        elif ph == "E":
+            if depth.get(lane, 0) <= 0:
+                orphans += 1
+            else:
+                depth[lane] -= 1
+    unclosed = sum(v for v in depth.values() if v > 0)
+    for sub in subsystems:
+        if begins.get(sub, 0) < 1:
+            fail(f"no spans from subsystem {sub!r} (saw: {sorted(begins)})")
+    total = sum(begins.values())
+    print(
+        f"ok: {len(events)} events, {total} spans "
+        f"({orphans} ring-truncated, {unclosed} unclosed), "
+        f"subsystems {sorted(begins)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,5 +26,17 @@ grep -q '"determinism_ok": true' BENCH_smp.json || {
   echo "FAIL: same-seed smp replay was not byte-identical"
   exit 1
 }
+grep -q '"trace_invariant_ok": true' BENCH_smp.json || {
+  echo "FAIL: tracing-on replay diverged from tracing-off (uktrace is not invisible)"
+  exit 1
+}
+
+echo "== observability smoke (tracing on, fast workloads) =="
+UKRAFT_FAST=1 UKRAFT_TRACE=1 dune exec bench/main.exe -- --only fig13
+python3 scripts/check_trace.py TRACE_fig13.json ukapps uknetstack ukalloc
+grep -q '"metrics"' BENCH_perf.json || {
+  echo "FAIL: BENCH_perf.json has no metrics section"
+  exit 1
+}
 
 echo "== ci ok =="

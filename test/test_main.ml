@@ -27,4 +27,5 @@ let () =
       ("dns", T_dns.suite);
       ("unikraft", T_unikraft.suite);
     ("uksmp", T_uksmp.suite);
+      ("uktrace", T_uktrace.suite);
     ]
