@@ -1,0 +1,63 @@
+(** Eraser-style lockset race detection with happens-before vector
+    clocks, over the {!Uksmp.Smp} substrate.
+
+    {!attach} installs the instrumentation seams the substrate already
+    exposes — {!Uklock.Lock.Hook} for mutex/spinlock acquire/release,
+    {!Uksched.Sched.set_group_observer} for thread spawn/wake/exit edges,
+    {!Uksmp.Smp.set_wake_observer} for cross-core IPIs — and tracks every
+    access made through a {!Shared} cell. An access pair on the same cell
+    is reported as a race when it involves two different threads, at
+    least one write, no common lock held at both sites, and no
+    happens-before order between them (vector clocks joined along
+    lock release→acquire, spawn, wake and thread-exit edges — so
+    fork/join and wake-based handoff protocols do not false-positive).
+
+    The first violation per cell is reported with both access sites,
+    core ids and virtual timestamps; violations also land in
+    {!Uktrace.Tracer.default} as ["ukcheck"] instants when tracing is
+    enabled, and aggregate counters register in the {!Uktrace.Registry}
+    under ["ukcheck.metrics"]. Exactly one detector can be attached at a
+    time. The detector never advances a clock and never draws randomness:
+    attaching it cannot change a run. *)
+
+type t
+
+type access = {
+  a_tid : int;  (** thread id; 0 = driver code outside any thread *)
+  a_core : int;  (** core id; -1 = outside any core *)
+  a_cycles : int;  (** virtual timestamp of the access *)
+  a_site : string;  (** caller-supplied site label *)
+  a_write : bool;
+  a_locks : string list;  (** names of locks held at the access *)
+}
+
+type report = { r_cell : string; r_first : access; r_second : access }
+
+val attach : Uksmp.Smp.t -> t
+(** Install all hooks and make this the current detector. Raises
+    [Invalid_argument] if one is already attached. *)
+
+val detach : t -> unit
+(** Remove the hooks; the detector's reports stay readable. Idempotent. *)
+
+val reports : t -> report list
+(** Violations, in discovery order (at most one per cell). *)
+
+val accesses : t -> int
+(** Shared-cell accesses observed. *)
+
+val lock_events : t -> int
+val ipis : t -> int
+
+val pp_report : Format.formatter -> report -> unit
+
+(** {1 Cell plumbing (used by {!Shared}, not by test code)} *)
+
+type cell_handle
+
+val register_cell : name:string -> cell_handle
+(** Bind a cell to the currently attached detector; inert if none. *)
+
+val record : cell_handle -> write:bool -> site:string -> unit
+(** Record one access in the bound detector's state machine. No-op for
+    inert handles or after {!detach}. *)

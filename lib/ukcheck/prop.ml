@@ -1,0 +1,19 @@
+let require cond msg = if cond then Ok () else Error msg
+
+let rec all = function
+  | [] -> Ok ()
+  | Ok () :: rest -> all rest
+  | (Error _ as e) :: _ -> e
+
+let run ?cores ?schedules ?seeds ?max_decisions fixture =
+  Explore.run (Explore.config ?cores ?budget:schedules ?seeds ?max_decisions ()) fixture
+
+let check ?cores ?schedules ?seeds ?max_decisions ~name fixture =
+  match run ?cores ?schedules ?seeds ?max_decisions fixture with
+  | Explore.Passed _ -> ()
+  | Explore.Failed f ->
+      failwith
+        (Printf.sprintf
+           "%s: %s (found after %d schedules, %d shrink runs)\n  replay certificate: %s" name
+           f.Explore.message f.Explore.found_after f.Explore.shrink_runs
+           (Schedule.to_string f.Explore.cert))

@@ -1,0 +1,45 @@
+type decision = Uksmp.Smp.decision = { kind : string; arity : int; choice : int }
+type cert = { seed : int; cores : int; decisions : decision list }
+
+let strip_defaults ds =
+  let rec drop = function d :: rest when d.choice = 0 -> drop rest | rest -> rest in
+  List.rev (drop (List.rev ds))
+
+let to_string c =
+  let ds = List.map (fun d -> Printf.sprintf "%s:%d/%d" d.kind d.arity d.choice) c.decisions in
+  String.concat ";" (Printf.sprintf "seed=%d" c.seed :: Printf.sprintf "cores=%d" c.cores :: ds)
+
+let of_string s =
+  let parse_decision part =
+    match String.rindex_opt part ':' with
+    | None -> None
+    | Some i -> (
+        let kind = String.sub part 0 i in
+        let rest = String.sub part (i + 1) (String.length part - i - 1) in
+        match String.index_opt rest '/' with
+        | None -> None
+        | Some j -> (
+            let arity = String.sub rest 0 j
+            and choice = String.sub rest (j + 1) (String.length rest - j - 1) in
+            match (int_of_string_opt arity, int_of_string_opt choice) with
+            | Some arity, Some choice when kind <> "" && arity >= 2 && choice >= 0 && choice < arity
+              ->
+                Some { kind; arity; choice }
+            | _ -> None))
+  in
+  let int_field ~prefix part =
+    let pl = String.length prefix in
+    if String.length part > pl && String.sub part 0 pl = prefix then
+      int_of_string_opt (String.sub part pl (String.length part - pl))
+    else None
+  in
+  match String.split_on_char ';' s with
+  | seed_part :: cores_part :: rest -> (
+      match (int_field ~prefix:"seed=" seed_part, int_field ~prefix:"cores=" cores_part) with
+      | Some seed, Some cores when cores > 0 ->
+          let ds = List.map parse_decision rest in
+          if List.for_all Option.is_some ds then
+            Some { seed; cores; decisions = List.filter_map Fun.id ds }
+          else None
+      | _ -> None)
+  | _ -> None

@@ -2,7 +2,7 @@ module A = Ukalloc.Alloc
 
 type t = {
   inner : A.t;
-  rng : Uksim.Rng.t option;
+  mutable rng : Uksim.Rng.t option;
   fail_nth : int;
   fail_every : int;
   fail_rate : float;
@@ -51,6 +51,12 @@ let wrap ?rng ?(fail_nth = 0) ?(fail_every = 0) ?(fail_rate = 0.0) inner =
   t
 
 let alloc t = match t.shimmed with Some a -> a | None -> assert false
+
+let reseed t seed =
+  t.rng <- Some (Uksim.Rng.create seed);
+  t.attempts <- 0;
+  t.injected <- 0;
+  t.pressure <- false
 let attempts t = t.attempts
 let injected_failures t = t.injected
 let under_pressure t = t.pressure

@@ -31,6 +31,12 @@ val wrap :
 val alloc : t -> Ukalloc.Alloc.t
 (** The shimmed allocator to hand to consumers. *)
 
+val reseed : t -> int -> unit
+(** Restart the injector for a new trial: fresh RNG from [seed], attempt
+    and injection counters zeroed, pressure cleared. ukcheck's schedule
+    explorer uses this to cross explored schedules with explored fault
+    seeds without rebuilding the fixture. *)
+
 val attempts : t -> int
 (** Allocation attempts observed so far. *)
 

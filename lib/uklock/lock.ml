@@ -1,8 +1,30 @@
 type mode = Compiled_out | Threaded of Uksched.Sched.t
 
+(* Acquire/release instrumentation seam for correctness tooling (ukcheck's
+   lockset race detector). One process-wide hook: the observer must not
+   block, advance clocks or draw randomness, so installing it cannot
+   change a run. Every compiled-in lock carries a process-unique uid. *)
+module Hook = struct
+  type op = Acquire | Release
+  type event = { op : op; uid : int; lock_name : string }
+
+  let hook : (event -> unit) option ref = ref None
+  let set f = hook := f
+  let next_uid = ref 0
+
+  let fresh_uid () =
+    incr next_uid;
+    !next_uid
+
+  let emit op uid lock_name =
+    match !hook with Some f -> f { op; uid; lock_name } | None -> ()
+end
+
 module Mutex = struct
   type inner = {
     sched : Uksched.Sched.t;
+    uid : int;
+    mname : string;
     mutable holder : Uksched.Sched.tid option;
     waiters : Uksched.Sched.tid Queue.t;
     mutable waits : int;
@@ -11,16 +33,28 @@ module Mutex = struct
 
   type t = Nop | Real of inner
 
-  let create = function
+  let create ?(name = "mutex") mode =
+    match mode with
     | Compiled_out -> Nop
     | Threaded sched ->
-        Real { sched; holder = None; waiters = Queue.create (); waits = 0; wait_cycles = 0 }
+        Real
+          {
+            sched;
+            uid = Hook.fresh_uid ();
+            mname = name;
+            holder = None;
+            waiters = Queue.create ();
+            waits = 0;
+            wait_cycles = 0;
+          }
 
   let rec lock = function
     | Nop -> ()
     | Real m as t -> (
         match m.holder with
-        | None -> m.holder <- Some (Uksched.Sched.self ())
+        | None ->
+            m.holder <- Some (Uksched.Sched.self ());
+            Hook.emit Hook.Acquire m.uid m.mname
         | Some _ ->
             let clk = Uksched.Sched.clock m.sched in
             let blocked_at = Uksim.Clock.cycles clk in
@@ -30,7 +64,9 @@ module Mutex = struct
             m.wait_cycles <- m.wait_cycles + (Uksim.Clock.cycles clk - blocked_at);
             (* Woken by unlock, which already transferred ownership to us;
                re-check defensively in case of spurious wakeups. *)
-            if m.holder <> Some (Uksched.Sched.self ()) then lock t)
+            if m.holder = Some (Uksched.Sched.self ()) then
+              Hook.emit Hook.Acquire m.uid m.mname
+            else lock t)
 
   let try_lock = function
     | Nop -> true
@@ -38,6 +74,7 @@ module Mutex = struct
         match m.holder with
         | None ->
             m.holder <- Some (Uksched.Sched.self ());
+            Hook.emit Hook.Acquire m.uid m.mname;
             true
         | Some _ -> false)
 
@@ -47,6 +84,7 @@ module Mutex = struct
         match m.holder with
         | None -> invalid_arg "Lock.Mutex.unlock: not locked"
         | Some _ -> (
+            Hook.emit Hook.Release m.uid m.mname;
             match Queue.take_opt m.waiters with
             | Some next ->
                 m.holder <- Some next;
@@ -141,6 +179,7 @@ module Spin = struct
 
   type t = {
     sname : string;
+    suid : int;
     mutable free_at : int;
     mutable st : stats;
   }
@@ -150,7 +189,7 @@ module Spin = struct
 
   let create ?(name = "spinlock") () =
     let t =
-      { sname = name; free_at = 0;
+      { sname = name; suid = Hook.fresh_uid (); free_at = 0;
         st = { acquisitions = 0; contended = 0; wait_cycles = 0; held_cycles = 0 } }
     in
     Uktrace.Registry.register
@@ -176,10 +215,12 @@ module Spin = struct
       t.st <- { t.st with contended = t.st.contended + 1; wait_cycles = t.st.wait_cycles + wait }
     end;
     let entered = Uksim.Clock.cycles clock in
+    Hook.emit Hook.Acquire t.suid t.sname;
     Uksim.Clock.advance clock hold;
     t.free_at <- entered + hold;
     t.st <-
-      { t.st with acquisitions = t.st.acquisitions + 1; held_cycles = t.st.held_cycles + hold }
+      { t.st with acquisitions = t.st.acquisitions + 1; held_cycles = t.st.held_cycles + hold };
+    Hook.emit Hook.Release t.suid t.sname
 
   let stats t = t.st
 end

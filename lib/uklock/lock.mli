@@ -9,10 +9,29 @@
 
 type mode = Compiled_out | Threaded of Uksched.Sched.t
 
+(** Acquire/release instrumentation seam, consumed by ukcheck's lockset
+    race detector. One process-wide hook observes every compiled-in
+    {!Mutex} and {!Spin} acquire/release (compiled-out primitives stay
+    invisible — they compile out). Each lock carries a process-unique
+    [uid]; a {!Spin.acquire} emits its acquire/release pair back-to-back
+    (the hold is modelled, no user code runs inside). Observers must not
+    block, advance clocks or draw randomness: installing one cannot
+    change a run. *)
+module Hook : sig
+  type op = Acquire | Release
+
+  type event = { op : op; uid : int; lock_name : string }
+
+  val set : (event -> unit) option -> unit
+end
+
 module Mutex : sig
   type t
 
-  val create : mode -> t
+  val create : ?name:string -> mode -> t
+  (** [name] (default ["mutex"]) labels the lock in {!Hook} events and race reports. *)
+
+
   val lock : t -> unit
   (** Blocks (via the scheduler) while held by another thread. *)
 

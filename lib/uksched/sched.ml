@@ -41,6 +41,7 @@ type t = {
   mutable dispatch_at : int;
   mutable switches : int;
   mutable grp : group option;
+  mutable dispatch_chooser : (int -> int) option;
 }
 
 (* A group ties several per-core schedulers into one SMP domain: tids are
@@ -52,7 +53,10 @@ and group = {
   mutable members : t list; (* registration order *)
   g_next : int ref;
   mutable remote_wake : (src:t -> dst:t -> unit) option;
+  mutable observer : (group_event -> unit) option;
 }
+
+and group_event = Spawned of tid | Woken of tid | Exited of tid
 
 let make skind ?(slice = max_int) ~clock ~engine () =
   {
@@ -67,6 +71,7 @@ let make skind ?(slice = max_int) ~clock ~engine () =
     dispatch_at = 0;
     switches = 0;
     grp = None;
+    dispatch_chooser = None;
   }
 
 let create_cooperative ~clock ~engine = make Cooperative ~clock ~engine ()
@@ -84,7 +89,7 @@ let engine t = t.engine
 let name t =
   match t.skind with Cooperative -> "coop" | Preemptive -> "preempt" | Null -> "null"
 
-let create_group () = { members = []; g_next = ref 1; remote_wake = None }
+let create_group () = { members = []; g_next = ref 1; remote_wake = None; observer = None }
 
 let join_group g t =
   (match t.grp with Some _ -> invalid_arg "Sched.join_group: already grouped" | None -> ());
@@ -93,6 +98,15 @@ let join_group g t =
   g.g_next := max !(g.g_next) t.next_tid
 
 let set_remote_wake g hook = g.remote_wake <- hook
+let set_group_observer g hook = g.observer <- hook
+let set_dispatch_chooser t f = t.dispatch_chooser <- f
+let current_tid t = match t.current with Some th -> Some th.tid | None -> None
+
+(* Notify the group's observer (ukcheck's happens-before tracker), if any. *)
+let notify t ev =
+  match t.grp with
+  | Some { observer = Some f; _ } -> f ev
+  | Some _ | None -> ()
 
 let yield () = Effect.perform Yield
 let self () = Effect.perform Self
@@ -160,6 +174,7 @@ let spawn t ?name:(tname = "thread") ?(daemon = false) ?(pinned = false) f =
   in
   let th = { tid; tname; daemon; pinned; state = Sready; cont = None; body = Some f } in
   Hashtbl.replace t.threads tid th;
+  notify t (Spawned tid);
   (match t.skind with
   | Null ->
       th.state <- Srunning;
@@ -167,7 +182,8 @@ let spawn t ?name:(tname = "thread") ?(daemon = false) ?(pinned = false) f =
       t.current <- Some th;
       Effect.Deep.match_with f () (null_handler t th);
       th.state <- Sexited;
-      t.current <- saved
+      t.current <- saved;
+      notify t (Exited tid)
   | Cooperative | Preemptive -> Queue.push th t.ready);
   tid
 
@@ -176,6 +192,7 @@ let wake_local t tid =
   | Some th when th.state = Sblocked ->
       th.state <- Sready;
       Queue.push th t.ready;
+      notify t (Woken tid);
       true
   | Some _ | None -> false
 
@@ -218,7 +235,9 @@ let dispatch t th =
   in
   t.current <- None;
   match out with
-  | Done -> th.state <- Sexited
+  | Done ->
+      th.state <- Sexited;
+      notify t (Exited th.tid)
   | Yielded k ->
       th.cont <- Some k;
       th.state <- Sready;
@@ -237,18 +256,55 @@ let blocked_names t =
       if th.state = Sblocked && not th.daemon then th.tname :: acc else acc)
     t.threads []
 
-(* One unit of progress for an external coordinator (uksmp): dispatch one
-   ready thread, else run one engine event. A popped-but-stale queue entry
-   still counts as progress (the queue shrank). *)
-let step t =
-  match Queue.take_opt t.ready with
-  | Some th ->
-      if th.state = Sready then dispatch t th;
-      true
-  | None -> Uksim.Engine.step t.engine
-
 let runnable t =
   Queue.fold (fun acc th -> if th.state = Sready then acc + 1 else acc) 0 t.ready
+
+(* Remove the [k]-th (0-based) genuinely ready thread from the run queue,
+   preserving the relative order of the others. Stale entries (threads
+   woken twice, or exited while queued) are dropped along the way. *)
+let take_ready_nth t k =
+  let n = Queue.length t.ready in
+  let chosen = ref None in
+  let seen = ref 0 in
+  for _ = 1 to n do
+    let th = Queue.pop t.ready in
+    if th.state <> Sready then () (* drop stale entry *)
+    else if Option.is_none !chosen && !seen = k then chosen := Some th
+    else begin
+      incr seen;
+      Queue.push th t.ready
+    end
+  done;
+  !chosen
+
+(* One unit of progress for an external coordinator (uksmp): dispatch one
+   ready thread, else run one engine event. A popped-but-stale queue entry
+   still counts as progress (the queue shrank). With a dispatch chooser
+   installed (ukcheck's schedule explorer), the choice of which ready
+   thread runs becomes an explicit decision point instead of FIFO order. *)
+let step t =
+  match t.dispatch_chooser with
+  | Some choose -> (
+      let n = runnable t in
+      if n = 0 then Uksim.Engine.step t.engine
+      else
+        let k =
+          if n = 1 then 0
+          else
+            let c = choose n in
+            if c < 0 || c >= n then 0 else c
+        in
+        match take_ready_nth t k with
+        | Some th ->
+            dispatch t th;
+            true
+        | None -> true)
+  | None -> (
+      match Queue.take_opt t.ready with
+      | Some th ->
+          if th.state = Sready then dispatch t th;
+          true
+      | None -> Uksim.Engine.step t.engine)
 
 let steal ~from_ t =
   if from_ == t then false

@@ -107,6 +107,30 @@ val set_remote_wake : group -> (src:t -> dst:t -> unit) option -> unit
 (** Hook invoked when a wake is routed from one member to another and
     actually unblocks a thread — uksmp charges the IPI cost here. *)
 
+type group_event =
+  | Spawned of tid  (** a thread was created on some member *)
+  | Woken of tid  (** a blocked thread became ready *)
+  | Exited of tid  (** a thread ran to completion *)
+
+val set_group_observer : group -> (group_event -> unit) option -> unit
+(** Lifecycle hook for correctness tooling (ukcheck's happens-before
+    tracker): fires on every member's spawn/wake/exit. Observers must not
+    touch clocks, engines, queues or randomness — determinism requires
+    that installing one cannot change a run. *)
+
+val current_tid : t -> tid option
+(** The thread this scheduler is executing right now, if any — usable from
+    outside thread context (unlike {!self}, which performs an effect). *)
+
+val set_dispatch_chooser : t -> (int -> int) option -> unit
+(** [set_dispatch_chooser t (Some f)] turns ready-thread dispatch in
+    {!step} into an explicit decision point: with [n >= 2] genuinely
+    ready threads, [f n] picks which one runs (0 = FIFO head, i.e. the
+    default; out-of-range choices fall back to 0). ukcheck's schedule
+    explorer drives this; without a chooser, dispatch is FIFO exactly as
+    before. Only affects {!step} (the SMP coordinator path), not
+    {!run}. *)
+
 val step : t -> bool
 (** Make one unit of progress: dispatch one ready thread, else run one
     engine event. [false] when neither is possible. *)

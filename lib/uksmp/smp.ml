@@ -21,6 +21,8 @@ type core = {
   mutable c_ipis : int;
 }
 
+type decision = { kind : string; arity : int; choice : int }
+
 type t = {
   cores : core array;
   rng : Uksim.Rng.t;
@@ -28,14 +30,40 @@ type t = {
   mutable running : int option;
   mutable trace : int;
   mutable step_observer : (core:int -> cycles:int -> unit) option;
+  mutable decider : (kind:string -> arity:int -> int) option;
+  mutable decision_log : decision list; (* newest first *)
+  mutable wake_observer : (src:int -> dst:int -> unit) option;
 }
 
 let n_cores t = Array.length t.cores
 let set_step_observer t f = t.step_observer <- f
+let set_wake_observer t f = t.wake_observer <- f
 let sched_of t ~core = t.cores.(core).sched
 let clock_of t ~core = t.cores.(core).clock
 let engine_of t ~core = t.cores.(core).engine
 let current_core t = t.running
+let group t = t.group
+
+let set_decider t f =
+  t.decider <- f;
+  t.decision_log <- []
+
+let decisions t = List.rev t.decision_log
+
+(* Route a choice point through the installed decider and log the outcome.
+   Only called when [arity >= 2]: forced choices are not decisions, so
+   recording and replay skip them identically. Without a decider the
+   default (choice 0) applies and nothing is logged. *)
+let decide t ~kind ~arity =
+  if arity < 2 then 0
+  else
+    match t.decider with
+    | None -> 0
+    | Some f ->
+        let c = f ~kind ~arity in
+        let c = if c < 0 || c >= arity then 0 else c in
+        t.decision_log <- { kind; arity; choice = c } :: t.decision_log;
+        c
 
 let stats t ~core =
   let c = t.cores.(core) in
@@ -64,6 +92,9 @@ let create ?(seed = 1) ~cores () =
       running = None;
       trace = 0;
       step_observer = None;
+      decider = None;
+      decision_log = [];
+      wake_observer = None;
     }
   in
   Uktrace.Registry.register
@@ -89,11 +120,16 @@ let create ?(seed = 1) ~cores () =
   (* A wake that crosses cores is an IPI: the destination pays delivery. *)
   Uksched.Sched.set_remote_wake group
     (Some
-       (fun ~src:_ ~dst ->
+       (fun ~src ~dst ->
          match core_of_sched t dst with
-         | Some c ->
+         | Some c -> (
              Uksim.Clock.advance c.clock Uksim.Cost.ipi;
-             c.c_ipis <- c.c_ipis + 1
+             c.c_ipis <- c.c_ipis + 1;
+             match t.wake_observer with
+             | Some f ->
+                 let s = match core_of_sched t src with Some sc -> sc.id | None -> -1 in
+                 f ~src:s ~dst:c.id
+             | None -> ())
          | None -> ()));
   t
 
@@ -111,6 +147,7 @@ let ipi t ~src ~dst f =
     max (Uksim.Clock.cycles d.clock) (Uksim.Clock.cycles s.clock + Uksim.Cost.ipi)
   in
   d.c_ipis <- d.c_ipis + 1;
+  (match t.wake_observer with Some obs -> obs ~src ~dst | None -> ());
   Uksim.Engine.at d.engine at f
 
 (* splitmix64-style avalanche, for the rolling trace hash. *)
@@ -138,7 +175,15 @@ let try_steal t thief =
   in
   Array.length candidates > 0
   && begin
-       let victim = Uksim.Rng.choose t.rng candidates in
+       (* Victim selection is a schedule decision point: the default draws
+          from the seeded RNG; with a decider installed (ukcheck) the
+          choice is external and logged for replay. *)
+       let victim =
+         match t.decider with
+         | None -> Uksim.Rng.choose t.rng candidates
+         | Some _ ->
+             candidates.(decide t ~kind:"steal_victim" ~arity:(Array.length candidates))
+       in
        Uksched.Sched.steal ~from_:victim.sched thief.sched
        && begin
             let vc = Uksim.Clock.cycles victim.clock
@@ -175,6 +220,17 @@ let run t =
         | Some at, None -> best := Some (at, c)
         | Some _, Some _ | None, _ -> ())
       t.cores;
+    (* Cores tied for the earliest action are a per-core step-order
+       decision point (default: lowest id, i.e. the first tied core). *)
+    (match (!best, t.decider) with
+    | Some (bat, _), Some _ ->
+        let tied =
+          Array.to_list t.cores |> List.filter (fun c -> next_action c = Some bat)
+        in
+        if List.length tied >= 2 then
+          best :=
+            Some (bat, List.nth tied (decide t ~kind:"step_core" ~arity:(List.length tied)))
+    | (Some _ | None), _ -> ());
     match !best with
     | Some (_, c) ->
         t.running <- Some c.id;

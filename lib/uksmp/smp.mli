@@ -54,6 +54,43 @@ val ipi : t -> src:int -> dst:int -> (unit -> unit) -> unit
 val current_core : t -> int option
 (** The core being stepped right now, if any. *)
 
+val group : t -> Uksched.Sched.group
+(** The scheduler group joining all cores — correctness tooling (ukcheck)
+    attaches its {!Uksched.Sched.set_group_observer} here. *)
+
+(** {1 Schedule decision points (consumed by [lib/ukcheck])}
+
+    The coordinator's nondeterminism-as-configuration: the places where a
+    run could legally go more than one way. With no decider installed the
+    substrate behaves exactly as documented above (seeded RNG steal
+    victims, lowest-id tie-breaks) — installing one replaces those
+    policies with external choices and logs every choice made, which is
+    what lets ukcheck enumerate schedules and replay failing ones. *)
+
+type decision = {
+  kind : string;  (** "steal_victim", "step_core", or an external kind *)
+  arity : int;  (** number of alternatives (>= 2; forced choices are not logged) *)
+  choice : int;  (** the branch taken, in [0, arity) — 0 is the default *)
+}
+
+val set_decider : t -> (kind:string -> arity:int -> int) option -> unit
+(** Install (or remove) the choice-point callback and clear the decision
+    log. Out-of-range answers fall back to 0. *)
+
+val decide : t -> kind:string -> arity:int -> int
+(** Route an {e external} choice point (e.g. a per-core dispatch choice
+    from {!Uksched.Sched.set_dispatch_chooser}) through the installed
+    decider so it lands in the same decision log. Returns 0 — the
+    default — when no decider is installed or [arity < 2]. *)
+
+val decisions : t -> decision list
+(** Chronological log of all decisions since {!set_decider}. *)
+
+val set_wake_observer : t -> (src:int -> dst:int -> unit) option -> unit
+(** Fires on every cross-core wake/IPI with the core ids involved
+    ([src = -1] if the waker is outside any core) — feeds ukcheck's
+    happens-before edges. Observers must not perturb the run. *)
+
 (** {1 Observation} *)
 
 type cstats = {

@@ -31,6 +31,13 @@ grep -q '"trace_invariant_ok": true' BENCH_smp.json || {
   exit 1
 }
 
+echo "== ukcheck gate (lockset + schedule explorer) =="
+# Race detector over the 4-core cluster smoke (any report fails) and the
+# schedule explorer over the uklock/Percore fixtures at a 64-schedule
+# budget; the gate prints per-fixture schedule counts and exits non-zero
+# on any violation, with a replay certificate in the log.
+dune exec bin/ukcheck_gate.exe
+
 echo "== observability smoke (tracing on, fast workloads) =="
 UKRAFT_FAST=1 UKRAFT_TRACE=1 dune exec bench/main.exe -- --only fig13
 python3 scripts/check_trace.py TRACE_fig13.json ukapps uknetstack ukalloc

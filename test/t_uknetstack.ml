@@ -433,6 +433,94 @@ let frag_random_order_prop =
       | Some p -> Bytes.equal p payload
       | None -> false)
 
+(* The TCP/IPv4 wire format carries no options (Pkt.Tcp.size = 20), so
+   "arbitrary header" coverage means arbitrary field values: every legal
+   combination of ports, sequence numbers, flags, fragment fields and
+   payload must survive encode → checksum → decode bit-exactly. *)
+let tcp_header_fields_prop =
+  QCheck.Test.make ~name:"tcp codec roundtrips arbitrary header fields" ~count:300
+    QCheck.(
+      pair
+        (pair (pair (int_bound 0xffff) (int_bound 0xffff))
+           (pair (int_bound 0xffffffff) (int_bound 0xffffffff)))
+        (pair (pair (int_bound 31) (int_bound 0xffff)) (string_of_size (Gen.int_range 0 600))))
+    (fun (((src_port, dst_port), (seq, ack)), ((flag_bits, window), payload)) ->
+      let src = A.Ipv4.of_string "10.0.0.1" and dst = A.Ipv4.of_string "10.0.0.2" in
+      let hdr =
+        { P.Tcp.src_port; dst_port; seq; ack;
+          syn = flag_bits land 1 <> 0; ack_flag = flag_bits land 2 <> 0;
+          fin = flag_bits land 4 <> 0; rst = flag_bits land 8 <> 0;
+          psh = flag_bits land 16 <> 0; window }
+      in
+      let nb = Nb.alloc ~headroom:64 ~size:800 () in
+      Nb.blit_payload nb (Bytes.of_string payload);
+      P.Tcp.encode hdr ~src ~dst nb;
+      match P.Tcp.decode ~src ~dst nb with
+      | Ok got -> got = hdr && Bytes.to_string (Nb.to_payload nb) = payload
+      | Error _ -> false)
+
+let ipv4_header_fields_prop =
+  QCheck.Test.make ~name:"ipv4 codec roundtrips arbitrary header fields" ~count:300
+    QCheck.(
+      pair
+        (pair (pair (int_range 1 255) (int_bound 0xffff))
+           (pair (int_bound 200) bool))
+        (pair (int_bound 3) (string_of_size (Gen.int_range 0 600))))
+    (fun (((ttl, id), (frag_blocks, more_frags)), (proto_pick, payload)) ->
+      let proto =
+        match proto_pick with
+        | 0 -> P.Ipv4.Icmp
+        | 1 -> P.Ipv4.Tcp
+        | 2 -> P.Ipv4.Udp
+        | _ -> P.Ipv4.Unknown 42
+      in
+      let hdr =
+        { P.Ipv4.src = A.Ipv4.of_string "192.168.7.1"; dst = A.Ipv4.of_string "10.9.8.7";
+          proto; ttl; payload_len = String.length payload; id; more_frags;
+          frag_offset = frag_blocks * 8 }
+      in
+      let nb = Nb.alloc ~headroom:64 ~size:800 () in
+      Nb.blit_payload nb (Bytes.of_string payload);
+      P.Ipv4.encode hdr nb;
+      match P.Ipv4.decode nb with
+      | Ok got -> got = hdr && Bytes.to_string (Nb.to_payload nb) = payload
+      | Error _ -> false)
+
+(* Generalizes frag_random_order_prop from sampled shuffles to every
+   arrival order: one thread per fragment on a single explored core, so
+   the ukcheck dispatch choice points enumerate all 4! = 24 insertion
+   interleavings exhaustively within the 64-schedule budget. *)
+let test_frag_reassembly_under_explored_orders () =
+  let payload = Bytes.init 32 (fun i -> Char.chr ((i * 7 + 3) land 0xff)) in
+  let src = A.Ipv4.of_string "10.0.0.9" in
+  let fixture smp ~seed:_ =
+    let f = Frag.create ~clock:(Uksmp.Smp.clock_of smp ~core:0) () in
+    let completed = ref None in
+    for i = 0 to 3 do
+      ignore
+        (Uksmp.Smp.spawn_on smp ~core:0 ~pinned:true (fun () ->
+             match
+               Frag.insert f ~src ~id:7 ~proto:17 ~frag_offset:(i * 8) ~more_frags:(i < 3)
+                 (Bytes.sub payload (i * 8) 8)
+             with
+             | Frag.Complete p -> completed := Some p
+             | Frag.Pending -> ()
+             | Frag.Rejected e -> failwith e))
+    done;
+    fun () ->
+      match !completed with
+      | Some p when Bytes.equal p payload -> Ok ()
+      | Some _ -> Error "reassembled bytes differ"
+      | None -> Error "datagram never completed"
+  in
+  match Ukcheck.Prop.run ~cores:1 ~schedules:64 fixture with
+  | Ukcheck.Explore.Passed s ->
+      Alcotest.(check bool) "every arrival order enumerated" true s.Ukcheck.Explore.exhaustive;
+      Alcotest.(check int) "all 24 interleavings of 4 fragments" 24 s.Ukcheck.Explore.schedules
+  | Ukcheck.Explore.Failed f ->
+      Alcotest.failf "order-dependent reassembly: %s (%s)" f.Ukcheck.Explore.message
+        (Ukcheck.Schedule.to_string f.Ukcheck.Explore.cert)
+
 (* --- full-stack integration over loopback --------------------------------- *)
 
 let two_stacks () =
@@ -553,6 +641,10 @@ let suite =
     Alcotest.test_case "frag: 5KB UDP datagram end-to-end" `Quick
       test_udp_fragmentation_end_to_end;
     QCheck_alcotest.to_alcotest frag_random_order_prop;
+    QCheck_alcotest.to_alcotest tcp_header_fields_prop;
+    QCheck_alcotest.to_alcotest ipv4_header_fields_prop;
+    Alcotest.test_case "frag: reassembly under explored arrival orders" `Quick
+      test_frag_reassembly_under_explored_orders;
     Alcotest.test_case "stack: udp echo" `Quick test_stack_udp_echo;
     Alcotest.test_case "stack: tcp end to end" `Quick test_stack_tcp_end_to_end;
     Alcotest.test_case "stack: arp" `Quick test_stack_arp_populated;

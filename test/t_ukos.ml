@@ -1,0 +1,135 @@
+(* Tests for ukos: the baseline OS profile cost models (paper §5.1/§5.3,
+   Figs 9-13) and the watchdog's interaction with profile data. The
+   profiles are data the throughput/boot harnesses trust blindly — these
+   tests pin the internal consistency and the paper's orderings. *)
+
+module P = Ukos.Profiles
+
+(* --- internal consistency of every profile -------------------------------- *)
+
+let test_profiles_well_formed () =
+  List.iter
+    (fun p ->
+      let n = p.P.os_name in
+      Alcotest.(check bool) (n ^ ": has a name") true (String.length n > 0);
+      Alcotest.(check bool) (n ^ ": runs at least one app") true (p.P.image_kb <> []);
+      List.iter
+        (fun (app, kb) ->
+          Alcotest.(check bool) (Printf.sprintf "%s/%s: image > 0" n app) true (kb > 0);
+          (* every app with an image size also has a memory floor *)
+          match List.assoc_opt app p.P.min_mem_mb with
+          | Some mb -> Alcotest.(check bool) (Printf.sprintf "%s/%s: mem > 0" n app) true (mb > 0)
+          | None -> Alcotest.failf "%s/%s: image size but no memory floor" n app)
+        p.P.image_kb;
+      (* request-cost entries only for apps the OS can actually run *)
+      List.iter
+        (fun (app, _) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: cost entry has an image" n app)
+            true
+            (List.mem_assoc app p.P.image_kb))
+        p.P.relative_request_cost)
+    P.all
+
+let test_request_cost_never_below_unikraft () =
+  (* 1.0 = the Unikraft QEMU/KVM path. §5.3: Unikraft is faster than every
+     baseline on every app, so every factor must be >= 1. *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun (app, f) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: factor %.2f >= 1" p.P.os_name app f)
+            true (f >= 1.0))
+        p.P.relative_request_cost)
+    P.all;
+  (* absent app => absent factor, not a default *)
+  (match P.find "hermitux" with
+  | Some p -> Alcotest.(check (option (float 0.0))) "hermitux has no nginx" None
+                (P.request_cost_factor p ~app:"nginx")
+  | None -> Alcotest.fail "hermitux profile missing");
+  Alcotest.(check bool) "firecracker penalty in (0,1)" true
+    (P.firecracker_penalty > 0.0 && P.firecracker_penalty < 1.0)
+
+let test_find_roundtrip () =
+  List.iter
+    (fun p ->
+      match P.find p.P.os_name with
+      | Some q -> Alcotest.(check string) "find returns itself" p.P.os_name q.P.os_name
+      | None -> Alcotest.failf "find %s = None" p.P.os_name)
+    P.all;
+  Alcotest.(check bool) "unknown OS" true (P.find "plan9" = None)
+
+(* --- paper orderings ------------------------------------------------------ *)
+
+let image_kb name app =
+  match P.find name with
+  | Some p -> List.assoc app p.P.image_kb
+  | None -> Alcotest.failf "no profile %s" name
+
+let test_image_size_ordering () =
+  (* Fig 9 orders of magnitude: specialized unikernels well under the
+     general-purpose stacks, full VM images largest by far. *)
+  List.iter
+    (fun app ->
+      (* a full Debian VM image is the largest way to ship any app *)
+      List.iter
+        (fun p ->
+          if p.P.os_name <> "linux-vm" then
+            match List.assoc_opt app p.P.image_kb with
+            | Some kb ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: %s < linux-vm" app p.P.os_name)
+                  true
+                  (kb < image_kb "linux-vm" app)
+            | None -> ())
+        P.all;
+      (* monolithic-unikernel images stay an order of magnitude below
+         the specialized-Linux images *)
+      Alcotest.(check bool) (app ^ ": osv << lupine") true
+        (3 * image_kb "osv" app < image_kb "lupine" app))
+    [ "hello"; "nginx"; "redis" ];
+  Alcotest.(check bool) "mirage hello ~1MB" true (image_kb "mirageos" "hello" <= 2000)
+
+let boot_ns name =
+  match P.find name with
+  | Some { P.boot_ns = Some b; _ } -> b
+  | Some { P.boot_ns = None; _ } -> Alcotest.failf "%s has no boot time" name
+  | None -> Alcotest.failf "no profile %s" name
+
+let test_boot_time_ordering () =
+  (* §5.1 ladder: mirage < osv < rump < lupine-nokml < hermitux <
+     lupine < alpine-fc < linux-vm. *)
+  let ladder =
+    [ "mirageos"; "osv"; "rump"; "lupine-nokml"; "hermitux"; "lupine"; "alpine-fc"; "linux-vm" ]
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) (Printf.sprintf "%s boots before %s" a b) true
+          (boot_ns a < boot_ns b);
+        check rest
+    | _ -> ()
+  in
+  check ladder;
+  (match P.find "linux-native" with
+  | Some p -> Alcotest.(check bool) "bare metal has no boot baseline" true (p.P.boot_ns = None)
+  | None -> Alcotest.fail "linux-native missing")
+
+let test_syscall_path_ordering () =
+  (* Table 1: Unikraft's run-time syscall translation is far cheaper than
+     a real kernel crossing, mitigations make Linux worse. *)
+  Alcotest.(check bool) "unikraft < linux-nomitig" true
+    (Uksim.Cost.syscall_unikraft < Uksim.Cost.syscall_linux_nomitig);
+  Alcotest.(check bool) "linux-nomitig < linux-kpti" true
+    (Uksim.Cost.syscall_linux_nomitig < Uksim.Cost.syscall_linux)
+
+let suite =
+  [
+    Alcotest.test_case "profiles are internally consistent" `Quick test_profiles_well_formed;
+    Alcotest.test_case "request-cost factors never beat unikraft" `Quick
+      test_request_cost_never_below_unikraft;
+    Alcotest.test_case "find/os_name roundtrip" `Quick test_find_roundtrip;
+    Alcotest.test_case "image sizes follow Fig 9" `Quick test_image_size_ordering;
+    Alcotest.test_case "boot times follow §5.1" `Quick test_boot_time_ordering;
+    Alcotest.test_case "syscall path costs follow Table 1" `Quick test_syscall_path_ordering;
+  ]

@@ -1,0 +1,106 @@
+(* Tests for ukplat: VMM startup/attach cost tables and the full boot
+   breakdown (paper §5.1/§5.2, Fig 10). Complements the Solo5 smoke in
+   t_ukmmu.ml with table-wide properties. *)
+
+module Vmm = Ukplat.Vmm
+module Boot = Ukboot.Boot
+
+let test_name_roundtrip () =
+  List.iter
+    (fun v ->
+      let n = Vmm.name v in
+      Alcotest.(check bool) (n ^ ": non-empty name") true (String.length n > 0);
+      match Vmm.of_name n with
+      | Some v' -> Alcotest.(check string) (n ^ ": of_name(name)") n (Vmm.name v')
+      | None -> Alcotest.failf "of_name %s = None" n)
+    Vmm.all;
+  Alcotest.(check bool) "unknown vmm" true (Vmm.of_name "bhyve" = None);
+  Alcotest.(check int) "all six vmms listed" 6 (List.length Vmm.all)
+
+let test_startup_table () =
+  (* Fig 10 ordering: a process exec is cheapest, the minimal VMMs
+     (Firecracker, Solo5) beat QEMU microvm, which beats full QEMU,
+     and Xen's toolstack is the slowest path. *)
+  let s = Vmm.startup_ns in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (Vmm.name v ^ ": positive startup") true (s v > 0.0))
+    Vmm.all;
+  Alcotest.(check bool) "linuxu < firecracker" true (s Vmm.Linuxu < s Vmm.Firecracker);
+  Alcotest.(check bool) "firecracker <= solo5" true (s Vmm.Firecracker <= s Vmm.Solo5);
+  Alcotest.(check bool) "solo5 < microvm" true (s Vmm.Solo5 < s Vmm.Qemu_microvm);
+  Alcotest.(check bool) "microvm < qemu" true (s Vmm.Qemu_microvm < s Vmm.Qemu);
+  Alcotest.(check bool) "qemu < xen" true (s Vmm.Qemu < s Vmm.Xen)
+
+let test_attach_cost_tables () =
+  (* §5.2: 9pfs attach is 0.3 ms on KVM but 2.7 ms on Xen; virtio NIC
+     negotiation costs real time on every VMM that has a device model. *)
+  Alcotest.(check bool) "xen 9p >> kvm 9p" true
+    (Vmm.ninep_attach_ns Vmm.Xen >= 5.0 *. Vmm.ninep_attach_ns Vmm.Qemu);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Vmm.name v ^ ": attach costs non-negative")
+        true
+        (Vmm.nic_attach_ns v >= 0.0 && Vmm.ninep_attach_ns v >= 0.0
+        && Vmm.guest_early_init_ns v >= 0.0))
+    Vmm.all
+
+let boot_with ~nics ~with_9p vmm =
+  let clock = Uksim.Clock.create () in
+  let tab = Boot.Inittab.create () in
+  Boot.Inittab.register tab ~level:1 ~name:"early" (fun () -> ());
+  Boot.Inittab.register tab ~level:4 ~name:"plat" (fun () -> Uksim.Clock.advance clock 1000);
+  Boot.Inittab.register tab ~level:6 ~name:"main-prep" (fun () -> ());
+  Vmm.boot vmm ~clock ~nics ~with_9p ~inittab:tab ()
+
+let test_boot_breakdown_consistency () =
+  List.iter
+    (fun vmm ->
+      let bd, report = boot_with ~nics:1 ~with_9p:false vmm in
+      let n = Vmm.name vmm in
+      Alcotest.(check (float 1.0)) (n ^ ": total = vmm + guest")
+        (bd.Vmm.vmm_startup_ns +. bd.Vmm.guest_ns)
+        bd.Vmm.total_ns;
+      Alcotest.(check (float 1.0)) (n ^ ": startup matches table") (Vmm.startup_ns vmm)
+        bd.Vmm.vmm_startup_ns;
+      Alcotest.(check bool) (n ^ ": guest covers constructors") true
+        (bd.Vmm.guest_ns >= report.Boot.guest_boot_ns);
+      Alcotest.(check int) (n ^ ": all constructor phases ran") 3
+        (List.length report.Boot.phases))
+    Vmm.all
+
+let test_boot_devices_cost_guest_time () =
+  (* Fig 10's "one NIC" bars: each attached device slows guest boot by
+     its table cost, and 9p adds on top. *)
+  let guest ~nics ~with_9p = (fst (boot_with ~nics ~with_9p Vmm.Qemu)).Vmm.guest_ns in
+  let bare = guest ~nics:0 ~with_9p:false in
+  let one_nic = guest ~nics:1 ~with_9p:false in
+  let two_nics = guest ~nics:2 ~with_9p:false in
+  let with_fs = guest ~nics:0 ~with_9p:true in
+  Alcotest.(check (float 1.0)) "one nic adds its attach cost"
+    (bare +. Vmm.nic_attach_ns Vmm.Qemu) one_nic;
+  Alcotest.(check (float 1.0)) "nic costs are linear"
+    (one_nic +. Vmm.nic_attach_ns Vmm.Qemu) two_nics;
+  Alcotest.(check (float 1.0)) "9p adds its attach cost"
+    (bare +. Vmm.ninep_attach_ns Vmm.Qemu) with_fs
+
+let test_boot_total_ordering_matches_startup () =
+  (* With identical guests, total boot order is the startup-table order —
+     the paper's point that the VMM dominates for tiny guests. *)
+  let total vmm = (fst (boot_with ~nics:0 ~with_9p:false vmm)).Vmm.total_ns in
+  Alcotest.(check bool) "solo5 boots before microvm" true (total Vmm.Solo5 < total Vmm.Qemu_microvm);
+  Alcotest.(check bool) "microvm boots before qemu" true
+    (total Vmm.Qemu_microvm < total Vmm.Qemu);
+  Alcotest.(check bool) "qemu boots before xen" true (total Vmm.Qemu < total Vmm.Xen)
+
+let suite =
+  [
+    Alcotest.test_case "vmm name/of_name roundtrip" `Quick test_name_roundtrip;
+    Alcotest.test_case "startup table follows Fig 10" `Quick test_startup_table;
+    Alcotest.test_case "attach cost tables (§5.2)" `Quick test_attach_cost_tables;
+    Alcotest.test_case "boot breakdown is consistent" `Quick test_boot_breakdown_consistency;
+    Alcotest.test_case "device attaches cost guest time" `Quick test_boot_devices_cost_guest_time;
+    Alcotest.test_case "total boot follows startup order" `Quick
+      test_boot_total_ordering_matches_startup;
+  ]

@@ -1,31 +1,40 @@
-(* Aggregated test runner for the whole ukraft reproduction. *)
+(* Aggregated test runner for the whole ukraft reproduction.
+
+   Naming convention: each suite lives in test/t_<lib>.ml and registers
+   here as ("<lib>", T_<lib>.suite), where <lib> is the lib/ directory
+   it covers (suites spanning several libraries, or named after a
+   scenario rather than a library, say so in their label). Keep the
+   rows in alphabetical order so concurrent PRs merge cleanly. *)
 
 let () =
   Alcotest.run "ukraft"
     [
-      ("uksim", T_uksim.suite);
-      ("ukconf", T_ukconf.suite);
-      ("ukgraph", T_ukgraph.suite);
-      ("ukbuild", T_ukbuild.suite);
+      ("dns", T_dns.suite);
       ("ukalloc", T_ukalloc.suite);
-      ("uksched", T_uksched.suite);
+      ("ukapps", T_ukapps.suite);
+      ("ukblock", T_ukblock.suite);
+      ("ukbuild", T_ukbuild.suite);
+      ("ukcheck", T_ukcheck.suite);
+      ("ukconf", T_ukconf.suite);
+      ("ukdebug", T_ukdebug.suite);
+      ("ukfault", T_ukfault.suite);
+      ("ukgraph", T_ukgraph.suite);
+      ("uklibparam", T_uklibparam.suite);
       ("uklock", T_uklock.suite);
       ("ukmmu+ukboot+ukplat", T_ukmmu.suite);
       ("uknetdev", T_uknetdev.suite);
-      ("ukblock", T_ukblock.suite);
       ("uknetstack", T_uknetstack.suite);
-      ("ukfault", T_ukfault.suite);
-      ("uktcp-loss", T_uktcp_loss.suite);
-      ("ukvfs", T_ukvfs.suite);
-      ("uksyscall", T_uksyscall.suite);
-      ("ukdebug", T_ukdebug.suite);
-      ("uksec (mpk/asan/binary)", T_uksec.suite);
-      ("uktime", T_uktime.suite);
+      ("ukos", T_ukos.suite);
+      ("ukplat", T_ukplat.suite);
       ("ukring", T_ukring.suite);
-      ("uklibparam", T_uklibparam.suite);
-      ("ukapps", T_ukapps.suite);
-      ("dns", T_dns.suite);
-      ("unikraft", T_unikraft.suite);
-    ("uksmp", T_uksmp.suite);
+      ("uksched", T_uksched.suite);
+      ("uksec (mpk/asan/binary)", T_uksec.suite);
+      ("uksim", T_uksim.suite);
+      ("uksmp", T_uksmp.suite);
+      ("uksyscall", T_uksyscall.suite);
+      ("uktcp-loss", T_uktcp_loss.suite);
+      ("uktime", T_uktime.suite);
       ("uktrace", T_uktrace.suite);
+      ("ukvfs", T_ukvfs.suite);
+      ("unikraft", T_unikraft.suite);
     ]
