@@ -248,6 +248,56 @@ let run_blk () =
     !retries st.Fb.io_errors st.Fb.torn_writes st.Fb.latency_spikes;
   Common.row "  data verified after retry: %b\n" !verified
 
+(* --- fleet drill: kill instances mid-spike -------------------------------- *)
+
+module Fv = Ukfault.Faultvm
+module Fleet = Ukfleet.Fleet
+
+(* A snapshot-clone fleet rides out a 6x spike while Faultvm kills 20% of
+   the ready instances in the middle of it. The gate: every offered
+   request gets exactly one response (completed or shed) — the
+   supervisor respawns the slots and the orphaned requests are
+   re-dispatched, so nothing is lost. *)
+let run_fleet () =
+  Bench.trial ();
+  Common.row "\nfleet drill: kill 20%% of instances mid-spike, supervisor respawns\n";
+  let fleet =
+    Fleet.create ~seed:chaos_seed ~boot_mode:Fleet.Snapshot
+      ~autoscale:Ukfleet.Autoscaler.default ~initial:4
+      ~shed_after_ns:(Uksim.Units.msec 50.0) ~slo_bucket_ns:(Uksim.Units.msec 1.0)
+      ~image:Ukfleet.Image.httpd ()
+  in
+  let c = Fleet.costs fleet in
+  let cap = 1e9 /. c.Fleet.service_ns in
+  let dur = Uksim.Units.msec (if Bench.fast then 30.0 else 60.0) in
+  let spike_at = 0.2 *. dur and spike_len = 0.5 *. dur in
+  let w =
+    Ukfleet.Workload.spike ~base_rps:cap ~factor:6.0 ~at_ns:spike_at ~spike_ns:spike_len
+      ~duration_ns:dur
+  in
+  let drill_at = Fleet.settle_ns fleet +. spike_at +. (0.5 *. spike_len) in
+  let fv =
+    Fv.arm ~clock:(Fleet.control_clock fleet) ~engine:(Fleet.control_engine fleet)
+      ~rng:(Uksim.Rng.create chaos_seed)
+      ~plan:(Fv.plan ~at_ns:drill_at ~kill_fraction:0.2 ())
+      ~targets:(fun () -> Fleet.ready_ids fleet)
+      ~kill:(fun ~now_ns iid -> Fleet.kill fleet ~now_ns ~iid)
+  in
+  let r = Fleet.run fleet w in
+  let st = Fv.stats fv in
+  Common.row "  killed %d instances mid-spike (%d missed); %d respawns\n" st.Fv.killed
+    st.Fv.missed r.Fleet.restarts;
+  Common.row "  offered=%d completed=%d shed=%d redispatched=%d lost=%d\n" r.Fleet.offered
+    r.Fleet.completed r.Fleet.shed r.Fleet.redispatched r.Fleet.lost;
+  Common.row "  p99=%.0fus slo_violation=%.1fms peak=%d instances\n" r.Fleet.p99_us
+    (r.Fleet.slo_violation_ns /. 1e6) r.Fleet.peak_instances;
+  Bench.emit_i "fleet_killed" st.Fv.killed;
+  Bench.emit_i "fleet_restarts" r.Fleet.restarts;
+  Bench.emit_i "fleet_redispatched" r.Fleet.redispatched;
+  Bench.emit_i "fleet_lost" r.Fleet.lost;
+  Bench.emit_b "fleet_zero_lost" (r.Fleet.lost = 0 && st.Fv.killed > 0);
+  if r.Fleet.lost <> 0 then Common.row "  !! fleet drill LOST responses\n"
+
 (* --- determinism ----------------------------------------------------------- *)
 
 let run_determinism () =
@@ -267,6 +317,7 @@ let run () =
   Bench.phase "supervision" run_supervision;
   Bench.phase "oom" run_oom;
   Bench.phase "blk" run_blk;
+  Bench.phase "fleet" run_fleet;
   Bench.phase "determinism" run_determinism
 
 let register () =

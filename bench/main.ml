@@ -22,4 +22,5 @@ let () =
   Exp_ablation.register ();
   Exp_chaos.register ();
   Exp_smp.register ();
+  Exp_fleet.register ();
   Bench.main ~micro:Micro.run ()

@@ -36,13 +36,55 @@ type phase_report = {
 
 type report = { guest_boot_ns : float; phases : phase_report list }
 
+exception Constructor_failed of { phase : string; level : int; cause : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Constructor_failed { phase; level; cause } ->
+        Some
+          (Printf.sprintf "Constructor_failed(phase %S, level %d: %s)" phase level
+             (Printexc.to_string cause))
+    | _ -> None)
+
+(* Boot observability: the last report and a cumulative boot count,
+   published as one sticky ["ukboot.boot"] registry source so per-phase
+   timings show up in snapshots alongside every other subsystem. *)
+let boots = ref 0
+let last_report : report option ref = ref None
+let source_registered = ref false
+
+let register_source () =
+  if not !source_registered then begin
+    source_registered := true;
+    Uktrace.Registry.register ~sticky:true
+      (Uktrace.Source.make ~subsystem:"ukboot" ~name:"boot"
+         ~reset:(fun () ->
+           boots := 0;
+           last_report := None)
+         (fun () ->
+           let base = [ ("boots", Uktrace.Metric.Count !boots) ] in
+           match !last_report with
+           | None -> base
+           | Some r ->
+               base
+               @ ("guest_boot_ns", Uktrace.Metric.Level r.guest_boot_ns)
+                 :: List.map
+                      (fun p ->
+                        ( Printf.sprintf "phase.%d.%s_ns" p.level p.phase,
+                          Uktrace.Metric.Level p.duration_ns ))
+                      r.phases))
+  end
+
 let run ~clock ?main tab =
+  register_source ();
   let t0 = Uksim.Clock.ns clock in
   let phases =
     List.map
       (fun (e : Inittab.entry) ->
         let start = Uksim.Clock.ns clock in
-        e.ctor ();
+        (try e.ctor ()
+         with exn ->
+           raise (Constructor_failed { phase = e.name; level = e.level; cause = exn }));
         {
           phase = e.name;
           level = e.level;
@@ -52,6 +94,8 @@ let run ~clock ?main tab =
       (Inittab.ordered tab)
   in
   let guest_boot_ns = Uksim.Clock.ns clock -. t0 in
+  incr boots;
+  last_report := Some { guest_boot_ns; phases };
   (match main with Some f -> f () | None -> ());
   { guest_boot_ns; phases }
 

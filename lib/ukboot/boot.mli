@@ -41,10 +41,17 @@ type report = {
   phases : phase_report list;
 }
 
+exception Constructor_failed of { phase : string; level : int; cause : exn }
+(** A constructor raised mid-boot: the culprit phase and level are named
+    so a failed boot is attributable without re-running. *)
+
 val run : clock:Uksim.Clock.t -> ?main:(unit -> unit) -> Inittab.t -> report
 (** Execute the boot sequence. The report covers constructor phases only —
     i.e. the time from the first guest instruction until [main] is invoked,
     matching the paper's guest-boot measurements; [main]'s own run time is
-    excluded. *)
+    excluded. A constructor that raises aborts the boot with
+    {!Constructor_failed}. Per-phase timings of the most recent boot (and
+    a cumulative boot count) are published as a sticky ["ukboot.boot"]
+    {!Uktrace.Registry} source. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,68 @@
+type params = {
+  interval_ns : float;
+  target_queue : float;
+  scale_in_hold : int;
+  cooldown_out_ns : float;
+  cooldown_in_ns : float;
+  min_instances : int;
+  max_instances : int;
+}
+
+let default =
+  {
+    interval_ns = Uksim.Units.msec 2.0;
+    target_queue = 4.0;
+    scale_in_hold = 5;
+    cooldown_out_ns = Uksim.Units.msec 2.0;
+    cooldown_in_ns = Uksim.Units.msec 50.0;
+    min_instances = 1;
+    max_instances = 64;
+  }
+
+type action = Hold | Scale_out of int | Scale_in of int
+
+type t = {
+  p : params;
+  mutable last_out_ns : float;
+  mutable last_in_ns : float;
+  mutable low_ticks : int;
+}
+
+let create p =
+  if p.min_instances < 1 || p.max_instances < p.min_instances then
+    invalid_arg "Autoscaler.create: need 1 <= min_instances <= max_instances";
+  { p; last_out_ns = neg_infinity; last_in_ns = neg_infinity; low_ticks = 0 }
+
+let params t = t.p
+
+let decide t ~now_ns ~ready ~warming ~outstanding ~p99_ns ~slo_ns =
+  let p = t.p in
+  let live = ready + warming in
+  let by_demand =
+    int_of_float (Float.ceil (float_of_int outstanding /. p.target_queue))
+  in
+  (* A breached SLO means the queue estimate is already behind reality:
+     kick capacity by half again on top of whatever demand says. *)
+  let by_slo = if p99_ns > slo_ns && ready > 0 then live + max 1 (live / 2) else 0 in
+  let desired = max p.min_instances (min p.max_instances (max by_demand by_slo)) in
+  if desired > live then begin
+    t.low_ticks <- 0;
+    if now_ns -. t.last_out_ns >= p.cooldown_out_ns then begin
+      t.last_out_ns <- now_ns;
+      Scale_out (desired - live)
+    end
+    else Hold
+  end
+  else if desired < ready && warming = 0 then begin
+    t.low_ticks <- t.low_ticks + 1;
+    if t.low_ticks >= p.scale_in_hold && now_ns -. t.last_in_ns >= p.cooldown_in_ns then begin
+      t.low_ticks <- 0;
+      t.last_in_ns <- now_ns;
+      Scale_in 1
+    end
+    else Hold
+  end
+  else begin
+    t.low_ticks <- 0;
+    Hold
+  end

@@ -1,0 +1,673 @@
+(* Fleet orchestration as a deterministic discrete-event control plane.
+
+   All scheduling decisions run on analytic timestamps (floats carried
+   through event closures); the engine clocks only order event delivery.
+   That keeps instance capacity parallel — n instances serve n requests'
+   worth of virtual time concurrently — while every cost (boot, clone,
+   activation, per-request service) descends from the calibrated
+   substrate via Image.calibrate. Randomness (arrival draws, flow ids)
+   comes from one seeded RNG, so a fixed seed replays byte-identically:
+   trace_hash folds every event. *)
+
+type boot_mode = Cold | Warm_pool of int | Snapshot
+type backend = Unikraft of Ukplat.Vmm.t | Baseline of Ukos.Profiles.t
+
+type substrate =
+  [ `Own | `Engine of Uksim.Clock.t * Uksim.Engine.t | `Smp of Uksmp.Smp.t ]
+
+type costs = {
+  cold_boot_ns : float;
+  clone_ns : float;
+  warm_activation_ns : float;
+  service_ns : float;
+}
+
+type report = {
+  offered : int;
+  completed : int;
+  shed : int;
+  lost : int;
+  redispatched : int;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+  slo_violation_ns : float;
+  cold_boots : int;
+  clones : int;
+  warm_hits : int;
+  crashes : int;
+  restarts : int;
+  retired : int;
+  peak_instances : int;
+  final_ready : int;
+  elapsed_ns : float;
+  trace_hash : int;
+}
+
+type istate = Booting | Ready | Dead
+
+type req = {
+  rid : int;
+  flow : int;
+  arrival_ns : float;
+  mutable done_ : bool;
+  on_reply : (ok:bool -> latency_ns:float -> unit) option;
+}
+
+type instance = {
+  iid : int;
+  mutable state : istate;
+  mutable busy_until_ns : float;
+  pending : req Queue.t;
+  mutable inflight : int;
+  mutable epoch : int;  (* bumped on crash: orphaned completion events no-op *)
+  mutable served : int;
+  mutable crashes_in_row : int;
+  mutable restarts_used : int;
+  mutable fresh : bool;  (* respawned; first completion closes the backoff run *)
+  mutable retired : bool;
+}
+
+type sub = Sub_one of Uksim.Clock.t * Uksim.Engine.t | Sub_smp of Uksmp.Smp.t
+
+type t = {
+  rng : Uksim.Rng.t;
+  img : Image.t;
+  backend : backend;
+  boot_mode : boot_mode;
+  fd : Frontdoor.t;
+  auto : Autoscaler.t option;
+  restart : Uksched.Supervisor.policy;
+  slo_ns : float;
+  shed_after_ns : float;
+  bucket_ns : float;
+  lb_cap : int;
+  initial : int;
+  costs : costs;
+  sub : sub;
+  external_sub : bool;  (* [`Engine]: caller drives; run is invalid *)
+  instances : (int, instance) Hashtbl.t;
+  mutable next_iid : int;
+  mutable next_rid : int;
+  lb_q : req Queue.t;
+  mutable outstanding : int;  (* dispatched-not-answered + lb_q *)
+  mutable ready_n : int;
+  mutable warming_n : int;
+  mutable pool : int;
+  mutable pool_warming : int;
+  mutable template_eta : float option;
+  lat : Uksim.Stats.t;  (* completion latencies, ns, whole run *)
+  win : Uksim.Stats.t;  (* same, current control window *)
+  viol : (int, unit) Hashtbl.t;  (* violated SLO buckets *)
+  mutable t_measure : float;
+  mutable last_event : float;
+  mutable c_offered : int;
+  mutable c_completed : int;
+  mutable c_shed : int;
+  mutable c_redispatched : int;
+  mutable c_cold_boots : int;
+  mutable c_clones : int;
+  mutable c_warm_hits : int;
+  mutable c_crashes : int;
+  mutable c_restarts : int;
+  mutable c_retired : int;
+  mutable peak : int;
+  mutable started : bool;
+  mutable ran : bool;
+  mutable replay_active : bool;
+  mutable tick_armed : bool;
+  mutable trace : int;
+}
+
+(* --- gauges every fleet publishes (the autoscaler's inputs) ------------- *)
+
+let g_up = lazy (Uktrace.Registry.gauge ~subsystem:"ukfleet" "instances_up")
+let g_warming = lazy (Uktrace.Registry.gauge ~subsystem:"ukfleet" "instances_warming")
+let g_lbq = lazy (Uktrace.Registry.gauge ~subsystem:"ukfleet" "lb_queue_depth")
+let g_queue = lazy (Uktrace.Registry.gauge ~subsystem:"ukfleet" "queue_depth")
+let g_p99 = lazy (Uktrace.Registry.gauge ~subsystem:"ukfleet" "window_p99_us")
+let c_shed_total = lazy (Uktrace.Registry.counter ~subsystem:"ukfleet" "shed")
+
+let publish_gauges t =
+  Uktrace.Metric.Gauge.set (Lazy.force g_up) (float_of_int t.ready_n);
+  Uktrace.Metric.Gauge.set (Lazy.force g_warming) (float_of_int t.warming_n);
+  Uktrace.Metric.Gauge.set (Lazy.force g_lbq) (float_of_int (Queue.length t.lb_q));
+  Uktrace.Metric.Gauge.set (Lazy.force g_queue) (float_of_int t.outstanding)
+
+(* --- plumbing ------------------------------------------------------------ *)
+
+let control_pair t =
+  match t.sub with
+  | Sub_one (c, e) -> (c, e)
+  | Sub_smp s -> (Uksmp.Smp.clock_of s ~core:0, Uksmp.Smp.engine_of s ~core:0)
+
+let instance_pair t iid =
+  match t.sub with
+  | Sub_one (c, e) -> (c, e)
+  | Sub_smp s ->
+      let core = iid mod Uksmp.Smp.n_cores s in
+      (Uksmp.Smp.clock_of s ~core, Uksmp.Smp.engine_of s ~core)
+
+let at_abs (clock, engine) ns f =
+  Uksim.Engine.at engine
+    (max (Uksim.Clock.cycles_of_ns ns) (Uksim.Clock.cycles clock))
+    f
+
+let at_control t ns f = at_abs (control_pair t) ns f
+let control_engine t = snd (control_pair t)
+let control_clock t = fst (control_pair t)
+let now_ns t = Uksim.Clock.ns (fst (control_pair t))
+
+let settle_ns t =
+  t.costs.cold_boot_ns +. t.costs.clone_ns +. t.costs.warm_activation_ns
+  +. Uksim.Units.msec 1.0
+
+(* splitmix64-style avalanche (same shape as uksmp's trace hash). *)
+let mix h v =
+  let x = (h lxor v) land max_int in
+  let x = (x lxor (x lsr 30)) * 0x5851f42d4c957f2d land max_int in
+  let x = (x lxor (x lsr 27)) * 0x14057b7ef767814f land max_int in
+  x lxor (x lsr 31)
+
+let trace t tag a ns =
+  t.trace <- mix (mix (mix t.trace tag) a) (Int64.to_int (Int64.bits_of_float ns) land max_int)
+
+let mark_bucket t ns =
+  if ns >= t.t_measure && t.bucket_ns > 0.0 then
+    Hashtbl.replace t.viol (int_of_float ((ns -. t.t_measure) /. t.bucket_ns)) ()
+
+(* --- cost model ---------------------------------------------------------- *)
+
+let derive_costs ~image ~backend =
+  let mem_copy_ns mb =
+    Uksim.Clock.ns_of_cycles (Uksim.Cost.memcpy (Uksim.Units.mib mb))
+  in
+  match backend with
+  | Unikraft vmm ->
+      let calib = Image.calibrate image ~vmm in
+      {
+        cold_boot_ns = calib.Image.breakdown.Ukplat.Vmm.total_ns;
+        clone_ns = Ukplat.Vmm.snapshot_restore_ns vmm +. mem_copy_ns image.Image.mem_mb;
+        warm_activation_ns = Uksim.Units.usec 120.0;
+        service_ns = calib.Image.service_ns;
+      }
+  | Baseline prof ->
+      (* Service cost derives from the measured Unikraft QEMU/KVM path
+         (the §5.3 reference) times the profile's request-cost factor. *)
+      let calib = Image.calibrate image ~vmm:Ukplat.Vmm.Qemu in
+      let app = Image.profile_app image in
+      let factor =
+        Option.value (Ukos.Profiles.request_cost_factor prof ~app) ~default:1.8
+      in
+      let mem =
+        Option.value (List.assoc_opt app prof.Ukos.Profiles.min_mem_mb) ~default:64
+      in
+      {
+        cold_boot_ns =
+          Option.value prof.Ukos.Profiles.boot_ns ~default:(Uksim.Units.msec 500.0);
+        clone_ns = Ukplat.Vmm.snapshot_restore_ns Ukplat.Vmm.Qemu +. mem_copy_ns mem;
+        warm_activation_ns = Uksim.Units.usec 250.0;
+        service_ns = calib.Image.service_ns *. factor;
+      }
+
+(* --- construction -------------------------------------------------------- *)
+
+let create ?(seed = 1) ?(substrate = `Own) ?(backend = Unikraft Ukplat.Vmm.Firecracker)
+    ?(boot_mode = Cold) ?(policy = Frontdoor.Least_loaded) ?autoscale
+    ?(restart = Uksched.Supervisor.default_policy) ?(slo_ns = Uksim.Units.msec 1.0)
+    ?(shed_after_ns = Uksim.Units.msec 4.0) ?(slo_bucket_ns = Uksim.Units.msec 5.0)
+    ?(lb_queue_cap = 4096) ?(initial = 1) ~image () =
+  if initial < 1 then invalid_arg "Fleet.create: initial must be >= 1";
+  let sub, external_sub =
+    match substrate with
+    | `Own ->
+        let clock = Uksim.Clock.create () in
+        (Sub_one (clock, Uksim.Engine.create clock), false)
+    | `Engine (c, e) -> (Sub_one (c, e), true)
+    | `Smp smp -> (Sub_smp smp, false)
+  in
+  let t =
+    {
+      rng = Uksim.Rng.create (seed lxor 0xF1EE7);
+      img = image;
+      backend;
+      boot_mode;
+      fd = Frontdoor.create policy;
+      auto = Option.map Autoscaler.create autoscale;
+      restart;
+      slo_ns;
+      shed_after_ns;
+      bucket_ns = slo_bucket_ns;
+      lb_cap = lb_queue_cap;
+      initial;
+      costs = derive_costs ~image ~backend;
+      sub;
+      external_sub;
+      instances = Hashtbl.create 64;
+      next_iid = 0;
+      next_rid = 0;
+      lb_q = Queue.create ();
+      outstanding = 0;
+      ready_n = 0;
+      warming_n = 0;
+      pool = 0;
+      pool_warming = 0;
+      template_eta = None;
+      lat = Uksim.Stats.create ();
+      win = Uksim.Stats.create ();
+      viol = Hashtbl.create 64;
+      t_measure = 0.0;
+      last_event = 0.0;
+      c_offered = 0;
+      c_completed = 0;
+      c_shed = 0;
+      c_redispatched = 0;
+      c_cold_boots = 0;
+      c_clones = 0;
+      c_warm_hits = 0;
+      c_crashes = 0;
+      c_restarts = 0;
+      c_retired = 0;
+      peak = 0;
+      started = false;
+      ran = false;
+      replay_active = false;
+      tick_armed = false;
+      trace = 0;
+    }
+  in
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukfleet" ~name:"fleet" (fun () ->
+         [
+           ("offered", Uktrace.Metric.Count t.c_offered);
+           ("completed", Uktrace.Metric.Count t.c_completed);
+           ("shed", Uktrace.Metric.Count t.c_shed);
+           ("redispatched", Uktrace.Metric.Count t.c_redispatched);
+           ("cold_boots", Uktrace.Metric.Count t.c_cold_boots);
+           ("clones", Uktrace.Metric.Count t.c_clones);
+           ("warm_hits", Uktrace.Metric.Count t.c_warm_hits);
+           ("crashes", Uktrace.Metric.Count t.c_crashes);
+           ("restarts", Uktrace.Metric.Count t.c_restarts);
+           ("instances_up", Uktrace.Metric.Level (float_of_int t.ready_n));
+         ]));
+  t
+
+let image t = t.img
+let costs t = t.costs
+let policy t = Frontdoor.policy t.fd
+let ready_count t = t.ready_n
+let warming_count t = t.warming_n
+let pool_spares t = t.pool
+let ready_ids t = Frontdoor.members t.fd
+let trace_hash t = t.trace
+
+(* --- request path -------------------------------------------------------- *)
+
+let reply req ~ok ~latency_ns =
+  match req.on_reply with Some f -> f ~ok ~latency_ns | None -> ()
+
+let shed t req ~now =
+  req.done_ <- true;
+  t.c_shed <- t.c_shed + 1;
+  Uktrace.Metric.Counter.incr (Lazy.force c_shed_total);
+  t.outstanding <- t.outstanding - 1;
+  t.last_event <- Float.max t.last_event now;
+  mark_bucket t now;
+  trace t 0x5ed req.rid now;
+  publish_gauges t;
+  reply req ~ok:false ~latency_ns:(now -. req.arrival_ns)
+
+let complete t inst req ~fin =
+  req.done_ <- true;
+  (match Queue.peek_opt inst.pending with
+  | Some h when h == req -> ignore (Queue.pop inst.pending)
+  | Some _ | None -> ());
+  inst.inflight <- inst.inflight - 1;
+  inst.served <- inst.served + 1;
+  if inst.fresh then begin
+    inst.fresh <- false;
+    inst.crashes_in_row <- 0
+  end;
+  let latency = fin -. req.arrival_ns in
+  Uksim.Stats.add t.lat latency;
+  Uksim.Stats.add t.win latency;
+  if latency > t.slo_ns then mark_bucket t fin;
+  t.c_completed <- t.c_completed + 1;
+  t.outstanding <- t.outstanding - 1;
+  t.last_event <- Float.max t.last_event fin;
+  trace t 0xd09e ((req.rid * 31) + inst.iid) fin;
+  publish_gauges t;
+  reply req ~ok:true ~latency_ns:latency
+
+let dispatch t inst req ~now =
+  let start = Float.max now inst.busy_until_ns in
+  let fin = start +. t.costs.service_ns in
+  inst.busy_until_ns <- fin;
+  inst.inflight <- inst.inflight + 1;
+  Queue.push req inst.pending;
+  trace t 0xd15 ((req.rid * 31) + inst.iid) now;
+  let ep = inst.epoch in
+  at_abs (instance_pair t inst.iid) fin (fun () ->
+      if (not req.done_) && inst.epoch = ep && inst.state = Ready then
+        complete t inst req ~fin)
+
+(* Best-case queueing delay across ready members — the admission
+   controller's estimate of what an accepted request would wait. *)
+let best_wait t ~now =
+  List.fold_left
+    (fun acc iid ->
+      let inst = Hashtbl.find t.instances iid in
+      Float.min acc (Float.max 0.0 (inst.busy_until_ns -. now)))
+    infinity (Frontdoor.members t.fd)
+
+let route t req ~now =
+  let load iid =
+    let inst = Hashtbl.find t.instances iid in
+    Float.max 0.0 (inst.busy_until_ns -. now)
+  in
+  match Frontdoor.pick t.fd ~flow:req.flow ~load with
+  | None ->
+      if Queue.length t.lb_q < t.lb_cap then begin
+        Queue.push req t.lb_q;
+        publish_gauges t
+      end
+      else shed t req ~now
+  | Some iid ->
+      if best_wait t ~now > t.shed_after_ns then shed t req ~now
+      else dispatch t (Hashtbl.find t.instances iid) req ~now
+
+let drain_lb t ~now =
+  if Frontdoor.members t.fd <> [] then begin
+    let parked = Queue.fold (fun acc r -> r :: acc) [] t.lb_q in
+    Queue.clear t.lb_q;
+    List.iter (fun r -> route t r ~now) (List.rev parked)
+  end
+
+(* --- instance lifecycle -------------------------------------------------- *)
+
+let accepting t = t.replay_active || t.external_sub
+
+let refill_pool t ~now =
+  if accepting t then begin
+    t.pool_warming <- t.pool_warming + 1;
+    t.c_cold_boots <- t.c_cold_boots + 1;
+    at_control t (now +. t.costs.cold_boot_ns) (fun () ->
+        t.pool_warming <- t.pool_warming - 1;
+        t.pool <- t.pool + 1)
+  end
+
+(* Pick the boot path for a new (or respawning) instance and charge its
+   latency: the Cold/Warm_pool/Snapshot distinction the bench measures. *)
+let spawn_latency t ~now =
+  match t.boot_mode with
+  | Cold ->
+      t.c_cold_boots <- t.c_cold_boots + 1;
+      t.costs.cold_boot_ns
+  | Warm_pool _ ->
+      if t.pool > 0 then begin
+        t.pool <- t.pool - 1;
+        t.c_warm_hits <- t.c_warm_hits + 1;
+        refill_pool t ~now;
+        t.costs.warm_activation_ns
+      end
+      else begin
+        t.c_cold_boots <- t.c_cold_boots + 1;
+        t.costs.cold_boot_ns
+      end
+  | Snapshot -> (
+      match t.template_eta with
+      | None ->
+          t.template_eta <- Some (now +. t.costs.cold_boot_ns);
+          t.c_cold_boots <- t.c_cold_boots + 1;
+          t.costs.cold_boot_ns
+      | Some eta ->
+          t.c_clones <- t.c_clones + 1;
+          Float.max 0.0 (eta -. now) +. t.costs.clone_ns)
+
+let make_ready t inst ~now =
+  if (not inst.retired) && inst.state = Booting then begin
+    inst.state <- Ready;
+    inst.busy_until_ns <- now;
+    t.ready_n <- t.ready_n + 1;
+    t.warming_n <- t.warming_n - 1;
+    if t.ready_n > t.peak then t.peak <- t.ready_n;
+    Frontdoor.add t.fd inst.iid;
+    trace t 0xb007 inst.iid now;
+    publish_gauges t;
+    drain_lb t ~now
+  end
+
+let scale_out t n ~now =
+  for _ = 1 to n do
+    let iid = t.next_iid in
+    t.next_iid <- iid + 1;
+    let inst =
+      {
+        iid;
+        state = Booting;
+        busy_until_ns = now;
+        pending = Queue.create ();
+        inflight = 0;
+        epoch = 0;
+        served = 0;
+        crashes_in_row = 0;
+        restarts_used = 0;
+        fresh = false;
+        retired = false;
+      }
+    in
+    Hashtbl.replace t.instances iid inst;
+    t.warming_n <- t.warming_n + 1;
+    let latency = spawn_latency t ~now in
+    trace t 0x59a iid (now +. latency);
+    at_control t (now +. latency) (fun () -> make_ready t inst ~now:(now +. latency))
+  done;
+  publish_gauges t
+
+let scale_in t ~now =
+  (* Retire the youngest idle ready instance; hold if none is idle. *)
+  let victim =
+    Hashtbl.fold
+      (fun _ inst best ->
+        if inst.state = Ready && inst.inflight = 0 then
+          match best with
+          | Some b when b.iid >= inst.iid -> best
+          | _ -> Some inst
+        else best)
+      t.instances None
+  in
+  match victim with
+  | None -> ()
+  | Some inst ->
+      inst.state <- Dead;
+      inst.retired <- true;
+      t.ready_n <- t.ready_n - 1;
+      t.c_retired <- t.c_retired + 1;
+      Frontdoor.remove t.fd inst.iid;
+      trace t 0x0ff inst.iid now;
+      publish_gauges t
+
+let kill t ~now_ns ~iid =
+  match Hashtbl.find_opt t.instances iid with
+  | Some inst when inst.state = Ready ->
+      let now = now_ns in
+      inst.state <- Dead;
+      inst.epoch <- inst.epoch + 1;
+      inst.crashes_in_row <- inst.crashes_in_row + 1;
+      t.ready_n <- t.ready_n - 1;
+      t.c_crashes <- t.c_crashes + 1;
+      Frontdoor.remove t.fd iid;
+      trace t 0xdead iid now;
+      (* Orphaned requests go back through the front door. *)
+      let orphans = Queue.fold (fun acc r -> r :: acc) [] inst.pending in
+      Queue.clear inst.pending;
+      inst.inflight <- 0;
+      inst.busy_until_ns <- now;
+      List.iter
+        (fun r ->
+          if not r.done_ then begin
+            t.c_redispatched <- t.c_redispatched + 1;
+            route t r ~now
+          end)
+        (List.rev orphans);
+      (* Supervisor-style respawn: exponential backoff per consecutive
+         crash, bounded by the restart budget. *)
+      if inst.restarts_used < t.restart.Uksched.Supervisor.max_restarts then begin
+        inst.restarts_used <- inst.restarts_used + 1;
+        t.c_restarts <- t.c_restarts + 1;
+        let p = t.restart in
+        let backoff =
+          Float.min p.Uksched.Supervisor.max_backoff_ns
+            (p.Uksched.Supervisor.backoff_ns
+            *. (p.Uksched.Supervisor.backoff_factor
+               ** float_of_int (max 0 (inst.crashes_in_row - 1))))
+        in
+        inst.state <- Booting;
+        inst.fresh <- true;
+        t.warming_n <- t.warming_n + 1;
+        let latency = spawn_latency t ~now in
+        let at = now +. backoff +. latency in
+        at_control t at (fun () -> make_ready t inst ~now:at)
+      end;
+      publish_gauges t;
+      true
+  | Some _ | None -> false
+
+(* --- control loop -------------------------------------------------------- *)
+
+let rec tick t ~now =
+  t.tick_armed <- true;
+  let p99 = if Uksim.Stats.count t.win > 0 then Uksim.Stats.percentile t.win 99.0 else 0.0 in
+  Uktrace.Metric.Gauge.set (Lazy.force g_p99) (p99 /. 1e3);
+  Uksim.Stats.clear t.win;
+  publish_gauges t;
+  (match t.auto with
+  | None -> ()
+  | Some a ->
+      (* The controller consumes the published registry gauges — the same
+         numbers any external observer sees. *)
+      let ready = int_of_float (Uktrace.Metric.Gauge.get (Lazy.force g_up)) in
+      let warming = int_of_float (Uktrace.Metric.Gauge.get (Lazy.force g_warming)) in
+      let outstanding = int_of_float (Uktrace.Metric.Gauge.get (Lazy.force g_queue)) in
+      let p99_ns = Uktrace.Metric.Gauge.get (Lazy.force g_p99) *. 1e3 in
+      (match
+         Autoscaler.decide a ~now_ns:now ~ready ~warming ~outstanding ~p99_ns
+           ~slo_ns:t.slo_ns
+       with
+      | Autoscaler.Hold -> ()
+      | Autoscaler.Scale_out n ->
+          trace t 0x5ca1e n now;
+          scale_out t n ~now
+      | Autoscaler.Scale_in _ ->
+          trace t 0x5ca10 1 now;
+          scale_in t ~now));
+  match t.auto with
+  | Some a when t.replay_active || t.outstanding > 0 ->
+      let next = now +. (Autoscaler.params a).Autoscaler.interval_ns in
+      at_control t next (fun () -> tick t ~now:next)
+  | Some _ | None -> t.tick_armed <- false
+
+(* --- top-level ----------------------------------------------------------- *)
+
+let refill_pool_initial t ~now =
+  t.pool_warming <- t.pool_warming + 1;
+  t.c_cold_boots <- t.c_cold_boots + 1;
+  at_control t (now +. t.costs.cold_boot_ns) (fun () ->
+      t.pool_warming <- t.pool_warming - 1;
+      t.pool <- t.pool + 1)
+
+let start_at t ~now =
+  if t.started then invalid_arg "Fleet.start: already started";
+  t.started <- true;
+  t.t_measure <- now;
+  t.last_event <- now;
+  publish_gauges t;
+  (match t.boot_mode with
+  | Warm_pool target ->
+      for _ = 1 to target do
+        refill_pool_initial t ~now
+      done
+  | Cold | Snapshot -> ());
+  scale_out t t.initial ~now
+
+let start t = start_at t ~now:(now_ns t)
+
+let mk_req t flow arrival on_reply =
+  let rid = t.next_rid in
+  t.next_rid <- rid + 1;
+  { rid; flow; arrival_ns = arrival; done_ = false; on_reply }
+
+let submit ?flow ?on_reply t ~now_ns:now =
+  if not t.started then invalid_arg "Fleet.submit: fleet not started";
+  let flow = match flow with Some f -> f | None -> Uksim.Rng.int t.rng 0x3FFFFFFF in
+  let req = mk_req t flow now on_reply in
+  t.c_offered <- t.c_offered + 1;
+  t.outstanding <- t.outstanding + 1;
+  trace t 0xa1 req.rid now;
+  route t req ~now;
+  (* Externally driven fleets re-arm the control loop on demand. *)
+  if t.auto <> None && not t.tick_armed then tick t ~now
+
+let report t =
+  let conv ns = ns /. 1e3 in
+  let n = Uksim.Stats.count t.lat in
+  {
+    offered = t.c_offered;
+    completed = t.c_completed;
+    shed = t.c_shed;
+    lost = t.c_offered - t.c_completed - t.c_shed;
+    redispatched = t.c_redispatched;
+    mean_us = (if n = 0 then 0.0 else conv (Uksim.Stats.mean t.lat));
+    p50_us = (if n = 0 then 0.0 else conv (Uksim.Stats.median t.lat));
+    p99_us = (if n = 0 then 0.0 else conv (Uksim.Stats.percentile t.lat 99.0));
+    max_us = (if n = 0 then 0.0 else conv (Uksim.Stats.max t.lat));
+    slo_violation_ns = float_of_int (Hashtbl.length t.viol) *. t.bucket_ns;
+    cold_boots = t.c_cold_boots;
+    clones = t.c_clones;
+    warm_hits = t.c_warm_hits;
+    crashes = t.c_crashes;
+    restarts = t.c_restarts;
+    retired = t.c_retired;
+    peak_instances = t.peak;
+    final_ready = t.ready_n;
+    elapsed_ns = Float.max 0.0 (t.last_event -. t.t_measure);
+    trace_hash =
+      (match t.sub with
+      | Sub_smp s -> mix t.trace (Uksmp.Smp.trace_hash s)
+      | Sub_one _ -> t.trace);
+  }
+
+let run t (w : Workload.t) =
+  if t.external_sub then
+    invalid_arg "Fleet.run: [`Engine] fleets are externally driven (use start/submit)";
+  if t.ran then invalid_arg "Fleet.run: one workload per fleet";
+  t.ran <- true;
+  let t0 = now_ns t in
+  start_at t ~now:t0;
+  (* Arrivals begin once the slowest initial bring-up path has settled,
+     so the measured window isolates scale-out behavior from t=0 boots. *)
+  let t_start = t0 +. settle_ns t in
+  t.t_measure <- t_start;
+  t.last_event <- t_start;
+  t.replay_active <- true;
+  let rec arrive ta =
+    if ta -. t_start <= w.Workload.duration_ns then begin
+      let flow = Uksim.Rng.int t.rng 0x3FFFFFFF in
+      let req = mk_req t flow ta None in
+      t.c_offered <- t.c_offered + 1;
+      t.outstanding <- t.outstanding + 1;
+      trace t 0xa1 req.rid ta;
+      route t req ~now:ta;
+      let rate = Float.max 1e-3 (w.Workload.rate_rps (ta -. t_start)) in
+      let dt = Uksim.Rng.exponential t.rng (1e9 /. rate) in
+      at_control t (ta +. dt) (fun () -> arrive (ta +. dt))
+    end
+    else t.replay_active <- false
+  in
+  at_control t t_start (fun () -> arrive t_start);
+  if t.auto <> None then at_control t t_start (fun () -> tick t ~now:t_start);
+  (match t.sub with
+  | Sub_one (_, e) -> Uksim.Engine.run e
+  | Sub_smp s -> Uksmp.Smp.run s);
+  report t

@@ -1,0 +1,160 @@
+(** Elastic unikernel fleet orchestration: boot-for-scale as a control
+    plane.
+
+    The paper's headline property — millisecond guest boots at megabyte
+    footprints — matters because it makes {e reactive} scaling viable:
+    spin instances up when traffic arrives instead of over-provisioning.
+    This module turns that property into an end-to-end serving model. A
+    fleet is a set of instance slots behind an L4 {!Frontdoor}; every
+    instance's boot and per-request costs are calibrated from the real
+    substrate ({!Image.calibrate} boots the image's constructor table
+    through {!Ukplat.Vmm.boot} and measures service time over a real
+    {!Uknetstack} loopback), and the fleet replays open-arrival
+    {!Workload}s against those costs as a discrete-event simulation:
+    instance capacity is modeled per instance, so a fleet of [n] serves
+    [n] instances' worth of traffic in parallel virtual time.
+
+    Three scale-out paths compete:
+    - {e cold boot}: VMM create + full guest boot, per instance;
+    - {e warm pool}: spares boot cold ahead of demand; activation is a
+      config push. Taking a spare triggers a background refill;
+    - {e snapshot clone}: the first instance pays full boot once, then a
+      snapshot restore plus a memory copy of the footprint clones it —
+      the fast path the paper's tiny images enable.
+
+    Crashed instances are respawned {!Uksched.Supervisor}-style (same
+    policy record: exponential backoff, restart budget), with their
+    queued requests re-dispatched through the front door so no response
+    is lost. An {!Autoscaler} drives scale-out/in from the
+    [ukfleet.metrics] {!Uktrace.Registry} gauges the fleet publishes
+    every control tick. Admission control sheds requests when the
+    best-case queueing delay exceeds the configured bound.
+
+    Everything is deterministic: a fixed seed produces a byte-identical
+    {!trace_hash}, with or without observers attached. *)
+
+type boot_mode =
+  | Cold
+  | Warm_pool of int  (** target number of pre-booted spares *)
+  | Snapshot  (** first boot is cold and becomes the clone template *)
+
+type backend =
+  | Unikraft of Ukplat.Vmm.t
+  | Baseline of Ukos.Profiles.t
+      (** a baseline OS fleet: boot time from the profile, per-request
+          cost scaled by its §5.3 request-cost factor *)
+
+type substrate =
+  [ `Own  (** a private clock + engine (the default) *)
+  | `Engine of Uksim.Clock.t * Uksim.Engine.t
+    (** share a caller's timeline — e.g. to put a real
+        {!Uknetstack} TCP ingress ({!Ingress}) in front of the fleet *)
+  | `Smp of Uksmp.Smp.t
+    (** spread instance completions over an SMP domain's per-core
+        engines; ukcheck attaches to the domain as usual *) ]
+
+type costs = {
+  cold_boot_ns : float;
+  clone_ns : float;  (** snapshot restore + footprint memory copy *)
+  warm_activation_ns : float;
+  service_ns : float;  (** per-request occupancy of one instance *)
+}
+
+type report = {
+  offered : int;
+  completed : int;
+  shed : int;  (** rejected by admission control (an explicit response) *)
+  lost : int;  (** neither completed nor shed — must be 0 *)
+  redispatched : int;  (** re-queued from crashed instances *)
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  max_us : float;
+  slo_violation_ns : float;
+      (** total width of measurement buckets containing an over-SLO
+          completion or a shed *)
+  cold_boots : int;
+  clones : int;
+  warm_hits : int;
+  crashes : int;
+  restarts : int;
+  retired : int;  (** scaled-in *)
+  peak_instances : int;
+  final_ready : int;
+  elapsed_ns : float;  (** measured window: first arrival to last response *)
+  trace_hash : int;
+}
+
+type t
+
+val create :
+  ?seed:int ->
+  ?substrate:substrate ->
+  ?backend:backend ->
+  ?boot_mode:boot_mode ->
+  ?policy:Frontdoor.policy ->
+  ?autoscale:Autoscaler.params ->
+  ?restart:Uksched.Supervisor.policy ->
+  ?slo_ns:float ->
+  ?shed_after_ns:float ->
+  ?slo_bucket_ns:float ->
+  ?lb_queue_cap:int ->
+  ?initial:int ->
+  image:Image.t ->
+  unit ->
+  t
+(** Defaults: seed 1, [`Own] substrate, [Unikraft Firecracker] backend,
+    [Cold] boots, [Least_loaded] policy, no autoscaler (fixed size),
+    {!Uksched.Supervisor.default_policy} restarts, 1 ms SLO, shedding
+    past 4 ms best-case wait, 5 ms SLO buckets, a 4096-deep front-door
+    queue, 1 initial instance. *)
+
+val image : t -> Image.t
+val costs : t -> costs
+val policy : t -> Frontdoor.policy
+val control_engine : t -> Uksim.Engine.t
+val control_clock : t -> Uksim.Clock.t
+val now_ns : t -> float
+
+val settle_ns : t -> float
+(** The offset {!run} adds before the first arrival (covers the slowest
+    initial bring-up path) — workload time 0 in engine time is
+    [now_ns at start + settle_ns]. Lets experiments aim external events
+    (e.g. a {!Ukfault}-driven kill) at workload-relative instants. *)
+
+val ready_count : t -> int
+val warming_count : t -> int
+val pool_spares : t -> int
+val ready_ids : t -> int list
+
+val run : t -> Workload.t -> report
+(** Bring up the initial fleet, replay the workload (arrivals start
+    after a settle window covering initial boots), drive the substrate
+    until every request is answered, and report. One-shot per fleet. *)
+
+val start : t -> unit
+(** Bring up the initial fleet without a workload — for externally
+    driven fleets ([`Engine] substrate): requests then arrive via
+    {!submit} (e.g. from an {!Ingress}) and the caller drives the shared
+    engine/scheduler. *)
+
+val submit :
+  ?flow:int -> ?on_reply:(ok:bool -> latency_ns:float -> unit) -> t -> now_ns:float -> unit
+(** Offer one request. [on_reply] fires exactly once, at completion
+    ([ok = true]) or shed ([ok = false]). [flow] keys consistent-hash
+    placement (default: drawn from the fleet's RNG). *)
+
+val kill : t -> now_ns:float -> iid:int -> bool
+(** Crash a ready instance (fault injection): pending requests are
+    re-dispatched, the slot respawns supervisor-style. [false] if [iid]
+    is not currently ready. *)
+
+val report : t -> report
+(** Accumulated stats so far — for externally driven fleets; {!run}
+    returns the same thing. *)
+
+val trace_hash : t -> int
+(** Rolling hash over every fleet event (arrival, dispatch, completion,
+    shed, boot, crash, scale decision) with its timestamp. Equal seeds
+    and configs must give equal hashes; in [`Smp] mode the domain's own
+    {!Uksmp.Smp.trace_hash} is folded in by {!report}. *)

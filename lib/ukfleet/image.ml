@@ -1,0 +1,117 @@
+type app = Httpd | Resp
+
+type t = { name : string; app : app; mem_mb : int }
+
+let httpd = { name = "httpd"; app = Httpd; mem_mb = 8 }
+let resp = { name = "resp"; app = Resp; mem_mb = 10 }
+
+let profile_app t = match t.app with Httpd -> "nginx" | Resp -> "redis"
+
+type calib = {
+  breakdown : Ukplat.Vmm.boot_breakdown;
+  boot_report : Ukboot.Boot.report;
+  service_ns : float;
+}
+
+module A = Uknetstack.Addr
+module S = Uknetstack.Stack
+
+(* The calibration rig: a server and a client machine over a loopback
+   link, one shared timeline. The image's constructors build the server
+   side; the client side exists only to drive the measuring load. *)
+type rig = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  sched : Uksched.Sched.t;
+  server_dev : Uknetdev.Netdev.t;
+  client_dev : Uknetdev.Netdev.t;
+  mutable server_stack : S.t option;
+}
+
+let mk_rig () =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  let sched = Uksched.Sched.create_cooperative ~clock ~engine in
+  let server_dev, client_dev = Uknetdev.Loopback.create_pair ~clock ~engine () in
+  { clock; engine; sched; server_dev; client_dev; server_stack = None }
+
+let stack_conf ip mac =
+  {
+    S.mac = A.Mac.of_int mac;
+    ip = A.Ipv4.of_string ip;
+    netmask = A.Ipv4.of_string "255.255.255.0";
+    gateway = None;
+  }
+
+let inittab_of_rig img rig =
+  let tab = Ukboot.Boot.Inittab.create () in
+  let alloc = ref None in
+  Ukboot.Boot.Inittab.register tab ~level:Ukboot.Boot.Level.alloc ~name:"ukalloc/tlsf"
+    (fun () ->
+      let bytes = Uksim.Units.mib img.mem_mb in
+      alloc := Some (Ukalloc.Tlsf.create ~clock:rig.clock ~base:bytes ~len:bytes));
+  Ukboot.Boot.Inittab.register tab ~level:Ukboot.Boot.Level.bus ~name:"uknetstack"
+    (fun () ->
+      let s =
+        S.create ~clock:rig.clock ~engine:rig.engine ~sched:rig.sched ~dev:rig.server_dev
+          (stack_conf "10.99.0.1" 0xF1EE7)
+      in
+      S.start s;
+      rig.server_stack <- Some s);
+  Ukboot.Boot.Inittab.register tab ~level:Ukboot.Boot.Level.late
+    ~name:(match img.app with Httpd -> "app/httpd" | Resp -> "app/resp")
+    (fun () ->
+      let stack = Option.get rig.server_stack in
+      let alloc = Option.get !alloc in
+      match img.app with
+      | Httpd ->
+          ignore
+            (Ukapps.Httpd.create ~clock:rig.clock ~sched:rig.sched ~stack ~alloc
+               (Ukapps.Httpd.In_memory [ ("/index.html", Ukapps.Httpd.default_page) ]))
+      | Resp ->
+          ignore
+            (Ukapps.Resp_store.create ~clock:rig.clock ~sched:rig.sched ~stack ~alloc ()));
+  tab
+
+(* Closed-loop measurement: one connection, sequential requests, so the
+   elapsed-per-request quotient is the full per-request occupancy of one
+   instance (stack traversal both ways + application work). *)
+let calib_requests = 256
+
+let measure_service img rig =
+  let client =
+    S.create ~clock:rig.clock ~engine:rig.engine ~sched:rig.sched ~dev:rig.client_dev
+      (stack_conf "10.99.0.2" 0xC11E7)
+  in
+  S.start client;
+  let server = (A.Ipv4.of_string "10.99.0.1", match img.app with Httpd -> 80 | Resp -> 6379) in
+  match img.app with
+  | Httpd ->
+      let r =
+        Ukapps.Wrk.run ~clock:rig.clock ~sched:rig.sched ~stack:client ~server ~connections:1
+          ~requests:calib_requests ()
+      in
+      r.Ukapps.Wrk.elapsed_ns /. float_of_int r.Ukapps.Wrk.requests
+  | Resp ->
+      let r =
+        Ukapps.Resp_bench.run ~clock:rig.clock ~sched:rig.sched ~stack:client ~server
+          ~connections:1 ~pipeline:1 ~requests:calib_requests Ukapps.Resp_bench.Set
+      in
+      r.Ukapps.Resp_bench.elapsed_ns /. float_of_int r.Ukapps.Resp_bench.requests
+
+let cache : (string * string, calib) Hashtbl.t = Hashtbl.create 8
+
+let calibrate img ~vmm =
+  let key = (img.name, Ukplat.Vmm.name vmm) in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+      let rig = mk_rig () in
+      let tab = inittab_of_rig img rig in
+      let breakdown, boot_report =
+        Ukplat.Vmm.boot vmm ~clock:rig.clock ~nics:1 ~inittab:tab ()
+      in
+      let service_ns = measure_service img rig in
+      let c = { breakdown; boot_report; service_ns } in
+      Hashtbl.replace cache key c;
+      c

@@ -1,0 +1,39 @@
+(** Fleet images and their one-time calibration.
+
+    An image names an application plus its memory footprint. Calibration
+    runs a {e real} boot of the image's constructor table through
+    {!Ukplat.Vmm.boot} (VMM startup, guest early init, NIC attach, then
+    ukalloc / uknetstack / application constructors charging the virtual
+    clock) and a {e real} closed-loop load over a loopback
+    {!Uknetstack.Stack} pair to measure the per-request service time.
+    Every fleet-model cost therefore descends from the same calibrated
+    substrate the single-instance experiments measure — the fleet pays
+    full boot once, here, and replays it at scale.
+
+    Calibration is deterministic and cached per (image, VMM). *)
+
+type app = Httpd | Resp
+
+type t = {
+  name : string;
+  app : app;
+  mem_mb : int;  (** guest memory footprint — sets the snapshot-clone copy cost *)
+}
+
+val httpd : t
+(** The nginx-like static server, 612 B page, 8 MB guest (Fig 11 scale). *)
+
+val resp : t
+(** The redis-like store, 10 MB guest. *)
+
+type calib = {
+  breakdown : Ukplat.Vmm.boot_breakdown;  (** VMM + guest split of one cold boot *)
+  boot_report : Ukboot.Boot.report;  (** per-constructor phases of that boot *)
+  service_ns : float;  (** measured per-request occupancy on the real stack *)
+}
+
+val calibrate : t -> vmm:Ukplat.Vmm.t -> calib
+
+val profile_app : t -> string
+(** The {!Ukos.Profiles} application key ("nginx" / "redis") used to
+    derive baseline-OS request costs for this image. *)

@@ -1,0 +1,80 @@
+module S = Uknetstack.Stack
+
+type t = {
+  sched : Uksched.Sched.t;
+  stack : S.t;
+  fleet : Fleet.t;
+  listener : S.Tcp_socket.listener;
+  mutable running : bool;
+  mutable requests : int;
+  mutable responses : int;
+}
+
+let requests t = t.requests
+let responses t = t.responses
+let stop t = t.running <- false
+
+(* A flow key from a request line: "REQ <n>" uses n directly (so tests
+   can steer consistent-hash placement); anything else hashes the line. *)
+let flow_of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "REQ"; n ] -> ( match int_of_string_opt n with Some v -> abs v | None -> Hashtbl.hash line)
+  | _ -> Hashtbl.hash line
+
+let respond t flow line =
+  let b = Bytes.of_string line in
+  ignore (S.Tcp_socket.send t.stack flow b);
+  t.responses <- t.responses + 1
+
+let handle_line t flow line =
+  t.requests <- t.requests + 1;
+  Fleet.submit ~flow:(flow_of_line line) t.fleet ~now_ns:(Fleet.now_ns t.fleet)
+    ~on_reply:(fun ~ok ~latency_ns ->
+      if ok then
+        respond t flow (Printf.sprintf "OK %d\n" (int_of_float (latency_ns /. 1e3)))
+      else respond t flow "SHED\n")
+
+(* One reader thread per connection: block on recv, split into lines,
+   submit each. Responses are written from the fleet's completion events
+   (same engine), so they interleave with reads naturally. *)
+let reader t flow =
+  let buf = Buffer.create 64 in
+  let rec drain_lines () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        let line = String.sub s 0 i in
+        Buffer.clear buf;
+        Buffer.add_string buf (String.sub s (i + 1) (String.length s - i - 1));
+        if String.trim line <> "" then handle_line t flow line;
+        drain_lines ()
+    | None -> ()
+  in
+  let rec loop () =
+    match S.Tcp_socket.recv ~block:true t.stack flow ~max:1024 with
+    | Some data when Bytes.length data > 0 ->
+        Buffer.add_bytes buf data;
+        drain_lines ();
+        loop ()
+    | Some _ -> loop ()
+    | None -> ()
+  in
+  loop ()
+
+let serve ~sched ~stack ~port ~fleet () =
+  let listener = S.Tcp_socket.listen stack ~port () in
+  let t =
+    { sched; stack; fleet; listener; running = true; requests = 0; responses = 0 }
+  in
+  let rec acceptor () =
+    if t.running then
+      match S.Tcp_socket.accept ~block:true t.listener with
+      | Some flow ->
+          ignore
+            (Uksched.Sched.spawn t.sched ~name:"ingress/conn" ~daemon:true (fun () ->
+                 reader t flow));
+          acceptor ()
+      | None -> ()
+  in
+  ignore (Uksched.Sched.spawn sched ~name:"ingress/accept" ~daemon:true acceptor);
+  t

@@ -1,0 +1,41 @@
+(** A real-TCP front door for an externally driven fleet.
+
+    Where {!Fleet.run} replays workloads analytically, an ingress puts an
+    actual {!Uknetstack} listener in front of a fleet on an [`Engine]
+    substrate: clients connect over TCP, send one request line per
+    request, and get one response line back when the fleet answers (or
+    sheds). This is the wiring that demonstrates the fleet is a drop-in
+    L4 tier over the real stack — the request path crosses genuine
+    Ethernet/IP/TCP processing on both sides of the loopback before it
+    reaches the dispatcher.
+
+    Protocol, line-oriented like RESP's inline commands:
+    - request: ["REQ <flow>\n"] — [<flow>] keys consistent-hash routing;
+      anything unparsable hashes the whole line;
+    - response: ["OK <latency_us>\n"] on completion, ["SHED\n"] when
+      admission control rejects.
+
+    The acceptor and per-connection readers are daemon threads on the
+    caller's scheduler; the caller drives the shared engine/scheduler as
+    usual ({!Uksched.Sched.run}). *)
+
+type t
+
+val serve :
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  port:int ->
+  fleet:Fleet.t ->
+  unit ->
+  t
+(** Listen on [port] and submit every request line to [fleet] (which must
+    be started and share the stack's engine). *)
+
+val requests : t -> int
+(** Request lines accepted so far. *)
+
+val responses : t -> int
+(** Response lines written back (completions + sheds). *)
+
+val stop : t -> unit
+(** Stop accepting; existing connections drain on EOF. *)

@@ -1,0 +1,35 @@
+type t = {
+  name : string;
+  duration_ns : float;
+  rate_rps : float -> float;
+}
+
+let steady ~rps ~duration_ns = { name = "steady"; duration_ns; rate_rps = (fun _ -> rps) }
+
+let ramp ~from_rps ~to_rps ~duration_ns =
+  {
+    name = "ramp";
+    duration_ns;
+    rate_rps =
+      (fun t ->
+        let frac = if duration_ns <= 0.0 then 1.0 else t /. duration_ns in
+        from_rps +. ((to_rps -. from_rps) *. Float.max 0.0 (Float.min 1.0 frac)));
+  }
+
+let diurnal ~base_rps ~amplitude ~period_ns ~duration_ns =
+  {
+    name = "diurnal";
+    duration_ns;
+    rate_rps =
+      (fun t ->
+        let phase = 2.0 *. Float.pi *. t /. period_ns in
+        Float.max 0.0 (base_rps *. (1.0 +. (amplitude *. sin phase))));
+  }
+
+let spike ~base_rps ~factor ~at_ns ~spike_ns ~duration_ns =
+  {
+    name = "spike";
+    duration_ns;
+    rate_rps =
+      (fun t -> if t >= at_ns && t < at_ns +. spike_ns then base_rps *. factor else base_rps);
+  }

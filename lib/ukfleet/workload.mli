@@ -1,0 +1,29 @@
+(** Deterministic open-arrival workload shapes for fleet experiments.
+
+    A workload is a request-rate function over a bounded horizon; the
+    fleet replays it as an inhomogeneous Poisson process drawn from its
+    own seeded RNG, so a fixed seed gives a byte-identical arrival
+    stream. Time 0 is the start of the measured window (the fleet adds
+    its own settle offset for initial boots). *)
+
+type t = {
+  name : string;
+  duration_ns : float;
+  rate_rps : float -> float;
+      (** requests per second offered at offset [t] in [0, duration_ns] *)
+}
+
+val steady : rps:float -> duration_ns:float -> t
+
+val ramp : from_rps:float -> to_rps:float -> duration_ns:float -> t
+(** Linear ramp across the whole horizon. *)
+
+val diurnal : base_rps:float -> amplitude:float -> period_ns:float -> duration_ns:float -> t
+(** [base * (1 + amplitude * sin(2pi t / period))], clamped at 0 — the
+    compressed day/night cycle. *)
+
+val spike :
+  base_rps:float -> factor:float -> at_ns:float -> spike_ns:float -> duration_ns:float -> t
+(** Steady [base_rps], multiplied by [factor] inside
+    [[at_ns, at_ns + spike_ns)] — the flash-crowd shape the paper's
+    millisecond boots are motivated by. *)

@@ -38,6 +38,14 @@ let nic_attach_ns = function
   | Xen -> us 320.0 (* netfront/netback handshake through xenstore *)
   | Linuxu -> us 30.0 (* tap fd inherit *)
 
+let snapshot_restore_ns = function
+  | Qemu -> ms 8.0 (* full machine model to rebuild before mem load *)
+  | Qemu_microvm -> ms 4.0
+  | Firecracker -> ms 1.2 (* the microVM snapshot-restore fast path *)
+  | Solo5 -> ms 1.0
+  | Xen -> ms 30.0 (* xl restore still walks the toolstack *)
+  | Linuxu -> ms 0.3 (* fork of a checkpointed process *)
+
 let ninep_attach_ns = function
   | Qemu | Qemu_microvm | Firecracker -> 3.0e5 (* 0.3 ms, paper §5.2 *)
   | Xen -> 2.7e6 (* 2.7 ms *)

@@ -21,6 +21,13 @@ val guest_early_init_ns : t -> float
 (** Platform bring-up inside the guest before constructors run (console,
     interrupt controller, clock calibration). *)
 
+val snapshot_restore_ns : t -> float
+(** Time to resurrect a guest from a snapshot, {e excluding} the guest
+    memory copy (which scales with footprint — the restoring layer charges
+    it separately): VMM process setup plus device-state restore. The
+    microVM monitors (Firecracker, Solo5) restore in ~1 ms; QEMU rebuilds
+    its machine model first; Xen walks the xl toolstack. *)
+
 val nic_attach_ns : t -> float
 (** Extra guest boot time for one virtio NIC (feature negotiation, queue
     setup) — the "one NIC" bars of Fig 10. *)

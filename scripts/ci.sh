@@ -13,6 +13,32 @@ dune runtest
 
 echo "== chaos smoke (fixed seed, fast workloads) =="
 UKRAFT_FAST=1 dune exec bench/main.exe -- --only chaos
+grep -q '"fleet_zero_lost": true' BENCH_chaos.json || {
+  echo "FAIL: fleet chaos drill lost responses (kill 20% mid-spike must lose none)"
+  exit 1
+}
+
+echo "== fleet smoke (fixed seed, fast workloads) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only fleet
+clone_p99=$(awk -F': ' '/"spike_clone_p99_us"/ { sub(/,$/, "", $2); print $2 }' BENCH_fleet.json)
+cold_p99=$(awk -F': ' '/"spike_cold_p99_us"/ { sub(/,$/, "", $2); print $2 }' BENCH_fleet.json)
+echo "spike p99: snapshot-clone ${clone_p99}us vs cold-boot ${cold_p99}us (gate: clone < cold)"
+awk "BEGIN { exit !(${clone_p99} < ${cold_p99}) }" || {
+  echo "FAIL: snapshot-clone scale-out p99 not better than cold boot"
+  exit 1
+}
+grep -q '"spike_slo_ratio_ge5": true' BENCH_fleet.json || {
+  echo "FAIL: unikernel fleet SLO-violation window not >= 5x shorter than Linux-VM baseline"
+  exit 1
+}
+grep -q '"spike_cold_beats_linux": true' BENCH_fleet.json || {
+  echo "FAIL: even cold-boot unikernels should beat the Linux-VM baseline"
+  exit 1
+}
+grep -q '"fleet_replay_ok": true' BENCH_fleet.json || {
+  echo "FAIL: same-seed fleet replay was not byte-identical"
+  exit 1
+}
 
 echo "== smp smoke (fixed seed, fast workloads) =="
 UKRAFT_FAST=1 dune exec bench/main.exe -- --only smp

@@ -1,0 +1,134 @@
+(* Tests for ukboot: phase accounting of the boot report and failure
+   attribution. Basic inittab/report mechanics are covered alongside the
+   platform tests in t_ukmmu.ml; this suite pins down the report's
+   arithmetic invariants and the Constructor_failed path. *)
+
+module Boot = Ukboot.Boot
+
+let advance_us clock us =
+  Uksim.Clock.advance clock (Uksim.Clock.cycles_of_ns (1_000.0 *. us))
+
+let boot_tab clock spec =
+  let tab = Boot.Inittab.create () in
+  List.iter
+    (fun (level, name, us) ->
+      Boot.Inittab.register tab ~level ~name (fun () -> advance_us clock us))
+    spec;
+  tab
+
+let spec =
+  [
+    (Boot.Level.early, "console", 3.0);
+    (Boot.Level.paging, "ukmmu", 10.0);
+    (Boot.Level.alloc, "ukalloc/tlsf", 7.0);
+    (Boot.Level.sched, "uksched", 5.0);
+    (Boot.Level.bus, "uknetdev", 20.0);
+    (Boot.Level.fs, "ukvfs", 4.0);
+    (Boot.Level.late, "app", 11.0);
+  ]
+
+let run_spec () =
+  let clock = Uksim.Clock.create () in
+  Boot.run ~clock (boot_tab clock spec)
+
+(* --- ordering ------------------------------------------------------------- *)
+
+let test_phase_levels_ascend () =
+  let r = run_spec () in
+  let levels = List.map (fun p -> p.Boot.level) r.Boot.phases in
+  Alcotest.(check (list int)) "levels ascend in execution order" (List.sort compare levels)
+    levels;
+  Alcotest.(check (list string))
+    "phase names in registration order"
+    (List.map (fun (_, n, _) -> n) spec)
+    (List.map (fun p -> p.Boot.phase) r.Boot.phases)
+
+let test_phase_starts_monotone () =
+  let r = run_spec () in
+  let rec check prev_end = function
+    | [] -> ()
+    | p :: rest ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s starts at the previous phase's end" p.Boot.phase)
+          true
+          (Float.abs (p.Boot.start_ns -. prev_end) < 0.5);
+        check (p.Boot.start_ns +. p.Boot.duration_ns) rest
+  in
+  check 0.0 r.Boot.phases
+
+let test_phase_sum_is_guest_boot () =
+  let r = run_spec () in
+  let sum = List.fold_left (fun a p -> a +. p.Boot.duration_ns) 0.0 r.Boot.phases in
+  Alcotest.(check (float 0.5)) "sum of phase durations = guest_boot_ns" r.Boot.guest_boot_ns
+    sum;
+  let expect_us = List.fold_left (fun a (_, _, us) -> a +. us) 0.0 spec in
+  Alcotest.(check (float 0.5)) "and equals the charged total" (expect_us *. 1_000.0)
+    r.Boot.guest_boot_ns
+
+(* --- failure attribution -------------------------------------------------- *)
+
+let test_constructor_failure_names_culprit () =
+  let clock = Uksim.Clock.create () in
+  let tab = Boot.Inittab.create () in
+  let ran_late = ref false in
+  Boot.Inittab.register tab ~level:Boot.Level.alloc ~name:"ukalloc/tlsf" (fun () ->
+      advance_us clock 5.0);
+  Boot.Inittab.register tab ~level:Boot.Level.bus ~name:"virtio/net" (fun () ->
+      failwith "no device");
+  Boot.Inittab.register tab ~level:Boot.Level.late ~name:"app" (fun () ->
+      ran_late := true);
+  (match Boot.run ~clock tab with
+  | _ -> Alcotest.fail "boot should have raised"
+  | exception Boot.Constructor_failed { phase; level; cause } ->
+      Alcotest.(check string) "culprit phase" "virtio/net" phase;
+      Alcotest.(check int) "culprit level" Boot.Level.bus level;
+      Alcotest.(check string) "original cause preserved" "no device"
+        (match cause with Failure m -> m | e -> Printexc.to_string e));
+  Alcotest.(check bool) "later constructors never ran" false !ran_late
+
+(* --- the ukboot.boot trace source ----------------------------------------- *)
+
+let find_sample samples name =
+  List.assoc_opt name (List.map (fun (k, v) -> (k, v)) samples)
+
+let test_phase_timings_published () =
+  let before =
+    match Uktrace.Registry.find (Uktrace.Registry.snapshot ()) "ukboot.boot" with
+    | Some s -> s
+    | None -> []
+  in
+  let boots_before =
+    match find_sample before "boots" with Some (Uktrace.Metric.Count n) -> n | _ -> 0
+  in
+  let r = run_spec () in
+  let samples =
+    match Uktrace.Registry.find (Uktrace.Registry.snapshot ()) "ukboot.boot" with
+    | Some s -> s
+    | None -> Alcotest.fail "ukboot.boot source not registered"
+  in
+  (match find_sample samples "boots" with
+  | Some (Uktrace.Metric.Count n) -> Alcotest.(check int) "boots counted" (boots_before + 1) n
+  | _ -> Alcotest.fail "no boots counter");
+  (match find_sample samples "guest_boot_ns" with
+  | Some (Uktrace.Metric.Level v) ->
+      Alcotest.(check (float 0.5)) "guest_boot_ns gauge" r.Boot.guest_boot_ns v
+  | _ -> Alcotest.fail "no guest_boot_ns gauge");
+  List.iter
+    (fun p ->
+      let key = Printf.sprintf "phase.%d.%s_ns" p.Boot.level p.Boot.phase in
+      match find_sample samples key with
+      | Some (Uktrace.Metric.Level v) ->
+          Alcotest.(check (float 0.5)) (key ^ " matches report") p.Boot.duration_ns v
+      | _ -> Alcotest.fail ("missing phase sample " ^ key))
+    r.Boot.phases
+
+let suite =
+  [
+    Alcotest.test_case "phase levels ascend" `Quick test_phase_levels_ascend;
+    Alcotest.test_case "phase starts are contiguous" `Quick test_phase_starts_monotone;
+    Alcotest.test_case "phase sum = guest boot time" `Quick test_phase_sum_is_guest_boot;
+    Alcotest.test_case "ctor failure names culprit" `Quick
+      test_constructor_failure_names_culprit;
+    Alcotest.test_case "phase timings published to uktrace" `Quick
+      test_phase_timings_published;
+  ]

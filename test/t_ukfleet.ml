@@ -1,0 +1,320 @@
+(* Tests for ukfleet: workload shapes, front-door policies, autoscaler
+   hysteresis, seeded VM killing, calibrated costs, fleet lifecycle
+   (cold / warm-pool / snapshot-clone), crash recovery with zero lost
+   responses, SMP substrate determinism with a ukcheck observer
+   attached, and the real-TCP ingress path. *)
+
+module Fleet = Ukfleet.Fleet
+module Workload = Ukfleet.Workload
+module Frontdoor = Ukfleet.Frontdoor
+module Autoscaler = Ukfleet.Autoscaler
+module Image = Ukfleet.Image
+module Fv = Ukfault.Faultvm
+
+let ms = Uksim.Units.msec
+let image = Image.httpd
+
+(* --- workload shapes ------------------------------------------------------ *)
+
+let test_workload_shapes () =
+  let r = Workload.ramp ~from_rps:100.0 ~to_rps:300.0 ~duration_ns:(ms 10.0) in
+  Alcotest.(check (float 0.5)) "ramp start" 100.0 (r.Workload.rate_rps 0.0);
+  Alcotest.(check (float 0.5)) "ramp midpoint" 200.0 (r.Workload.rate_rps (ms 5.0));
+  Alcotest.(check (float 0.5)) "ramp end" 300.0 (r.Workload.rate_rps (ms 10.0));
+  let s =
+    Workload.spike ~base_rps:50.0 ~factor:10.0 ~at_ns:(ms 2.0) ~spike_ns:(ms 1.0)
+      ~duration_ns:(ms 10.0)
+  in
+  Alcotest.(check (float 0.5)) "before spike" 50.0 (s.Workload.rate_rps (ms 1.9));
+  Alcotest.(check (float 0.5)) "inside spike" 500.0 (s.Workload.rate_rps (ms 2.5));
+  Alcotest.(check (float 0.5)) "after spike" 50.0 (s.Workload.rate_rps (ms 3.1));
+  let d = Workload.diurnal ~base_rps:100.0 ~amplitude:2.0 ~period_ns:(ms 4.0) ~duration_ns:(ms 8.0) in
+  Alcotest.(check bool) "diurnal clamped at zero" true (d.Workload.rate_rps (ms 3.0) >= 0.0)
+
+(* --- front door ----------------------------------------------------------- *)
+
+let no_load _ = 0.0
+
+let test_round_robin_rotates () =
+  let fd = Frontdoor.create Frontdoor.Round_robin in
+  List.iter (Frontdoor.add fd) [ 1; 2; 3 ];
+  let picks = List.init 6 (fun _ -> Option.get (Frontdoor.pick fd ~flow:0 ~load:no_load)) in
+  Alcotest.(check (list int)) "rotates over members" [ 1; 2; 3; 1; 2; 3 ] picks
+
+let test_least_loaded_argmin () =
+  let fd = Frontdoor.create Frontdoor.Least_loaded in
+  List.iter (Frontdoor.add fd) [ 1; 2; 3 ];
+  let load = function 1 -> 5.0 | 2 -> 1.0 | _ -> 9.0 in
+  Alcotest.(check (option int)) "picks the least-loaded" (Some 2)
+    (Frontdoor.pick fd ~flow:0 ~load);
+  Alcotest.(check (option int)) "ties break to lowest id" (Some 1)
+    (Frontdoor.pick fd ~flow:0 ~load:no_load)
+
+let test_consistent_hash_affinity () =
+  let fd = Frontdoor.create Frontdoor.Consistent_hash in
+  List.iter (Frontdoor.add fd) [ 1; 2; 3; 4 ];
+  let flows = List.init 200 (fun i -> i * 7919) in
+  let before = List.map (fun f -> Option.get (Frontdoor.pick fd ~flow:f ~load:no_load)) flows in
+  let again = List.map (fun f -> Option.get (Frontdoor.pick fd ~flow:f ~load:no_load)) flows in
+  Alcotest.(check (list int)) "same flow, same member" before again;
+  Frontdoor.remove fd 2;
+  let after = List.map (fun f -> Option.get (Frontdoor.pick fd ~flow:f ~load:no_load)) flows in
+  let moved_without_cause =
+    List.exists2 (fun b a -> b <> 2 && b <> a) before after
+  in
+  Alcotest.(check bool) "only the failed member's arc remaps" false moved_without_cause;
+  Alcotest.(check bool) "failed member no longer picked" false (List.mem 2 after)
+
+(* --- autoscaler ----------------------------------------------------------- *)
+
+let test_autoscaler_demand_and_hysteresis () =
+  let p = { Autoscaler.default with Autoscaler.scale_in_hold = 2 } in
+  let a = Autoscaler.create p in
+  let decide ~now ~ready ~outstanding =
+    Autoscaler.decide a ~now_ns:now ~ready ~warming:0 ~outstanding ~p99_ns:0.0
+      ~slo_ns:(ms 1.0)
+  in
+  (match decide ~now:0.0 ~ready:1 ~outstanding:40 with
+  | Autoscaler.Scale_out n -> Alcotest.(check int) "demand-driven scale-out" 9 n
+  | _ -> Alcotest.fail "expected scale-out");
+  (match decide ~now:(ms 0.5) ~ready:1 ~outstanding:80 with
+  | Autoscaler.Hold -> ()
+  | _ -> Alcotest.fail "cooldown should hold");
+  (* Low demand must persist for scale_in_hold ticks AND the scale-in
+     cooldown before one instance is retired. *)
+  (match decide ~now:(ms 10.0) ~ready:8 ~outstanding:0 with
+  | Autoscaler.Hold -> ()
+  | _ -> Alcotest.fail "first low tick holds");
+  (match decide ~now:(ms 60.0) ~ready:8 ~outstanding:0 with
+  | Autoscaler.Scale_in n -> Alcotest.(check int) "retires one at a time" 1 n
+  | _ -> Alcotest.fail "expected scale-in after hold + cooldown")
+
+(* --- the VM killer -------------------------------------------------------- *)
+
+let test_faultvm_victims () =
+  let ids = List.init 10 (fun i -> i * 10) in
+  let draw () = Fv.victims ~rng:(Uksim.Rng.create 7) ~fraction:0.2 ~min_kills:1 ids in
+  let a = draw () and b = draw () in
+  Alcotest.(check (list int)) "seeded draw replays" a b;
+  Alcotest.(check int) "20% of 10 targets" 2 (List.length a);
+  Alcotest.(check bool) "victims are targets" true (List.for_all (fun v -> List.mem v ids) a);
+  Alcotest.(check int) "no duplicates" (List.length a)
+    (List.length (List.sort_uniq compare a));
+  Alcotest.(check int) "min_kills floor" 3
+    (List.length (Fv.victims ~rng:(Uksim.Rng.create 7) ~fraction:0.0 ~min_kills:3 ids))
+
+(* --- calibration ---------------------------------------------------------- *)
+
+let test_calibration () =
+  let c = Image.calibrate image ~vmm:Ukplat.Vmm.Firecracker in
+  Alcotest.(check bool) "service time positive" true (c.Image.service_ns > 0.0);
+  Alcotest.(check bool) "boot has constructor phases" true
+    (List.length c.Image.boot_report.Ukboot.Boot.phases >= 3);
+  Alcotest.(check bool) "guest boot part of total" true
+    (c.Image.breakdown.Ukplat.Vmm.total_ns >= c.Image.breakdown.Ukplat.Vmm.guest_ns);
+  let again = Image.calibrate image ~vmm:Ukplat.Vmm.Firecracker in
+  Alcotest.(check bool) "calibration is cached" true (c == again)
+
+let test_costs_ordering () =
+  let f = Fleet.create ~image () in
+  let c = Fleet.costs f in
+  Alcotest.(check bool) "clone cheaper than cold boot" true
+    (c.Fleet.clone_ns < c.Fleet.cold_boot_ns);
+  Alcotest.(check bool) "warm activation cheapest" true
+    (c.Fleet.warm_activation_ns < c.Fleet.clone_ns)
+
+(* --- fleet lifecycle ------------------------------------------------------ *)
+
+let steady ?(dur = 20.0) mult =
+  let cap = 1e9 /. (Fleet.costs (Fleet.create ~image ())).Fleet.service_ns in
+  Workload.steady ~rps:(mult *. cap) ~duration_ns:(ms dur)
+
+let test_steady_run_completes () =
+  let f = Fleet.create ~image ~initial:2 () in
+  let r = Fleet.run f (steady 0.8) in
+  Alcotest.(check bool) "requests flowed" true (r.Fleet.offered > 100);
+  Alcotest.(check int) "all completed" r.Fleet.offered r.Fleet.completed;
+  Alcotest.(check int) "none lost" 0 r.Fleet.lost;
+  Alcotest.(check int) "fixed fleet stays at 2" 2 r.Fleet.peak_instances
+
+let test_replay_determinism () =
+  let go seed = Fleet.run (Fleet.create ~seed ~boot_mode:Fleet.Snapshot
+      ~autoscale:Autoscaler.default ~image ()) (steady 2.5) in
+  let a = go 42 and b = go 42 and c = go 43 in
+  Alcotest.(check bool) "same seed, identical report" true (a = b);
+  Alcotest.(check bool) "different seed, different trace" true
+    (a.Fleet.trace_hash <> c.Fleet.trace_hash)
+
+let test_autoscaler_scales_fleet () =
+  let f = Fleet.create ~autoscale:Autoscaler.default ~image () in
+  let r = Fleet.run f (steady 4.0) in
+  Alcotest.(check bool) "scaled beyond initial" true (r.Fleet.peak_instances > 1);
+  Alcotest.(check int) "none lost while scaling" 0 r.Fleet.lost
+
+let test_warm_pool_hits () =
+  let f = Fleet.create ~boot_mode:(Fleet.Warm_pool 2) ~autoscale:Autoscaler.default ~image () in
+  let r = Fleet.run f (steady 3.0) in
+  Alcotest.(check bool) "spares were activated" true (r.Fleet.warm_hits > 0);
+  Alcotest.(check int) "none lost" 0 r.Fleet.lost
+
+let test_snapshot_clones () =
+  let f = Fleet.create ~boot_mode:Fleet.Snapshot ~autoscale:Autoscaler.default ~image () in
+  let r = Fleet.run f (steady 3.0) in
+  Alcotest.(check int) "exactly one cold template boot" 1 r.Fleet.cold_boots;
+  Alcotest.(check bool) "scale-out went through clones" true (r.Fleet.clones > 0);
+  Alcotest.(check int) "none lost" 0 r.Fleet.lost
+
+let test_shedding_is_explicit () =
+  (* One instance, no autoscaler, tight shed bound, heavy overload: the
+     overflow must be shed (answered), never silently dropped. *)
+  let f = Fleet.create ~shed_after_ns:(ms 0.5) ~image () in
+  let r = Fleet.run f (steady 6.0) in
+  Alcotest.(check bool) "overload sheds" true (r.Fleet.shed > 0);
+  Alcotest.(check int) "offered = completed + shed" r.Fleet.offered
+    (r.Fleet.completed + r.Fleet.shed);
+  Alcotest.(check int) "none lost" 0 r.Fleet.lost
+
+(* --- crash recovery ------------------------------------------------------- *)
+
+let test_kill_respawns_zero_lost () =
+  let f = Fleet.create ~boot_mode:Fleet.Snapshot ~autoscale:Autoscaler.default ~initial:3
+      ~image () in
+  let fv =
+    Fv.arm ~clock:(Fleet.control_clock f) ~engine:(Fleet.control_engine f)
+      ~rng:(Uksim.Rng.create 9)
+      ~plan:(Fv.plan ~at_ns:(Fleet.settle_ns f +. ms 8.0) ~kill_fraction:0.4 ())
+      ~targets:(fun () -> Fleet.ready_ids f)
+      ~kill:(fun ~now_ns iid -> Fleet.kill f ~now_ns ~iid)
+  in
+  let r = Fleet.run f (steady 2.0) in
+  let st = Fv.stats fv in
+  Alcotest.(check bool) "instances were killed" true (st.Fv.killed >= 1);
+  Alcotest.(check int) "every kill respawned" st.Fv.killed r.Fleet.restarts;
+  Alcotest.(check int) "crashes recorded" st.Fv.killed r.Fleet.crashes;
+  Alcotest.(check int) "zero lost responses" 0 r.Fleet.lost;
+  Alcotest.(check int) "offered all answered" r.Fleet.offered
+    (r.Fleet.completed + r.Fleet.shed)
+
+let test_kill_rejects_unknown () =
+  let f = Fleet.create ~image () in
+  Alcotest.(check bool) "unknown instance" false (Fleet.kill f ~now_ns:0.0 ~iid:99)
+
+(* --- SMP substrate + ukcheck observer ------------------------------------- *)
+
+let smp_run ~attach seed =
+  let smp = Uksmp.Smp.create ~cores:2 () in
+  let obs = if attach then Some (Ukcheck.Lockset.attach smp) else None in
+  let f = Fleet.create ~seed ~substrate:(`Smp smp) ~boot_mode:Fleet.Snapshot
+      ~autoscale:Autoscaler.default ~image () in
+  let r = Fleet.run f (steady ~dur:10.0 2.5) in
+  Option.iter Ukcheck.Lockset.detach obs;
+  r
+
+let test_smp_substrate_deterministic () =
+  let a = smp_run ~attach:false 5 and b = smp_run ~attach:false 5 in
+  Alcotest.(check bool) "same seed, identical report over SMP" true (a = b);
+  Alcotest.(check int) "none lost over SMP" 0 a.Fleet.lost
+
+let test_ukcheck_attach_non_perturbing () =
+  let plain = smp_run ~attach:false 6 and observed = smp_run ~attach:true 6 in
+  Alcotest.(check bool) "lockset observer does not perturb the fleet" true
+    (plain = observed)
+
+(* --- gauges --------------------------------------------------------------- *)
+
+let test_gauges_published () =
+  let f = Fleet.create ~autoscale:Autoscaler.default ~image () in
+  ignore (Fleet.run f (steady 2.0));
+  let snap = Uktrace.Registry.snapshot () in
+  match Uktrace.Registry.find snap "ukfleet.metrics" with
+  | None -> Alcotest.fail "ukfleet.metrics source missing"
+  | Some samples ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool) (key ^ " sampled") true (List.mem_assoc key samples))
+        [ "instances_up"; "instances_warming"; "lb_queue_depth"; "queue_depth"; "shed" ]
+
+(* --- real-TCP ingress ----------------------------------------------------- *)
+
+let test_ingress_over_tcp () =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  let sched = Uksched.Sched.create_cooperative ~clock ~engine in
+  let sdev, cdev = Uknetdev.Loopback.create_pair ~clock ~engine () in
+  let module S = Uknetstack.Stack in
+  let module A = Uknetstack.Addr in
+  let mk dev ip mac =
+    let s =
+      S.create ~clock ~engine ~sched ~dev
+        { S.mac = A.Mac.of_int mac; ip = A.Ipv4.of_string ip;
+          netmask = A.Ipv4.of_string "255.255.255.0"; gateway = None }
+    in
+    S.start s;
+    s
+  in
+  let server = mk sdev "10.0.7.1" 0xA in
+  let client = mk cdev "10.0.7.2" 0xB in
+  let fleet = Fleet.create ~substrate:(`Engine (clock, engine)) ~image () in
+  Fleet.start fleet;
+  let ingress = Ukfleet.Ingress.serve ~sched ~stack:server ~port:7070 ~fleet () in
+  let n = 20 in
+  let got = ref [] in
+  ignore
+    (Uksched.Sched.spawn sched ~name:"client" (fun () ->
+         let flow = S.Tcp_socket.connect client ~dst:(A.Ipv4.of_string "10.0.7.1", 7070) () in
+         for i = 1 to n do
+           let line = Printf.sprintf "REQ %d\n" i in
+           ignore (S.Tcp_socket.send ~block:true client flow (Bytes.of_string line))
+         done;
+         let buf = Buffer.create 256 in
+         let lines () =
+           List.filter (fun l -> String.trim l <> "")
+             (String.split_on_char '\n' (Buffer.contents buf))
+         in
+         let rec read_until () =
+           if List.length (lines ()) < n then
+             match S.Tcp_socket.recv ~block:true client flow ~max:2048 with
+             | Some data when Bytes.length data > 0 ->
+                 Buffer.add_bytes buf data;
+                 read_until ()
+             | Some _ -> read_until ()
+             | None -> ()
+         in
+         read_until ();
+         got := lines ();
+         S.Tcp_socket.close client flow));
+  Uksched.Sched.run sched;
+  Alcotest.(check int) "every request line answered" n (List.length !got);
+  Alcotest.(check bool) "responses are OK lines" true
+    (List.for_all (fun l -> String.length l >= 2 && String.sub l 0 2 = "OK") !got);
+  Alcotest.(check int) "ingress counted requests" n (Ukfleet.Ingress.requests ingress);
+  Alcotest.(check int) "ingress counted responses" n (Ukfleet.Ingress.responses ingress);
+  let r = Fleet.report fleet in
+  Alcotest.(check int) "fleet completed them" n r.Fleet.completed;
+  Ukfleet.Ingress.stop ingress
+
+let suite =
+  [
+    Alcotest.test_case "workload shapes" `Quick test_workload_shapes;
+    Alcotest.test_case "frontdoor: round robin" `Quick test_round_robin_rotates;
+    Alcotest.test_case "frontdoor: least loaded" `Quick test_least_loaded_argmin;
+    Alcotest.test_case "frontdoor: consistent hash" `Quick test_consistent_hash_affinity;
+    Alcotest.test_case "autoscaler: demand + hysteresis" `Quick
+      test_autoscaler_demand_and_hysteresis;
+    Alcotest.test_case "faultvm: seeded victims" `Quick test_faultvm_victims;
+    Alcotest.test_case "image calibration" `Quick test_calibration;
+    Alcotest.test_case "cost ordering" `Quick test_costs_ordering;
+    Alcotest.test_case "steady run completes" `Quick test_steady_run_completes;
+    Alcotest.test_case "seeded replay determinism" `Quick test_replay_determinism;
+    Alcotest.test_case "autoscaler scales the fleet" `Quick test_autoscaler_scales_fleet;
+    Alcotest.test_case "warm pool activates spares" `Quick test_warm_pool_hits;
+    Alcotest.test_case "snapshot mode clones" `Quick test_snapshot_clones;
+    Alcotest.test_case "overload sheds explicitly" `Quick test_shedding_is_explicit;
+    Alcotest.test_case "kill -> respawn, zero lost" `Quick test_kill_respawns_zero_lost;
+    Alcotest.test_case "kill rejects unknown id" `Quick test_kill_rejects_unknown;
+    Alcotest.test_case "SMP substrate deterministic" `Quick test_smp_substrate_deterministic;
+    Alcotest.test_case "ukcheck attach non-perturbing" `Quick
+      test_ukcheck_attach_non_perturbing;
+    Alcotest.test_case "gauges published" `Quick test_gauges_published;
+    Alcotest.test_case "ingress over real TCP" `Quick test_ingress_over_tcp;
+  ]

@@ -13,11 +13,13 @@ let () =
       ("ukalloc", T_ukalloc.suite);
       ("ukapps", T_ukapps.suite);
       ("ukblock", T_ukblock.suite);
+      ("ukboot", T_ukboot.suite);
       ("ukbuild", T_ukbuild.suite);
       ("ukcheck", T_ukcheck.suite);
       ("ukconf", T_ukconf.suite);
       ("ukdebug", T_ukdebug.suite);
       ("ukfault", T_ukfault.suite);
+      ("ukfleet", T_ukfleet.suite);
       ("ukgraph", T_ukgraph.suite);
       ("uklibparam", T_uklibparam.suite);
       ("uklock", T_uklock.suite);
