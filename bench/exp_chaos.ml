@@ -147,7 +147,7 @@ let run_supervision () =
   let wd = Ukos.Watchdog.create ~clock ~engine ~timeout_ns:10.0e6 ~name:"worker-wd" () in
   let policy =
     { Uksched.Supervisor.max_restarts = 1000; backoff_ns = 0.2e6; backoff_factor = 2.0;
-      max_backoff_ns = 2.0e6 }
+      max_backoff_ns = 2.0e6; jitter = 0.0 }
   in
   let sup =
     Uksched.Supervisor.supervise sched ~engine ~policy ~name:"worker"

@@ -23,4 +23,5 @@ let () =
   Exp_chaos.register ();
   Exp_smp.register ();
   Exp_fleet.register ();
+  Exp_cluster.register ();
   Bench.main ~micro:Micro.run ()

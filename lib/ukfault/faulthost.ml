@@ -1,0 +1,81 @@
+type event =
+  | Crash of int
+  | Recover of int
+  | Freeze of int * float
+  | Flap of int * int * float * float
+  | Block of int * int
+  | Unblock of int * int
+  | Partition of int list * int list
+  | Partition_asym of int list * int list
+  | Heal of int list * int list
+
+type ops = {
+  crash : now_ns:float -> int -> bool;
+  recover : now_ns:float -> int -> bool;
+  freeze : now_ns:float -> int -> dur_ns:float -> bool;
+  block : now_ns:float -> src:int -> dst:int -> bool;
+  unblock : now_ns:float -> src:int -> dst:int -> bool;
+}
+
+type stats = { applied : int; missed : int }
+
+type t = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  ops : ops;
+  mutable st : stats;
+}
+
+let stats t = t.st
+
+let count t ok =
+  if ok then t.st <- { t.st with applied = t.st.applied + 1 }
+  else t.st <- { t.st with missed = t.st.missed + 1 }
+
+let at_abs t ns f =
+  Uksim.Engine.at t.engine
+    (max (Uksim.Clock.cycles_of_ns ns) (Uksim.Clock.cycles t.clock))
+    f
+
+(* Cross products expand a partition into its directed link cuts, so the
+   owner only ever implements one primitive: block src->dst. *)
+let pairs a b = List.concat_map (fun x -> List.map (fun y -> (x, y)) b) a
+
+let rec apply t ~now_ns ev =
+  match ev with
+  | Crash h -> count t (t.ops.crash ~now_ns h)
+  | Recover h -> count t (t.ops.recover ~now_ns h)
+  | Freeze (h, dur) -> count t (t.ops.freeze ~now_ns h ~dur_ns:dur)
+  | Flap (h, cycles, down_ns, up_ns) ->
+      if cycles > 0 then begin
+        count t (t.ops.crash ~now_ns h);
+        at_abs t (now_ns +. down_ns) (fun () ->
+            let now_ns = now_ns +. down_ns in
+            count t (t.ops.recover ~now_ns h);
+            if cycles > 1 then
+              at_abs t (now_ns +. up_ns) (fun () ->
+                  apply t ~now_ns:(now_ns +. up_ns)
+                    (Flap (h, cycles - 1, down_ns, up_ns))))
+      end
+  | Block (src, dst) -> count t (t.ops.block ~now_ns ~src ~dst)
+  | Unblock (src, dst) -> count t (t.ops.unblock ~now_ns ~src ~dst)
+  | Partition (a, b) ->
+      List.iter (fun (src, dst) -> count t (t.ops.block ~now_ns ~src ~dst))
+        (pairs a b @ pairs b a)
+  | Partition_asym (a, b) ->
+      List.iter (fun (src, dst) -> count t (t.ops.block ~now_ns ~src ~dst)) (pairs a b)
+  | Heal (a, b) ->
+      List.iter (fun (src, dst) -> count t (t.ops.unblock ~now_ns ~src ~dst))
+        (pairs a b @ pairs b a)
+
+let arm ~clock ~engine ~ops timeline =
+  let t = { clock; engine; ops; st = { applied = 0; missed = 0 } } in
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukfault" ~name:"host" (fun () ->
+         [
+           ("applied", Uktrace.Metric.Count t.st.applied);
+           ("missed", Uktrace.Metric.Count t.st.missed);
+         ]));
+  List.iter (fun (at_ns, ev) -> at_abs t at_ns (fun () -> apply t ~now_ns:at_ns ev))
+    timeline;
+  t

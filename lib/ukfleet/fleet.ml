@@ -117,6 +117,9 @@ type t = {
   mutable ran : bool;
   mutable replay_active : bool;
   mutable tick_armed : bool;
+  mutable draining : bool;  (* submit sheds immediately; in-flight completes *)
+  mutable frozen_at : float option;  (* host-freeze fault: completions held *)
+  frozen_q : (instance * req * int) Queue.t;  (* held (inst, req, epoch) *)
   mutable trace : int;
 }
 
@@ -217,8 +220,9 @@ let create ?(seed = 1) ?(substrate = `Own) ?(backend = Unikraft Ukplat.Vmm.Firec
     ?(boot_mode = Cold) ?(policy = Frontdoor.Least_loaded) ?autoscale
     ?(restart = Uksched.Supervisor.default_policy) ?(slo_ns = Uksim.Units.msec 1.0)
     ?(shed_after_ns = Uksim.Units.msec 4.0) ?(slo_bucket_ns = Uksim.Units.msec 5.0)
-    ?(lb_queue_cap = 4096) ?(initial = 1) ~image () =
+    ?(lb_queue_cap = 4096) ?(initial = 1) ?(cost_factor = 1.0) ~image () =
   if initial < 1 then invalid_arg "Fleet.create: initial must be >= 1";
+  if cost_factor <= 0.0 then invalid_arg "Fleet.create: cost_factor must be positive";
   let sub, external_sub =
     match substrate with
     | `Own ->
@@ -241,7 +245,16 @@ let create ?(seed = 1) ?(substrate = `Own) ?(backend = Unikraft Ukplat.Vmm.Firec
       bucket_ns = slo_bucket_ns;
       lb_cap = lb_queue_cap;
       initial;
-      costs = derive_costs ~image ~backend;
+      costs =
+        (* A per-host cost multiplier (ARM-class vs. x86-class silicon):
+           every calibrated x86 cost stretches by the same factor. *)
+        (let c = derive_costs ~image ~backend in
+         {
+           cold_boot_ns = c.cold_boot_ns *. cost_factor;
+           clone_ns = c.clone_ns *. cost_factor;
+           warm_activation_ns = c.warm_activation_ns *. cost_factor;
+           service_ns = c.service_ns *. cost_factor;
+         });
       sub;
       external_sub;
       instances = Hashtbl.create 64;
@@ -274,6 +287,9 @@ let create ?(seed = 1) ?(substrate = `Own) ?(backend = Unikraft Ukplat.Vmm.Firec
       ran = false;
       replay_active = false;
       tick_armed = false;
+      draining = false;
+      frozen_at = None;
+      frozen_q = Queue.create ();
       trace = 0;
     }
   in
@@ -350,7 +366,8 @@ let dispatch t inst req ~now =
   let ep = inst.epoch in
   at_abs (instance_pair t inst.iid) fin (fun () ->
       if (not req.done_) && inst.epoch = ep && inst.state = Ready then
-        complete t inst req ~fin)
+        if t.frozen_at <> None then Queue.push (inst, req, ep) t.frozen_q
+        else complete t inst req ~fin)
 
 (* Best-case queueing delay across ready members — the admission
    controller's estimate of what an accepted request would wait. *)
@@ -534,6 +551,46 @@ let kill t ~now_ns ~iid =
       true
   | Some _ | None -> false
 
+(* --- drain / freeze hooks (the cluster tier's handles on a host) --------- *)
+
+let set_draining t on =
+  t.draining <- on;
+  trace t 0xd4a1 (if on then 1 else 0) t.last_event
+
+let draining t = t.draining
+
+let freeze t ~now_ns =
+  if t.frozen_at = None then begin
+    t.frozen_at <- Some now_ns;
+    trace t 0xf42e 0 now_ns
+  end
+
+let frozen t = t.frozen_at <> None
+
+let thaw t ~now_ns =
+  match t.frozen_at with
+  | None -> ()
+  | Some since ->
+      t.frozen_at <- None;
+      let stall = Float.max 0.0 (now_ns -. since) in
+      (* Capacity lost to the stall: every instance's backlog horizon
+         shifts by the freeze duration. *)
+      Hashtbl.iter
+        (fun _ inst ->
+          if inst.state = Ready && inst.busy_until_ns > since then
+            inst.busy_until_ns <- inst.busy_until_ns +. stall)
+        t.instances;
+      trace t 0x7a4 0 now_ns;
+      (* Held completions land at the thaw instant — the stall is part of
+         their latency, exactly what a frozen host's clients observe. *)
+      let held = Queue.fold (fun acc e -> e :: acc) [] t.frozen_q in
+      Queue.clear t.frozen_q;
+      List.iter
+        (fun (inst, req, ep) ->
+          if (not req.done_) && inst.epoch = ep && inst.state = Ready then
+            complete t inst req ~fin:now_ns)
+        (List.rev held)
+
 (* --- control loop -------------------------------------------------------- *)
 
 let rec tick t ~now =
@@ -605,7 +662,9 @@ let submit ?flow ?on_reply t ~now_ns:now =
   t.c_offered <- t.c_offered + 1;
   t.outstanding <- t.outstanding + 1;
   trace t 0xa1 req.rid now;
-  route t req ~now;
+  (* A draining fleet answers everything immediately with a shed: the
+     migration stop-and-copy window must never queue new work here. *)
+  if t.draining then shed t req ~now else route t req ~now;
   (* Externally driven fleets re-arm the control loop on demand. *)
   if t.auto <> None && not t.tick_armed then tick t ~now
 

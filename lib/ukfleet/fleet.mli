@@ -100,6 +100,7 @@ val create :
   ?slo_bucket_ns:float ->
   ?lb_queue_cap:int ->
   ?initial:int ->
+  ?cost_factor:float ->
   image:Image.t ->
   unit ->
   t
@@ -107,7 +108,10 @@ val create :
     [Cold] boots, [Least_loaded] policy, no autoscaler (fixed size),
     {!Uksched.Supervisor.default_policy} restarts, 1 ms SLO, shedding
     past 4 ms best-case wait, 5 ms SLO buckets, a 4096-deep front-door
-    queue, 1 initial instance. *)
+    queue, 1 initial instance. [cost_factor] (default 1.0) stretches
+    every calibrated cost — boot, clone, activation, per-request service
+    — by a host-class multiplier (e.g. an ARM-class edge host at 2x the
+    x86 reference; see the edge-computing heterogeneity motivation). *)
 
 val image : t -> Image.t
 val costs : t -> costs
@@ -148,6 +152,31 @@ val kill : t -> now_ns:float -> iid:int -> bool
 (** Crash a ready instance (fault injection): pending requests are
     re-dispatched, the slot respawns supervisor-style. [false] if [iid]
     is not currently ready. *)
+
+(** {2 Drain / freeze hooks}
+
+    Handles a cluster tier needs on a whole host's fleet: draining
+    around a migration pause, freezing for a host-stall fault. Both are
+    meant for externally driven fleets ({!start}/{!submit}). *)
+
+val set_draining : t -> bool -> unit
+(** While draining, {!submit} answers every request with an immediate
+    shed (an explicit response, never a drop); in-flight requests keep
+    completing. *)
+
+val draining : t -> bool
+
+val freeze : t -> now_ns:float -> unit
+(** Host stall: completions due while frozen are held (not lost) and
+    land at the thaw instant, with the stall counted in their latency.
+    Idempotent. *)
+
+val thaw : t -> now_ns:float -> unit
+(** End a freeze: held completions fire now, and every instance's
+    backlog horizon shifts by the stall — capacity lost to the freeze is
+    really lost. No-op when not frozen. *)
+
+val frozen : t -> bool
 
 val report : t -> report
 (** Accumulated stats so far — for externally driven fleets; {!run}

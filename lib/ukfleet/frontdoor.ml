@@ -11,6 +11,7 @@ type t = {
   mutable members : int list; (* ascending *)
   mutable cursor : int; (* round-robin position, indexes members *)
   mutable ring : (int * int) array; (* (point, member), sorted by point *)
+  quarantined : (int, unit) Hashtbl.t; (* excluded from pick, ring spot kept *)
 }
 
 (* splitmix64-style avalanche over the positive int range: the ring
@@ -23,10 +24,14 @@ let mix v =
 
 let create ?(vnodes = 32) pol =
   if vnodes <= 0 then invalid_arg "Frontdoor.create: vnodes must be positive";
-  { pol; vnodes; members = []; cursor = 0; ring = [||] }
+  { pol; vnodes; members = []; cursor = 0; ring = [||]; quarantined = Hashtbl.create 8 }
 
 let policy t = t.pol
 let members t = t.members
+let quarantined t m = Hashtbl.mem t.quarantined m
+let active t = List.filter (fun m -> not (quarantined t m)) t.members
+let quarantine t m = if List.mem m t.members then Hashtbl.replace t.quarantined m ()
+let unquarantine t m = Hashtbl.remove t.quarantined m
 
 let rebuild_ring t =
   let pts =
@@ -47,12 +52,13 @@ let add t m =
 let remove t m =
   if List.mem m t.members then begin
     t.members <- List.filter (fun x -> x <> m) t.members;
+    Hashtbl.remove t.quarantined m;
     if t.cursor >= List.length t.members then t.cursor <- 0;
     if t.pol = Consistent_hash then rebuild_ring t
   end
 
 let pick_rr t =
-  match t.members with
+  match active t with
   | [] -> None
   | ms ->
       let n = List.length ms in
@@ -61,7 +67,7 @@ let pick_rr t =
       Some (List.nth ms i)
 
 let pick_least t ~load =
-  match t.members with
+  match active t with
   | [] -> None
   | m :: ms ->
       Some
@@ -74,7 +80,7 @@ let pick_least t ~load =
 
 let pick_hash t ~flow =
   let n = Array.length t.ring in
-  if n = 0 then None
+  if n = 0 || Hashtbl.length t.quarantined >= List.length t.members then None
   else begin
     let h = mix flow in
     (* successor of h on the ring (wrapping) *)
@@ -83,7 +89,17 @@ let pick_hash t ~flow =
       let mid = (!lo + !hi) / 2 in
       if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
     done;
-    Some (snd t.ring.(!lo mod n))
+    (* Quarantined members keep their ring points but are skipped: the
+       flow lands on the next live successor, and comes back to the
+       exact same member on unquarantine — no arc remapping. *)
+    let rec scan i left =
+      if left = 0 then None
+      else
+        let m = snd t.ring.(i mod n) in
+        if quarantined t m then scan (i + 1) (left - 1)
+        else Some m
+    in
+    scan !lo n
   end
 
 let pick t ~flow ~load =

@@ -30,10 +30,26 @@ val add : t -> int -> unit
 (** Add a member id (a backend that became ready). Idempotent. *)
 
 val remove : t -> int -> unit
-(** Remove a member (crashed, retired). Idempotent. *)
+(** Remove a member (crashed, retired). Idempotent; also clears any
+    quarantine on it. *)
+
+val quarantine : t -> int -> unit
+(** Exclude a member from {!pick} {e without} removing it: its ring
+    points stay in place, so flows divert to live successors while it is
+    out and return to the exact same member on {!unquarantine}. This is
+    the failure detector's suspect state — a false positive costs no
+    arc remapping, unlike {!remove}. No-op on non-members. *)
+
+val unquarantine : t -> int -> unit
+(** Readmit a quarantined member. Idempotent. *)
+
+val quarantined : t -> int -> bool
 
 val members : t -> int list
-(** Ascending ids. *)
+(** Ascending ids, including quarantined members. *)
+
+val active : t -> int list
+(** {!members} minus quarantined — the pickable set. *)
 
 val pick : t -> flow:int -> load:(int -> float) -> int option
 (** Choose a member for a request of [flow]: [None] iff no members.

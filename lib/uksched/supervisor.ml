@@ -3,10 +3,12 @@ type policy = {
   backoff_ns : float;
   backoff_factor : float;
   max_backoff_ns : float;
+  jitter : float;
 }
 
 let default_policy =
-  { max_restarts = 5; backoff_ns = 1.0e6; backoff_factor = 2.0; max_backoff_ns = 1.0e8 }
+  { max_restarts = 5; backoff_ns = 1.0e6; backoff_factor = 2.0; max_backoff_ns = 1.0e8;
+    jitter = 0.0 }
 
 type state = Running | Restarting | Completed | Gave_up
 
@@ -18,12 +20,21 @@ type t = {
   daemon : bool;
   on_crash : (exn -> unit) option;
   body : unit -> unit;
+  rng : Uksim.Rng.t option;  (* jitter draws; None when jitter = 0 *)
   mutable st : state;
   mutable crashes : int;
   mutable restarts : int;
   mutable backoff : float;
   mutable last_error : exn option;
 }
+
+(* The undithered backoff plus a uniform fraction of itself: two
+   supervisors crashing in lockstep restart [0, jitter] backoffs apart
+   instead of colliding on every retry. *)
+let jittered t delay =
+  match t.rng with
+  | None -> delay
+  | Some rng -> delay *. (1.0 +. (t.policy.jitter *. Uksim.Rng.float rng 1.0))
 
 let rec launch t =
   t.st <- Running;
@@ -42,18 +53,29 @@ let rec launch t =
              if t.restarts >= t.policy.max_restarts then t.st <- Gave_up
              else begin
                t.st <- Restarting;
-               let delay = t.backoff in
+               let delay = jittered t t.backoff in
                t.backoff <-
                  Float.min (t.backoff *. t.policy.backoff_factor) t.policy.max_backoff_ns;
                t.restarts <- t.restarts + 1;
                Uksim.Engine.after_ns t.engine delay (fun () -> launch t)
              end))
 
-let supervise sched ~engine ?(policy = default_policy) ?(name = "supervised") ?(daemon = true)
-    ?on_crash body =
+let supervise sched ~engine ?(policy = default_policy) ?(name = "supervised")
+    ?(daemon = true) ?jitter_seed ?on_crash body =
+  if policy.jitter < 0.0 then invalid_arg "Supervisor.supervise: negative jitter";
+  let rng =
+    if policy.jitter = 0.0 then None
+    else
+      (* Deterministic by construction: the seed defaults to a hash of
+         the supervisor's name, so equal runs jitter identically. *)
+      let seed =
+        match jitter_seed with Some s -> s | None -> Hashtbl.hash name lxor 0x1AB5
+      in
+      Some (Uksim.Rng.create seed)
+  in
   let t =
-    { sched; engine; policy; sname = name; daemon; on_crash; body; st = Running; crashes = 0;
-      restarts = 0; backoff = policy.backoff_ns; last_error = None }
+    { sched; engine; policy; sname = name; daemon; on_crash; body; rng; st = Running;
+      crashes = 0; restarts = 0; backoff = policy.backoff_ns; last_error = None }
   in
   launch t;
   t

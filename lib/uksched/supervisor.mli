@@ -20,10 +20,17 @@ type policy = {
   backoff_ns : float;  (** delay before the first restart *)
   backoff_factor : float;  (** multiplier per consecutive crash *)
   max_backoff_ns : float;  (** backoff ceiling *)
+  jitter : float;
+      (** each restart delay is stretched by a uniform draw in
+          [\[0, jitter\]] of itself (0 = pure exponential backoff, the
+          default). Seeded and deterministic: see [jitter_seed] on
+          {!supervise}. Jitter decorrelates supervisors that crashed
+          together so they do not restart in lockstep. *)
 }
 
 val default_policy : policy
-(** 5 restarts, 1 ms initial backoff, doubling, capped at 100 ms. *)
+(** 5 restarts, 1 ms initial backoff, doubling, capped at 100 ms, no
+    jitter. *)
 
 type state = Running | Restarting | Completed | Gave_up
 
@@ -35,12 +42,15 @@ val supervise :
   ?policy:policy ->
   ?name:string ->
   ?daemon:bool ->
+  ?jitter_seed:int ->
   ?on_crash:(exn -> unit) ->
   (unit -> unit) ->
   t
 (** Spawns immediately; [daemon] (default true) is passed to each
     (re)spawn so a crashed-and-waiting component does not deadlock the
-    scheduler. *)
+    scheduler. [jitter_seed] seeds the backoff-jitter RNG when the
+    policy's [jitter] is non-zero (default: a hash of [name], so equal
+    configurations replay identically). *)
 
 val state : t -> state
 val crashes : t -> int

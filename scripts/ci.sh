@@ -40,6 +40,32 @@ grep -q '"fleet_replay_ok": true' BENCH_fleet.json || {
   exit 1
 }
 
+echo "== cluster smoke (fixed seed, fast workloads) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only cluster
+grep -q '"zero_lost_responses": true' BENCH_cluster.json || {
+  echo "FAIL: partition drill lost responses (kill mid-migration + 60s asym partition must lose none)"
+  exit 1
+}
+mig_p99=$(awk -F': ' '/"migration_p99_us"/ { sub(/,$/, "", $2); print $2 }' BENCH_cluster.json)
+kc_p99=$(awk -F': ' '/"kill_clone_p99_us"/ { sub(/,$/, "", $2); print $2 }' BENCH_cluster.json)
+echo "failover p99: live migration ${mig_p99}us vs kill+clone ${kc_p99}us (gate: migration < kill+clone)"
+awk "BEGIN { exit !(${mig_p99} < ${kc_p99}) }" || {
+  echo "FAIL: live migration p99 not better than the kill+clone baseline"
+  exit 1
+}
+grep -q '"hedging_beats_straggler": true' BENCH_cluster.json || {
+  echo "FAIL: hedged p99.9 not better than unhedged under a straggler host"
+  exit 1
+}
+grep -q '"planted_detector_fp": true' BENCH_cluster.json || {
+  echo "FAIL: planted-bug detector (suspect_phi=0) produced no false positives - suspicion machinery is dead"
+  exit 1
+}
+grep -q '"cluster_replay_ok": true' BENCH_cluster.json || {
+  echo "FAIL: same-seed cluster drill replay was not byte-identical"
+  exit 1
+}
+
 echo "== smp smoke (fixed seed, fast workloads) =="
 UKRAFT_FAST=1 dune exec bench/main.exe -- --only smp
 speedup=$(awk -F': ' '/"speedup_4"/ { sub(/,$/, "", $2); print $2 }' BENCH_smp.json)

@@ -301,7 +301,7 @@ let test_supervisor_circuit_breaker () =
   let runs = ref 0 in
   let policy =
     { Uksched.Supervisor.max_restarts = 3; backoff_ns = 1.0e6; backoff_factor = 2.0;
-      max_backoff_ns = 1.0e8 }
+      max_backoff_ns = 1.0e8; jitter = 0.0 }
   in
   let sup =
     Uksched.Supervisor.supervise sched ~engine ~policy ~name:"doomed" (fun () ->
@@ -324,7 +324,7 @@ let test_supervisor_backoff_is_exponential () =
   let runs = ref 0 in
   let policy =
     { Uksched.Supervisor.max_restarts = 3; backoff_ns = 1.0e6; backoff_factor = 2.0;
-      max_backoff_ns = 1.0e9 }
+      max_backoff_ns = 1.0e9; jitter = 0.0 }
   in
   ignore
     (Uksched.Supervisor.supervise sched ~engine ~policy ~name:"crashy" (fun () ->
@@ -338,6 +338,38 @@ let test_supervisor_backoff_is_exponential () =
       (* Gaps double: 1 ms, 2 ms, 4 ms (modulo scheduler dispatch cost). *)
       Alcotest.(check bool) "second gap ~2x first" true (t3 -. t2 > (t2 -. t1) *. 1.5)
   | l -> Alcotest.failf "expected 4 runs, got %d" (List.length l)
+
+let jitter_restart_times () =
+  let clock, engine, sched = sched_sim () in
+  let policy =
+    { Uksched.Supervisor.max_restarts = 3; backoff_ns = 1.0e6; backoff_factor = 2.0;
+      max_backoff_ns = 1.0e9; jitter = 0.8 }
+  in
+  let times name =
+    let ts = ref [] in
+    ignore
+      (Uksched.Supervisor.supervise sched ~engine ~policy ~name (fun () ->
+           ts := Uksim.Clock.ns clock :: !ts;
+           failwith "boom"));
+    ts
+  in
+  let a = times "crasher-a" and b = times "crasher-b" in
+  ignore (Uksched.Sched.spawn sched ~name:"main" (fun () -> Uksched.Sched.sleep_ns 1.0e9));
+  Uksched.Sched.run sched;
+  (List.rev !a, List.rev !b)
+
+let test_supervisor_jitter_breaks_lockstep () =
+  (* Two components that crash together must not restart in lockstep:
+     the seeded jitter (keyed by name) desynchronizes their backoff
+     trains, and does so identically on every run. *)
+  let a, b = jitter_restart_times () in
+  Alcotest.(check int) "both exhausted their budget" (List.length a) (List.length b);
+  let gaps l = List.map2 ( -. ) (List.tl l) (List.filteri (fun i _ -> i < List.length l - 1) l) in
+  let lockstep = List.for_all2 (fun ga gb -> Float.abs (ga -. gb) < 1.0) (gaps a) (gaps b) in
+  Alcotest.(check bool) "restart gaps diverge" false lockstep;
+  let a', b' = jitter_restart_times () in
+  Alcotest.(check (list (float 0.0))) "jitter is seeded: replay identical (a)" a a';
+  Alcotest.(check (list (float 0.0))) "jitter is seeded: replay identical (b)" b b'
 
 let test_supervisor_voluntary_exit_not_a_crash () =
   let _, engine, sched = sched_sim () in
@@ -375,6 +407,8 @@ let suite =
     Alcotest.test_case "supervisor: circuit breaker" `Quick test_supervisor_circuit_breaker;
     Alcotest.test_case "supervisor: exponential backoff" `Quick
       test_supervisor_backoff_is_exponential;
+    Alcotest.test_case "supervisor: jitter breaks lockstep" `Quick
+      test_supervisor_jitter_breaks_lockstep;
     Alcotest.test_case "supervisor: voluntary exit" `Quick
       test_supervisor_voluntary_exit_not_a_crash;
   ]

@@ -65,6 +65,23 @@ let test_consistent_hash_affinity () =
   Alcotest.(check bool) "only the failed member's arc remaps" false moved_without_cause;
   Alcotest.(check bool) "failed member no longer picked" false (List.mem 2 after)
 
+let test_quarantine_keeps_affinity () =
+  let fd = Frontdoor.create Frontdoor.Consistent_hash in
+  List.iter (Frontdoor.add fd) [ 1; 2; 3; 4 ];
+  let flows = List.init 200 (fun i -> i * 7919) in
+  let pick f = Option.get (Frontdoor.pick fd ~flow:f ~load:no_load) in
+  let before = List.map pick flows in
+  Frontdoor.quarantine fd 2;
+  let during = List.map pick flows in
+  Alcotest.(check bool) "suspect is never picked" false (List.mem 2 during);
+  List.iter2
+    (fun b d -> if b <> 2 then Alcotest.(check int) "unaffected flows stay put" b d)
+    before during;
+  Frontdoor.unquarantine fd 2;
+  let after = List.map pick flows in
+  Alcotest.(check (list int))
+    "recovery restores the exact flow -> member mapping" before after
+
 (* --- autoscaler ----------------------------------------------------------- *)
 
 let test_autoscaler_demand_and_hysteresis () =
@@ -199,6 +216,80 @@ let test_kill_rejects_unknown () =
   let f = Fleet.create ~image () in
   Alcotest.(check bool) "unknown instance" false (Fleet.kill f ~now_ns:0.0 ~iid:99)
 
+(* Two drill rounds land 0.3 ms apart — inside the supervisor's 1 ms
+   first backoff window, so the second kill arrives while the first
+   victim is still restarting. The epoch guard must keep stale
+   completions from the first life out of the books. *)
+let test_back_to_back_kills_one_backoff_window () =
+  let f = Fleet.create ~boot_mode:Fleet.Snapshot ~autoscale:Autoscaler.default
+      ~initial:3 ~image () in
+  let fv =
+    Fv.arm ~clock:(Fleet.control_clock f) ~engine:(Fleet.control_engine f)
+      ~rng:(Uksim.Rng.create 17)
+      ~plan:
+        (Fv.plan ~at_ns:(Fleet.settle_ns f +. ms 8.0) ~kill_fraction:0.01
+           ~min_kills:1 ~repeat_ns:(ms 0.3) ~rounds:2 ())
+      ~targets:(fun () -> Fleet.ready_ids f)
+      ~kill:(fun ~now_ns iid -> Fleet.kill f ~now_ns ~iid)
+  in
+  let r = Fleet.run f (steady 2.0) in
+  let st = Fv.stats fv in
+  Alcotest.(check int) "both rounds fired" 2 st.Fv.rounds_run;
+  Alcotest.(check bool) "both kills landed" true (st.Fv.killed >= 2);
+  Alcotest.(check int) "every kill respawned exactly once" st.Fv.killed
+    r.Fleet.restarts;
+  Alcotest.(check int) "zero lost responses" 0 r.Fleet.lost;
+  Alcotest.(check int) "books balance" r.Fleet.offered
+    (r.Fleet.completed + r.Fleet.shed)
+
+let test_cost_factor_scales_costs () =
+  let base = Fleet.create ~image () and slow = Fleet.create ~cost_factor:2.0 ~image () in
+  let b = Fleet.costs base and s = Fleet.costs slow in
+  Alcotest.(check (float 1e-6)) "service cost doubles" (2.0 *. b.Fleet.service_ns)
+    s.Fleet.service_ns;
+  Alcotest.(check (float 1e-6)) "boot cost doubles" (2.0 *. b.Fleet.cold_boot_ns)
+    s.Fleet.cold_boot_ns
+
+let test_freeze_thaw_releases_late () =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  let f = Fleet.create ~substrate:(`Engine (clock, engine)) ~initial:1 ~image () in
+  Fleet.start f;
+  let t0 = Fleet.settle_ns f in
+  let at ns g = Uksim.Engine.at engine (Uksim.Clock.cycles_of_ns ns) g in
+  let lat = ref nan and oks = ref 0 in
+  at t0 (fun () ->
+      Fleet.submit ~flow:1
+        ~on_reply:(fun ~ok ~latency_ns ->
+          if ok then begin incr oks; lat := latency_ns end)
+        f ~now_ns:t0;
+      Fleet.freeze f ~now_ns:t0;
+      Alcotest.(check bool) "frozen" true (Fleet.frozen f));
+  at (t0 +. ms 5.0) (fun () -> Fleet.thaw f ~now_ns:(t0 +. ms 5.0));
+  Uksim.Engine.run engine;
+  Alcotest.(check int) "held reply released once" 1 !oks;
+  Alcotest.(check bool) "the stall shows up in latency" true (!lat >= ms 4.9)
+
+let test_draining_sheds_new_arrivals () =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  let f = Fleet.create ~substrate:(`Engine (clock, engine)) ~initial:1 ~image () in
+  Fleet.start f;
+  let t0 = Fleet.settle_ns f in
+  let shed = ref 0 and served = ref 0 in
+  Uksim.Engine.at engine (Uksim.Clock.cycles_of_ns t0) (fun () ->
+      Fleet.set_draining f true;
+      Fleet.submit ~flow:1
+        ~on_reply:(fun ~ok ~latency_ns:_ -> incr (if ok then served else shed))
+        f ~now_ns:t0;
+      Fleet.set_draining f false;
+      Fleet.submit ~flow:2
+        ~on_reply:(fun ~ok ~latency_ns:_ -> incr (if ok then served else shed))
+        f ~now_ns:t0);
+  Uksim.Engine.run engine;
+  Alcotest.(check int) "draining front door sheds" 1 !shed;
+  Alcotest.(check int) "reopened front door serves" 1 !served
+
 (* --- SMP substrate + ukcheck observer ------------------------------------- *)
 
 let smp_run ~attach seed =
@@ -312,6 +403,16 @@ let suite =
     Alcotest.test_case "overload sheds explicitly" `Quick test_shedding_is_explicit;
     Alcotest.test_case "kill -> respawn, zero lost" `Quick test_kill_respawns_zero_lost;
     Alcotest.test_case "kill rejects unknown id" `Quick test_kill_rejects_unknown;
+    Alcotest.test_case "frontdoor: quarantine keeps affinity" `Quick
+      test_quarantine_keeps_affinity;
+    Alcotest.test_case "back-to-back kills in one backoff window" `Quick
+      test_back_to_back_kills_one_backoff_window;
+    Alcotest.test_case "cost factor scales the cost model" `Quick
+      test_cost_factor_scales_costs;
+    Alcotest.test_case "freeze/thaw releases replies late" `Quick
+      test_freeze_thaw_releases_late;
+    Alcotest.test_case "draining sheds new arrivals" `Quick
+      test_draining_sheds_new_arrivals;
     Alcotest.test_case "SMP substrate deterministic" `Quick test_smp_substrate_deterministic;
     Alcotest.test_case "ukcheck attach non-perturbing" `Quick
       test_ukcheck_attach_non_perturbing;

@@ -16,6 +16,7 @@ let () =
       ("ukboot", T_ukboot.suite);
       ("ukbuild", T_ukbuild.suite);
       ("ukcheck", T_ukcheck.suite);
+      ("ukcluster", T_ukcluster.suite);
       ("ukconf", T_ukconf.suite);
       ("ukdebug", T_ukdebug.suite);
       ("ukfault", T_ukfault.suite);
