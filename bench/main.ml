@@ -24,4 +24,5 @@ let () =
   Exp_smp.register ();
   Exp_fleet.register ();
   Exp_cluster.register ();
+  Exp_compat.register ();
   Bench.main ~micro:Micro.run ()

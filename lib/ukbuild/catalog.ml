@@ -34,6 +34,14 @@ let defs () =
     d ~name:"ukblock" ~kind:Core_api ~code_size:(kb 12) ~deps:[ ("ukalloc", 0.3) ] ();
     d ~name:"uksyscall" ~kind:Core_api ~code_size:(kb 24)
       ~deps:[ ("vfscore", 0.5); ("ukalloc", 0.7); ("uksched", 0.5); ("ukmmu", 0.3) ] ();
+    (* The executable Linux personality: per-process state, the handler
+       surface routing syscalls into vfscore/lwip/ukmmu, the trace
+       replayer and the HermiTux-style binary rewriter. Only images that
+       opt into Linux compatibility link it. *)
+    d ~name:"lib-ukcompat" ~kind:Library ~code_size:(kb 46)
+      ~deps:
+        [ ("uksyscall", 0.9); ("vfscore", 0.6); ("lwip", 0.4); ("ukmmu", 0.5);
+          ("uksched", 0.3) ] ();
     (* Allocator backends (one micro-library each, paper §5.5). *)
     d ~name:"alloc-buddy" ~kind:Library ~code_size:(kb 16) ~deps:[ ("ukalloc", 1.0) ] ();
     d ~name:"alloc-tlsf" ~kind:Library ~code_size:(kb 24) ~deps:[ ("ukalloc", 1.0) ] ();
@@ -102,7 +110,7 @@ let apps =
   [ "app-hello"; "app-nginx"; "app-redis"; "app-sqlite"; "app-webcache"; "app-udpkv";
     "app-httpreply" ]
 
-let app_roots ~app ~net ~fs ?alloc ?sched () =
+let app_roots ~app ~net ~fs ?(compat = false) ?alloc ?sched () =
   if not (List.mem app apps) then invalid_arg (Printf.sprintf "Catalog.app_roots: unknown app %s" app);
   let check_opt what valid = function
     | None -> []
@@ -117,4 +125,5 @@ let app_roots ~app ~net ~fs ?alloc ?sched () =
   in
   let base = if net then "virtio-net" :: base else base in
   let base = if fs then "virtio-9p" :: base else base in
+  let base = if compat then "lib-ukcompat" :: base else base in
   base

@@ -19,8 +19,17 @@ val apps : string list
     "app-udpkv", "app-httpreply". *)
 
 val app_roots :
-  app:string -> net:bool -> fs:bool -> ?alloc:string -> ?sched:string -> unit -> string list
+  app:string ->
+  net:bool ->
+  fs:bool ->
+  ?compat:bool ->
+  ?alloc:string ->
+  ?sched:string ->
+  unit ->
+  string list
 (** Root libraries for linking [app]: the app itself plus the selected
     allocator/scheduler backends (omitted = none, e.g. helloworld) and,
-    when enabled, the network and filesystem driver stacks. Raises
-    [Invalid_argument] for unknown names. *)
+    when enabled, the network and filesystem driver stacks. [compat]
+    (default false) additionally roots ["lib-ukcompat"], the Linux
+    personality — letting DCE quantify the image-size cost of binary
+    compatibility. Raises [Invalid_argument] for unknown names. *)

@@ -124,15 +124,19 @@ let install_supported shim =
 
 module Iset = Set.Make (Int)
 
-let supported_set = Iset.of_list unikraft_supported
-
 type heat_cell = { sysno : int; sname : string; needed_by : int; supported : bool }
 
-let heatmap () =
+(* Fig 5/7 analyses, parameterized by the supported set so they can be
+   recomputed against a *live* shim (ukcompat's executable personality)
+   rather than only the static paper-time list. *)
+let heatmap_against ~supported =
+  let supported = Iset.of_list supported in
   let needs = Array.make (Sysno.max_sysno + 1) 0 in
   List.iter (fun (_, reqs) -> List.iter (fun s -> needs.(s) <- needs.(s) + 1) reqs) table;
   List.init (Sysno.max_sysno + 1) (fun i ->
-      { sysno = i; sname = Sysno.name i; needed_by = needs.(i); supported = Iset.mem i supported_set })
+      { sysno = i; sname = Sysno.name i; needed_by = needs.(i); supported = Iset.mem i supported })
+
+let heatmap () = heatmap_against ~supported:unikraft_supported
 
 type coverage = {
   app : string;
@@ -143,31 +147,40 @@ type coverage = {
   plus15 : float;
 }
 
-let most_wanted_missing k =
-  let cells = heatmap () in
+let most_wanted_missing_against ~supported k =
+  let cells = heatmap_against ~supported in
   let missing =
     List.filter (fun c -> (not c.supported) && c.needed_by > 0) cells
     |> List.sort (fun a b -> compare (b.needed_by, a.sysno) (a.needed_by, b.sysno))
   in
   List.filteri (fun i _ -> i < k) missing |> List.map (fun c -> c.sysno)
 
-let coverage () =
+let most_wanted_missing k = most_wanted_missing_against ~supported:unikraft_supported k
+
+let coverage_against ~supported =
+  let sset = Iset.of_list supported in
   let frac extra (_, reqs) =
     let extra = Iset.of_list extra in
-    let supported =
-      List.length (List.filter (fun s -> Iset.mem s supported_set || Iset.mem s extra) reqs)
+    let n =
+      List.length (List.filter (fun s -> Iset.mem s sset || Iset.mem s extra) reqs)
     in
-    float_of_int supported /. float_of_int (List.length reqs)
+    float_of_int n /. float_of_int (List.length reqs)
   in
+  let wanted = most_wanted_missing_against ~supported in
   List.map
     (fun ((app, reqs) as row) ->
       {
         app;
         n_required = List.length reqs;
         now = frac [] row;
-        plus5 = frac (most_wanted_missing 5) row;
-        plus10 = frac (most_wanted_missing 10) row;
-        plus15 = frac (most_wanted_missing 15) row;
+        plus5 = frac (wanted 5) row;
+        plus10 = frac (wanted 10) row;
+        plus15 = frac (wanted 15) row;
       })
     table
   |> List.sort compare
+
+let coverage () = coverage_against ~supported:unikraft_supported
+
+let coverage_of_shim shim = coverage_against ~supported:(Shim.supported_set shim)
+let heatmap_of_shim shim = heatmap_against ~supported:(Shim.supported_set shim)

@@ -77,22 +77,14 @@ type run_stats = {
   enosys : int;
 }
 
-let execute ~clock ~shim t =
+let execute_with ~clock ~dispatch t =
   let start = Uksim.Clock.cycles clock in
   let instructions = ref 0 in
   let syscalls = ref 0 in
   let enosys = ref 0 in
   let dispatch ~trap n =
     incr syscalls;
-    (* The shim charges its own dispatch-mode cost; binary execution adds
-       the trap path or the plain call around it. *)
-    let target_cost =
-      if trap then Uksim.Cost.syscall_unikraft else Uksim.Cost.function_call
-    in
-    (* Top up whatever the shim's own dispatch mode will charge so the
-       total lands on the trap / plain-call cost. *)
-    Uksim.Clock.advance clock (max 0 (target_cost - Shim.dispatch_cost (Shim.mode shim)));
-    match Shim.call shim ~sysno:n [||] with
+    match (dispatch ~trap ~sysno:n : (int, Fs_errno.t) result) with
     | Ok _ -> ()
     | Error Fs_errno.Enosys -> incr enosys
     | Error _ -> ()
@@ -130,3 +122,15 @@ let execute ~clock ~shim t =
     cycles = Uksim.Clock.cycles clock - start;
     enosys = !enosys;
   }
+
+let execute ~clock ~shim t =
+  execute_with ~clock t ~dispatch:(fun ~trap ~sysno ->
+      (* The shim charges its own dispatch-mode cost; binary execution
+         adds the trap path or the plain call around it. *)
+      let target_cost =
+        if trap then Uksim.Cost.syscall_unikraft else Uksim.Cost.function_call
+      in
+      (* Top up whatever the shim's own dispatch mode will charge so the
+         total lands on the trap / plain-call cost. *)
+      Uksim.Clock.advance clock (max 0 (target_cost - Shim.dispatch_cost (Shim.mode shim)));
+      Shim.call shim ~sysno [||])

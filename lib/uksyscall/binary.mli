@@ -54,3 +54,16 @@ val execute : clock:Uksim.Clock.t -> shim:Shim.t -> t -> run_stats
     cycle; [Syscall] dispatches through [shim] at the binary-compat trap
     cost; [Call]s produced by {!rewrite} dispatch at function-call cost.
     Raises [Invalid_argument] on undecodable words. *)
+
+val execute_with :
+  clock:Uksim.Clock.t ->
+  dispatch:(trap:bool -> sysno:int -> (int, Fs_errno.t) result) ->
+  t ->
+  run_stats
+(** Generic executor behind {!execute}: the caller owns syscall dispatch
+    (cost charging, argument marshalling, retries). [trap] is true at an
+    unrewritten [Syscall] site, false at a {!rewrite}-patched call site.
+    Ordinary instructions still cost one cycle; [enosys] counts
+    dispatches returning [Error Enosys]. ukcompat's trace replayer uses
+    this to run recorded application traces through the binary-compat and
+    binary-rewritten call conventions. *)

@@ -6,6 +6,7 @@ type t =
   | Enomem
   | Eagain
   | Enotsup
+  | Efault
 
 let to_code = function
   | Enosys -> -38
@@ -15,6 +16,7 @@ let to_code = function
   | Enomem -> -12
   | Eagain -> -11
   | Enotsup -> -95
+  | Efault -> -14
 
 let to_string = function
   | Enosys -> "ENOSYS"
@@ -24,3 +26,15 @@ let to_string = function
   | Enomem -> "ENOMEM"
   | Eagain -> "EAGAIN"
   | Enotsup -> "ENOTSUP"
+  | Efault -> "EFAULT"
+
+let of_string = function
+  | "ENOSYS" -> Some Enosys
+  | "ENOENT" -> Some Enoent
+  | "EBADF" -> Some Ebadf
+  | "EINVAL" -> Some Einval
+  | "ENOMEM" -> Some Enomem
+  | "EAGAIN" -> Some Eagain
+  | "ENOTSUP" -> Some Enotsup
+  | "EFAULT" -> Some Efault
+  | _ -> None

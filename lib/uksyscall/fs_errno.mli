@@ -8,8 +8,12 @@ type t =
   | Enomem
   | Eagain
   | Enotsup
+  | Efault
 
 val to_code : t -> int
 (** Negative return-value encoding (e.g. ENOSYS = -38). *)
 
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (used by the ukcompat trace parser). *)

@@ -18,17 +18,45 @@ and t = {
   mutable count : int;
 }
 
+(* ENOSYS leaks and per-syscall hit counts surface through uktrace so a
+   registry snapshot shows which stubs a workload leans on (named by
+   Sysno, not raw numbers). *)
+let source_of t =
+  Uktrace.Source.make ~subsystem:"uksyscall" ~name:"shim"
+    ~reset:(fun () ->
+      Hashtbl.reset t.enosys;
+      Array.fill t.histogram 0 (Array.length t.histogram) 0;
+      t.count <- 0)
+    (fun () ->
+      let enosys_total = Hashtbl.fold (fun _ v acc -> acc + v) t.enosys 0 in
+      let per_sysno = ref [] in
+      Array.iteri
+        (fun i n ->
+          if n > 0 then
+            per_sysno := ("calls." ^ Sysno.name i, Uktrace.Metric.Count n) :: !per_sysno)
+        t.histogram;
+      ("calls", Uktrace.Metric.Count t.count)
+      :: ("enosys", Uktrace.Metric.Count enosys_total)
+      :: List.rev !per_sysno)
+
 let create ~clock ~mode =
-  { clock; dmode = mode; table = Array.make (Sysno.max_sysno + 1) None;
-    enosys = Hashtbl.create 16; histogram = Array.make (Sysno.max_sysno + 1) 0;
-    tracer = None; count = 0 }
+  let t =
+    { clock; dmode = mode; table = Array.make (Sysno.max_sysno + 1) None;
+      enosys = Hashtbl.create 16; histogram = Array.make (Sysno.max_sysno + 1) 0;
+      tracer = None; count = 0 }
+  in
+  Uktrace.Registry.register (source_of t);
+  t
 
 let mode t = t.dmode
 
 let register t ~sysno h =
-  if sysno < 0 || sysno > Sysno.max_sysno then invalid_arg "Shim.register: sysno out of range";
+  if sysno < 0 || sysno > Sysno.max_sysno then
+    invalid_arg
+      (Printf.sprintf "Shim.register: sysno %d out of range (0..%d = %s..%s)" sysno
+         Sysno.max_sysno (Sysno.name 0) (Sysno.name Sysno.max_sysno));
   (match t.table.(sysno) with
-  | Some _ -> invalid_arg (Printf.sprintf "Shim.register: duplicate handler for %s" (Sysno.name sysno))
+  | Some _ -> invalid_arg (Printf.sprintf "Shim.register: duplicate handler for %s (sysno %d)" (Sysno.name sysno) sysno)
   | None -> ());
   t.table.(sysno) <- Some h
 
@@ -60,6 +88,7 @@ let call t ~sysno args =
         Error Fs_errno.Enosys
 
 let enosys_hits t = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.enosys [] |> List.sort compare
+let enosys_count t = Hashtbl.fold (fun _ v acc -> acc + v) t.enosys 0
 let calls_made t = t.count
 let set_tracer t f = t.tracer <- f
 

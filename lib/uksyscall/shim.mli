@@ -47,6 +47,12 @@ val enosys_hits : t -> (int * int) list
 (** (sysno, count) of ENOSYS returns — which stubs the workload leans
     on. *)
 
+val enosys_count : t -> int
+(** Total ENOSYS returns across all syscall numbers. Also surfaced (with
+    the per-sysno call counts, keyed ["calls.<name>"]) through a
+    ["uksyscall.shim"] uktrace source registered at {!create} time, so a
+    registry snapshot makes ENOSYS leaks observable. *)
+
 val calls_made : t -> int
 
 val set_tracer : t -> (int -> unit) option -> unit

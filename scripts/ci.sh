@@ -83,6 +83,25 @@ grep -q '"trace_invariant_ok": true' BENCH_smp.json || {
   exit 1
 }
 
+echo "== compat smoke (fixed seed, fast workloads) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only compat
+grep -q '"ladder_ordered": true' BENCH_compat.json || {
+  echo "FAIL: specialization ladder not strictly ordered (native < rewritten < compat < linux-vm)"
+  exit 1
+}
+grep -q '"zero_enosys_hot_paths": true' BENCH_compat.json || {
+  echo "FAIL: ENOSYS leaked onto a hot path (nginx/redis traces must be fully handled)"
+  exit 1
+}
+grep -q '"native_5x_cheaper_boundary": true' BENCH_compat.json || {
+  echo "FAIL: native syscall boundary not >= 5x cheaper than the Linux-VM boundary"
+  exit 1
+}
+grep -q '"replay_deterministic": true' BENCH_compat.json || {
+  echo "FAIL: same-seed compat trace replay was not byte-identical"
+  exit 1
+}
+
 echo "== ukcheck gate (lockset + schedule explorer) =="
 # Race detector over the 4-core cluster smoke (any report fails) and the
 # schedule explorer over the uklock/Percore fixtures at a 64-schedule

@@ -1,0 +1,287 @@
+(* Tests for the Linux-syscall personality: process address space, file
+   and socket syscalls routed to real subsystems, trace format round-trip,
+   the full specialization ladder end to end, and the live-shim Fig 7
+   recomputation. *)
+
+module P = Ukcompat.Process
+module Pers = Ukcompat.Personality
+module Trace = Ukcompat.Trace
+module Driver = Ukcompat.Driver
+module Shim = Uksyscall.Shim
+module Errno = Uksyscall.Fs_errno
+module Appdb = Uksyscall.Appdb
+module Vfs = Ukvfs.Vfs
+
+let mk_vfs clock =
+  let vfs = Vfs.create ~clock in
+  (match Vfs.mount vfs ~at:"/" (Ukvfs.Ramfs.create ~clock ()) with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "mount");
+  vfs
+
+let mk_personality ?(mode = Shim.Native_link) () =
+  let clock = Uksim.Clock.create () in
+  let vfs = mk_vfs clock in
+  (clock, vfs, Pers.create ~clock ~mode ~vfs ())
+
+let expect_ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "syscall failed: %s" (Errno.to_string e)
+
+(* --- process address space ----------------------------------------------- *)
+
+let test_process_mmap_brk () =
+  let clock = Uksim.Clock.create () in
+  let p = P.create ~clock ~ram_bytes:(16 * P.page_size) () in
+  (* brk: query, grow, exhaust *)
+  Alcotest.(check int) "initial break" (P.heap_base p) (P.brk p 0);
+  let want = P.heap_base p + (2 * P.page_size) in
+  Alcotest.(check int) "grow" want (P.brk p want);
+  Alcotest.(check int) "exhaustion leaves break" want
+    (P.brk p (P.heap_base p + (1024 * P.page_size)));
+  (* mmap/munmap recycle pages *)
+  let a = match P.mmap p ~len:(4 * P.page_size) with Ok a -> a | Error _ -> Alcotest.fail "mmap" in
+  (match P.write_mem p ~addr:a (Bytes.of_string "hello") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "write_mem");
+  (match P.read_mem p ~addr:a ~len:5 with
+  | Ok b -> Alcotest.(check string) "rw through page table" "hello" (Bytes.to_string b)
+  | Error _ -> Alcotest.fail "read_mem");
+  (match P.munmap p ~addr:a ~len:(4 * P.page_size) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "munmap");
+  (match P.read_mem p ~addr:a ~len:1 with
+  | Error Errno.Efault -> ()
+  | _ -> Alcotest.fail "unmapped must EFAULT");
+  (* recycled pages come back zeroed *)
+  match P.mmap p ~len:P.page_size with
+  | Ok b -> (
+      match P.read_mem p ~addr:b ~len:5 with
+      | Ok z -> Alcotest.(check string) "fresh pages zeroed" "\000\000\000\000\000" (Bytes.to_string z)
+      | Error _ -> Alcotest.fail "read recycled")
+  | Error _ -> Alcotest.fail "remap"
+
+let test_process_efault () =
+  let clock = Uksim.Clock.create () in
+  let p = P.create ~clock ()  in
+  (match P.read_mem p ~addr:0xdead000 ~len:4 with
+  | Error Errno.Efault -> ()
+  | _ -> Alcotest.fail "wild read");
+  match P.read_str p ~addr:0xdead000 with
+  | Error Errno.Efault -> ()
+  | _ -> Alcotest.fail "wild string"
+
+(* --- file syscalls through the personality -------------------------------- *)
+
+let test_file_syscalls () =
+  let _, vfs, p = mk_personality () in
+  ignore vfs;
+  let proc = Pers.proc p in
+  let arena = expect_ok (Pers.call p "mmap" [| 0; 4096; 3; 0x22; -1; 0 |]) in
+  let put addr s =
+    match P.write_mem proc ~addr (Bytes.of_string (s ^ "\000")) with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "marshal"
+  in
+  put arena "/notes.txt";
+  let fd = expect_ok (Pers.call p "openat" [| P.at_fdcwd; arena; 0o100 |]) in
+  Alcotest.(check bool) "fd small int" true (fd >= 3);
+  put (arena + 64) "payload!";
+  let n = expect_ok (Pers.call p "write" [| fd; arena + 64; 8 |]) in
+  Alcotest.(check int) "write count" 8 n;
+  ignore (expect_ok (Pers.call p "lseek" [| fd; 0; 0 |]));
+  let n = expect_ok (Pers.call p "read" [| fd; arena + 128; 64 |]) in
+  Alcotest.(check int) "read count" 8 n;
+  (match P.read_mem proc ~addr:(arena + 128) ~len:8 with
+  | Ok b -> Alcotest.(check string) "bytes through vfs" "payload!" (Bytes.to_string b)
+  | Error _ -> Alcotest.fail "read back");
+  (* fstat: S_IFREG and the size at the x86-64 offsets *)
+  ignore (expect_ok (Pers.call p "fstat" [| fd; arena + 256 |]));
+  (match P.read_mem proc ~addr:(arena + 256) ~len:144 with
+  | Ok st ->
+      let u32 off =
+        Char.code (Bytes.get st off)
+        lor (Char.code (Bytes.get st (off + 1)) lsl 8)
+        lor (Char.code (Bytes.get st (off + 2)) lsl 16)
+        lor (Char.code (Bytes.get st (off + 3)) lsl 24)
+      in
+      Alcotest.(check int) "st_mode" (0o100000 lor 0o644) (u32 24);
+      Alcotest.(check int) "st_size" 8 (u32 48)
+  | Error _ -> Alcotest.fail "stat buf");
+  Alcotest.(check int) "close" 0 (expect_ok (Pers.call p "close" [| fd |]));
+  (match Pers.call p "read" [| fd; arena; 1 |] with
+  | Error Errno.Ebadf -> ()
+  | _ -> Alcotest.fail "closed fd must EBADF");
+  (* unimplemented syscalls still ENOSYS through the shim *)
+  match Pers.call p "fork" [||] with
+  | Error Errno.Enosys -> Alcotest.(check int) "enosys counted" 1 (Shim.enosys_count (Pers.shim p))
+  | _ -> Alcotest.fail "fork must ENOSYS"
+
+let test_getcwd_chdir () =
+  let _, vfs, p = mk_personality () in
+  (match Vfs.mkdir vfs "/data" with Ok () -> () | Error _ -> Alcotest.fail "mkdir");
+  let proc = Pers.proc p in
+  let arena = expect_ok (Pers.call p "mmap" [| 0; 4096; 3; 0x22; -1; 0 |]) in
+  (match P.write_mem proc ~addr:arena (Bytes.of_string "/data\000") with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "marshal");
+  Alcotest.(check int) "chdir" 0 (expect_ok (Pers.call p "chdir" [| arena |]));
+  let n = expect_ok (Pers.call p "getcwd" [| arena + 64; 64 |]) in
+  Alcotest.(check int) "len incl NUL" 6 n;
+  match P.read_str proc ~addr:(arena + 64) with
+  | Ok s -> Alcotest.(check string) "cwd" "/data" s
+  | Error _ -> Alcotest.fail "read cwd"
+
+(* --- trace format --------------------------------------------------------- *)
+
+let test_trace_roundtrip () =
+  let text =
+    "trace demo\n\
+     # a comment\n\
+     openat(-100, \"/a b,c.txt\", 0) = ok\n\
+     read($0, buf[64], 64) = 5 !\n\
+     sendto($0, &1, $1, 0, sa[10.0.0.9:53], 16) = *\n\
+     close($0) = 0\n\
+     fork() = ENOSYS\n"
+  in
+  match Trace.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok t -> (
+      Alcotest.(check string) "name" "demo" (Trace.name t);
+      Alcotest.(check int) "entries" 5 (Trace.length t);
+      let printed = Trace.to_string t in
+      match Trace.of_string printed with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok t2 ->
+          Alcotest.(check string) "print/parse fixpoint" printed (Trace.to_string t2);
+          let e1 = List.nth (Trace.entries t) 1 in
+          Alcotest.(check bool) "blocking flag" true e1.Trace.blocking;
+          Alcotest.(check bool) "expect exact" true (e1.Trace.expect = Trace.Ret 5))
+
+let test_trace_parse_errors () =
+  let bad s =
+    match Trace.of_string s with Ok _ -> Alcotest.failf "accepted %S" s | Error _ -> ()
+  in
+  bad "openat(0) = ok\n";
+  bad "trace x\nfrobnicate(0) = ok\n";
+  bad "trace x\nread(0 = ok\n";
+  bad "trace x\nread(0) = maybe\n";
+  bad "trace x\nread(nope) = ok\n"
+
+let test_trace_run_native () =
+  let _, vfs, p = mk_personality () in
+  let fd = (match Vfs.open_file vfs "/hello.txt" ~create:true () with Ok fd -> fd | Error _ -> Alcotest.fail "create") in
+  ignore (Vfs.write vfs fd (Bytes.of_string "abcdef"));
+  ignore (Vfs.close vfs fd);
+  let t =
+    Trace.of_string
+      "trace t\n\
+       openat(-100, \"/hello.txt\", 0) = ok\n\
+       read($0, buf[16], 16) = 6\n\
+       close($0) = 0\n\
+       getpid() = ok\n"
+    |> Result.get_ok
+  in
+  match Trace.run p t with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (* arena mmap + 4 entries, no retries possible (nothing blocking) *)
+      Alcotest.(check int) "calls" 5 o.Trace.calls;
+      Alcotest.(check int) "retries" 0 o.Trace.retries;
+      Alcotest.(check int) "enosys" 0 o.Trace.enosys;
+      Alcotest.(check int) "boundary = calls x 4" (5 * 4) o.Trace.boundary_cycles;
+      Alcotest.(check int) "no interpreter" 0 o.Trace.interp_cycles
+
+(* --- the ladder, end to end ----------------------------------------------- *)
+
+let test_driver_ladder_nginx () =
+  match Driver.ladder ~seed:7 Driver.Nginx with
+  | Error e -> Alcotest.fail e
+  | Ok reports ->
+      Alcotest.(check int) "four rungs" 4 (List.length reports);
+      List.iter
+        (fun r ->
+          Alcotest.(check bool)
+            (Driver.rung_name r.Driver.rung ^ " client validated payload")
+            true r.Driver.client_ok;
+          Alcotest.(check int)
+            (Driver.rung_name r.Driver.rung ^ " zero ENOSYS on hot path")
+            0 r.Driver.outcome.Trace.enosys)
+        reports;
+      let cycles = List.map (fun r -> r.Driver.ladder_cycles) reports in
+      (match cycles with
+      | [ native; rewritten; compat; linux ] ->
+          Alcotest.(check bool) "native < rewritten" true (native < rewritten);
+          Alcotest.(check bool) "rewritten < compat" true (rewritten < compat);
+          Alcotest.(check bool) "compat < linux" true (compat < linux);
+          Alcotest.(check bool) "native 5x cheaper boundary than linux" true
+            (linux >= 5 * native)
+      | _ -> Alcotest.fail "ladder shape")
+
+let test_driver_redis_end_to_end () =
+  match Driver.run ~seed:3 ~rung:Driver.Native Driver.Redis with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "value came back" true r.Driver.client_ok;
+      Alcotest.(check int) "no ENOSYS" 0 r.Driver.outcome.Trace.enosys;
+      Alcotest.(check bool) "client saw bytes" true (r.Driver.client_bytes > 0)
+
+let test_driver_replay_deterministic () =
+  let h rung =
+    match Driver.run ~seed:11 ~rung Driver.Redis with
+    | Ok r -> r.Driver.state_hash
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "same seed, byte-identical" (h Driver.Compat) (h Driver.Compat);
+  let a = match Driver.run ~seed:11 ~rung:Driver.Native Driver.Redis with
+    | Ok r -> r | Error e -> Alcotest.fail e in
+  let b = match Driver.run ~seed:12 ~rung:Driver.Native Driver.Redis with
+    | Ok r -> r | Error e -> Alcotest.fail e in
+  (* different think-time jitter, same protocol outcome *)
+  Alcotest.(check bool) "both valid" true (a.Driver.client_ok && b.Driver.client_ok)
+
+(* --- satellite: Fig 7 against the live shim -------------------------------- *)
+
+let test_appdb_live_shim () =
+  let _, _, p = mk_personality () in
+  let shim = Pers.shim p in
+  (* everything the personality registers is within the paper's set *)
+  let module Iset = Set.Make (Int) in
+  let live = Iset.of_list (Shim.supported_set shim) in
+  let static = Iset.of_list Appdb.unikraft_supported in
+  Alcotest.(check bool) "personality within unikraft_supported" true (Iset.subset live static);
+  (* topping up with Appdb stubs makes live coverage equal the static Fig 7 *)
+  Appdb.install_supported shim;
+  Alcotest.(check int) "supported_count matches static registration" (Iset.cardinal static)
+    (Shim.supported_count shim);
+  let stat_cov = Appdb.coverage () in
+  let live_cov = Appdb.coverage_of_shim shim in
+  Alcotest.(check int) "coverage rows" (List.length stat_cov) (List.length live_cov);
+  List.iter2
+    (fun (s : Appdb.coverage) (l : Appdb.coverage) ->
+      Alcotest.(check string) "app" s.Appdb.app l.Appdb.app;
+      Alcotest.(check (float 1e-9)) (s.Appdb.app ^ " now") s.Appdb.now l.Appdb.now;
+      Alcotest.(check (float 1e-9)) (s.Appdb.app ^ " +15") s.Appdb.plus15 l.Appdb.plus15)
+    stat_cov live_cov;
+  let stat_hm = Appdb.heatmap () in
+  let live_hm = Appdb.heatmap_of_shim shim in
+  List.iter2
+    (fun (s : Appdb.heat_cell) (l : Appdb.heat_cell) ->
+      if s.Appdb.supported <> l.Appdb.supported then
+        Alcotest.failf "heatmap disagrees at %s" s.Appdb.sname)
+    stat_hm live_hm
+
+let suite =
+  [
+    Alcotest.test_case "process mmap/brk address space" `Quick test_process_mmap_brk;
+    Alcotest.test_case "process EFAULT on wild pointers" `Quick test_process_efault;
+    Alcotest.test_case "file syscalls through ukvfs" `Quick test_file_syscalls;
+    Alcotest.test_case "getcwd/chdir" `Quick test_getcwd_chdir;
+    Alcotest.test_case "trace text round-trip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "trace parse errors" `Quick test_trace_parse_errors;
+    Alcotest.test_case "trace native replay" `Quick test_trace_run_native;
+    Alcotest.test_case "nginx ladder end to end" `Quick test_driver_ladder_nginx;
+    Alcotest.test_case "redis end to end" `Quick test_driver_redis_end_to_end;
+    Alcotest.test_case "seeded replay deterministic" `Quick test_driver_replay_deterministic;
+    Alcotest.test_case "Fig 7 against the live shim" `Quick test_appdb_live_shim;
+  ]

@@ -32,8 +32,14 @@ let test_shim_register_call () =
   | _ -> Alcotest.fail "handler result");
   Alcotest.(check int) "dispatch charged" 4 (Uksim.Clock.cycles clock);
   Alcotest.(check bool) "supports" true (Shim.supports shim 39);
-  Alcotest.check_raises "duplicate" (Invalid_argument "Shim.register: duplicate handler for getpid")
-    (fun () -> Shim.register shim ~sysno:39 (fun _ -> Ok 0))
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Shim.register: duplicate handler for getpid (sysno 39)") (fun () ->
+      Shim.register shim ~sysno:39 (fun _ -> Ok 0));
+  Alcotest.check_raises "out of range names the range"
+    (Invalid_argument
+       (Printf.sprintf "Shim.register: sysno 999 out of range (0..%d = %s..%s)" Sysno.max_sysno
+          (Sysno.name 0) (Sysno.name Sysno.max_sysno))) (fun () ->
+      Shim.register shim ~sysno:999 (fun _ -> Ok 0))
 
 let test_shim_enosys () =
   let clock = Uksim.Clock.create () in
@@ -137,6 +143,63 @@ let test_required_error () =
     (Invalid_argument "Appdb.required: unknown application no-such-app") (fun () ->
       ignore (Appdb.required "no-such-app"))
 
+let test_shim_trace_source () =
+  Uktrace.Registry.clear ();
+  let clock = Uksim.Clock.create () in
+  let shim = Shim.create ~clock ~mode:Shim.Native_link in
+  Shim.register shim ~sysno:39 (fun _ -> Ok 1) (* getpid *);
+  ignore (Shim.call shim ~sysno:39 [||]);
+  ignore (Shim.call shim ~sysno:39 [||]);
+  ignore (Shim.call shim ~sysno:57 [||]) (* fork: ENOSYS *);
+  Alcotest.(check int) "enosys_count" 1 (Shim.enosys_count shim);
+  let snap = Uktrace.Registry.snapshot () in
+  match Uktrace.Registry.find snap "uksyscall.shim" with
+  | None -> Alcotest.fail "uksyscall.shim source not registered"
+  | Some samples ->
+      let count k =
+        match List.assoc_opt k samples with Some (Uktrace.Metric.Count n) -> n | _ -> -1
+      in
+      Alcotest.(check int) "calls" 3 (count "calls");
+      Alcotest.(check int) "enosys" 1 (count "enosys");
+      Alcotest.(check int) "calls.getpid keyed by name" 2 (count "calls.getpid");
+      Alcotest.(check int) "calls.fork keyed by name" 1 (count "calls.fork");
+      Uktrace.Registry.reset ();
+      Alcotest.(check int) "reset zeroes the window" 0 (Shim.enosys_count shim)
+
+(* Satellite: HermiTux-style rewriting must preserve the architectural
+   outcome (instructions retired, syscalls issued, ENOSYS stubs hit) while
+   strictly shrinking the syscall-boundary cost whenever a trap site
+   exists. *)
+module B = Uksyscall.Binary
+
+let binary_of_ops ops =
+  B.assemble
+    (List.map
+       (fun (is_syscall, n) ->
+         if is_syscall then B.Syscall (n mod (Sysno.max_sysno + 1))
+         else B.Add (n mod 8, (n + 1) mod 8))
+       ops
+    @ [ B.Ret ])
+
+let test_rewrite_preserves_results =
+  QCheck.Test.make ~name:"rewrite: same results, strictly fewer trap cycles" ~count:100
+    QCheck.(list (pair bool small_nat))
+    (fun ops ->
+      let b = binary_of_ops ops in
+      let run bin =
+        let clock = Uksim.Clock.create () in
+        let shim = Shim.create ~clock ~mode:Shim.Native_link in
+        Appdb.install_supported shim;
+        B.execute ~clock ~shim bin
+      in
+      let plain = run b in
+      let rewritten = run (B.rewrite b) in
+      plain.B.instructions = rewritten.B.instructions
+      && plain.B.syscalls = rewritten.B.syscalls
+      && plain.B.enosys = rewritten.B.enosys
+      && if plain.B.syscalls > 0 then rewritten.B.cycles < plain.B.cycles
+         else rewritten.B.cycles = plain.B.cycles)
+
 let suite =
   [
     Alcotest.test_case "x86-64 syscall table" `Quick test_sysno_table;
@@ -153,4 +216,6 @@ let suite =
     Alcotest.test_case "most wanted missing" `Quick test_most_wanted;
     Alcotest.test_case "strace tracer + histogram" `Quick test_tracer_and_histogram;
     Alcotest.test_case "unknown app error" `Quick test_required_error;
+    Alcotest.test_case "shim uktrace source" `Quick test_shim_trace_source;
+    QCheck_alcotest.to_alcotest test_rewrite_preserves_results;
   ]

@@ -17,6 +17,7 @@ let () =
       ("ukbuild", T_ukbuild.suite);
       ("ukcheck", T_ukcheck.suite);
       ("ukcluster", T_ukcluster.suite);
+      ("ukcompat", T_ukcompat.suite);
       ("ukconf", T_ukconf.suite);
       ("ukdebug", T_ukdebug.suite);
       ("ukfault", T_ukfault.suite);
