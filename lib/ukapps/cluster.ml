@@ -17,8 +17,23 @@
 
 module S = Uknetstack.Stack
 module A = Uknetstack.Addr
+module Nb = Uknetdev.Netbuf
 
 type alloc_mode = Arena | Shared_lock
+
+(* Datapath ingredient knobs — each independently ablatable (the fast-path
+   ablation matrix). [None] fastpath in {!create} keeps the stacks on
+   their historical defaults, byte-for-byte compatible with pre-fast-path
+   schedules. *)
+type fastpath = {
+  rx_batch : int;  (** descriptors per poll; 1 = per-packet processing *)
+  rx_copy : bool;  (** true = legacy copy-into-fresh-buffer RX path *)
+  tx_coalesce : bool;  (** one TX ring burst per poll window *)
+  shared_pool : bool;  (** one spinlocked netbuf pool for all server cores *)
+}
+
+let fastpath_default =
+  { rx_batch = 64; rx_copy = false; tx_coalesce = true; shared_pool = false }
 
 type t = {
   smp : Uksmp.Smp.t;
@@ -35,7 +50,7 @@ type t = {
 let server_ip = A.Ipv4.of_string "10.0.0.1"
 let client_ip = A.Ipv4.of_string "10.0.0.2"
 
-let create ?(seed = 1) ?(alloc_mode = Arena) ~n () =
+let create ?(seed = 1) ?(alloc_mode = Arena) ?fastpath ~n () =
   if n <= 0 then invalid_arg "Cluster.create: n must be positive";
   let smp = Uksmp.Smp.create ~seed ~cores:(2 * n) () in
   (* Feed the uktrace profiling sampler: per-step cycle deltas attribute
@@ -75,24 +90,47 @@ let create ?(seed = 1) ?(alloc_mode = Arena) ~n () =
         let views, spin = Ukalloc.Percore.shared_lock_views ~clocks:server_clocks ~backend () in
         (views, spin, None)
   in
-  let mk_stack ~core ~dev ~qid ~ip ~mac =
+  (* Shared-pool ablation: one netbuf pool serves every server stack, and
+     each take/give pays a spinlock acquire against the caller's core
+     clock — the serialization the per-core pools exist to avoid. The
+     pool's own clock is a dummy; costs are charged via [on_op]. *)
+  let shared_pool =
+    match fastpath with
+    | Some fp when fp.shared_pool ->
+        let psp = Uklock.Lock.Spin.create ~name:"nbpool" () in
+        Some
+          (Nb.Pool.create ~clock:(Uksim.Clock.create ())
+             ~on_op:(fun clock -> Uklock.Lock.Spin.acquire psp clock ~hold:30)
+             ~count:(n * 512) ~size:2048 ())
+    | _ -> None
+  in
+  let mk_stack ~core ~dev ~qid ~ip ~mac ~server =
+    let cfg =
+      { S.mac = A.Mac.of_int mac; ip; netmask = A.Ipv4.of_string "255.255.255.0";
+        gateway = None }
+    in
+    let clock = Uksmp.Smp.clock_of smp ~core in
+    let engine = Uksmp.Smp.engine_of smp ~core in
+    let sched = Uksmp.Smp.sched_of smp ~core in
     let s =
-      S.create
-        ~clock:(Uksmp.Smp.clock_of smp ~core)
-        ~engine:(Uksmp.Smp.engine_of smp ~core)
-        ~sched:(Uksmp.Smp.sched_of smp ~core)
-        ~dev ~qid
-        { S.mac = A.Mac.of_int mac; ip; netmask = A.Ipv4.of_string "255.255.255.0";
-          gateway = None }
+      match fastpath with
+      | None -> S.create ~clock ~engine ~sched ~dev ~qid cfg
+      | Some fp ->
+          S.create ~clock ~engine ~sched ~dev ~qid ~rx_batch:fp.rx_batch
+            ~rx_copy:fp.rx_copy ~tx_coalesce:fp.tx_coalesce
+            ?pool:(if server then shared_pool else None)
+            cfg
     in
     S.start s;
     s
   in
   let server_stacks =
-    Array.init n (fun i -> mk_stack ~core:i ~dev:dev_a ~qid:i ~ip:server_ip ~mac:0xA)
+    Array.init n (fun i ->
+        mk_stack ~core:i ~dev:dev_a ~qid:i ~ip:server_ip ~mac:0xA ~server:true)
   in
   let client_stacks =
-    Array.init n (fun j -> mk_stack ~core:(n + j) ~dev:dev_b ~qid:j ~ip:client_ip ~mac:0xB)
+    Array.init n (fun j ->
+        mk_stack ~core:(n + j) ~dev:dev_b ~qid:j ~ip:client_ip ~mac:0xB ~server:false)
   in
   { smp; n; mode = alloc_mode; server_stacks; client_stacks; allocs; alloc_spin; arena;
     backend }
@@ -176,6 +214,31 @@ let run_httpd_load t ?(port = 80) ?(connections_per_core = 8) ?(requests_per_cor
   Uksmp.Smp.run t.smp;
   Wrk.result_of_agg agg ~t_start:start
 
+let add_httpd_fast t ?(port = 80) ?rtc content =
+  Array.init t.n (fun i ->
+      Httpd.create_fast
+        ~clock:(Uksmp.Smp.clock_of t.smp ~core:i)
+        ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
+        ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port ~core:i ?rtc content)
+
+let run_httpd_load_fast t ?(port = 80) ?(connections_per_core = 8)
+    ?(requests_per_core = 4000) ?path ?pipeline () =
+  let agg = Wrk.new_agg () in
+  let ports = steered_ports t ~dport:port ~per_core:connections_per_core in
+  for j = 0 to t.n - 1 do
+    let core = t.n + j in
+    Wrk.spawn_fast
+      ~clock:(Uksmp.Smp.clock_of t.smp ~core)
+      ~sched:(Uksmp.Smp.sched_of t.smp ~core)
+      ~stack:t.client_stacks.(j) ~server:(server_ip, port)
+      ~connections:connections_per_core ~requests:requests_per_core ?path ?pipeline
+      ~port_for:(fun ci -> Some ports.(j).(ci))
+      ~agg ()
+  done;
+  let start = t_start t in
+  Uksmp.Smp.run t.smp;
+  Wrk.result_of_agg agg ~t_start:start
+
 (* --- RESP store ----------------------------------------------------------- *)
 
 let add_resp t ?(port = 6379) ?(populate = 0) () =
@@ -198,6 +261,43 @@ let add_resp t ?(port = 6379) ?(populate = 0) () =
     ignore (Resp_store.execute workers.(0) [ "SET"; Printf.sprintf "key:%06d" k; "xxx" ])
   done;
   workers
+
+let add_resp_fast t ?(port = 6379) ?(populate = 0) ?rtc () =
+  let workers =
+    let first = ref None in
+    Array.init t.n (fun i ->
+        let w =
+          Resp_store.create_fast
+            ~clock:(Uksmp.Smp.clock_of t.smp ~core:i)
+            ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
+            ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port ~core:i
+            ?share_with:!first ?rtc ()
+        in
+        if !first = None then first := Some w;
+        w)
+  in
+  for k = 0 to populate - 1 do
+    ignore (Resp_store.execute workers.(0) [ "SET"; Printf.sprintf "key:%06d" k; "xxx" ])
+  done;
+  workers
+
+let run_resp_load_fast t ?(port = 6379) ?(connections_per_core = 8) ?(pipeline = 16)
+    ?(requests_per_core = 10_000) workload =
+  let agg = Resp_bench.new_agg () in
+  let ports = steered_ports t ~dport:port ~per_core:connections_per_core in
+  for j = 0 to t.n - 1 do
+    let core = t.n + j in
+    Resp_bench.spawn_fast
+      ~clock:(Uksmp.Smp.clock_of t.smp ~core)
+      ~sched:(Uksmp.Smp.sched_of t.smp ~core)
+      ~stack:t.client_stacks.(j) ~server:(server_ip, port)
+      ~connections:connections_per_core ~pipeline ~requests:requests_per_core
+      ~port_for:(fun ci -> Some ports.(j).(ci))
+      ~agg workload
+  done;
+  let start = t_start t in
+  Uksmp.Smp.run t.smp;
+  Resp_bench.result_of_agg agg ~t_start:start
 
 let run_resp_load t ?(port = 6379) ?(connections_per_core = 8) ?(pipeline = 16)
     ?(requests_per_core = 10_000) workload =

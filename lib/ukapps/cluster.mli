@@ -16,9 +16,26 @@ type alloc_mode =
   | Arena  (** per-core magazines over the shared backend ({!Ukalloc.Percore}) *)
   | Shared_lock  (** every allocation takes one global spinlock — the ablation baseline *)
 
-val create : ?seed:int -> ?alloc_mode:alloc_mode -> n:int -> unit -> t
+type fastpath = {
+  rx_batch : int;  (** descriptors per poll; 1 ablates RX batching *)
+  rx_copy : bool;  (** true ablates zero-copy RX (copy into fresh buffers) *)
+  tx_coalesce : bool;  (** one TX ring burst per poll window *)
+  shared_pool : bool;
+      (** one spinlocked netbuf pool shared by all server cores — ablates
+          the per-core pools *)
+}
+(** Datapath ingredient knobs for the fast-path ablation matrix. *)
+
+val fastpath_default : fastpath
+(** All ingredients on: [{rx_batch = 64; rx_copy = false;
+    tx_coalesce = true; shared_pool = false}]. *)
+
+val create : ?seed:int -> ?alloc_mode:alloc_mode -> ?fastpath:fastpath -> n:int -> unit -> t
 (** [2 * n] cores, stacks brought up and started (per-core bring-up runs
-    in parallel virtual time). Default [alloc_mode] is [Arena]. *)
+    in parallel virtual time). Default [alloc_mode] is [Arena]. Omitting
+    [fastpath] keeps the stacks on their historical defaults (identical
+    schedules to pre-fast-path runs); passing one applies the ingredient
+    knobs to every stack on both sides. *)
 
 val smp : t -> Uksmp.Smp.t
 val n : t -> int
@@ -52,6 +69,22 @@ val run_httpd_load :
     Weak scaling: the per-core load is fixed, so ideal scaling keeps
     elapsed flat while total throughput grows with [n]. *)
 
+val add_httpd_fast : t -> ?port:int -> ?rtc:bool -> Httpd.content -> Httpd.t array
+(** One {!Httpd.create_fast} worker per server core. [rtc:false] ablates
+    run-to-completion (requests hop through a pinned worker thread). *)
+
+val run_httpd_load_fast :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?requests_per_core:int ->
+  ?path:string ->
+  ?pipeline:int ->
+  unit ->
+  Wrk.result
+(** {!run_httpd_load} driven by {!Wrk.spawn_fast} (zero-copy pipelined
+    clients; [pipeline] defaults to 16). *)
+
 val add_resp : t -> ?port:int -> ?populate:int -> unit -> Resp_store.t array
 (** One worker per server core sharing a single database (port defaults to
     6379); [populate] pre-loads that many keys in Resp_bench's key pattern
@@ -66,3 +99,18 @@ val run_resp_load :
   Resp_bench.workload ->
   Resp_bench.result
 (** Defaults: 8 connections, pipeline 16, 10k requests per core. *)
+
+val add_resp_fast :
+  t -> ?port:int -> ?populate:int -> ?rtc:bool -> unit -> Resp_store.t array
+(** One {!Resp_store.create_fast} worker per server core sharing a single
+    database. *)
+
+val run_resp_load_fast :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?pipeline:int ->
+  ?requests_per_core:int ->
+  Resp_bench.workload ->
+  Resp_bench.result
+(** {!run_resp_load} driven by {!Resp_bench.spawn_fast}. *)

@@ -148,6 +148,157 @@ let handle_connection t flow =
   in
   serve ()
 
+(* --- zero-copy run-to-completion fast path (the paper's Fig 14 port) ------ *)
+
+module Nb = Uknetdev.Netbuf
+module Tcp = Uknetstack.Tcp
+
+(* Specialized request handling: the request line is parsed in place in
+   the driver's ring buffer (no per-request pool, no header
+   re-materialization), so the per-request budget shrinks from
+   [parse_cost + respond_cost] to a scan plus a template write. *)
+let fast_parse_cost = 150
+let fast_respond_cost = 110
+
+(* Find "\r\n\r\n" in [buf] within [from, limit); the index after it. *)
+let find_reqend buf from limit =
+  let rec go i =
+    if i + 3 >= limit then None
+    else if
+      Bytes.get buf i = '\r'
+      && Bytes.get buf (i + 1) = '\n'
+      && Bytes.get buf (i + 2) = '\r'
+      && Bytes.get buf (i + 3) = '\n'
+    then Some (i + 4)
+    else go (i + 1)
+  in
+  go from
+
+(* Parse "GET <path> <version>" in place; the path is the only substring
+   materialized (it is the lookup key, not payload). *)
+let parse_fast buf rs limit =
+  if limit - rs > 4 && Bytes.sub_string buf rs 4 = "GET " then
+    match Bytes.index_from_opt buf (rs + 4) ' ' with
+    | Some sp when sp < limit -> Some (Bytes.sub_string buf (rs + 4) (sp - rs - 4))
+    | Some _ | None -> None
+  else None
+
+let fast_reply t w buf rs re =
+  Uktrace.Tracer.span Uktrace.Tracer.default t.clock ~core:t.core ~cat:"ukapps"
+    "http_request_fast" (fun () ->
+      charge t fast_parse_cost;
+      let line_end =
+        match Bytes.index_from_opt buf rs '\r' with
+        | Some i when i < re -> i
+        | Some _ | None -> re
+      in
+      let reply =
+        match parse_fast buf rs line_end with
+        | None -> response ~status:"400 Bad Request" ~body:"bad request"
+        | Some path -> (
+            match lookup t path with
+            | Some body -> response ~status:"200 OK" ~body
+            | None ->
+                t.st <- { t.st with errors_404 = t.st.errors_404 + 1 };
+                response ~status:"404 Not Found" ~body:"not found")
+      in
+      charge t fast_respond_cost;
+      Nbio.add w reply;
+      t.st <-
+        { t.st with
+          requests = t.st.requests + 1;
+          bytes_sent = t.st.bytes_sent + String.length reply })
+
+(* Scan [buf[off, off+len)] for complete requests; returns bytes consumed. *)
+let fast_scan t w buf off len =
+  let limit = off + len in
+  let rec go rs =
+    match find_reqend buf rs limit with
+    | Some re ->
+        fast_reply t w buf rs re;
+        go re
+    | None -> rs - off
+  in
+  go off
+
+(* Stash path: a request straddled a segment boundary, so this connection
+   temporarily falls back to materialized bytes (one counted copy per
+   stashed segment) until the pipeline realigns. *)
+let stash_drain t w stash =
+  let s = Buffer.contents stash in
+  let b = Bytes.unsafe_of_string s in
+  let consumed = fast_scan t w b 0 (String.length s) in
+  if consumed > 0 then begin
+    let rest = String.sub s consumed (String.length s - consumed) in
+    Buffer.clear stash;
+    Buffer.add_string stash rest
+  end
+
+let fast_on_data t flow stash nb =
+  let w = Nbio.writer ~clock:t.clock ~stack:t.stack ~flow in
+  (if Buffer.length stash = 0 then begin
+     let buf, off, len = Nb.view nb in
+     let consumed = fast_scan t w buf off len in
+     if consumed < len then begin
+       Nb.pull nb consumed;
+       Buffer.add_bytes stash (Nb.copy_out nb)
+     end;
+     Nb.recycle nb
+   end
+   else begin
+     Buffer.add_bytes stash (Nb.copy_out nb);
+     Nb.recycle nb;
+     stash_drain t w stash
+   end);
+  Nbio.flush w
+
+let create_fast ~clock ~sched ~stack ~alloc ?(port = 80) ?(core = 0) ?(rtc = true) content =
+  let t =
+    { clock; sched; stack; alloc; content; core;
+      st = { requests = 0; errors_404 = 0; errors_503 = 0; bytes_sent = 0 } }
+  in
+  Uktrace.Registry.register
+    (Uktrace.Source.make ~subsystem:"ukapps" ~name:"httpd"
+       ~reset:(fun () ->
+         t.st <- { requests = 0; errors_404 = 0; errors_503 = 0; bytes_sent = 0 })
+       (fun () ->
+         [
+           ("requests", Uktrace.Metric.Count t.st.requests);
+           ("errors_404", Uktrace.Metric.Count t.st.errors_404);
+           ("errors_503", Uktrace.Metric.Count t.st.errors_503);
+           ("bytes_sent", Uktrace.Metric.Count t.st.bytes_sent);
+         ]));
+  let l = S.Tcp_socket.listen stack ~port () in
+  let dispatch =
+    if rtc then fun job -> job ()
+    else begin
+      (* Ablation: instead of running to completion inside packet
+         processing, hop through a pinned worker thread — the classic
+         softirq-to-server handoff the fast path removes. *)
+      let q : (unit -> unit) Queue.t = Queue.create () in
+      let wtid =
+        Uksched.Sched.spawn sched ~name:"httpd-fast-worker" ~daemon:true ~pinned:true
+          (fun () ->
+            let rec loop () =
+              (match Queue.take_opt q with
+              | Some job -> job ()
+              | None -> Uksched.Sched.block ());
+              loop ()
+            in
+            loop ())
+      in
+      fun job ->
+        Queue.push job q;
+        Uksched.Sched.wake sched wtid
+    end
+  in
+  S.Tcp_socket.set_fast_accept l
+    (Some
+       (fun flow ->
+         let stash = Buffer.create 64 in
+         Tcp.set_rx_sink flow (Some (fun nb -> dispatch (fun () -> fast_on_data t flow stash nb)))));
+  t
+
 let create ~clock ~sched ~stack ~alloc ?(port = 80) ?(core = 0) content =
   let t =
     { clock; sched; stack; alloc; content; core;

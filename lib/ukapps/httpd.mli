@@ -40,6 +40,26 @@ val create :
     labels this worker's tracepoints; stats also register as an
     ["ukapps.httpd"] {!Uktrace.Registry} source. *)
 
+val create_fast :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  alloc:Ukalloc.Alloc.t ->
+  ?port:int ->
+  ?core:int ->
+  ?rtc:bool ->
+  content ->
+  t
+(** The zero-copy run-to-completion build (Fig 14's netbuf port): requests
+    are parsed in place in the driver's ring buffer from a per-connection
+    {!Uknetstack.Tcp.set_rx_sink}, and replies are written straight into
+    pool netbufs ({!Nbio}) handed down TX by ownership — the hot path
+    makes no counted payload copies. Handlers run inside packet processing
+    on the receiving core; [rtc:false] ablates that by hopping each
+    request through a pinned worker thread. Requests that straddle a
+    segment fall back to a counted-copy stash until the pipeline
+    realigns. *)
+
 val stats : t -> stats
 
 val sum_stats : t list -> stats

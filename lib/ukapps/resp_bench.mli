@@ -37,6 +37,25 @@ val spawn :
 (** Spawn the client threads (pinned) without driving the scheduler;
     [port_for ci] forces connection [ci]'s source port for RSS steering. *)
 
+val spawn_fast :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  server:Uknetstack.Addr.Ipv4.t * int ->
+  ?connections:int ->
+  ?pipeline:int ->
+  ?requests:int ->
+  ?value_size:int ->
+  ?port_for:(int -> int option) ->
+  agg:agg ->
+  workload ->
+  unit
+(** Zero-copy pipelined client for {!Resp_store.create_fast} servers:
+    replies are counted by an incremental boundary scanner running
+    in-place over ring netbufs ({!Uknetstack.Tcp.set_rx_sink}) and
+    commands go out through an {!Nbio} writer — no counted payload copies
+    on either direction. *)
+
 val result_of_agg : agg -> t_start:float -> result
 
 val run :

@@ -190,7 +190,173 @@ let handle_connection t flow =
   in
   serve ()
 
-let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with () =
+(* --- zero-copy run-to-completion fast path -------------------------------- *)
+
+module Nb = Uknetdev.Netbuf
+module Tcp = Uknetstack.Tcp
+
+(* Specialized dispatch for the hot commands: no robj churn, no generic
+   command table, no reply buffering — the in-place parser feeds a direct
+   match whose real work (key hashing, value memcpy) is charged
+   separately, so this envelope is just parse + dispatch glue. Redis's
+   couple-of-thousand-cycle generic path shrinks to about a hundred. *)
+let fast_cmd_cost = 120
+
+(* In-place RESP parse of one command ("*N\r\n$len\r\narg\r\n...") at
+   [pos] in [buf[.., limit)]. Argument strings are materialized (they are
+   keys and stored values — the app's objects, not payload frames). *)
+let parse_cmd buf pos limit =
+  let exception Incomplete in
+  let exception Bad in
+  let line p =
+    let rec go i =
+      if i + 1 >= limit then raise Incomplete
+      else if Bytes.get buf i = '\r' && Bytes.get buf (i + 1) = '\n' then i
+      else go (i + 1)
+    in
+    go p
+  in
+  let int_at p e =
+    match int_of_string_opt (Bytes.sub_string buf p (e - p)) with
+    | Some v -> v
+    | None -> raise Bad
+  in
+  try
+    if pos >= limit then Error `Incomplete
+    else if Bytes.get buf pos <> '*' then Error `Bad
+    else begin
+      let e = line pos in
+      let n = int_at (pos + 1) e in
+      if n < 0 || n > 64 then Error `Bad
+      else begin
+        let p = ref (e + 2) in
+        let args = ref [] in
+        for _ = 1 to n do
+          if !p >= limit || Bytes.get buf !p <> '$' then raise Bad;
+          let e = line !p in
+          let len = int_at (!p + 1) e in
+          if len < 0 then raise Bad;
+          let s = e + 2 in
+          if s + len + 2 > limit then raise Incomplete;
+          if not (Bytes.get buf (s + len) = '\r' && Bytes.get buf (s + len + 1) = '\n') then
+            raise Bad;
+          args := Bytes.sub_string buf s len :: !args;
+          p := s + len + 2
+        done;
+        Ok (List.rev !args, !p)
+      end
+    end
+  with
+  | Incomplete -> Error `Incomplete
+  | Bad -> Error `Bad
+
+let execute_fast t args =
+  t.commands <- t.commands + 1;
+  charge t fast_cmd_cost;
+  match args with
+  | [ g; key ] when g = "GET" || g = "get" -> (
+      charge t hash_cost;
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          t.hits <- t.hits + 1;
+          charge t (Uksim.Cost.memcpy (String.length e.value));
+          Resp.Bulk e.value
+      | None ->
+          t.misses <- t.misses + 1;
+          Resp.Null)
+  | [ s; key; value ] when s = "SET" || s = "set" -> (
+      charge t hash_cost;
+      match store_bytes t value with
+      | None -> Resp.Error "OOM command not allowed when used memory > 'maxmemory'"
+      | Some e ->
+          (match Hashtbl.find_opt t.table key with
+          | Some old -> drop_entry t old
+          | None -> ());
+          Hashtbl.replace t.table key e;
+          Resp.Simple "OK")
+  | [ p ] when p = "PING" || p = "ping" -> Resp.Simple "PONG"
+  | [ d; key ] when d = "DEL" || d = "del" -> (
+      charge t hash_cost;
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+          drop_entry t e;
+          Hashtbl.remove t.table key;
+          Resp.Integer 1
+      | None -> Resp.Integer 0)
+  | [ i; key ] when i = "INCR" || i = "incr" -> (
+      charge t hash_cost;
+      let cur =
+        match Hashtbl.find_opt t.table key with
+        | Some e -> int_of_string_opt e.value
+        | None -> Some 0
+      in
+      match cur with
+      | None -> Resp.Error "ERR value is not an integer or out of range"
+      | Some v -> (
+          let s = string_of_int (v + 1) in
+          match store_bytes t s with
+          | None -> Resp.Error "OOM"
+          | Some e ->
+              (match Hashtbl.find_opt t.table key with
+              | Some old -> drop_entry t old
+              | None -> ());
+              Hashtbl.replace t.table key e;
+              Resp.Integer (v + 1)))
+  | _ ->
+      (* Cold commands go through the generic engine (undo the counter
+         bump: execute_untraced counts it again). *)
+      t.commands <- t.commands - 1;
+      execute_untraced t args
+
+(* All replies for one received segment batch into one TX writer. *)
+let fast_scan t w buf off len =
+  let limit = off + len in
+  let rec go pos =
+    if pos >= limit then pos - off
+    else
+      match parse_cmd buf pos limit with
+      | Ok (args, next) ->
+          let reply =
+            Uktrace.Tracer.span Uktrace.Tracer.default t.clock ~core:t.core ~cat:"ukapps"
+              "resp_command_fast" (fun () -> execute_fast t args)
+          in
+          Nbio.add w (Resp.encode reply);
+          go next
+      | Error `Incomplete -> pos - off
+      | Error `Bad ->
+          Nbio.add w (Resp.encode (Resp.Error "ERR protocol error"));
+          len
+  in
+  go off
+
+let stash_drain t w stash =
+  let s = Buffer.contents stash in
+  let consumed = fast_scan t w (Bytes.unsafe_of_string s) 0 (String.length s) in
+  if consumed > 0 then begin
+    let rest = String.sub s consumed (String.length s - consumed) in
+    Buffer.clear stash;
+    Buffer.add_string stash rest
+  end
+
+let fast_on_data t flow stash nb =
+  let w = Nbio.writer ~clock:t.clock ~stack:t.stack ~flow in
+  (if Buffer.length stash = 0 then begin
+     let buf, off, len = Nb.view nb in
+     let consumed = fast_scan t w buf off len in
+     if consumed < len then begin
+       Nb.pull nb consumed;
+       Buffer.add_bytes stash (Nb.copy_out nb)
+     end;
+     Nb.recycle nb
+   end
+   else begin
+     Buffer.add_bytes stash (Nb.copy_out nb);
+     Nb.recycle nb;
+     stash_drain t w stash
+   end);
+  Nbio.flush w
+
+let mk ~clock ~sched ~stack ~alloc ~core ?share_with () =
   (* [share_with]: SMP workers serve one logical database — every worker
      reuses the first worker's key space (per-worker command counters stay
      separate; see [sum_stats]). *)
@@ -214,9 +380,13 @@ let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with ()
            ("hits", Uktrace.Metric.Count t.hits);
            ("misses", Uktrace.Metric.Count t.misses);
          ]));
+  t
+
+let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with () =
+  let t = mk ~clock ~sched ~stack ~alloc ~core ?share_with () in
   (* Listen synchronously so the port is open before any other core's
      virtual time reaches a connect — under SMP this core's clock may
-     lag or lead the clients' by the time the coordinator first steps
+     lag or lead the clients' by the time the coordinator first reaches
      the accept thread. *)
   let l = S.Tcp_socket.listen stack ~port () in
   let _ =
@@ -235,6 +405,39 @@ let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with ()
         in
         loop ())
   in
+  t
+
+let create_fast ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with
+    ?(rtc = true) () =
+  let t = mk ~clock ~sched ~stack ~alloc ~core ?share_with () in
+  let l = S.Tcp_socket.listen stack ~port () in
+  let dispatch =
+    if rtc then fun job -> job ()
+    else begin
+      (* Ablation: hop each command batch through a pinned worker thread
+         instead of executing inside packet processing. *)
+      let q : (unit -> unit) Queue.t = Queue.create () in
+      let wtid =
+        Uksched.Sched.spawn sched ~name:"redis-fast-worker" ~daemon:true ~pinned:true
+          (fun () ->
+            let rec loop () =
+              (match Queue.take_opt q with
+              | Some job -> job ()
+              | None -> Uksched.Sched.block ());
+              loop ()
+            in
+            loop ())
+      in
+      fun job ->
+        Queue.push job q;
+        Uksched.Sched.wake sched wtid
+    end
+  in
+  S.Tcp_socket.set_fast_accept l
+    (Some
+       (fun flow ->
+         let stash = Buffer.create 64 in
+         Tcp.set_rx_sink flow (Some (fun nb -> dispatch (fun () -> fast_on_data t flow stash nb)))));
   t
 
 let stats t = { commands = t.commands; hits = t.hits; misses = t.misses }

@@ -28,6 +28,25 @@ val create :
     0) labels this worker's tracepoints; stats also register as an
     ["ukapps.resp"] {!Uktrace.Registry} source. *)
 
+val create_fast :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  alloc:Ukalloc.Alloc.t ->
+  ?port:int ->
+  ?core:int ->
+  ?share_with:t ->
+  ?rtc:bool ->
+  unit ->
+  t
+(** The zero-copy run-to-completion build: commands are parsed in place in
+    the driver's ring buffer (per-connection {!Uknetstack.Tcp.set_rx_sink})
+    with a specialized dispatch for the hot commands (PING/GET/SET/DEL/
+    INCR; everything else falls back to the generic engine), and all
+    replies for one received segment batch into minimal TX segments
+    ({!Nbio}). [rtc:false] ablates run-to-completion by hopping each batch
+    through a pinned worker thread. *)
+
 val stats : t -> stats
 
 val sum_stats : t list -> stats

@@ -68,7 +68,6 @@ let spec_parse_cost = 95
 let spec_reply_cost = 80
 
 let serve_netdev ~clock ~sched ~dev ~store ~mac ~ip ?(port = 5000) () =
-  let pool = Nb.Pool.create ~clock ~count:512 ~size:2048 () in
   (* The paper's mixed mode (§3.1): poll under load, arm the queue
      interrupt and park only when the ring runs dry. *)
   let tid =
@@ -101,7 +100,7 @@ let serve_netdev ~clock ~sched ~dev ~store ~mac ~ip ?(port = 5000) () =
                       | Ok _ | Error _ -> ())
                   | Ok _ | Error _ -> ())
               | Ok _ | Error _ -> ());
-              Nb.Pool.give pool nb)
+              Nb.recycle nb)
             pkts;
           if !replies <> [] then
             ignore (dev.Nd.tx_burst ~qid:0 (Array.of_list (List.rev !replies)));
@@ -112,7 +111,7 @@ let serve_netdev ~clock ~sched ~dev ~store ~mac ~ip ?(port = 5000) () =
   in
   dev.Nd.configure_queue ~qid:0
     {
-      Nd.rx_alloc = (fun () -> Nb.Pool.take pool);
+      Nd.rx_path = Nd.Zero_copy;
       mode = Nd.Interrupt_driven;
       rx_handler = Some (fun () -> Uksched.Sched.wake sched tid);
     }
@@ -164,9 +163,8 @@ module Client = struct
 
   let run_netdev ~clock ~sched ~dev ~mac ~ip ~server_mac ~server:(sip, sport)
       ?(requests = 50_000) ?(batch = 32) () =
-    let pool = Nb.Pool.create ~clock ~count:512 ~size:2048 () in
     dev.Nd.configure_queue ~qid:0
-      { Nd.rx_alloc = (fun () -> Nb.Pool.take pool); mode = Nd.Polling; rx_handler = None };
+      { Nd.rx_path = Nd.Zero_copy; mode = Nd.Polling; rx_handler = None };
     let replies = ref 0 in
     let t_start = ref 0.0 and t_end = ref 0.0 in
     let craft i =
@@ -195,7 +193,7 @@ module Client = struct
             List.iter
               (fun nb ->
                 incr replies;
-                Nb.Pool.give pool nb)
+                Nb.recycle nb)
               got;
             Uksim.Clock.advance clock 60;
             Uksched.Sched.yield ()

@@ -40,6 +40,27 @@ val spawn :
     [port_for ci] forces connection [ci]'s source port — used to steer its
     RSS hash to a chosen queue. Defaults as {!run}. *)
 
+val spawn_fast :
+  clock:Uksim.Clock.t ->
+  sched:Uksched.Sched.t ->
+  stack:Uknetstack.Stack.t ->
+  server:Uknetstack.Addr.Ipv4.t * int ->
+  ?connections:int ->
+  ?requests:int ->
+  ?path:string ->
+  ?pipeline:int ->
+  ?port_for:(int -> int option) ->
+  agg:agg ->
+  unit ->
+  unit
+(** Zero-copy pipelined client for driving {!Httpd.create_fast} servers:
+    one legacy warm-up request per connection learns the fixed response
+    length, then requests go out [pipeline] (default 16) at a time through
+    an {!Nbio} writer and responses are drained by a byte-counting
+    {!Uknetstack.Tcp.set_rx_sink} — the client makes no counted payload
+    copies after warm-up. Latency samples are per-request (batch time /
+    batch size). *)
+
 val result_of_agg : agg -> t_start:float -> result
 
 val run :

@@ -44,7 +44,7 @@ let link_up t =
   || Float.rem (Uksim.Clock.ns t.clock) t.p.flap_period_ns
      < t.p.flap_period_ns -. t.p.flap_down_ns
 
-let copy_frame nb = Uknetdev.Netbuf.of_bytes (Uknetdev.Netbuf.to_payload nb)
+let copy_frame nb = Uknetdev.Netbuf.copy nb
 
 let flip_bit t nb aux =
   let data = Uknetdev.Netbuf.data nb in
@@ -68,21 +68,35 @@ let judge t ~qid nb =
   let aux = Uksim.Rng.int t.rng max_int in
   if not (link_up t) then begin
     t.st <- { t.st with flap_dropped = t.st.flap_dropped + 1 };
+    Uknetdev.Netbuf.recycle nb;
     None
   end
   else if u_drop < t.p.drop then begin
     t.st <- { t.st with dropped = t.st.dropped + 1 };
+    Uknetdev.Netbuf.recycle nb;
     None
   end
   else begin
     t.passed <- t.passed + 1;
     if t.p.drop_every > 0 && t.passed mod t.p.drop_every = 0 then begin
       t.st <- { t.st with dropped = t.st.dropped + 1 };
+      Uknetdev.Netbuf.recycle nb;
       None
     end
     else begin
       let dup = if u_dup < t.p.duplicate then Some (copy_frame nb) else None in
-      if u_corrupt < t.p.corrupt then flip_bit t nb aux;
+      let nb =
+        if u_corrupt < t.p.corrupt then begin
+          (* Copy-on-write: the sender may retain a descriptor onto this
+             storage (the zero-copy retransmit source) — corrupt a private
+             duplicate, never the shared cell. *)
+          let c = copy_frame nb in
+          Uknetdev.Netbuf.recycle nb;
+          flip_bit t c aux;
+          c
+        end
+        else nb
+      in
       (match dup with
       | Some d ->
           t.st <- { t.st with duplicated = t.st.duplicated + 1 };

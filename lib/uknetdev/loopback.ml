@@ -1,7 +1,7 @@
 type queue = {
   q_clock : Uksim.Clock.t;
   q_engine : Uksim.Engine.t;
-  rx_ring : bytes Queue.t;
+  rx_ring : Netbuf.t Queue.t;
   mutable conf : Netdev.queue_conf option;
   mutable irq_armed : bool;
 }
@@ -17,14 +17,22 @@ type side = {
 let tx_cost = 40
 let rx_cost = 35
 
-let deliver s q frame =
+(* Doorbell per tx_burst invocation (MMIO write waking the peer side) —
+   the cost TX coalescing amortizes across a batch. *)
+let kick_cost = 250
+
+let deliver s q nb =
   match q.conf with
-  | None -> s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 }
+  | None ->
+      s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 };
+      Netbuf.recycle nb
   | Some conf ->
-      if Queue.length q.rx_ring >= s.ring_size then
-        s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 }
+      if Queue.length q.rx_ring >= s.ring_size then begin
+        s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 };
+        Netbuf.recycle nb
+      end
       else begin
-        Queue.push frame q.rx_ring;
+        Queue.push nb q.rx_ring;
         match (conf.Netdev.mode, conf.Netdev.rx_handler) with
         | Netdev.Interrupt_driven, Some handler when q.irq_armed ->
             q.irq_armed <- false;
@@ -62,29 +70,36 @@ let dev_of_side name s =
         Array.iter
           (fun nb ->
             Uksim.Clock.advance q.q_clock tx_cost;
-            let payload = Netbuf.to_payload nb in
-            bytes := !bytes + Bytes.length payload;
+            bytes := !bytes + Netbuf.len nb;
             (* Each peer queue may live on its own core clock: deliver on
-               that queue's engine, no earlier than its local present. *)
-            let deliver_to tq =
+               that queue's engine, no earlier than its local present. The
+               descriptor itself crosses — DMA handoff, no copy. *)
+            let deliver_to tq nb =
               let pq = peer.queues.(tq) in
               let at =
                 max (Uksim.Clock.cycles pq.q_clock) (Uksim.Clock.cycles q.q_clock + s.latency)
               in
-              Uksim.Engine.at pq.q_engine at (fun () -> deliver peer pq payload)
+              Uksim.Engine.at pq.q_engine at (fun () -> deliver peer pq nb)
             in
-            match Rss.queue_of_frame payload ~n_queues:peer_n with
-            | Some tq -> deliver_to tq
-            | None when peer_n = 1 -> deliver_to 0
+            match Rss.queue_of_netbuf nb ~n_queues:peer_n with
+            | Some tq -> deliver_to tq nb
+            | None when peer_n = 1 -> deliver_to 0 nb
             | None ->
                 (* No 5-tuple (ARP, non-IP): mirror to every queue so each
                    per-queue stack can resolve/answer it — like NIC
-                   broadcast replication across RSS contexts. *)
+                   broadcast replication across RSS contexts. The mirrors
+                   share storage; nothing is copied. *)
                 for tq = 0 to peer_n - 1 do
-                  deliver_to tq
-                done)
+                  deliver_to tq (Netbuf.share nb)
+                done;
+                Netbuf.recycle nb)
           pkts;
-        s.st <- { s.st with tx_pkts = s.st.tx_pkts + n; tx_bytes = s.st.tx_bytes + !bytes };
+        if n > 0 then begin
+          Uksim.Clock.advance q.q_clock kick_cost;
+          s.st <-
+            { s.st with tx_pkts = s.st.tx_pkts + n; tx_bytes = s.st.tx_bytes + !bytes;
+              tx_kicks = s.st.tx_kicks + 1 }
+        end;
         n);
     tx_room =
       (fun ~qid ->
@@ -103,21 +118,33 @@ let dev_of_side name s =
               else
                 match Queue.take_opt q.rx_ring with
                 | None -> List.rev acc
-                | Some frame -> (
+                | Some nb -> (
                     Uksim.Clock.advance q.q_clock rx_cost;
-                    match conf.Netdev.rx_alloc () with
-                    | None ->
-                        s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 };
-                        take acc (n + 1)
-                    | Some nb ->
-                        Netbuf.blit_payload nb frame;
-                        s.st <-
-                          {
-                            s.st with
-                            rx_pkts = s.st.rx_pkts + 1;
-                            rx_bytes = s.st.rx_bytes + Bytes.length frame;
-                          };
-                        take (nb :: acc) (n + 1))
+                    let account () =
+                      s.st <-
+                        {
+                          s.st with
+                          rx_pkts = s.st.rx_pkts + 1;
+                          rx_bytes = s.st.rx_bytes + Netbuf.len nb;
+                          rx_digest = Netdev.fold_digest s.st.rx_digest nb;
+                        }
+                    in
+                    match conf.Netdev.rx_path with
+                    | Netdev.Zero_copy ->
+                        account ();
+                        take (nb :: acc) (n + 1)
+                    | Netdev.Copy_into rx_alloc -> (
+                        match rx_alloc () with
+                        | None ->
+                            s.st <- { s.st with rx_dropped = s.st.rx_dropped + 1 };
+                            Netbuf.recycle nb;
+                            take acc (n + 1)
+                        | Some dst ->
+                            Uksim.Clock.advance q.q_clock (Uksim.Cost.memcpy (Netbuf.len nb));
+                            Netbuf.copy_into nb dst;
+                            account ();
+                            Netbuf.recycle nb;
+                            take (dst :: acc) (n + 1)))
             in
             let pkts = take [] 0 in
             if conf.Netdev.mode = Netdev.Interrupt_driven && Queue.is_empty q.rx_ring then

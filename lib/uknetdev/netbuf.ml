@@ -1,114 +1,335 @@
-type t = {
+(* Packet buffers as an ownership currency (paper §3.1, Fig 14 narrative).
+
+   A netbuf is split in two:
+
+   - a [cell]: the storage — one bytes block with reserved headroom, a
+     reference count, a generation stamp, and (for pooled cells) a link
+     back to its home pool;
+   - a descriptor [t]: a lightweight {cell, off, length} window that is
+     what flows through the datapath. Drivers, the stack, and apps hand
+     descriptors to each other instead of copying frames; [share] clones a
+     descriptor onto the same storage (an indirect mbuf / pbuf_ref), and
+     [recycle] drops one — when the last descriptor goes, the cell returns
+     to its pool (or the GC for heap cells).
+
+   Every remaining way to materialize payload bytes is an explicit, counted
+   call ([copy_out] / [copy_in] / [copy] / [of_bytes]); the counts are
+   published as the sticky "uknetdev.copies" uktrace source so a bench
+   phase can assert the hot path performs zero copies. *)
+
+type cell = {
   buf : bytes;
   hroom : int;
-  mutable off : int;
-  mutable length : int;
-  id : int; (* pool slot id; -1 for heap buffers *)
+  cid : int; (* unique cell id *)
+  mutable refs : int; (* live descriptors onto this storage *)
+  mutable gen : int; (* bumped each time the cell returns to a pool *)
+  mutable pooled : bool; (* currently sitting in a pool free list *)
+  mutable home : pool option; (* owning pool; None for heap cells *)
 }
 
-let next_id = ref 0
+and t = {
+  cell : cell;
+  born : int; (* cell generation at descriptor creation *)
+  mutable off : int;
+  mutable length : int;
+  mutable dead : bool; (* this descriptor was given/recycled *)
+}
 
-let fresh_id () =
-  incr next_id;
-  !next_id
+and pool = {
+  clock : Uksim.Clock.t;
+  alloc : Ukalloc.Alloc.t option;
+  size : int;
+  headroom : int;
+  free : cell Stack.t;
+  owned : (int, int) Hashtbl.t; (* cell id -> backing addr (or 0) *)
+  returns : cell Queue.t; (* deferred frees from other cores *)
+  on_op : (Uksim.Clock.t -> unit) option; (* e.g. shared-pool lock model *)
+  elastic : bool;
+  mutable total : int;
+}
 
-let alloc ?(headroom = 64) ~size () =
-  if size < 0 || headroom < 0 then invalid_arg "Netbuf.alloc";
+(* --- copy accounting ------------------------------------------------------ *)
+
+(* Debug-mode lifetime guards (double-give / use-after-give); off by
+   default so the hot path pays nothing. *)
+let debug = ref false
+let set_debug b = debug := b
+
+let copy_out_count = ref 0
+let copy_in_count = ref 0
+let copy_count = ref 0
+let copied_bytes = ref 0
+
+let total_copies () = !copy_out_count + !copy_in_count + !copy_count
+let copied_bytes_total () = !copied_bytes
+
+let reset_copy_counters () =
+  copy_out_count := 0;
+  copy_in_count := 0;
+  copy_count := 0;
+  copied_bytes := 0
+
+(* Sticky: survives Registry.clear so bench trial boundaries keep the
+   source (its reset still zeroes the window). *)
+let () =
+  Uktrace.Registry.register ~sticky:true
+    (Uktrace.Source.make ~subsystem:"uknetdev" ~name:"copies" ~reset:reset_copy_counters
+       (fun () ->
+         [
+           ("copy_out", Uktrace.Metric.Count !copy_out_count);
+           ("copy_in", Uktrace.Metric.Count !copy_in_count);
+           ("copy", Uktrace.Metric.Count !copy_count);
+           ("bytes", Uktrace.Metric.Count !copied_bytes);
+         ]))
+
+let counted counter n =
+  if n > 0 then begin
+    incr counter;
+    copied_bytes := !copied_bytes + n
+  end
+
+(* --- descriptors ---------------------------------------------------------- *)
+
+let next_cid = ref 0
+
+let fresh_cid () =
+  incr next_cid;
+  !next_cid
+
+let mk_cell ~headroom ~size =
   {
     buf = Bytes.create (headroom + size);
     hroom = headroom;
-    off = headroom;
-    length = 0;
-    id = -1;
+    cid = fresh_cid ();
+    refs = 0;
+    gen = 0;
+    pooled = false;
+    home = None;
   }
 
-let of_bytes ?(headroom = 64) payload =
-  let b = alloc ~headroom ~size:(Bytes.length payload) () in
-  Bytes.blit payload 0 b.buf b.off (Bytes.length payload);
-  b.length <- Bytes.length payload;
-  b
+let descr cell =
+  cell.refs <- cell.refs + 1;
+  { cell; born = cell.gen; off = cell.hroom; length = 0; dead = false }
 
-let data t = t.buf
+let check t =
+  if !debug && (t.dead || t.born <> t.cell.gen) then
+    invalid_arg "Netbuf: use after give"
+
+let alloc ?(headroom = 64) ~size () =
+  if size < 0 || headroom < 0 then invalid_arg "Netbuf.alloc";
+  descr (mk_cell ~headroom ~size)
+
+let data t = t.cell.buf
 let offset t = t.off
 let len t = t.length
 let headroom t = t.off
-let capacity t = Bytes.length t.buf - t.hroom
+let capacity t = Bytes.length t.cell.buf - t.cell.hroom
+let generation t = t.cell.gen
+let live t = (not t.dead) && t.born = t.cell.gen
 
 let set_len t n =
-  if n < 0 || t.off + n > Bytes.length t.buf then invalid_arg "Netbuf.set_len";
+  check t;
+  if n < 0 || t.off + n > Bytes.length t.cell.buf then invalid_arg "Netbuf.set_len";
   t.length <- n
 
 let push t n =
+  check t;
   if n < 0 || n > t.off then invalid_arg "Netbuf.push: no headroom";
   t.off <- t.off - n;
   t.length <- t.length + n
 
 let pull t n =
+  check t;
   if n < 0 || n > t.length then invalid_arg "Netbuf.pull: beyond payload";
   t.off <- t.off + n;
   t.length <- t.length - n
 
-let to_payload t = Bytes.sub t.buf t.off t.length
-
-let blit_payload t payload =
-  let n = Bytes.length payload in
-  if t.off + n > Bytes.length t.buf then invalid_arg "Netbuf.blit_payload: too large";
-  Bytes.blit payload 0 t.buf t.off n;
-  t.length <- n
-
 let reset t =
-  t.off <- t.hroom;
+  check t;
+  t.off <- t.cell.hroom;
   t.length <- 0
 
-module Pool = struct
-  type netbuf = t
+let view t =
+  check t;
+  (t.cell.buf, t.off, t.length)
 
-  type t = {
-    clock : Uksim.Clock.t;
-    alloc : Ukalloc.Alloc.t option;
-    size : int;
-    free : netbuf Stack.t;
-    owned : (int, int) Hashtbl.t; (* netbuf id -> backing addr (or 0) *)
-    total : int;
-  }
+(* --- the counted copies --------------------------------------------------- *)
+
+let copy_out t =
+  check t;
+  counted copy_out_count t.length;
+  Bytes.sub t.cell.buf t.off t.length
+
+let copy_in t payload =
+  check t;
+  let n = Bytes.length payload in
+  if t.off + n > Bytes.length t.cell.buf then invalid_arg "Netbuf.copy_in: too large";
+  counted copy_in_count n;
+  Bytes.blit payload 0 t.cell.buf t.off n;
+  t.length <- n
+
+(* Driver-internal transfer between two live buffers: one counted copy
+   (not a copy_out + copy_in pair). *)
+let copy_into src dst =
+  check src;
+  check dst;
+  let n = src.length in
+  if dst.off + n > Bytes.length dst.cell.buf then invalid_arg "Netbuf.copy_into: too large";
+  counted copy_in_count n;
+  Bytes.blit src.cell.buf src.off dst.cell.buf dst.off n;
+  dst.length <- n
+
+let of_bytes ?(headroom = 64) payload =
+  let n = Bytes.length payload in
+  let b = alloc ~headroom ~size:n () in
+  counted copy_count n;
+  Bytes.blit payload 0 b.cell.buf b.off n;
+  b.length <- n;
+  b
+
+let copy ?headroom t =
+  check t;
+  let headroom = match headroom with Some h -> h | None -> t.cell.hroom in
+  let b = alloc ~headroom ~size:t.length () in
+  counted copy_count t.length;
+  Bytes.blit t.cell.buf t.off b.cell.buf b.off t.length;
+  b.length <- t.length;
+  b
+
+(* Deprecated bytes-era names, kept as counted aliases for the test edges. *)
+let to_payload = copy_out
+let blit_payload = copy_in
+
+(* Content hash of the payload window (FNV-1a): replay digests and the
+   copy-vs-zero-copy equivalence property compare these, never the bytes
+   themselves, so hashing is copy-free by construction. *)
+let payload_hash t =
+  check t;
+  let h = ref 0x2545f4914f6cdd1d in
+  for i = t.off to t.off + t.length - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get t.cell.buf i)) * 0x100000001b3
+  done;
+  !h land max_int
+
+(* --- sharing and release -------------------------------------------------- *)
+
+let share t =
+  check t;
+  t.cell.refs <- t.cell.refs + 1;
+  { cell = t.cell; born = t.born; off = t.off; length = t.length; dead = false }
+
+let pool_return p cell =
+  if cell.pooled then invalid_arg "Netbuf.Pool: double give";
+  cell.gen <- cell.gen + 1;
+  cell.pooled <- true;
+  Stack.push cell p.free
+
+let recycle t =
+  if t.dead then begin
+    if !debug then invalid_arg "Netbuf: double give"
+  end
+  else begin
+    t.dead <- true;
+    let c = t.cell in
+    c.refs <- c.refs - 1;
+    if c.refs < 0 then invalid_arg "Netbuf.recycle: over-release";
+    if c.refs = 0 then
+      match c.home with
+      | None -> () (* heap cell: the GC owns it *)
+      | Some p ->
+          (* Deferred return: recycling may happen on any core; pushing the
+             cell id costs the recycler nothing, and the pool's owner pays
+             the give cost when it drains the list on its next take — the
+             remote-free list of a real per-core magazine. *)
+          Queue.push c p.returns
+  end
+
+(* --- pools ---------------------------------------------------------------- *)
+
+module Pool = struct
+  type t = pool
 
   let take_cost = 18
   let give_cost = 14
 
-  let alloc_buf size = alloc ~headroom:64 ~size ()
+  let backing p =
+    match p.alloc with
+    | None -> 0
+    | Some a -> (
+        match Ukalloc.Alloc.uk_malloc a (p.size + p.headroom) with
+        | Some addr -> addr
+        | None -> invalid_arg "Netbuf.Pool.create: allocator exhausted")
 
-  let create ~clock ?alloc ~count ~size () =
+  let add_cell p =
+    let c = mk_cell ~headroom:p.headroom ~size:p.size in
+    c.home <- Some p;
+    c.pooled <- true;
+    Hashtbl.replace p.owned c.cid (backing p);
+    Stack.push c p.free;
+    p.total <- p.total + 1
+
+  let create ~clock ?alloc ?on_op ?(headroom = 64) ?(elastic = false) ~count ~size () =
     if count <= 0 || size <= 0 then invalid_arg "Netbuf.Pool.create";
-    let free = Stack.create () in
-    let owned = Hashtbl.create count in
+    let p =
+      {
+        clock;
+        alloc;
+        size;
+        headroom;
+        free = Stack.create ();
+        owned = Hashtbl.create count;
+        returns = Queue.create ();
+        on_op;
+        elastic;
+        total = 0;
+      }
+    in
     for _ = 1 to count do
-      let backing =
-        match alloc with
-        | None -> 0
-        | Some a -> (
-            match Ukalloc.Alloc.uk_malloc a (size + 64) with
-            | Some addr -> addr
-            | None -> invalid_arg "Netbuf.Pool.create: allocator exhausted")
-      in
-      let b = { (alloc_buf size) with id = fresh_id () } in
-      Hashtbl.replace owned b.id backing;
-      Stack.push b free
+      add_cell p
     done;
-    { clock; alloc; size; free; owned; total = count }
+    p
 
-  let take p =
-    Uksim.Clock.advance p.clock take_cost;
+  let take ?clock p =
+    let clock = match clock with Some c -> c | None -> p.clock in
+    (match p.on_op with Some f -> f clock | None -> ());
+    Uksim.Clock.advance clock take_cost;
+    (* Drain the remote-free list first: the taker pays for returns, as a
+       magazine owner reclaiming its remote frees would. *)
+    while not (Queue.is_empty p.returns) do
+      let c = Queue.pop p.returns in
+      Uksim.Clock.advance clock give_cost;
+      pool_return p c
+    done;
     match Stack.pop_opt p.free with
-    | Some b -> Some b
-    | None -> None
+    | Some c ->
+        c.pooled <- false;
+        Some (descr c)
+    | None ->
+        if p.elastic then begin
+          Uksim.Clock.advance clock Uksim.Cost.alloc_backend_op;
+          add_cell p;
+          let c = Stack.pop p.free in
+          c.pooled <- false;
+          Some (descr c)
+        end
+        else None
 
-  let give p b =
-    Uksim.Clock.advance p.clock give_cost;
-    if not (Hashtbl.mem p.owned b.id) then
+  let give ?clock p b =
+    let clock = match clock with Some c -> c | None -> p.clock in
+    (match p.on_op with Some f -> f clock | None -> ());
+    Uksim.Clock.advance clock give_cost;
+    if not (Hashtbl.mem p.owned b.cell.cid) then
       invalid_arg "Netbuf.Pool.give: buffer does not belong to this pool";
-    reset b;
-    Stack.push b p.free
+    if b.dead || b.cell.pooled then invalid_arg "Netbuf.Pool: double give";
+    if b.cell.refs > 1 then invalid_arg "Netbuf.Pool.give: buffer still shared";
+    b.dead <- true;
+    b.cell.refs <- 0;
+    pool_return p b.cell
 
-  let available p = Stack.length p.free
+  let available p =
+    Stack.length p.free + Queue.length p.returns
+
+  let pending_returns p = Queue.length p.returns
   let capacity_of p = p.size
+  let total p = p.total
 end

@@ -32,16 +32,16 @@ type tuple = { proto : int; src_ip : int; src_port : int; dst_ip : int; dst_port
 
 let eth_size = 14
 
-let tuple_of_frame frame =
-  let len = Bytes.length frame in
+(* Parse at an arbitrary base offset so netbuf windows need no copy. *)
+let tuple_at frame ~base ~len =
   if len < eth_size + 20 then None
-  else if get_u16 frame 12 <> 0x0800 then None (* not IPv4 *)
+  else if get_u16 frame (base + 12) <> 0x0800 then None (* not IPv4 *)
   else begin
-    let vihl = get_u8 frame eth_size in
+    let vihl = get_u8 frame (base + eth_size) in
     if vihl lsr 4 <> 4 then None
     else begin
       let ihl = (vihl land 0xf) * 4 in
-      let proto = get_u8 frame (eth_size + 9) in
+      let proto = get_u8 frame (base + eth_size + 9) in
       match proto with
       | 6 (* TCP *) | 17 (* UDP *) ->
           let l4 = eth_size + ihl in
@@ -50,19 +50,28 @@ let tuple_of_frame frame =
             Some
               {
                 proto;
-                src_ip = get_u32 frame (eth_size + 12);
-                dst_ip = get_u32 frame (eth_size + 16);
-                src_port = get_u16 frame l4;
-                dst_port = get_u16 frame (l4 + 2);
+                src_ip = get_u32 frame (base + eth_size + 12);
+                dst_ip = get_u32 frame (base + eth_size + 16);
+                src_port = get_u16 frame (base + l4);
+                dst_port = get_u16 frame (base + l4 + 2);
               }
       | _ -> None
     end
   end
 
-let queue_of_frame frame ~n_queues =
+let tuple_of_frame frame = tuple_at frame ~base:0 ~len:(Bytes.length frame)
+
+let tuple_of_netbuf nb =
+  let buf, base, len = Netbuf.view nb in
+  tuple_at buf ~base ~len
+
+let queue_of d ~n_queues =
   if n_queues <= 0 then invalid_arg "Rss.queue_of_frame: n_queues must be positive"
   else
-    match tuple_of_frame frame with
+    match d with
     | None -> None
     | Some { proto; src_ip; src_port; dst_ip; dst_port } ->
         Some (queue_of_tuple ~n_queues ~proto ~src_ip ~src_port ~dst_ip ~dst_port)
+
+let queue_of_frame frame ~n_queues = queue_of (tuple_of_frame frame) ~n_queues
+let queue_of_netbuf nb ~n_queues = queue_of (tuple_of_netbuf nb) ~n_queues

@@ -21,4 +21,9 @@ val queue_of_frame : bytes -> n_queues:int -> int option
 (** [tuple_of_frame] composed with [queue_of_tuple]; [None] when the frame
     has no 5-tuple (the driver then applies its default-queue policy). *)
 
+val tuple_of_netbuf : Netbuf.t -> tuple option
+(** Parse directly from a netbuf's payload window — no copy. *)
+
+val queue_of_netbuf : Netbuf.t -> n_queues:int -> int option
+
 val hash_tuple : proto:int -> src_ip:int -> src_port:int -> dst_ip:int -> dst_port:int -> int

@@ -11,12 +11,12 @@ let host_batch = 64
 let vhost_user_poll_cycles = 1200 (* ~0.33us poll interval when idle *)
 
 type rxq = {
-  rx_ring : bytes Queue.t;
+  rx_ring : Netbuf.t Queue.t;
   mutable conf : Netdev.queue_conf option;
   mutable irq_armed : bool;
 }
 
-type txq = { tx_ring : bytes Queue.t; mutable drain_scheduled : bool }
+type txq = { tx_ring : Netbuf.t Queue.t; mutable drain_scheduled : bool }
 
 type state = {
   clock : Uksim.Clock.t;
@@ -59,15 +59,19 @@ and drain t q =
      poll interval out — the poller's pickup latency — so the event queue
      stays finite in simulation). *)
 
-let deliver t qid frame =
+let deliver t qid nb =
   let q = t.rxqs.(qid) in
   match q.conf with
-  | None -> t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 }
+  | None ->
+      t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 };
+      Netbuf.recycle nb
   | Some conf ->
-      if Queue.length q.rx_ring >= t.ring_size then
-        t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 }
+      if Queue.length q.rx_ring >= t.ring_size then begin
+        t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 };
+        Netbuf.recycle nb
+      end
       else begin
-        Queue.push frame q.rx_ring;
+        Queue.push nb q.rx_ring;
         match (conf.mode, conf.rx_handler) with
         | Netdev.Interrupt_driven, Some handler when q.irq_armed ->
             (* Inject once; the line stays inactive until rx_burst drains
@@ -101,12 +105,12 @@ let create ~clock ~engine ~backend ~wire ?(ring_size = 256) ?(n_queues = 1) () =
      take queue 0, the device's default queue). *)
   Wire.set_receiver wire
     (Some
-       (fun frame ->
+       (fun nb ->
          let qid =
            if n_queues = 1 then 0
-           else match Rss.queue_of_frame frame ~n_queues with Some q -> q | None -> 0
+           else match Rss.queue_of_netbuf nb ~n_queues with Some q -> q | None -> 0
          in
-         deliver t qid frame));
+         deliver t qid nb));
   let check_qid qid =
     if qid < 0 || qid >= n_queues then invalid_arg "Virtio_net: bad queue id"
   in
@@ -125,9 +129,10 @@ let create ~clock ~engine ~backend ~wire ?(ring_size = 256) ?(n_queues = 1) () =
     let bytes = ref 0 in
     for i = 0 to n - 1 do
       Uksim.Clock.advance t.clock (guest_tx_cost t.backend);
-      let payload = Netbuf.to_payload pkts.(i) in
-      bytes := !bytes + Bytes.length payload;
-      Queue.push payload q.tx_ring
+      bytes := !bytes + Netbuf.len pkts.(i);
+      (* Descriptor handoff into the ring: the host side DMAs straight
+         from this storage; no serialization copy. *)
+      Queue.push pkts.(i) q.tx_ring
     done;
     if n > 0 then begin
       t.st <- { t.st with tx_pkts = t.st.tx_pkts + n; tx_bytes = t.st.tx_bytes + !bytes };
@@ -160,22 +165,33 @@ let create ~clock ~engine ~backend ~wire ?(ring_size = 256) ?(n_queues = 1) () =
           else
             match Queue.take_opt q.rx_ring with
             | None -> List.rev acc
-            | Some frame -> (
+            | Some nb -> (
                 Uksim.Clock.advance t.clock guest_rx_cost;
-                match conf.rx_alloc () with
-                | None ->
-                    t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 };
-                    take acc (n + 1)
-                | Some nb ->
-                    Uksim.Clock.advance t.clock (Uksim.Cost.memcpy (Bytes.length frame));
-                    Netbuf.blit_payload nb frame;
-                    t.st <-
-                      {
-                        t.st with
-                        rx_pkts = t.st.rx_pkts + 1;
-                        rx_bytes = t.st.rx_bytes + Bytes.length frame;
-                      };
-                    take (nb :: acc) (n + 1))
+                let account () =
+                  t.st <-
+                    {
+                      t.st with
+                      rx_pkts = t.st.rx_pkts + 1;
+                      rx_bytes = t.st.rx_bytes + Netbuf.len nb;
+                      rx_digest = Netdev.fold_digest t.st.rx_digest nb;
+                    }
+                in
+                match conf.rx_path with
+                | Netdev.Zero_copy ->
+                    account ();
+                    take (nb :: acc) (n + 1)
+                | Netdev.Copy_into rx_alloc -> (
+                    match rx_alloc () with
+                    | None ->
+                        t.st <- { t.st with rx_dropped = t.st.rx_dropped + 1 };
+                        Netbuf.recycle nb;
+                        take acc (n + 1)
+                    | Some dst ->
+                        Uksim.Clock.advance t.clock (Uksim.Cost.memcpy (Netbuf.len nb));
+                        Netbuf.copy_into nb dst;
+                        account ();
+                        Netbuf.recycle nb;
+                        take (dst :: acc) (n + 1)))
         in
         let pkts = take [] 0 in
         if conf.mode = Netdev.Interrupt_driven && Queue.is_empty q.rx_ring then

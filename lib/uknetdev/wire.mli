@@ -1,6 +1,11 @@
 (** The physical medium between a device backend and its peer: a
     latency/bandwidth-modelled point-to-point link (the paper's direct 10G
-    cable), plus synthetic peers (a DPDK-testpmd-like sink, an echo). *)
+    cable), plus synthetic peers (a DPDK-testpmd-like sink, an echo).
+
+    The wire moves {!Netbuf.t} descriptors by ownership handoff: [send]
+    consumes the buffer, delivery hands it to the peer's receiver (which
+    must eventually {!Netbuf.recycle} it), and lost frames are recycled by
+    the wire itself. Duplication shares storage instead of copying. *)
 
 type endpoint
 
@@ -22,11 +27,20 @@ val create_pair :
 val dropped_frames : endpoint -> int
 (** Frames this endpoint transmitted that the fault model discarded. *)
 
-val send : endpoint -> bytes -> unit
-(** Transmit a frame towards the peer endpoint. *)
+val send : endpoint -> Netbuf.t -> unit
+(** Transmit a frame towards the peer endpoint, consuming the buffer. *)
 
-val set_receiver : endpoint -> (bytes -> unit) option -> unit
-(** Who gets frames arriving at this endpoint (None = count and drop). *)
+val set_receiver : endpoint -> (Netbuf.t -> unit) option -> unit
+(** Who gets frames arriving at this endpoint (None = count, recycle and
+    drop). The receiver takes ownership of each delivered buffer. *)
+
+val send_bytes : endpoint -> bytes -> unit
+(** @deprecated bytes-era shim for test edges: materializes a netbuf
+    (counted copy) and {!send}s it. *)
+
+val set_receiver_bytes : endpoint -> (bytes -> unit) option -> unit
+(** @deprecated bytes-era shim: copies each delivered frame out (counted)
+    and recycles the buffer before invoking the callback. *)
 
 val attach_sink : endpoint -> unit
 (** testpmd-style measurement peer: count frames/bytes, never reply. *)
@@ -37,5 +51,9 @@ val attach_echo : endpoint -> unit
 
 val rx_frames : endpoint -> int
 val rx_bytes : endpoint -> int
+
+val rx_digest : endpoint -> int
+(** Running FNV fold over delivered frame contents (replay checks). *)
+
 val tx_frames : endpoint -> int
 val reset_counters : endpoint -> unit

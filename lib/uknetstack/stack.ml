@@ -45,6 +45,10 @@ type listener = {
   backlog : int;
   acceptq : Tcp.conn Queue.t;
   mutable lwaiter : Uksched.Sched.tid option;
+  mutable lfast : (Tcp.conn -> unit) option;
+      (* fast-accept hook: new connections are handed here (run-to-
+         completion setup, e.g. installing an rx sink) instead of being
+         queued for a blocking accept. *)
 }
 
 type t = {
@@ -55,6 +59,11 @@ type t = {
   qid : int; (* the device queue this stack owns (multi-queue RSS setups) *)
   cfg : conf;
   pool : Nb.Pool.t;
+  rx_batch : int;
+  rx_copy : bool; (* legacy RX: copy each frame out of the ring *)
+  tx_coalesce : bool;
+  txq : Nb.t Queue.t; (* frames deferred to the poll-window flush *)
+  mutable coalescing : bool; (* inside a poll window right now *)
   arp_table : (int, Addr.Mac.t) Hashtbl.t;
   arp_waiting : (int, (Addr.Mac.t -> unit) list) Hashtbl.t;
   udp_socks : (int, udp_sock) Hashtbl.t;
@@ -75,19 +84,37 @@ let stats t = t.st
 let charge t c = Uksim.Clock.advance t.clock c
 let drop t = t.st <- { t.st with rx_drop = t.st.rx_drop + 1 }
 
+(* The pool may be shared between stacks (ablation); always charge this
+   stack's own clock for pool traffic. *)
 let take_buf t =
-  match Nb.Pool.take t.pool with
+  match Nb.Pool.take ~clock:t.clock t.pool with
   | Some nb -> nb
   | None -> Nb.alloc ~size:2048 () (* pool exhausted: fall back to heap *)
 
-let give_buf t nb = try Nb.Pool.give t.pool nb with Invalid_argument _ -> ()
+let alloc_buf = take_buf
 
 (* --- transmit path ----------------------------------------------------- *)
 
+(* Ownership handoff: the device ring takes the descriptor. Inside a poll
+   window frames are coalesced into one burst (one doorbell); outside it —
+   timer retransmits, ARP — they go out immediately, which keeps progress
+   independent of the poll loop. *)
 let tx_frame t nb =
-  let sent = t.dev.Nd.tx_burst ~qid:t.qid [| nb |] in
-  if sent = 1 then t.st <- { t.st with tx_pkts = t.st.tx_pkts + 1 };
-  give_buf t nb
+  if t.coalescing then Queue.push nb t.txq
+  else begin
+    let sent = t.dev.Nd.tx_burst ~qid:t.qid [| nb |] in
+    if sent = 1 then t.st <- { t.st with tx_pkts = t.st.tx_pkts + 1 } else Nb.recycle nb
+  end
+
+let flush_tx t =
+  if not (Queue.is_empty t.txq) then begin
+    let pkts = Array.init (Queue.length t.txq) (fun _ -> Queue.pop t.txq) in
+    let sent = t.dev.Nd.tx_burst ~qid:t.qid pkts in
+    t.st <- { t.st with tx_pkts = t.st.tx_pkts + sent };
+    for i = sent to Array.length pkts - 1 do
+      Nb.recycle pkts.(i)
+    done
+  end
 
 let send_arp t ~op ~tha ~tpa =
   let nb = take_buf t in
@@ -154,15 +181,16 @@ let output_ip t ~proto ~dst nb =
   if Nb.len nb <= max_ip_payload then send_ip_packet t base nb
   else begin
     (* Fragment: RFC 791 — 8-byte-aligned offsets, MF on all but the
-       tail. *)
-    let payload = Nb.to_payload nb in
-    give_buf t nb;
+       tail. Fragmentation is off the fast path: explicit, counted
+       copies. *)
+    let payload = Nb.copy_out nb in
+    Nb.recycle nb;
     let total = Bytes.length payload in
     let rec emit off =
       if off < total then begin
         let len = min max_ip_payload (total - off) in
         let fnb = take_buf t in
-        Nb.blit_payload fnb (Bytes.sub payload off len);
+        Nb.copy_in fnb (Bytes.sub payload off len);
         charge t (Uksim.Cost.memcpy len);
         send_ip_packet t
           { base with Pkt.Ipv4.payload_len = len; frag_offset = off;
@@ -188,9 +216,25 @@ let tcp_io t : Tcp.io =
           charge = (fun c -> charge t c);
           tx_segment =
             (fun conn hdr payload ->
-              let nb = take_buf t in
-              Nb.blit_payload nb payload;
               let rip, _ = Tcp.remote_addr conn in
+              let nb =
+                match payload with
+                | Tcp.Tx_netbuf nb ->
+                    (* Zero-copy: headers go into this descriptor's
+                       headroom; the device DMAs out of the sender's
+                       storage. *)
+                    nb
+                | Tcp.Tx_bytes b ->
+                    (* Legacy/control path: materialize into a fresh pool
+                       buffer (counted when the payload is non-empty). *)
+                    let nb =
+                      if Bytes.length b + 128 > 2048 then
+                        Nb.alloc ~headroom:64 ~size:(Bytes.length b + 64) ()
+                      else take_buf t
+                    in
+                    Nb.copy_in nb b;
+                    nb
+              in
               Pkt.Tcp.encode hdr ~src:t.cfg.ip ~dst:rip nb;
               charge t (Uksim.Cost.checksum (Nb.len nb));
               output_ip t ~proto:Pkt.Ipv4.Tcp ~dst:rip nb);
@@ -202,14 +246,17 @@ let tcp_io t : Tcp.io =
           notify_accept =
             (fun conn ->
               match List.assq_opt conn t.conn_of with
-              | Some (Some l) ->
-                  if Queue.length l.acceptq < l.backlog then begin
-                    Queue.push conn l.acceptq;
-                    match (t.sched, l.lwaiter) with
-                    | Some s, Some tid -> Uksched.Sched.wake s tid
-                    | (Some _ | None), _ -> ()
-                  end
-                  else Tcp.abort conn
+              | Some (Some l) -> (
+                  match l.lfast with
+                  | Some f -> f conn
+                  | None ->
+                      if Queue.length l.acceptq < l.backlog then begin
+                        Queue.push conn l.acceptq;
+                        match (t.sched, l.lwaiter) with
+                        | Some s, Some tid -> Uksched.Sched.wake s tid
+                        | (Some _ | None), _ -> ()
+                      end
+                      else Tcp.abort conn)
               | Some None | None -> ());
         }
       in
@@ -220,12 +267,17 @@ let next_iss t =
   t.iss <- (t.iss + 64000) land 0xffffffff;
   t.iss
 
-(* --- receive path ------------------------------------------------------- *)
+(* --- receive path -------------------------------------------------------
+
+   Every handler below CONSUMES its netbuf: exactly one release (recycle,
+   sink handoff, or counted materialization followed by recycle) on every
+   path. The descriptor that leaves the driver ring is the same storage the
+   application parses. *)
 
 let handle_arp t nb =
   t.st <- { t.st with rx_arp = t.st.rx_arp + 1 };
   charge t arp_cost;
-  match Pkt.Arp.decode nb with
+  (match Pkt.Arp.decode nb with
   | Error _ -> drop t
   | Ok a ->
       Hashtbl.replace t.arp_table (Addr.Ipv4.to_int a.spa) a.sha;
@@ -236,22 +288,24 @@ let handle_arp t nb =
           List.iter (fun k -> k a.sha) (List.rev ks)
       | None -> ());
       if a.op = Pkt.Arp.Request && Addr.Ipv4.equal a.tpa t.cfg.ip then
-        send_arp t ~op:Pkt.Arp.Reply ~tha:a.sha ~tpa:a.spa
+        send_arp t ~op:Pkt.Arp.Reply ~tha:a.sha ~tpa:a.spa);
+  Nb.recycle nb
 
 let handle_icmp t (ip : Pkt.Ipv4.t) nb =
   t.st <- { t.st with rx_icmp = t.st.rx_icmp + 1 };
-  match Pkt.Icmp.decode nb with
+  (match Pkt.Icmp.decode nb with
   | Error _ -> drop t
   | Ok { echo_reply = false; ident; seq } ->
       let reply = take_buf t in
-      Nb.blit_payload reply (Nb.to_payload nb);
+      Nb.copy_in reply (Nb.copy_out nb);
       Pkt.Icmp.encode { echo_reply = true; ident; seq } reply;
       output_ip t ~proto:Pkt.Ipv4.Icmp ~dst:ip.src reply
-  | Ok { echo_reply = true; _ } -> ()
+  | Ok { echo_reply = true; _ } -> ());
+  Nb.recycle nb
 
 let handle_udp t (ip : Pkt.Ipv4.t) nb =
   charge t udp_cost;
-  match Pkt.Udp.decode ~src:ip.src ~dst:ip.dst nb with
+  (match Pkt.Udp.decode ~src:ip.src ~dst:ip.dst nb with
   | Error _ -> drop t
   | Ok u -> (
       charge t (Uksim.Cost.checksum (Nb.len nb + Pkt.Udp.size));
@@ -260,22 +314,26 @@ let handle_udp t (ip : Pkt.Ipv4.t) nb =
       | Some sock ->
           charge t sock_enqueue_cost;
           t.st <- { t.st with rx_udp = t.st.rx_udp + 1 };
-          Queue.push (ip.src, u.src_port, Nb.to_payload nb) sock.urxq;
+          (* Socket API: materialize into the receive queue (counted). *)
+          Queue.push (ip.src, u.src_port, Nb.copy_out nb) sock.urxq;
           (match (t.sched, sock.uwaiter) with
           | Some s, Some tid -> Uksched.Sched.wake s tid
-          | (Some _ | None), _ -> ()))
+          | (Some _ | None), _ -> ())));
+  Nb.recycle nb
 
 let handle_tcp t (ip : Pkt.Ipv4.t) nb =
   charge t tcp_demux_cost;
   charge t (Uksim.Cost.checksum (Nb.len nb));
   match Pkt.Tcp.decode ~src:ip.src ~dst:ip.dst nb with
-  | Error _ -> drop t
+  | Error _ ->
+      drop t;
+      Nb.recycle nb
   | Ok h -> (
       t.st <- { t.st with rx_tcp = t.st.rx_tcp + 1 };
       let key = conn_key ~lport:h.dst_port ~rip:ip.src ~rport:h.src_port in
       match Hashtbl.find_opt t.conns key with
       | Some conn ->
-          Tcp.on_segment conn h (Nb.to_payload nb);
+          Tcp.on_segment_nb conn h nb;
           if Tcp.state conn = Tcp.Closed then begin
             Hashtbl.remove t.conns key;
             t.conn_of <- List.filter (fun (c, _) -> c != conn) t.conn_of
@@ -288,11 +346,13 @@ let handle_tcp t (ip : Pkt.Ipv4.t) nb =
                   ~peer_seq:h.seq
               in
               Hashtbl.replace t.conns key conn;
-              t.conn_of <- (conn, Some l) :: t.conn_of
+              t.conn_of <- (conn, Some l) :: t.conn_of;
+              Nb.recycle nb
           | Some _ | None ->
               (* No socket: RST unless it is itself an RST. *)
+              let payload_len = Nb.len nb in
+              Nb.recycle nb;
               if not h.rst then begin
-                let payload_len = Nb.len nb in
                 let rnb = take_buf t in
                 Nb.set_len rnb 0;
                 Pkt.Tcp.encode
@@ -318,14 +378,18 @@ let process_frame t nb =
   t.st <- { t.st with rx_eth = t.st.rx_eth + 1 };
   charge t eth_cost;
   match Pkt.Eth.decode nb with
-  | Error _ -> drop t
+  | Error _ ->
+      drop t;
+      Nb.recycle nb
   | Ok eth -> (
       match eth.proto with
       | Pkt.Eth.Arp -> handle_arp t nb
       | Pkt.Eth.Ipv4 -> (
           charge t ip_cost;
           match Pkt.Ipv4.decode nb with
-          | Error _ -> drop t
+          | Error _ ->
+              drop t;
+              Nb.recycle nb
           | Ok ip ->
               if Addr.Ipv4.equal ip.dst t.cfg.ip || Addr.Ipv4.equal ip.dst Addr.Ipv4.broadcast
               then begin
@@ -335,20 +399,24 @@ let process_frame t nb =
                   | Pkt.Ipv4.Icmp -> handle_icmp t ip nb
                   | Pkt.Ipv4.Udp -> handle_udp t ip nb
                   | Pkt.Ipv4.Tcp -> handle_tcp t ip nb
-                  | Pkt.Ipv4.Unknown _ -> drop t
+                  | Pkt.Ipv4.Unknown _ ->
+                      drop t;
+                      Nb.recycle nb
                 in
                 if Pkt.Ipv4.is_fragment ip then begin
                   charge t ip_cost (* reassembly bookkeeping *);
-                  match
+                  let r =
                     Frag.insert t.frag ~src:ip.src ~id:ip.id
                       ~proto:(Pkt.Ipv4.proto_number ip.proto) ~frag_offset:ip.frag_offset
-                      ~more_frags:ip.more_frags (Nb.to_payload nb)
-                  with
+                      ~more_frags:ip.more_frags (Nb.copy_out nb)
+                  in
+                  Nb.recycle nb;
+                  match r with
                   | Frag.Pending -> ()
                   | Frag.Rejected _ -> drop t
                   | Frag.Complete payload ->
                       let rnb = Nb.alloc ~headroom:64 ~size:(Bytes.length payload) () in
-                      Nb.blit_payload rnb payload;
+                      Nb.copy_in rnb payload;
                       deliver
                         { ip with Pkt.Ipv4.payload_len = Bytes.length payload;
                           more_frags = false; frag_offset = 0 }
@@ -356,33 +424,44 @@ let process_frame t nb =
                 end
                 else deliver ip nb
               end
-              else drop t)
-      | Pkt.Eth.Unknown _ -> drop t)
+              else begin
+                drop t;
+                Nb.recycle nb
+              end)
+      | Pkt.Eth.Unknown _ ->
+          drop t;
+          Nb.recycle nb)
 
 let poll t =
   Frag.expire t.frag;
-  let pkts = t.dev.Nd.rx_burst ~qid:t.qid ~max:64 in
+  let pkts = t.dev.Nd.rx_burst ~qid:t.qid ~max:t.rx_batch in
   (match pkts with
   | [] -> ()
   | _ ->
       Uktrace.Tracer.span Uktrace.Tracer.default t.clock ~cat:"uknetstack" "rx_burst"
         (fun () ->
-          List.iter
-            (fun nb ->
-              process_frame t nb;
-              give_buf t nb)
-            pkts));
+          if t.tx_coalesce then t.coalescing <- true;
+          List.iter (fun nb -> process_frame t nb) pkts;
+          t.coalescing <- false;
+          flush_tx t));
   List.length pkts
 
-let rx_alloc_of t () = Nb.Pool.take t.pool
+let rx_alloc_of t () = Nb.Pool.take ~clock:t.clock t.pool
+
+let rx_path_of t = if t.rx_copy then Nd.Copy_into (rx_alloc_of t) else Nd.Zero_copy
 
 (* lwIP bring-up: memory pools, pcb tables, timers (~0.35 ms, part of the
    0.49 ms nginx boot floor in Fig 14). *)
 let stack_init_cost = 1_250_000
 
-let create ~clock ~engine ?sched ?alloc ~dev ?(qid = 0) ?(pool_size = 512) cfg =
+let create ~clock ~engine ?sched ?alloc ~dev ?(qid = 0) ?(pool_size = 512) ?(rx_batch = 64)
+    ?(rx_copy = false) ?(tx_coalesce = false) ?pool cfg =
   Uksim.Clock.advance clock stack_init_cost;
-  let pool = Nb.Pool.create ~clock ?alloc ~count:pool_size ~size:2048 () in
+  let pool =
+    match pool with
+    | Some p -> p
+    | None -> Nb.Pool.create ~clock ?alloc ~count:pool_size ~size:2048 ()
+  in
   let t =
     {
       clock;
@@ -392,6 +471,11 @@ let create ~clock ~engine ?sched ?alloc ~dev ?(qid = 0) ?(pool_size = 512) cfg =
       qid;
       cfg;
       pool;
+      rx_batch = max 1 rx_batch;
+      rx_copy;
+      tx_coalesce;
+      txq = Queue.create ();
+      coalescing = false;
       arp_table = Hashtbl.create 32;
       arp_waiting = Hashtbl.create 8;
       udp_socks = Hashtbl.create 16;
@@ -408,7 +492,7 @@ let create ~clock ~engine ?sched ?alloc ~dev ?(qid = 0) ?(pool_size = 512) cfg =
     }
   in
   dev.Nd.configure_queue ~qid
-    { Nd.rx_alloc = rx_alloc_of t; mode = Nd.Polling; rx_handler = None };
+    { Nd.rx_path = rx_path_of t; mode = Nd.Polling; rx_handler = None };
   Uktrace.Registry.register
     (Uktrace.Source.make ~subsystem:"uknetstack" ~name:"stack"
        ~reset:(fun () -> t.st <- zero_stats)
@@ -459,7 +543,7 @@ let start t =
         (* Interrupt mode: the device wakes the service thread. *)
         t.dev.Nd.configure_queue ~qid:t.qid
           {
-            Nd.rx_alloc = rx_alloc_of t;
+            Nd.rx_path = rx_path_of t;
             mode = Nd.Interrupt_driven;
             rx_handler = Some (fun () -> Uksched.Sched.wake sched tid);
           }
@@ -488,7 +572,7 @@ module Udp_socket = struct
         Nb.alloc ~headroom:64 ~size:(Bytes.length payload + 64) ()
       else take_buf stack
     in
-    Nb.blit_payload nb payload;
+    Nb.copy_in nb payload;
     Pkt.Udp.encode { src_port = sock.uport; dst_port = dport } ~src:stack.cfg.ip ~dst:dip nb;
     charge stack (Uksim.Cost.checksum (Nb.len nb));
     output_ip stack ~proto:Pkt.Ipv4.Udp ~dst:dip nb
@@ -531,9 +615,13 @@ module Tcp_socket = struct
     if port <= 0 || port > 0xffff then invalid_arg "Tcp_socket.listen: bad port";
     if Hashtbl.mem stack.listeners port then invalid_arg "Tcp_socket.listen: port in use";
     let lconn = Tcp.create_listen (tcp_io stack) ~local:(stack.cfg.ip, port) in
-    let l = { lport = port; lconn; backlog; acceptq = Queue.create (); lwaiter = None } in
+    let l =
+      { lport = port; lconn; backlog; acceptq = Queue.create (); lwaiter = None; lfast = None }
+    in
     Hashtbl.replace stack.listeners port l;
     l
+
+  let set_fast_accept l f = l.lfast <- f
 
   let rec accept ?(block = false) l =
     match Queue.take_opt l.acceptq with
@@ -620,6 +708,10 @@ module Tcp_socket = struct
       let rest = Bytes.sub data n (Bytes.length data - n) in
       n + send ~block stack flow rest
     end
+
+  (* Fast path: hand a filled buffer straight to TCP — no socket-layer
+     enqueue cost, no copy. *)
+  let send_nb _stack flow nb = Tcp.send_nb flow nb
 
   let rec recv ?(block = false) stack flow ~max =
     charge stack sock_enqueue_cost;

@@ -1,11 +1,19 @@
 (** An lwIP-class TCP/IP stack over the uknetdev API.
 
-    One instance binds one {!Uknetdev.Netdev.t} queue, owns a netbuf pool
-    (the paper's "memory pools in Unikraft's networking stack"), answers
-    ARP and ICMP echo, and offers UDP and TCP sockets. Packet processing
-    happens in {!poll} — either called directly from a run-to-completion
-    application loop, or by the service thread {!start} spawns when a
-    scheduler is available (woken by the device's rx interrupt).
+    One instance binds one {!Uknetdev.Netdev.t} queue, owns (or shares) a
+    netbuf pool (the paper's "memory pools in Unikraft's networking
+    stack"), answers ARP and ICMP echo, and offers UDP and TCP sockets.
+    Packet processing happens in {!poll} — either called directly from a
+    run-to-completion application loop, or by the service thread {!start}
+    spawns when a scheduler is available (woken by the device's rx
+    interrupt).
+
+    The datapath currency is {!Uknetdev.Netbuf.t}: by default RX hands the
+    driver ring's descriptors straight to the stack ([Zero_copy]), headers
+    are parsed in place, and in-order TCP payload can be consumed in place
+    by a connection rx sink — the zero-copy run-to-completion fast path.
+    The legacy socket API remains as the copy path; its materializations
+    are explicit, counted calls.
 
     All per-layer processing charges calibrated cycle costs to the stack's
     clock, so socket-API throughput measurements include the full stack
@@ -39,14 +47,23 @@ val create :
   dev:Uknetdev.Netdev.t ->
   ?qid:int ->
   ?pool_size:int ->
+  ?rx_batch:int ->
+  ?rx_copy:bool ->
+  ?tx_coalesce:bool ->
+  ?pool:Uknetdev.Netbuf.Pool.t ->
   conf ->
   t
 (** Configures queue [qid] of [dev] (default 0; polling mode — {!start}
     switches it to interrupt mode). In multi-queue RSS setups one stack
     instance owns each queue, all sharing the device's MAC/IP. [pool_size]
     netbufs are pre-allocated (default 512), backed by [alloc] when given —
-    the paper's "memory pools in the networking stack". Bring-up charges
-    lwIP-scale init cost. *)
+    the paper's "memory pools in the networking stack" — unless an external
+    [pool] is supplied (the shared-pool ablation passes one pool to every
+    stack). [rx_batch] bounds descriptors per {!poll} (default 64; 1 =
+    batching ablated). [rx_copy] reverts RX to the legacy copy-out-of-the-
+    ring path. [tx_coalesce] defers frames transmitted inside a poll window
+    into one burst (one doorbell). Bring-up charges lwIP-scale init
+    cost. *)
 
 val conf : t -> conf
 val stats : t -> stats
@@ -58,6 +75,10 @@ val poll : t -> int
 val start : t -> unit
 (** Spawn the interrupt-driven input service thread (requires a
     scheduler). *)
+
+val alloc_buf : t -> Uknetdev.Netbuf.t
+(** Take a TX buffer from the stack's pool (heap fallback when exhausted).
+    Fast-path handlers fill it and hand it to {!Tcp_socket.send_nb}. *)
 
 (** {1 UDP sockets} *)
 
@@ -87,6 +108,12 @@ module Tcp_socket : sig
   val listen : stack -> port:int -> ?backlog:int -> unit -> listener
   val accept : ?block:bool -> listener -> flow option
 
+  val set_fast_accept : listener -> (flow -> unit) option -> unit
+  (** Run-to-completion accept: each new connection is handed to this hook
+      from within packet processing (typically to install a
+      {!Tcp.set_rx_sink}) instead of being queued for blocking
+      {!accept}. *)
+
   val connect : stack -> ?lport:int -> dst:Addr.Ipv4.t * int -> unit -> flow
   (** Blocks (scheduler) or spins (no scheduler) until established; raises
       [Failure] if the connection is refused/aborted. [lport] forces the
@@ -97,6 +124,10 @@ module Tcp_socket : sig
   val send : ?block:bool -> stack -> flow -> bytes -> int
   (** Bytes accepted into the send buffer. [block:true] waits for buffer
       space until everything is queued. *)
+
+  val send_nb : stack -> flow -> Uknetdev.Netbuf.t -> int
+  (** Zero-copy send: ownership of the buffer passes to TCP (see
+      {!Tcp.send_nb}); no socket-layer enqueue cost. *)
 
   val recv : ?block:bool -> stack -> flow -> max:int -> bytes option
   (** [Some data] (non-empty) when in-order data is available; [None] at

@@ -1,3 +1,5 @@
+module Nb = Uknetdev.Netbuf
+
 type state =
   | Listen
   | Syn_sent
@@ -39,7 +41,18 @@ let seq_diff a b = (a - b) land 0xffffffff
 let seq_lt a b = seq_diff b a < 0x80000000 && a <> b
 let seq_le a b = a = b || seq_lt a b
 
-type seg = { sseq : int; payload : bytes; syn : bool; fin : bool }
+(* What a queued/in-flight segment carries. [Zc] segments keep a descriptor
+   onto the sender's buffer: the first transmission shares it (an indirect
+   mbuf under the wire's storage), a retransmission pays an explicit,
+   counted copy — loss recovery is the quarantined slow path. *)
+type seg_payload = Plain of bytes | Zc of Nb.t
+
+type seg = { sseq : int; pl : seg_payload; plen : int; syn : bool; fin : bool }
+
+(* What goes down to the IP layer per transmitted segment. [Tx_netbuf] is
+   consumed by the callee (headers are pushed into its headroom, the
+   descriptor rides the TX ring). *)
+type tx_payload = Tx_bytes of bytes | Tx_netbuf of Nb.t
 
 type conn = {
   io : io;
@@ -50,7 +63,8 @@ type conn = {
   mutable snd_una : int;
   mutable snd_nxt : int;
   mutable snd_wnd : int;
-  sendq : Buffer.t; (* app data not yet segmented *)
+  sendq : Buffer.t; (* app data not yet segmented (legacy bytes path) *)
+  zc_sendq : Nb.t Queue.t; (* whole-buffer sends awaiting window room *)
   mutable inflight : seg list; (* oldest first *)
   mutable fin_queued : bool;
   mutable fin_seq : int option;
@@ -60,6 +74,7 @@ type conn = {
   mutable recvq_head_off : int;
   mutable recvq_bytes : int;
   mutable fin_received : bool;
+  mutable rx_sink : (Nb.t -> unit) option; (* fast path: in-order data handler *)
   (* timers / loss recovery *)
   mutable timer_deadline : int option;
   mutable backoff : int;
@@ -76,7 +91,7 @@ type conn = {
 and io = {
   now_cycles : unit -> int;
   charge : int -> unit;
-  tx_segment : conn -> Pkt.Tcp.t -> bytes -> unit;
+  tx_segment : conn -> Pkt.Tcp.t -> tx_payload -> unit;
   set_timer : conn -> delay_cycles:int -> unit;
   wake : Uksched.Sched.tid -> unit;
   notify_accept : conn -> unit;
@@ -90,6 +105,7 @@ let stats_fast_retransmits c = c.fast_retransmits
 let set_recv_waiter c w = c.recv_waiter <- w
 let set_send_waiter c w = c.send_waiter <- w
 let set_connect_waiter c w = c.connect_waiter <- w
+let set_rx_sink c f = c.rx_sink <- f
 
 let wake_opt c wref =
   match wref with
@@ -97,6 +113,20 @@ let wake_opt c wref =
   | None -> ()
 
 let rcv_window c = max 0 (rcvbuf_max - c.recvq_bytes)
+
+(* Release the buffer a segment holds (if any) — acknowledged, aborted, or
+   given-up segments must hand their storage back to the driver pool. *)
+let drop_seg s = match s.pl with Zc nb -> Nb.recycle nb | Plain _ -> ()
+
+let drop_inflight c =
+  List.iter drop_seg c.inflight;
+  c.inflight <- []
+
+let drop_pending c =
+  drop_inflight c;
+  while not (Queue.is_empty c.zc_sendq) do
+    Nb.recycle (Queue.pop c.zc_sendq)
+  done
 
 let header c ~syn ~ack_flag ~fin ~rst ~psh ~seq =
   {
@@ -116,7 +146,7 @@ let tx c ?(syn = false) ?(ack_flag = true) ?(fin = false) ?(rst = false) ?(psh =
     payload =
   c.io.tx_segment c (header c ~syn ~ack_flag ~fin ~rst ~psh ~seq) payload
 
-let send_ack c = tx c ~seq:c.snd_nxt Bytes.empty
+let send_ack c = tx c ~seq:c.snd_nxt (Tx_bytes Bytes.empty)
 
 let arm_timer c delay =
   let deadline = c.io.now_cycles () + delay in
@@ -135,6 +165,7 @@ let make io ~local ~remote ~st =
     snd_nxt = 0;
     snd_wnd = default_window;
     sendq = Buffer.create 1024;
+    zc_sendq = Queue.create ();
     inflight = [];
     fin_queued = false;
     fin_seq = None;
@@ -143,6 +174,7 @@ let make io ~local ~remote ~st =
     recvq_head_off = 0;
     recvq_bytes = 0;
     fin_received = false;
+    rx_sink = None;
     timer_deadline = None;
     backoff = 1;
     attempts = 0;
@@ -156,12 +188,23 @@ let make io ~local ~remote ~st =
 
 let create_listen io ~local = make io ~local ~remote:(Addr.Ipv4.any, 0) ~st:Listen
 
-let transmit_seg c (s : seg) =
-  tx c ~syn:s.syn ~ack_flag:(not s.syn || c.st <> Syn_sent) ~fin:s.fin
-    ~psh:(Bytes.length s.payload > 0) ~seq:s.sseq s.payload
+let transmit_seg ?(rexmit = false) c (s : seg) =
+  let payload =
+    match s.pl with
+    | Plain b -> Tx_bytes b
+    | Zc nb ->
+        (* First transmission: share the descriptor — the wire DMAs out of
+           the sender's storage. Retransmission: the original share may
+           still sit in a rx ring somewhere; duplicate onto fresh storage
+           (explicit, counted — the quarantined copy). *)
+        if rexmit then Tx_netbuf (Nb.copy nb) else Tx_netbuf (Nb.share nb)
+  in
+  tx c ~syn:s.syn ~ack_flag:(not s.syn || c.st <> Syn_sent) ~fin:s.fin ~psh:(s.plen > 0)
+    ~seq:s.sseq payload
 
-(* Push queued application data (and a queued FIN) into segments as far as
-   the peer's advertised window allows. *)
+(* Push queued application data (bytes first, then whole-buffer zero-copy
+   sends, then a queued FIN) into segments as far as the peer's advertised
+   window allows. *)
 let rec pump c =
   let in_flight = seq_diff c.snd_nxt c.snd_una in
   let window_room = c.snd_wnd - in_flight in
@@ -171,7 +214,7 @@ let rec pump c =
     let rest = String.sub (Buffer.contents c.sendq) n (Buffer.length c.sendq - n) in
     Buffer.clear c.sendq;
     Buffer.add_string c.sendq rest;
-    let s = { sseq = c.snd_nxt; payload; syn = false; fin = false } in
+    let s = { sseq = c.snd_nxt; pl = Plain payload; plen = n; syn = false; fin = false } in
     c.snd_nxt <- seq_add c.snd_nxt n;
     c.inflight <- c.inflight @ [ s ];
     transmit_seg c s;
@@ -179,10 +222,26 @@ let rec pump c =
     pump c
   end
   else if
-    Buffer.length c.sendq = 0 && c.fin_queued && c.fin_seq = None
+    Buffer.length c.sendq = 0
+    && (not (Queue.is_empty c.zc_sendq))
+    && window_room >= Nb.len (Queue.peek c.zc_sendq)
+  then begin
+    let nb = Queue.pop c.zc_sendq in
+    let n = Nb.len nb in
+    let s = { sseq = c.snd_nxt; pl = Zc nb; plen = n; syn = false; fin = false } in
+    c.snd_nxt <- seq_add c.snd_nxt n;
+    c.inflight <- c.inflight @ [ s ];
+    transmit_seg c s;
+    if c.timer_deadline = None then arm_timer c (rto_base_cycles * c.backoff);
+    pump c
+  end
+  else if
+    Buffer.length c.sendq = 0
+    && Queue.is_empty c.zc_sendq
+    && c.fin_queued && c.fin_seq = None
     && (c.st = Fin_wait_1 || c.st = Last_ack || c.st = Closing)
   then begin
-    let s = { sseq = c.snd_nxt; payload = Bytes.empty; syn = false; fin = true } in
+    let s = { sseq = c.snd_nxt; pl = Plain Bytes.empty; plen = 0; syn = false; fin = true } in
     c.fin_seq <- Some c.snd_nxt;
     c.snd_nxt <- seq_add c.snd_nxt 1;
     c.inflight <- c.inflight @ [ s ];
@@ -191,15 +250,15 @@ let rec pump c =
   end
 
 let send_syn c =
-  let s = { sseq = c.snd_nxt; payload = Bytes.empty; syn = true; fin = false } in
+  let s = { sseq = c.snd_nxt; pl = Plain Bytes.empty; plen = 0; syn = true; fin = false } in
   c.snd_nxt <- seq_add c.snd_nxt 1;
   c.inflight <- [ s ];
   (* SYN and SYN+ACK forms differ: in SYN_SENT no ack flag. *)
   (match c.st with
-  | Syn_sent -> tx c ~syn:true ~ack_flag:false ~seq:s.sseq Bytes.empty
+  | Syn_sent -> tx c ~syn:true ~ack_flag:false ~seq:s.sseq (Tx_bytes Bytes.empty)
   | Syn_rcvd | Listen | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack
   | Time_wait | Closed ->
-      tx c ~syn:true ~seq:s.sseq Bytes.empty);
+      tx c ~syn:true ~seq:s.sseq (Tx_bytes Bytes.empty));
   arm_timer c (rto_base_cycles * c.backoff)
 
 let create_active io ~local ~remote ~iss =
@@ -226,12 +285,15 @@ let handle_ack c (h : Pkt.Tcp.t) =
     c.dupacks <- 0;
     c.backoff <- 1;
     c.attempts <- 0;
-    c.inflight <-
-      List.filter
+    let keep, acked =
+      List.partition
         (fun s ->
-          let seg_end = seq_add s.sseq (Bytes.length s.payload + (if s.syn || s.fin then 1 else 0)) in
+          let seg_end = seq_add s.sseq (s.plen + if s.syn || s.fin then 1 else 0) in
           seq_lt h.ack seg_end)
-        c.inflight;
+        c.inflight
+    in
+    List.iter drop_seg acked;
+    c.inflight <- keep;
     if c.inflight = [] then disarm_timer c else arm_timer c rto_base_cycles;
     wake_opt c c.send_waiter;
     (* Our FIN acknowledged? *)
@@ -258,7 +320,7 @@ let handle_ack c (h : Pkt.Tcp.t) =
       c.dupacks <- 0;
       c.fast_retransmits <- c.fast_retransmits + 1;
       match c.inflight with
-      | s :: _ -> transmit_seg c s
+      | s :: _ -> transmit_seg ~rexmit:true c s
       | [] -> ()
     end
   end
@@ -270,18 +332,32 @@ let deliver_data c payload =
   c.recvq_bytes <- c.recvq_bytes + Bytes.length payload;
   wake_opt c c.recv_waiter
 
-let handle_data c (h : Pkt.Tcp.t) payload =
-  let len = Bytes.length payload in
-  if len = 0 then ()
+(* Consumes [nb]. In-order data either runs the connection's rx sink in
+   place (fast path: the handler parses the payload window and usually
+   answers inside the same call — in which case its data segment already
+   carried our ACK and the pure ACK is suppressed), or is materialized into
+   the socket receive queue (legacy path — an explicit, counted copy). *)
+let handle_data_nb c (h : Pkt.Tcp.t) nb =
+  let len = Nb.len nb in
+  if len = 0 then Nb.recycle nb
   else if h.seq = c.rcv_nxt && len <= rcv_window c then begin
     c.rcv_nxt <- seq_add c.rcv_nxt len;
-    deliver_data c payload;
-    send_ack c
+    match c.rx_sink with
+    | Some sink when c.st = Established ->
+        let snd_nxt_before = c.snd_nxt in
+        sink nb;
+        if c.snd_nxt = snd_nxt_before then send_ack c
+    | Some _ | None ->
+        deliver_data c (Nb.copy_out nb);
+        Nb.recycle nb;
+        send_ack c
   end
-  else
+  else begin
     (* Out of order, retransmitted overlap, or no buffer space: drop and
        re-advertise our expectation (duplicate ACK). *)
+    Nb.recycle nb;
     send_ack c
+  end
 
 let handle_fin c (h : Pkt.Tcp.t) payload_len =
   if h.fin then begin
@@ -304,10 +380,14 @@ let handle_fin c (h : Pkt.Tcp.t) payload_len =
     else send_ack c
   end
 
-let on_segment c (h : Pkt.Tcp.t) payload =
+(* Consumes [nb] (exactly one release on every path). *)
+let on_segment_nb c (h : Pkt.Tcp.t) nb =
   c.io.charge seg_proc_cost;
+  let plen = Nb.len nb in
   if h.rst then begin
+    Nb.recycle nb;
     c.st <- Closed;
+    drop_pending c;
     disarm_timer c;
     wake_opt c c.recv_waiter;
     wake_opt c c.send_waiter;
@@ -320,32 +400,37 @@ let on_segment c (h : Pkt.Tcp.t) payload =
         if h.syn && h.ack_flag && h.ack = c.snd_nxt then begin
           c.snd_una <- h.ack;
           c.rcv_nxt <- seq_add h.seq 1;
-          c.inflight <- [];
+          drop_inflight c;
           disarm_timer c;
           c.st <- Established;
           send_ack c;
           wake_opt c c.connect_waiter
-        end
+        end;
+        Nb.recycle nb
     | Syn_rcvd ->
         if h.ack_flag && h.ack = c.snd_nxt then begin
           c.snd_una <- h.ack;
-          c.inflight <- [];
+          drop_inflight c;
           disarm_timer c;
           c.st <- Established;
           c.io.notify_accept c;
-          handle_data c h payload;
-          handle_fin c h (Bytes.length payload)
+          handle_data_nb c h nb;
+          handle_fin c h plen
         end
+        else Nb.recycle nb
     | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait ->
         handle_ack c h;
         (match c.st with
-        | Established | Fin_wait_1 | Fin_wait_2 -> handle_data c h payload
+        | Established | Fin_wait_1 | Fin_wait_2 -> handle_data_nb c h nb
         | Listen | Syn_sent | Syn_rcvd | Close_wait | Closing | Last_ack | Time_wait | Closed ->
-            ());
-        handle_fin c h (Bytes.length payload);
+            Nb.recycle nb);
+        handle_fin c h plen;
         pump c
-    | Listen | Closed -> ()
+    | Listen | Closed -> Nb.recycle nb
   end
+
+(* Bytes-era edge (tests, trace replay): materializes a buffer — counted. *)
+let on_segment c h payload = on_segment_nb c h (Nb.of_bytes payload)
 
 let on_timer c =
   let due =
@@ -370,7 +455,7 @@ let on_timer c =
               (* Peer unreachable: give up, as real TCP does after ~R2
                  retries (RFC 1122). *)
               c.st <- Closed;
-              c.inflight <- [];
+              drop_pending c;
               wake_opt c c.recv_waiter;
               wake_opt c c.send_waiter;
               wake_opt c c.connect_waiter
@@ -378,7 +463,7 @@ let on_timer c =
             else begin
               c.retransmits <- c.retransmits + 1;
               c.backoff <- min 64 (c.backoff * 2);
-              transmit_seg c s;
+              transmit_seg ~rexmit:true c s;
               arm_timer c (rto_base_cycles * c.backoff)
             end)
   end
@@ -396,6 +481,29 @@ let send c data =
       n
   | Listen | Syn_sent | Syn_rcvd | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait
   | Closed ->
+      0
+
+(* Zero-copy send: the connection takes ownership of [nb] and transmits it
+   as one segment when the window allows. Buffers larger than one MSS fall
+   back to the byte path (counted copy) — the fast path's callers size
+   their replies under the MSS. *)
+let send_nb c nb =
+  match c.st with
+  | Established | Close_wait ->
+      let n = Nb.len nb in
+      if n > mss then begin
+        let data = Nb.copy_out nb in
+        Nb.recycle nb;
+        send c data
+      end
+      else begin
+        Queue.push nb c.zc_sendq;
+        pump c;
+        n
+      end
+  | Listen | Syn_sent | Syn_rcvd | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait
+  | Closed ->
+      Nb.recycle nb;
       0
 
 let recv_available c = c.recvq_bytes
@@ -441,6 +549,7 @@ let close c =
       pump c
   | Syn_sent | Syn_rcvd | Listen ->
       c.st <- Closed;
+      drop_pending c;
       disarm_timer c
   | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed -> ()
 
@@ -449,9 +558,41 @@ let abort c =
   | Closed | Listen -> ()
   | Syn_sent | Syn_rcvd | Established | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
   | Last_ack | Time_wait ->
-      tx c ~rst:true ~seq:c.snd_nxt Bytes.empty);
+      tx c ~rst:true ~seq:c.snd_nxt (Tx_bytes Bytes.empty));
   c.st <- Closed;
+  drop_pending c;
   disarm_timer c;
   wake_opt c c.recv_waiter;
   wake_opt c c.send_waiter;
   wake_opt c c.connect_waiter
+
+(* --- equivalence digest ----------------------------------------------- *)
+
+let int_of_state = function
+  | Listen -> 0
+  | Syn_sent -> 1
+  | Syn_rcvd -> 2
+  | Established -> 3
+  | Fin_wait_1 -> 4
+  | Fin_wait_2 -> 5
+  | Close_wait -> 6
+  | Closing -> 7
+  | Last_ack -> 8
+  | Time_wait -> 9
+  | Closed -> 10
+
+(* FNV-1a over the protocol-visible connection state — the zero-copy and
+   copy datapaths must agree on this after processing the same traffic. *)
+let state_hash c =
+  let h = ref 0x2545f4914f6cdd1d in
+  let mix v = h := (!h lxor (v land 0xffffffff)) * 0x100000001b3 in
+  mix (int_of_state c.st);
+  mix c.snd_una;
+  mix c.snd_nxt;
+  mix c.rcv_nxt;
+  mix c.recvq_bytes;
+  mix c.retransmits;
+  mix c.fast_retransmits;
+  mix (if c.fin_received then 1 else 0);
+  mix (if c.fin_queued then 1 else 0);
+  !h land max_int

@@ -7,7 +7,14 @@
     retransmission with exponential backoff, and fast retransmit on three
     duplicate ACKs. Out-of-order segments are dropped and recovered by
     retransmission (lwIP-without-SACK behaviour); congestion control is
-    omitted — the paper's evaluation runs on an uncongested direct link. *)
+    omitted — the paper's evaluation runs on an uncongested direct link.
+
+    The datapath currency is {!Uknetdev.Netbuf.t}: inbound segments arrive
+    as descriptors ({!on_segment_nb}), outbound payloads leave as
+    descriptors ({!send_nb}, [Tx_netbuf]). In-order data can be consumed in
+    place by a per-connection rx sink ({!set_rx_sink}) — the run-to-
+    completion fast path — with the legacy socket receive queue (an
+    explicit, counted copy) as fallback. *)
 
 type state =
   | Listen
@@ -26,10 +33,16 @@ val state_to_string : state -> string
 
 type conn
 
+type tx_payload =
+  | Tx_bytes of bytes  (** legacy path: the IP layer materializes a buffer *)
+  | Tx_netbuf of Uknetdev.Netbuf.t
+      (** zero-copy path: ownership passes to the callee, which pushes
+          headers into the descriptor's headroom and hands it to TX *)
+
 type io = {
   now_cycles : unit -> int;
   charge : int -> unit;  (** burn guest cycles *)
-  tx_segment : conn -> Pkt.Tcp.t -> bytes -> unit;
+  tx_segment : conn -> Pkt.Tcp.t -> tx_payload -> unit;
       (** hand a fully-specified segment (header template + payload) to the
           IP layer; ports are already filled in *)
   set_timer : conn -> delay_cycles:int -> unit;
@@ -61,17 +74,37 @@ val remote_addr : conn -> Addr.Ipv4.t * int
 
 (** {1 Input path} *)
 
+val on_segment_nb : conn -> Pkt.Tcp.t -> Uknetdev.Netbuf.t -> unit
+(** Process one inbound segment whose payload window is [nb] (header
+    already validated/checksummed and pulled). Consumes the descriptor on
+    every path: handed to the rx sink, copied (counted) into the receive
+    queue, or recycled. *)
+
 val on_segment : conn -> Pkt.Tcp.t -> bytes -> unit
-(** Process one inbound segment (header already validated/checksummed). *)
+(** Bytes-era edge: wraps the payload in a fresh netbuf ({e counted} when
+    non-empty) and calls {!on_segment_nb}. *)
 
 val on_timer : conn -> unit
 (** Retransmission / TIME_WAIT timer callback. *)
+
+val set_rx_sink : conn -> (Uknetdev.Netbuf.t -> unit) option -> unit
+(** Fast-path delivery: in-order payload descriptors are handed to this
+    sink (which takes ownership) instead of the socket receive queue. If
+    the sink transmits on the same connection during the callback, that
+    segment carries the ACK and the pure ACK is suppressed (piggyback). *)
 
 (** {1 Application side} *)
 
 val send : conn -> bytes -> int
 (** Queue application data; returns bytes accepted (bounded by the send
     buffer). Transmits immediately as far as the peer's window allows. *)
+
+val send_nb : conn -> Uknetdev.Netbuf.t -> int
+(** Zero-copy send: takes ownership of the buffer and transmits it as one
+    segment when the window allows (first transmission shares the storage;
+    only a retransmission copies). Buffers over one MSS fall back to the
+    counted byte path. Returns bytes accepted (0 — and the buffer is
+    recycled — when the connection cannot send). *)
 
 val send_buffer_space : conn -> int
 
@@ -90,6 +123,12 @@ val close : conn -> unit
 
 val abort : conn -> unit
 (** RST out, connection to CLOSED. *)
+
+val state_hash : conn -> int
+(** FNV-1a digest of the protocol-visible connection state (state, send
+    and receive sequence space, loss-recovery counters). The zero-copy and
+    copy datapaths must produce identical hashes for identical traffic —
+    the equivalence property tests compare these. *)
 
 (** {1 Blocking-support hooks (used by the stack's socket layer)} *)
 

@@ -102,6 +102,28 @@ grep -q '"replay_deterministic": true' BENCH_compat.json || {
   exit 1
 }
 
+echo "== fast-path ablation smoke (fixed seed, steady-state workloads) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only abl-fastpath
+h_speedup=$(awk -F': ' '/"fastpath_httpd_speedup"/ { sub(/,$/, "", $2); print $2 }' BENCH_ablation.json)
+r_speedup=$(awk -F': ' '/"fastpath_resp_speedup"/ { sub(/,$/, "", $2); print $2 }' BENCH_ablation.json)
+echo "fast path over socket/copy path: httpd ${h_speedup}x, RESP ${r_speedup}x (gate: >= 5)"
+awk "BEGIN { exit !(${h_speedup} >= 5.0 && ${r_speedup} >= 5.0) }" || {
+  echo "FAIL: zero-copy fast path not >= 5x over the socket/copy path"
+  exit 1
+}
+grep -q '"fastpath_httpd_hot_copies": 0,' BENCH_ablation.json || {
+  echo "FAIL: httpd hot path made counted memcpys (steady state must be copy-free)"
+  exit 1
+}
+grep -q '"fastpath_resp_copies": 0,' BENCH_ablation.json || {
+  echo "FAIL: RESP fast run made counted memcpys (must be copy-free end to end)"
+  exit 1
+}
+grep -q '"fastpath_replay_ok": true' BENCH_ablation.json || {
+  echo "FAIL: same-seed 8-core fast-path run was not byte-identical"
+  exit 1
+}
+
 echo "== ukcheck gate (lockset + schedule explorer) =="
 # Race detector over the 4-core cluster smoke (any report fails) and the
 # schedule explorer over the uklock/Percore fixtures at a 64-schedule

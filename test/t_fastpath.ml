@@ -1,0 +1,315 @@
+(* Tests for the zero-copy fast path: netbuf ownership edge cases, the
+   debug-mode lifetime guards (planted-bug positives), the copy-vs-zero-
+   copy TCP equivalence property, and whole-cluster replay determinism
+   of the fast datapath. *)
+
+module Nb = Uknetdev.Netbuf
+module Tcp = Uknetstack.Tcp
+module P = Uknetstack.Pkt
+module A = Uknetstack.Addr
+module Cl = Ukapps.Cluster
+
+(* --- netbuf window / ownership edge cases --------------------------------- *)
+
+let test_window_ops () =
+  let b = Nb.alloc ~headroom:8 ~size:32 () in
+  Alcotest.(check int) "starts empty" 0 (Nb.len b);
+  Alcotest.(check int) "at full headroom" 8 (Nb.offset b);
+  Alcotest.(check int) "capacity" 32 (Nb.capacity b);
+  Nb.copy_in b (Bytes.of_string "abcdef");
+  Nb.push b 2;
+  let buf, off, len = Nb.view b in
+  Alcotest.(check int) "pushed offset" 6 off;
+  Alcotest.(check int) "pushed len" 8 len;
+  Bytes.set buf off 'H';
+  Bytes.set buf (off + 1) 'H';
+  Nb.pull b 2;
+  Alcotest.(check string) "pull back to payload" "abcdef" (Bytes.to_string (Nb.copy_out b));
+  Alcotest.check_raises "push beyond headroom"
+    (Invalid_argument "Netbuf.push: no headroom") (fun () -> Nb.push b 9);
+  Alcotest.check_raises "pull beyond payload"
+    (Invalid_argument "Netbuf.pull: beyond payload") (fun () -> Nb.pull b 7);
+  Nb.reset b;
+  Alcotest.(check int) "reset len" 0 (Nb.len b);
+  Alcotest.(check int) "reset offset" 8 (Nb.offset b)
+
+let test_pool_exhaustion_and_remote_free () =
+  let clock = Uksim.Clock.create () in
+  let p = Nb.Pool.create ~clock ~count:1 ~size:64 () in
+  let b = Option.get (Nb.Pool.take p) in
+  Alcotest.(check (option reject)) "exhausted" None (Nb.Pool.take p);
+  Nb.recycle b;
+  Alcotest.(check int) "deferred on the remote-free list" 1 (Nb.Pool.pending_returns p);
+  Alcotest.(check bool) "descriptor is dead" false (Nb.live b);
+  let b' = Option.get (Nb.Pool.take p) in
+  Alcotest.(check int) "drained" 0 (Nb.Pool.pending_returns p);
+  Nb.recycle b';
+  let elastic = Nb.Pool.create ~clock ~elastic:true ~count:1 ~size:64 () in
+  let e1 = Option.get (Nb.Pool.take elastic) in
+  let e2 = Nb.Pool.take elastic in
+  Alcotest.(check bool) "elastic pool grows" true (e2 <> None);
+  Nb.recycle e1;
+  Nb.recycle (Option.get e2)
+
+let test_share_refcount () =
+  let clock = Uksim.Clock.create () in
+  let p = Nb.Pool.create ~clock ~count:1 ~size:64 () in
+  let b = Option.get (Nb.Pool.take p) in
+  Nb.copy_in b (Bytes.of_string "shared");
+  let s = Nb.share b in
+  Nb.recycle b;
+  (* The clone holds the storage alive: nothing returned yet, and the
+     payload is still readable through it. *)
+  Alcotest.(check int) "still referenced" 0 (Nb.Pool.pending_returns p);
+  Alcotest.(check string) "clone reads payload" "shared" (Bytes.to_string (Nb.copy_out s));
+  Nb.recycle s;
+  Alcotest.(check int) "last ref returns storage" 1 (Nb.Pool.pending_returns p)
+
+let test_copy_counters () =
+  let before = Nb.total_copies () in
+  let b = Nb.alloc ~size:128 () in
+  let buf, off, _ = Nb.view b in
+  Bytes.blit_string "direct generation" 0 buf off 17;
+  Nb.set_len b 17;
+  Nb.push b 0;
+  Nb.pull b 0;
+  ignore (Nb.payload_hash b);
+  Alcotest.(check int) "zero-copy ops are uncounted" before (Nb.total_copies ());
+  let bytes_before = Nb.copied_bytes_total () in
+  ignore (Nb.copy_out b);
+  Nb.copy_in b (Bytes.of_string "counted");
+  ignore (Nb.copy b);
+  ignore (Nb.of_bytes (Bytes.of_string "counted"));
+  Alcotest.(check int) "four explicit copies counted" (before + 4) (Nb.total_copies ());
+  Alcotest.(check int) "copied bytes accounted" (bytes_before + 17 + 7 + 7 + 7)
+    (Nb.copied_bytes_total ())
+
+(* --- debug-mode lifetime guards (planted bugs must trip) ------------------- *)
+
+let test_guard_use_after_give () =
+  Nb.set_debug true;
+  Fun.protect ~finally:(fun () -> Nb.set_debug false) (fun () ->
+      (* Planted bug: a handler keeps reading a buffer it already handed
+         back. *)
+      let b = Nb.of_bytes (Bytes.of_string "frame") in
+      Nb.recycle b;
+      Alcotest.check_raises "read after give" (Invalid_argument "Netbuf: use after give")
+        (fun () -> ignore (Nb.copy_out b));
+      Alcotest.check_raises "window op after give"
+        (Invalid_argument "Netbuf: use after give") (fun () -> Nb.pull b 1);
+      (* Reissued storage invalidates stale descriptors even when the
+         descriptor itself was never given. *)
+      let clock = Uksim.Clock.create () in
+      let p = Nb.Pool.create ~clock ~count:1 ~size:64 () in
+      let stale = Option.get (Nb.Pool.take p) in
+      let keep = Nb.share stale in
+      Nb.recycle stale;
+      Nb.recycle keep;
+      let fresh = Option.get (Nb.Pool.take p) in
+      Alcotest.(check bool) "stale descriptor not live" false (Nb.live keep);
+      Alcotest.check_raises "stale generation trapped"
+        (Invalid_argument "Netbuf: use after give") (fun () -> ignore (Nb.view keep));
+      Nb.recycle fresh)
+
+let test_guard_double_give () =
+  Nb.set_debug true;
+  Fun.protect ~finally:(fun () -> Nb.set_debug false) (fun () ->
+      (* Planted bug: two layers both think they own the buffer's end of
+         life. *)
+      let b = Nb.of_bytes (Bytes.of_string "frame") in
+      Nb.recycle b;
+      Alcotest.check_raises "double give" (Invalid_argument "Netbuf: double give")
+        (fun () -> Nb.recycle b));
+  (* With guards off, the double give is (deliberately) a silent no-op on
+     a dead descriptor — the hot path pays no check. *)
+  let b = Nb.of_bytes (Bytes.of_string "frame") in
+  Nb.recycle b;
+  Nb.recycle b
+
+(* --- copy path vs zero-copy path: protocol equivalence --------------------- *)
+
+(* A minimal in-memory TCP rig (same shape as t_uknetstack's): both ends
+   of one connection over a recording fake wire. *)
+type fake_net = {
+  clock : Uksim.Clock.t;
+  mutable sent : (P.Tcp.t * bytes) list; (* reversed *)
+}
+
+let fake_io net : Tcp.io =
+  {
+    Tcp.now_cycles = (fun () -> Uksim.Clock.cycles net.clock);
+    charge = (fun c -> Uksim.Clock.advance net.clock c);
+    tx_segment =
+      (fun _conn hdr payload ->
+        let data =
+          match payload with
+          | Tcp.Tx_bytes b -> b
+          | Tcp.Tx_netbuf nb ->
+              let b = Nb.copy_out nb in
+              Nb.recycle nb;
+              b
+        in
+        net.sent <- (hdr, data) :: net.sent);
+    set_timer = (fun _ ~delay_cycles:_ -> ());
+    wake = (fun _ -> ());
+    notify_accept = (fun _ -> ());
+  }
+
+type rig = {
+  neta : fake_net;
+  netb : fake_net;
+  client : Tcp.conn;
+  server : Tcp.conn;
+  mutable frames : (int * int * bool * bool * bool * bool * string) list; (* reversed *)
+}
+
+let take_sent net =
+  let s = List.rev net.sent in
+  net.sent <- [];
+  s
+
+let record (h : P.Tcp.t) data =
+  (h.P.Tcp.seq, h.P.Tcp.ack, h.P.Tcp.syn, h.P.Tcp.ack_flag, h.P.Tcp.fin, h.P.Tcp.psh,
+   Bytes.to_string data)
+
+let mk_rig () =
+  let neta = { clock = Uksim.Clock.create (); sent = [] } in
+  let netb = { clock = Uksim.Clock.create (); sent = [] } in
+  let client =
+    Tcp.create_active (fake_io neta) ~local:(A.Ipv4.of_string "10.0.0.1", 100)
+      ~remote:(A.Ipv4.of_string "10.0.0.2", 200) ~iss:1000
+  in
+  let listener = Tcp.create_listen (fake_io netb) ~local:(A.Ipv4.of_string "10.0.0.2", 200) in
+  let syn = match take_sent neta with [ (h, _) ] -> h | _ -> failwith "expected SYN" in
+  let server =
+    Tcp.derive_passive listener ~remote:(A.Ipv4.of_string "10.0.0.1", 100) ~iss:5000
+      ~peer_seq:syn.P.Tcp.seq
+  in
+  let rig = { neta; netb; client; server; frames = [] } in
+  (* Log the SYN too so both rigs record identical handshakes. *)
+  rig.frames <- record syn Bytes.empty :: rig.frames;
+  rig
+
+let deliver rig =
+  let rec pump () =
+    let from_a = take_sent rig.neta and from_b = take_sent rig.netb in
+    let feed conn (hdr, data) =
+      rig.frames <- record hdr data :: rig.frames;
+      Tcp.on_segment conn hdr data
+    in
+    List.iter (feed rig.server) from_a;
+    List.iter (feed rig.client) from_b;
+    if rig.neta.sent <> [] || rig.netb.sent <> [] then pump ()
+  in
+  pump ()
+
+let finish_handshake rig =
+  (* create_active already emitted the SYN before mk_rig recorded it;
+     derive_passive answers it on the first pump. *)
+  deliver rig
+
+(* The property: the same application byte stream pushed through the
+   legacy copy path (send + socket-queue recv) and through the zero-copy
+   path (send_nb + in-place rx sink) produces the same segments on the
+   wire (seq/ack/flags/payload), delivers the same bytes, and leaves
+   both connections with equal protocol-state hashes. *)
+let equivalence_prop =
+  QCheck.Test.make ~name:"zero-copy path == copy path (frames, bytes, state hash)"
+    ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 12) (string_of_size (Gen.int_range 1 2000)))
+    (fun chunks ->
+      (* Legacy rig: bytes in, socket queue out. *)
+      let ra = mk_rig () in
+      finish_handshake ra;
+      let got_a = Buffer.create 256 in
+      List.iter
+        (fun chunk ->
+          ignore (Tcp.send ra.client (Bytes.of_string chunk));
+          deliver ra;
+          let rec drain () =
+            match Tcp.recv ra.server ~max:4096 with
+            | Some b ->
+                Buffer.add_bytes got_a b;
+                drain ()
+            | None -> ()
+          in
+          drain ())
+        chunks;
+      (* Zero-copy rig: netbufs in, rx sink consumes in place. *)
+      let rb = mk_rig () in
+      finish_handshake rb;
+      let got_b = Buffer.create 256 in
+      Tcp.set_rx_sink rb.server
+        (Some
+           (fun nb ->
+             let buf, off, len = Nb.view nb in
+             Buffer.add_subbytes got_b buf off len;
+             Nb.recycle nb));
+      List.iter
+        (fun chunk ->
+          ignore (Tcp.send_nb rb.client (Nb.of_bytes (Bytes.of_string chunk)));
+          deliver rb)
+        chunks;
+      let sent = String.concat "" chunks in
+      Buffer.contents got_a = sent
+      && Buffer.contents got_b = sent
+      && List.rev ra.frames = List.rev rb.frames
+      && Tcp.state_hash ra.client = Tcp.state_hash rb.client
+      && Tcp.state_hash ra.server = Tcp.state_hash rb.server)
+
+(* --- fast-path cluster: functional + replay determinism -------------------- *)
+
+let test_fast_cluster_replay () =
+  let run () =
+    let c = Cl.create ~seed:7 ~fastpath:Cl.fastpath_default ~n:2 () in
+    ignore (Cl.add_httpd_fast c (Ukapps.Httpd.In_memory
+      [ ("/index.html", Ukapps.Httpd.default_page) ]));
+    let r = Cl.run_httpd_load_fast c ~connections_per_core:2 ~requests_per_core:200 () in
+    (r.Ukapps.Wrk.requests, r.Ukapps.Wrk.errors, Cl.trace_hash c, Cl.elapsed_ns c)
+  in
+  let (req1, err1, hash1, t1) = run () in
+  let (req2, err2, hash2, t2) = run () in
+  Alcotest.(check int) "all requests answered" 400 req1;
+  Alcotest.(check int) "no errors" 0 err1;
+  Alcotest.(check int) "same requests on replay" req1 req2;
+  Alcotest.(check int) "same errors on replay" err1 err2;
+  Alcotest.(check int) "trace hash replays byte-identically" hash1 hash2;
+  Alcotest.(check (float 0.0)) "elapsed replays exactly" t1 t2
+
+let test_fast_resp_copy_free () =
+  let c = Cl.create ~seed:3 ~fastpath:Cl.fastpath_default ~n:2 () in
+  let workers = Cl.add_resp_fast c ~populate:4096 () in
+  (* Pre-population went through the direct execute path and counts as
+     commands; the load below must add exactly one command per request. *)
+  let st0 = Ukapps.Resp_store.sum_stats (Array.to_list workers) in
+  let copies0 = Nb.total_copies () in
+  let r =
+    Cl.run_resp_load_fast c ~connections_per_core:2 ~requests_per_core:200
+      Ukapps.Resp_bench.Get
+  in
+  Alcotest.(check int) "all replies" 400 r.Ukapps.Resp_bench.requests;
+  Alcotest.(check int) "no errors" 0 r.Ukapps.Resp_bench.errors;
+  let st = Ukapps.Resp_store.sum_stats (Array.to_list workers) in
+  Alcotest.(check int) "server executed every command" 400
+    (st.Ukapps.Resp_store.commands - st0.Ukapps.Resp_store.commands);
+  Alcotest.(check int) "all GETs hit" 400
+    (st.Ukapps.Resp_store.hits - st0.Ukapps.Resp_store.hits);
+  Alcotest.(check int) "the whole run made zero counted copies" 0
+    (Nb.total_copies () - copies0)
+
+let suite =
+  [
+    Alcotest.test_case "netbuf window push/pull/view/reset" `Quick test_window_ops;
+    Alcotest.test_case "pool exhaustion + remote-free drain" `Quick
+      test_pool_exhaustion_and_remote_free;
+    Alcotest.test_case "share holds storage; last ref returns it" `Quick
+      test_share_refcount;
+    Alcotest.test_case "only explicit copies are counted" `Quick test_copy_counters;
+    Alcotest.test_case "debug guard: use after give" `Quick test_guard_use_after_give;
+    Alcotest.test_case "debug guard: double give" `Quick test_guard_double_give;
+    QCheck_alcotest.to_alcotest equivalence_prop;
+    Alcotest.test_case "fast cluster replays byte-identically" `Quick
+      test_fast_cluster_replay;
+    Alcotest.test_case "fast RESP run is copy-free end to end" `Quick
+      test_fast_resp_copy_free;
+  ]

@@ -22,8 +22,7 @@ let fault_link ?(seed = 42) plan =
   let rng = Uksim.Rng.create seed in
   let fn = Fn.wrap ~clock ~engine ~rng ~plan da in
   db.Nd.configure_queue ~qid:0
-    { Nd.rx_alloc = (fun () -> Some (Nb.alloc ~size:2048 ())); mode = Nd.Polling;
-      rx_handler = None };
+    { Nd.rx_path = Nd.Zero_copy; mode = Nd.Polling; rx_handler = None };
   (clock, engine, fn, db)
 
 let frame i = Nb.of_bytes (Bytes.of_string (Printf.sprintf "frame-%03d" i))

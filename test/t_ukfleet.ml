@@ -198,7 +198,7 @@ let test_kill_respawns_zero_lost () =
       ~image () in
   let fv =
     Fv.arm ~clock:(Fleet.control_clock f) ~engine:(Fleet.control_engine f)
-      ~rng:(Uksim.Rng.create 9)
+      ~rng:(Uksim.Rng.create 7)
       ~plan:(Fv.plan ~at_ns:(Fleet.settle_ns f +. ms 8.0) ~kill_fraction:0.4 ())
       ~targets:(fun () -> Fleet.ready_ids f)
       ~kill:(fun ~now_ns iid -> Fleet.kill f ~now_ns ~iid)

@@ -60,9 +60,9 @@ let test_wire_delivery () =
   let clock, engine = env () in
   let a, b = Wire.create_pair ~engine ~latency_ns:1000.0 () in
   let got = ref [] in
-  Wire.set_receiver b (Some (fun frame -> got := Bytes.to_string frame :: !got));
-  Wire.send a (Bytes.of_string "one");
-  Wire.send a (Bytes.of_string "two");
+  Wire.set_receiver_bytes b (Some (fun frame -> got := Bytes.to_string frame :: !got));
+  Wire.send_bytes a (Bytes.of_string "one");
+  Wire.send_bytes a (Bytes.of_string "two");
   Uksim.Engine.run engine;
   Alcotest.(check (list string)) "in order" [ "one"; "two" ] (List.rev !got);
   Alcotest.(check int) "tx counted" 2 (Wire.tx_frames a);
@@ -75,7 +75,7 @@ let test_wire_serialization () =
   let a, b = Wire.create_pair ~engine ~latency_ns:0.0 ~bandwidth_gbps:10.0 () in
   Wire.attach_sink b;
   for _ = 1 to 1000 do
-    Wire.send a (Bytes.make 1250 'x')
+    Wire.send_bytes a (Bytes.make 1250 'x')
   done;
   Uksim.Engine.run engine;
   let clock = Uksim.Engine.clock engine in
@@ -90,8 +90,8 @@ let test_wire_echo () =
   let a, b = Wire.create_pair ~engine () in
   Wire.attach_echo b;
   let got = ref 0 in
-  Wire.set_receiver a (Some (fun _ -> incr got));
-  Wire.send a (Bytes.of_string "ping");
+  Wire.set_receiver a (Some (fun nb -> incr got; Nb.recycle nb));
+  Wire.send_bytes a (Bytes.of_string "ping");
   Uksim.Engine.run engine;
   Alcotest.(check int) "reflected" 1 !got
 
@@ -125,9 +125,8 @@ let test_vhost_user_no_kicks () =
 let test_virtio_rx_polling () =
   let clock, engine, dev, peer = mk_virtio () in
   dev.Nd.configure_queue ~qid:0
-    { Nd.rx_alloc = (fun () -> Some (Nb.alloc ~size:2048 ())); mode = Nd.Polling;
-      rx_handler = None };
-  Wire.send peer (Bytes.of_string "hello-guest");
+    { Nd.rx_path = Nd.Zero_copy; mode = Nd.Polling; rx_handler = None };
+  Wire.send_bytes peer (Bytes.of_string "hello-guest");
   Uksim.Engine.run engine;
   Uksim.Clock.advance clock 1;
   let pkts = dev.Nd.rx_burst ~qid:0 ~max:4 in
@@ -142,13 +141,13 @@ let test_virtio_rx_interrupt_storm_avoidance () =
   let irq_calls = ref 0 in
   dev.Nd.configure_queue ~qid:0
     {
-      Nd.rx_alloc = (fun () -> Some (Nb.alloc ~size:2048 ()));
+      Nd.rx_path = Nd.Copy_into (fun () -> Some (Nb.alloc ~size:2048 ()));
       mode = Nd.Interrupt_driven;
       rx_handler = Some (fun () -> incr irq_calls);
     };
   (* Burst of frames before the guest drains: the line fires once. *)
   for i = 1 to 5 do
-    Wire.send peer (Bytes.make (64 + i) 'z')
+    Wire.send_bytes peer (Bytes.make (64 + i) 'z')
   done;
   Uksim.Engine.run engine;
   Alcotest.(check int) "one interrupt for the burst" 1 !irq_calls;
@@ -156,13 +155,13 @@ let test_virtio_rx_interrupt_storm_avoidance () =
   let pkts = dev.Nd.rx_burst ~qid:0 ~max:16 in
   Alcotest.(check int) "burst drained" 5 (List.length pkts);
   (* Ring empty -> re-armed: next frame interrupts again. *)
-  Wire.send peer (Bytes.make 60 'w');
+  Wire.send_bytes peer (Bytes.make 60 'w');
   Uksim.Engine.run engine;
   Alcotest.(check int) "re-armed" 2 !irq_calls
 
 let test_virtio_rx_drop_when_unconfigured () =
   let _, engine, dev, peer = mk_virtio () in
-  Wire.send peer (Bytes.make 64 'q');
+  Wire.send_bytes peer (Bytes.make 64 'q');
   Uksim.Engine.run engine;
   Alcotest.(check int) "dropped" 1 ((dev.Nd.stats ()).Nd.rx_dropped)
 
@@ -177,10 +176,7 @@ let test_virtio_ring_capacity () =
 let test_loopback_pair () =
   let clock, engine = env () in
   let da, db = Uknetdev.Loopback.create_pair ~clock ~engine () in
-  let cfg =
-    { Nd.rx_alloc = (fun () -> Some (Nb.alloc ~size:2048 ())); mode = Nd.Polling;
-      rx_handler = None }
-  in
+  let cfg = { Nd.rx_path = Nd.Zero_copy; mode = Nd.Polling; rx_handler = None } in
   da.Nd.configure_queue ~qid:0 cfg;
   db.Nd.configure_queue ~qid:0 cfg;
   ignore (da.Nd.tx_burst ~qid:0 [| Nb.of_bytes (Bytes.of_string "x-to-y") |]);

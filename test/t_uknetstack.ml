@@ -141,8 +141,18 @@ let fake_io net : Tcp.io =
     charge = (fun c -> Uksim.Clock.advance net.clock c);
     tx_segment =
       (fun conn hdr payload ->
+        (* Materialize either payload flavour to bytes: the fake wire is a
+           bytes-era test edge, and dropped netbufs must still be recycled. *)
+        let data =
+          match payload with
+          | Tcp.Tx_bytes b -> b
+          | Tcp.Tx_netbuf nb ->
+              let b = Nb.copy_out nb in
+              Nb.recycle nb;
+              b
+        in
         if net.drop_next > 0 then net.drop_next <- net.drop_next - 1
-        else net.sent <- (conn, hdr, payload) :: net.sent);
+        else net.sent <- (conn, hdr, data) :: net.sent);
     set_timer =
       (fun conn ~delay_cycles ->
         net.timers <- (conn, Uksim.Clock.cycles net.clock + delay_cycles) :: net.timers);

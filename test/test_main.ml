@@ -10,6 +10,7 @@ let () =
   Alcotest.run "ukraft"
     [
       ("dns", T_dns.suite);
+      ("fastpath (uknetdev+uknetstack+ukapps)", T_fastpath.suite);
       ("ukalloc", T_ukalloc.suite);
       ("ukapps", T_ukapps.suite);
       ("ukblock", T_ukblock.suite);
