@@ -177,6 +177,12 @@ let main ?micro () =
           | [] ->
               Printf.eprintf "unknown experiment or group %s; available experiments:\n" key;
               print_experiments stderr;
+              let groups =
+                List.fold_left
+                  (fun acc e -> if List.mem e.group acc then acc else acc @ [ e.group ])
+                  [] (all ())
+              in
+              Printf.eprintf "available groups: %s\n" (String.concat " " groups);
               exit 1
           | sel -> sel)
       | None ->

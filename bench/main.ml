@@ -24,5 +24,6 @@ let () =
   Exp_smp.register ();
   Exp_fleet.register ();
   Exp_cluster.register ();
+  Exp_infer.register ();
   Exp_compat.register ();
   Bench.main ~micro:Micro.run ()

@@ -299,6 +299,82 @@ let run_resp_load_fast t ?(port = 6379) ?(connections_per_core = 8) ?(pipeline =
   Uksmp.Smp.run t.smp;
   Resp_bench.result_of_agg agg ~t_start:start
 
+(* --- inference ------------------------------------------------------------- *)
+
+(* Per-core model serving: each server core gets its own virtio-blk
+   store, weight file, vfs mount and admission queue (the replicated-
+   image deployment — no cross-core weight sharing to serialize on). *)
+let add_infer_with mk t ?(port = 8000) ?(size_mb = 4) ?max_batch ?max_wait_ns () =
+  Array.init t.n (fun i ->
+      let clock = Uksmp.Smp.clock_of t.smp ~core:i in
+      let engine = Uksmp.Smp.engine_of t.smp ~core:i in
+      let dev =
+        Ukblock.Virtio_blk.create ~clock ~engine
+          ~capacity_sectors:((size_mb + 2) * 2048) ()
+      in
+      let store, name = Infer.publish ~clock ~dev ~size_mb () in
+      let vfs = Ukvfs.Vfs.create ~clock in
+      (match Ukvfs.Vfs.mount vfs ~at:"/models" (Ukvfs.Blockfs.to_fs store) with
+      | Ok () -> ()
+      | Error e -> invalid_arg ("Cluster.add_infer: " ^ Ukvfs.Fs.errno_to_string e));
+      let model =
+        match Infer.load ~clock ~vfs ~store ~path:("/models/" ^ name) () with
+        | Ok m -> m
+        | Error e -> invalid_arg ("Cluster.add_infer: " ^ e)
+      in
+      mk ~clock ~engine
+        ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
+        ~stack:t.server_stacks.(i) ~alloc:t.allocs.(i) ~port ~core:i ?max_batch
+        ?max_wait_ns ~model ())
+
+let add_infer t ?port ?size_mb ?max_batch ?max_wait_ns () =
+  add_infer_with
+    (fun ~clock ~engine ~sched ~stack ~alloc ~port ~core ?max_batch ?max_wait_ns ~model () ->
+      Infer.create ~clock ~engine ~sched ~stack ~alloc ~port ~core ?max_batch
+        ?max_wait_ns ~model ())
+    t ?port ?size_mb ?max_batch ?max_wait_ns ()
+
+let add_infer_fast t ?port ?size_mb ?rtc ?max_batch ?max_wait_ns () =
+  add_infer_with
+    (fun ~clock ~engine ~sched ~stack ~alloc ~port ~core ?max_batch ?max_wait_ns ~model () ->
+      Infer.create_fast ~clock ~engine ~sched ~stack ~alloc ~port ~core ?rtc ?max_batch
+        ?max_wait_ns ~model ())
+    t ?port ?size_mb ?max_batch ?max_wait_ns ()
+
+let run_infer_load_with spawn t ?(port = 8000) ?(connections_per_core = 8)
+    ?(requests_per_core = 4000) ?pipeline ?width () =
+  let agg = Infer.new_agg () in
+  let ports = steered_ports t ~dport:port ~per_core:connections_per_core in
+  for j = 0 to t.n - 1 do
+    let core = t.n + j in
+    spawn
+      ~clock:(Uksmp.Smp.clock_of t.smp ~core)
+      ~sched:(Uksmp.Smp.sched_of t.smp ~core)
+      ~stack:t.client_stacks.(j) ~server:(server_ip, port)
+      ~connections:connections_per_core ?pipeline ~requests:requests_per_core ?width
+      ~port_for:(fun ci -> Some ports.(j).(ci))
+      ~agg ()
+  done;
+  let start = t_start t in
+  Uksmp.Smp.run t.smp;
+  Infer.result_of_agg agg ~t_start:start
+
+let run_infer_load t =
+  run_infer_load_with
+    (fun ~clock ~sched ~stack ~server ~connections ?pipeline ~requests ?width ~port_for
+         ~agg () ->
+      Infer.spawn_load ~clock ~sched ~stack ~server ~connections ?pipeline ~requests
+        ?width ~port_for ~agg ())
+    t
+
+let run_infer_load_fast t =
+  run_infer_load_with
+    (fun ~clock ~sched ~stack ~server ~connections ?pipeline ~requests ?width ~port_for
+         ~agg () ->
+      Infer.spawn_load_fast ~clock ~sched ~stack ~server ~connections ?pipeline
+        ~requests ?width ~port_for ~agg ())
+    t
+
 let run_resp_load t ?(port = 6379) ?(connections_per_core = 8) ?(pipeline = 16)
     ?(requests_per_core = 10_000) workload =
   let agg = Resp_bench.new_agg () in

@@ -114,3 +114,49 @@ val run_resp_load_fast :
   Resp_bench.workload ->
   Resp_bench.result
 (** {!run_resp_load} driven by {!Resp_bench.spawn_fast}. *)
+
+val add_infer :
+  t ->
+  ?port:int ->
+  ?size_mb:int ->
+  ?max_batch:int ->
+  ?max_wait_ns:float ->
+  unit ->
+  Infer.t array
+(** One {!Infer.create} worker per server core (port defaults to 8000),
+    each with its own virtio-blk weight store, published seeded model of
+    [size_mb] (default 4) MiB, vfs mount at [/models] and boot-time weight
+    load — the replicated-image deployment, no cross-core sharing. *)
+
+val add_infer_fast :
+  t ->
+  ?port:int ->
+  ?size_mb:int ->
+  ?rtc:bool ->
+  ?max_batch:int ->
+  ?max_wait_ns:float ->
+  unit ->
+  Infer.t array
+(** {!add_infer} with {!Infer.create_fast} workers. *)
+
+val run_infer_load :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?requests_per_core:int ->
+  ?pipeline:int ->
+  ?width:int ->
+  unit ->
+  Infer.result
+(** Defaults: 8 connections, 4000 requests per core. *)
+
+val run_infer_load_fast :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?requests_per_core:int ->
+  ?pipeline:int ->
+  ?width:int ->
+  unit ->
+  Infer.result
+(** {!run_infer_load} driven by {!Infer.spawn_load_fast}. *)

@@ -1,0 +1,568 @@
+module S = Uknetstack.Stack
+module Nb = Uknetdev.Netbuf
+module Tcp = Uknetstack.Tcp
+module Bfs = Ukvfs.Blockfs
+
+(* --- cost model ----------------------------------------------------------
+
+   Per-batch compute is one full sweep over the weights (the GEMM reads
+   every parameter once per forward pass, 16 B/cycle — same bandwidth
+   figure as Cost.memcpy) plus a per-item term for activations that
+   scales with the item's token width. Batching amortizes the sweep:
+   that asymmetry is the whole latency-vs-throughput knob. *)
+
+let weight_pass_per_mb = 65536 (* cycles: 1 MiB of weights at 16 B/cycle *)
+let item_per_mb_width = 64 (* cycles per MiB of model per token of width *)
+let admit_cost = 90 (* queue insert + deadline bookkeeping *)
+let parse_cost = 180 (* legacy: line materialization + field parse *)
+let fast_parse_cost = 60 (* in-place scan of the request line *)
+let client_cmd_cost = 120
+let fast_client_cmd_cost = 40
+
+let weight_pass_cycles size_mb = size_mb * weight_pass_per_mb
+let item_cycles size_mb width = max 1 (size_mb * width * item_per_mb_width)
+
+let page = 4096
+
+(* Same avalanche as Blockfs's digest mix (independent copy: the output
+   digest is an app-level contract, not a storage-format one). *)
+let mix a b =
+  let z = ref ((a + 0x101 + (b * 0x2545F4914F6CDD1D)) land max_int) in
+  z := ((!z lxor (!z lsr 30)) * 0x1b8b2188105bd9f) land max_int;
+  z := ((!z lxor (!z lsr 27)) * 0x194d049bb13311) land max_int;
+  !z lxor (!z lsr 31)
+
+(* --- the sticky ukapps.infer source ------------------------------------- *)
+
+type gstats = {
+  mutable g_loads : int;
+  mutable g_load_ns : float; (* most recent weight load *)
+  mutable g_weight_bytes : int;
+  mutable g_requests : int;
+  mutable g_batches : int;
+}
+
+let g = { g_loads = 0; g_load_ns = 0.0; g_weight_bytes = 0; g_requests = 0; g_batches = 0 }
+
+let source =
+  lazy
+    (Uktrace.Registry.register ~sticky:true
+       (Uktrace.Source.make ~subsystem:"ukapps" ~name:"infer"
+          ~reset:(fun () ->
+            g.g_loads <- 0;
+            g.g_load_ns <- 0.0;
+            g.g_weight_bytes <- 0;
+            g.g_requests <- 0;
+            g.g_batches <- 0)
+          (fun () ->
+            [
+              ("weight_loads", Uktrace.Metric.Count g.g_loads);
+              ("weight_bytes", Uktrace.Metric.Count g.g_weight_bytes);
+              ("load_ns", Uktrace.Metric.Level g.g_load_ns);
+              ("requests", Uktrace.Metric.Count g.g_requests);
+              ("batches", Uktrace.Metric.Count g.g_batches);
+            ])))
+
+(* --- weights -------------------------------------------------------------- *)
+
+type model = { name : string; digest : int; size_mb : int; bytes : int; load_ns : float }
+
+(* Deterministic seeded weights: a 64-byte header per 4 KiB page derived
+   from (seed, page index), zeros elsewhere — exactly the bytes the
+   Blockfs digest samples, so every page contributes to the content
+   address without host-side generation cost scaling past O(size). *)
+let weight_fill ~seed ~off buf ~pos ~len =
+  let p = ref 0 in
+  while !p < len do
+    let idx = (off + !p) / page in
+    let n = min 64 (len - !p) in
+    let h = ref (mix seed idx) in
+    for w = 0 to (n / 8) - 1 do
+      h := mix !h w;
+      Bytes.set_int64_le buf (pos + !p + (w * 8)) (Int64.of_int !h)
+    done;
+    p := !p + page
+  done
+
+let publish ~clock ~dev ?(seed = 0x5EED) ~size_mb () =
+  let bytes = size_mb * 1024 * 1024 in
+  (* Content addressing: the name is the digest, so a first generator
+     pass computes it before the store sees a single byte. *)
+  let digest = Bfs.digest_of_stream ~size:bytes ~fill:(weight_fill ~seed) in
+  let name = Printf.sprintf "%016x" digest in
+  let store = Bfs.create ~clock dev in
+  (match Bfs.add_stream store ~name ~size:bytes ~fill:(weight_fill ~seed) with
+  | Ok d -> assert (d = digest)
+  | Error e -> invalid_arg ("Infer.publish: " ^ Ukvfs.Fs.errno_to_string e));
+  (store, name)
+
+let basename path =
+  match List.rev (Ukvfs.Fs.split_path path) with n :: _ -> n | [] -> path
+
+let load ~clock ~vfs ~store ~path () =
+  Lazy.force source;
+  let t0 = Uksim.Clock.ns clock in
+  let name = basename path in
+  (* Resolution and metadata go through vfscore — the mount table, path
+     walk and stat of the generic stack... *)
+  match Ukvfs.Vfs.stat vfs path with
+  | Error e -> Error (Printf.sprintf "weights %s: stat: %s" path (Ukvfs.Fs.errno_to_string e))
+  | Ok { Ukvfs.Fs.size; _ } -> (
+      (* ...while the bulk bytes take the specialized streaming path:
+         windowed chunk reads overlap on the device queue, and the guest
+         only pays page installs (PTE writes) plus the sampled digest
+         verification — no counted copy of the weight bytes. *)
+      let install data ~off:_ ~len =
+        ignore data;
+        Uksim.Clock.advance clock
+          ((len + page - 1) / page * Uksim.Cost.page_table_entry_write)
+      in
+      match Bfs.stream store ~name ~f:install () with
+      | Error e ->
+          Error
+            (Printf.sprintf "weights %s: stream: %s" path (Ukvfs.Fs.errno_to_string e))
+      | Ok { Bfs.bytes; digest; _ } ->
+          if bytes <> size then Error (Printf.sprintf "weights %s: size mismatch" path)
+          else if
+            (* The content address must agree with the content. *)
+            match int_of_string_opt ("0x" ^ name) with
+            | Some d -> d <> digest
+            | None -> false
+          then Error (Printf.sprintf "weights %s: content address mismatch" path)
+          else begin
+            let load_ns = Uksim.Clock.ns clock -. t0 in
+            g.g_loads <- g.g_loads + 1;
+            g.g_load_ns <- load_ns;
+            g.g_weight_bytes <- g.g_weight_bytes + bytes;
+            Ok
+              {
+                name;
+                digest;
+                size_mb = (bytes + (1 lsl 20) - 1) / (1 lsl 20);
+                bytes;
+                load_ns;
+              }
+          end)
+
+(* --- admission queue + batch executor ------------------------------------ *)
+
+type stats = {
+  requests : int;
+  batches : int;
+  errors : int;
+  max_occupancy : int;
+  bytes_out : int;
+}
+
+let zero_stats = { requests = 0; batches = 0; errors = 0; max_occupancy = 0; bytes_out = 0 }
+
+type pending = { prid : int; pwidth : int; preply : string -> unit }
+
+type t = {
+  clock : Uksim.Clock.t;
+  engine : Uksim.Engine.t;
+  max_batch : int;
+  max_wait_ns : float;
+  core : int;
+  model : model;
+  q : pending Queue.t;
+  mutable timer_gen : int; (* armed deadlines carry the gen they saw *)
+  mutable timer_armed : bool;
+  mutable st : stats;
+  mutable state : int;
+  alloc : Ukalloc.Alloc.t option;
+}
+
+let charge t c = Uksim.Clock.advance t.clock c
+let reply_len = 3 + 8 + 1 + 16 + 1 (* "OK <id8> <digest16>\n" *)
+let request ~rid ~width = Printf.sprintf "INF %08x %d\n" (rid land 0xFFFFFFFF) width
+let out_digest model ~rid ~width = mix (mix model.digest rid) width
+
+let reply_line ~ok ~rid out =
+  Printf.sprintf "%s %08x %016x\n" (if ok then "OK" else "ER") (rid land 0xFFFFFFFF) out
+
+let rec run_batch t =
+  (* Invalidate any armed deadline: it belongs to requests served now. *)
+  t.timer_gen <- t.timer_gen + 1;
+  t.timer_armed <- false;
+  let b = min (Queue.length t.q) t.max_batch in
+  if b > 0 then begin
+    Uktrace.Tracer.span Uktrace.Tracer.default t.clock ~core:t.core ~cat:"ukapps"
+      "infer_batch" (fun () ->
+        let items = List.init b (fun _ -> Queue.pop t.q) in
+        (* Activation scratch from the app allocator, freed with the batch. *)
+        let scratch =
+          Option.bind t.alloc (fun a -> Ukalloc.Alloc.uk_malloc a 4096)
+        in
+        charge t (weight_pass_cycles t.model.size_mb);
+        List.iter
+          (fun it ->
+            charge t (item_cycles t.model.size_mb it.pwidth);
+            let out = out_digest t.model ~rid:it.prid ~width:it.pwidth in
+            let r = reply_line ~ok:true ~rid:it.prid out in
+            (* Commutative fold: legacy and fast servers may batch the
+               same request set differently, the hash must not care. *)
+            t.state <- t.state lxor mix out (it.prid + (it.pwidth * 0x10001));
+            t.st <-
+              { t.st with
+                requests = t.st.requests + 1;
+                bytes_out = t.st.bytes_out + String.length r };
+            g.g_requests <- g.g_requests + 1;
+            it.preply r)
+          items;
+        (match (scratch, t.alloc) with
+        | Some addr, Some a -> Ukalloc.Alloc.uk_free a addr
+        | _ -> ());
+        t.st <-
+          { t.st with
+            batches = t.st.batches + 1;
+            max_occupancy = max t.st.max_occupancy b };
+        g.g_batches <- g.g_batches + 1);
+    if Queue.length t.q >= t.max_batch then run_batch t
+    else if not (Queue.is_empty t.q) then arm_timer t
+  end
+
+and arm_timer t =
+  t.timer_armed <- true;
+  let gen = t.timer_gen in
+  Uksim.Engine.after_ns t.engine t.max_wait_ns (fun () ->
+      if gen = t.timer_gen && not (Queue.is_empty t.q) then run_batch t)
+
+let submit t ~rid ~width ~reply =
+  charge t admit_cost;
+  Queue.push { prid = rid; pwidth = max 0 width; preply = reply } t.q;
+  if Queue.length t.q >= t.max_batch then run_batch t
+  else if not t.timer_armed then arm_timer t
+
+let pump t = if not (Queue.is_empty t.q) then run_batch t
+
+let mk_bare ~clock ~engine ?(max_batch = 8) ?(max_wait_ns = Uksim.Units.usec 20.0)
+    ?(core = 0) ?alloc ~model () =
+  Lazy.force source;
+  if max_batch < 1 then invalid_arg "Infer: max_batch must be >= 1";
+  {
+    clock;
+    engine;
+    max_batch;
+    max_wait_ns;
+    core;
+    model;
+    q = Queue.create ();
+    timer_gen = 0;
+    timer_armed = false;
+    st = zero_stats;
+    state = 0;
+    alloc;
+  }
+
+let create_bare ~clock ~engine ?max_batch ?max_wait_ns ?core ~model () =
+  mk_bare ~clock ~engine ?max_batch ?max_wait_ns ?core ~model ()
+
+let stats t = t.st
+let state_hash t = t.state
+let the_model t = t.model
+
+(* --- wire parsing --------------------------------------------------------- *)
+
+let parse_req line =
+  match String.split_on_char ' ' line with
+  | [ "INF"; id; w ] -> (
+      match (int_of_string_opt ("0x" ^ id), int_of_string_opt w) with
+      | Some rid, Some width when width >= 0 -> Some (rid, width)
+      | _ -> None)
+  | _ -> None
+
+let bad_reply = reply_line ~ok:false ~rid:0 0
+
+(* --- legacy socket server ------------------------------------------------- *)
+
+let handle_line t stack flow line =
+  (* Batch completions run in engine context (no current thread), so the
+     reply closure must not block; 29-byte replies sit well inside the
+     send buffer at any sane pipeline depth. *)
+  let reply s = ignore (S.Tcp_socket.send ~block:false stack flow (Bytes.of_string s)) in
+  charge t parse_cost;
+  match parse_req line with
+  | Some (rid, width) -> submit t ~rid ~width ~reply
+  | None ->
+      t.st <- { t.st with errors = t.st.errors + 1 };
+      reply bad_reply
+
+let handle_connection t stack flow =
+  let acc = Buffer.create 128 in
+  let rec serve () =
+    match S.Tcp_socket.recv ~block:true stack flow ~max:16384 with
+    | None -> S.Tcp_socket.close stack flow
+    | Some data ->
+        Buffer.add_bytes acc data;
+        let s = Buffer.contents acc in
+        let rec lines from =
+          match String.index_from_opt s from '\n' with
+          | Some nl ->
+              handle_line t stack flow (String.sub s from (nl - from));
+              lines (nl + 1)
+          | None -> from
+        in
+        let consumed = lines 0 in
+        if consumed > 0 then begin
+          let rest = String.sub s consumed (String.length s - consumed) in
+          Buffer.clear acc;
+          Buffer.add_string acc rest
+        end;
+        serve ()
+  in
+  serve ()
+
+let create ~clock ~engine ~sched ~stack ~alloc ?(port = 8000) ?core ?max_batch
+    ?max_wait_ns ~model () =
+  let t = mk_bare ~clock ~engine ?max_batch ?max_wait_ns ?core ~alloc ~model () in
+  (* Listen synchronously so the port is open before any other core's
+     virtual time reaches a connect (see the Resp_store note). *)
+  let l = S.Tcp_socket.listen stack ~port () in
+  let _ =
+    Uksched.Sched.spawn sched ~name:"infer-accept" ~daemon:true ~pinned:true (fun () ->
+        let rec loop () =
+          match S.Tcp_socket.accept ~block:true l with
+          | Some flow ->
+              let _ =
+                Uksched.Sched.spawn sched ~name:"infer-conn" ~daemon:true ~pinned:true
+                  (fun () -> handle_connection t stack flow)
+              in
+              loop ()
+          | None -> loop ()
+        in
+        loop ())
+  in
+  t
+
+(* --- zero-copy fast path --------------------------------------------------- *)
+
+let fast_reply t stack flow s =
+  let w = Nbio.writer ~clock:t.clock ~stack ~flow in
+  Nbio.add w s;
+  Nbio.flush w
+
+(* Scan [buf[off, off+len)] for complete request lines; returns consumed. *)
+let fast_scan t stack flow buf off len =
+  let limit = off + len in
+  let rec go ls =
+    match Bytes.index_from_opt buf ls '\n' with
+    | Some nl when nl < limit ->
+        charge t fast_parse_cost;
+        (match parse_req (Bytes.sub_string buf ls (nl - ls)) with
+        | Some (rid, width) ->
+            submit t ~rid ~width ~reply:(fast_reply t stack flow)
+        | None ->
+            t.st <- { t.st with errors = t.st.errors + 1 };
+            fast_reply t stack flow bad_reply);
+        go (nl + 1)
+    | Some _ | None -> ls - off
+  in
+  go off
+
+(* Stash path: a request line straddled a segment boundary — one counted
+   copy per stashed segment until the pipeline realigns (same fallback
+   contract as Httpd's). *)
+let stash_drain t stack flow stash =
+  let s = Buffer.contents stash in
+  let b = Bytes.unsafe_of_string s in
+  let consumed = fast_scan t stack flow b 0 (String.length s) in
+  if consumed > 0 then begin
+    let rest = String.sub s consumed (String.length s - consumed) in
+    Buffer.clear stash;
+    Buffer.add_string stash rest
+  end
+
+let fast_on_data t stack flow stash nb =
+  if Buffer.length stash = 0 then begin
+    let buf, off, len = Nb.view nb in
+    let consumed = fast_scan t stack flow buf off len in
+    if consumed < len then begin
+      Nb.pull nb consumed;
+      Buffer.add_bytes stash (Nb.copy_out nb)
+    end;
+    Nb.recycle nb
+  end
+  else begin
+    Buffer.add_bytes stash (Nb.copy_out nb);
+    Nb.recycle nb;
+    stash_drain t stack flow stash
+  end
+
+let create_fast ~clock ~engine ~sched ~stack ~alloc ?(port = 8000) ?core ?(rtc = true)
+    ?max_batch ?max_wait_ns ~model () =
+  let t = mk_bare ~clock ~engine ?max_batch ?max_wait_ns ?core ~alloc ~model () in
+  let l = S.Tcp_socket.listen stack ~port () in
+  let dispatch =
+    if rtc then fun job -> job ()
+    else begin
+      (* Ablation: hop through a pinned worker instead of running to
+         completion inside packet processing. *)
+      let q : (unit -> unit) Queue.t = Queue.create () in
+      let wtid =
+        Uksched.Sched.spawn sched ~name:"infer-fast-worker" ~daemon:true ~pinned:true
+          (fun () ->
+            let rec loop () =
+              (match Queue.take_opt q with
+              | Some job -> job ()
+              | None -> Uksched.Sched.block ());
+              loop ()
+            in
+            loop ())
+      in
+      fun job ->
+        Queue.push job q;
+        Uksched.Sched.wake sched wtid
+    end
+  in
+  S.Tcp_socket.set_fast_accept l
+    (Some
+       (fun flow ->
+         let stash = Buffer.create 64 in
+         Tcp.set_rx_sink flow
+           (Some (fun nb -> dispatch (fun () -> fast_on_data t stack flow stash nb)))));
+  t
+
+(* --- load generation ------------------------------------------------------- *)
+
+type result = {
+  requests : int;
+  elapsed_ns : float;
+  rate_per_sec : float;
+  mean_us : float;
+  p50_us : float;
+  p99_us : float;
+  errors : int;
+}
+
+type agg = {
+  lat : Uksim.Stats.t; (* per-request latency, ns *)
+  mutable a_requests : int;
+  mutable a_errors : int;
+  mutable t_end : float;
+}
+
+let new_agg () =
+  { lat = Uksim.Stats.create (); a_requests = 0; a_errors = 0; t_end = 0.0 }
+
+let spawn_load ~clock ~sched ~stack ~server ?(connections = 16) ?(pipeline = 1)
+    ?(requests = 4096) ?(width = 16) ?(port_for = fun _ -> None) ~agg () =
+  let per_conn = max 1 (requests / connections) in
+  agg.a_requests <- agg.a_requests + (per_conn * connections);
+  let client_thread ci () =
+    let flow = S.Tcp_socket.connect stack ?lport:(port_for ci) ~dst:server () in
+    let recvd = ref 0 (* reply-stream bytes; replies are fixed-size *) in
+    let sent = ref 0 in
+    while !sent < per_conn do
+      let batch = min pipeline (per_conn - !sent) in
+      let buf = Buffer.create (batch * 24) in
+      for k = 0 to batch - 1 do
+        Uksim.Clock.advance clock client_cmd_cost;
+        Buffer.add_string buf (request ~rid:((ci lsl 20) lor (!sent + k)) ~width)
+      done;
+      let t0 = Uksim.Clock.ns clock in
+      ignore (S.Tcp_socket.send ~block:true stack flow (Buffer.to_bytes buf));
+      sent := !sent + batch;
+      let target = !sent * reply_len in
+      while !recvd < target do
+        match S.Tcp_socket.recv ~block:true stack flow ~max:65536 with
+        | None -> failwith "infer load: server closed connection"
+        | Some data ->
+            let before = !recvd / reply_len in
+            Bytes.iter
+              (fun c ->
+                (* Status byte of every fixed-size reply block. *)
+                if !recvd mod reply_len = 0 && c <> 'O' then
+                  agg.a_errors <- agg.a_errors + 1;
+                incr recvd)
+              data;
+            let now = Uksim.Clock.ns clock in
+            for _ = before + 1 to !recvd / reply_len do
+              Uksim.Clock.advance clock client_cmd_cost;
+              Uksim.Stats.add agg.lat (now -. t0)
+            done
+      done
+    done;
+    S.Tcp_socket.close stack flow;
+    agg.t_end <- Float.max agg.t_end (Uksim.Clock.ns clock)
+  in
+  for ci = 0 to connections - 1 do
+    (* Pinned: the client charges its home core's clock and stack. *)
+    ignore
+      (Uksched.Sched.spawn sched ~name:(Printf.sprintf "infer-load-%d" ci) ~pinned:true
+         (client_thread ci))
+  done
+
+let spawn_load_fast ~clock ~sched ~stack ~server ?(connections = 16) ?(pipeline = 1)
+    ?(requests = 4096) ?(width = 16) ?(port_for = fun _ -> None) ~agg () =
+  let per_conn = max 1 (requests / connections) in
+  agg.a_requests <- agg.a_requests + (per_conn * connections);
+  let client_thread ci () =
+    let flow = S.Tcp_socket.connect stack ?lport:(port_for ci) ~dst:server () in
+    let me = Uksched.Sched.self () in
+    let recvd = ref 0 in
+    (* Fixed-size replies make the sink pure arithmetic: boundaries are
+       byte offsets mod reply_len, immune to netbuf splits. *)
+    Tcp.set_rx_sink flow
+      (Some
+         (fun nb ->
+           let buf, off, len = Nb.view nb in
+           for i = off to off + len - 1 do
+             if !recvd mod reply_len = 0 && Bytes.get buf i <> 'O' then
+               agg.a_errors <- agg.a_errors + 1;
+             incr recvd
+           done;
+           Nb.recycle nb;
+           Uksched.Sched.wake sched me));
+    let sent = ref 0 in
+    while !sent < per_conn do
+      let batch = min pipeline (per_conn - !sent) in
+      let w = Nbio.writer ~clock ~stack ~flow in
+      for k = 0 to batch - 1 do
+        Uksim.Clock.advance clock fast_client_cmd_cost;
+        Nbio.add w (request ~rid:((ci lsl 20) lor (!sent + k)) ~width)
+      done;
+      let t0 = Uksim.Clock.ns clock in
+      Nbio.flush w;
+      sent := !sent + batch;
+      let target = !sent * reply_len in
+      (* Count-then-block is race-free under the shared cooperative
+         per-core scheduler. *)
+      while !recvd < target do
+        Uksched.Sched.block ()
+      done;
+      let now = Uksim.Clock.ns clock in
+      for _ = 1 to batch do
+        Uksim.Clock.advance clock fast_client_cmd_cost;
+        Uksim.Stats.add agg.lat (now -. t0)
+      done
+    done;
+    Tcp.set_rx_sink flow None;
+    S.Tcp_socket.close stack flow;
+    agg.t_end <- Float.max agg.t_end (Uksim.Clock.ns clock)
+  in
+  for ci = 0 to connections - 1 do
+    ignore
+      (Uksched.Sched.spawn sched ~name:(Printf.sprintf "infer-load-%d" ci) ~pinned:true
+         (client_thread ci))
+  done
+
+let result_of_agg agg ~t_start =
+  let elapsed = agg.t_end -. t_start in
+  {
+    requests = agg.a_requests;
+    elapsed_ns = elapsed;
+    rate_per_sec =
+      Uksim.Stats.throughput_per_sec ~events:agg.a_requests ~elapsed_ns:elapsed;
+    mean_us = Uksim.Stats.mean agg.lat /. 1e3;
+    p50_us = Uksim.Stats.percentile agg.lat 50.0 /. 1e3;
+    p99_us = Uksim.Stats.percentile agg.lat 99.0 /. 1e3;
+    errors = agg.a_errors;
+  }
+
+let run_load ~clock ~sched ~stack ~server ?connections ?pipeline ?requests ?width () =
+  let agg = new_agg () in
+  let t_start = Uksim.Clock.ns clock in
+  spawn_load ~clock ~sched ~stack ~server ?connections ?pipeline ?requests ?width ~agg ();
+  Uksched.Sched.run sched;
+  result_of_agg agg ~t_start

@@ -101,6 +101,8 @@ let spawn ~clock ~sched ~stack ~server ?(connections = 30) ?(pipeline = 16)
    commands. *)
 type rscan = { mutable skip : int; line : Buffer.t }
 
+let rscan_create () = { skip = 0; line = Buffer.create 16 }
+
 let rscan_feed sc buf off len ~on_reply =
   let i = ref off in
   let limit = off + len in

@@ -1,11 +1,17 @@
-type app = Httpd | Resp
+type app = Httpd | Resp | Infer of int
 
 type t = { name : string; app : app; mem_mb : int }
 
 let httpd = { name = "httpd"; app = Httpd; mem_mb = 8 }
 let resp = { name = "resp"; app = Resp; mem_mb = 10 }
 
-let profile_app t = match t.app with Httpd -> "nginx" | Resp -> "redis"
+(* Model weights live in guest memory after the boot-time load, so the
+   footprint (what a snapshot clone must copy) is base + model. *)
+let infer ?(size_mb = 32) () =
+  { name = Printf.sprintf "infer-%dmb" size_mb; app = Infer size_mb; mem_mb = 8 + size_mb }
+
+let profile_app t =
+  match t.app with Httpd -> "nginx" | Resp -> "redis" | Infer _ -> "inference"
 
 type calib = {
   breakdown : Ukplat.Vmm.boot_breakdown;
@@ -26,6 +32,8 @@ type rig = {
   server_dev : Uknetdev.Netdev.t;
   client_dev : Uknetdev.Netdev.t;
   mutable server_stack : S.t option;
+  mutable infer_prep : (Ukvfs.Blockfs.t * string) option;
+      (* host-side published weight store, set before boot *)
 }
 
 let mk_rig () =
@@ -33,7 +41,20 @@ let mk_rig () =
   let engine = Uksim.Engine.create clock in
   let sched = Uksched.Sched.create_cooperative ~clock ~engine in
   let server_dev, client_dev = Uknetdev.Loopback.create_pair ~clock ~engine () in
-  { clock; engine; sched; server_dev; client_dev; server_stack = None }
+  { clock; engine; sched; server_dev; client_dev; server_stack = None; infer_prep = None }
+
+(* The weight disk is populated by the host (image build / registry pull)
+   before the VMM ever starts, so this runs pre-boot: the clock it
+   advances is host time, not part of the measured breakdown. *)
+let prep img rig =
+  match img.app with
+  | Httpd | Resp -> ()
+  | Infer size_mb ->
+      let dev =
+        Ukblock.Virtio_blk.create ~clock:rig.clock ~engine:rig.engine
+          ~capacity_sectors:((size_mb + 2) * 2048) ()
+      in
+      rig.infer_prep <- Some (Ukapps.Infer.publish ~clock:rig.clock ~dev ~size_mb ())
 
 let stack_conf ip mac =
   {
@@ -59,7 +80,11 @@ let inittab_of_rig img rig =
       S.start s;
       rig.server_stack <- Some s);
   Ukboot.Boot.Inittab.register tab ~level:Ukboot.Boot.Level.late
-    ~name:(match img.app with Httpd -> "app/httpd" | Resp -> "app/resp")
+    ~name:
+      (match img.app with
+      | Httpd -> "app/httpd"
+      | Resp -> "app/resp"
+      | Infer _ -> "app/infer")
     (fun () ->
       let stack = Option.get rig.server_stack in
       let alloc = Option.get !alloc in
@@ -70,7 +95,27 @@ let inittab_of_rig img rig =
                (Ukapps.Httpd.In_memory [ ("/index.html", Ukapps.Httpd.default_page) ]))
       | Resp ->
           ignore
-            (Ukapps.Resp_store.create ~clock:rig.clock ~sched:rig.sched ~stack ~alloc ()));
+            (Ukapps.Resp_store.create ~clock:rig.clock ~sched:rig.sched ~stack ~alloc ())
+      | Infer _ ->
+          (* The weight load runs inside the constructor, so a cold boot's
+             breakdown charges the full stream — the dominant term for
+             large models. *)
+          let store, name = Option.get rig.infer_prep in
+          let vfs = Ukvfs.Vfs.create ~clock:rig.clock in
+          (match Ukvfs.Vfs.mount vfs ~at:"/models" (Ukvfs.Blockfs.to_fs store) with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("Image: mount: " ^ Ukvfs.Fs.errno_to_string e));
+          let model =
+            match
+              Ukapps.Infer.load ~clock:rig.clock ~vfs ~store
+                ~path:("/models/" ^ name) ()
+            with
+            | Ok m -> m
+            | Error e -> invalid_arg ("Image: weight load: " ^ e)
+          in
+          ignore
+            (Ukapps.Infer.create ~clock:rig.clock ~engine:rig.engine ~sched:rig.sched
+               ~stack ~alloc ~model ()));
   tab
 
 (* Closed-loop measurement: one connection, sequential requests, so the
@@ -84,7 +129,10 @@ let measure_service img rig =
       (stack_conf "10.99.0.2" 0xC11E7)
   in
   S.start client;
-  let server = (A.Ipv4.of_string "10.99.0.1", match img.app with Httpd -> 80 | Resp -> 6379) in
+  let server =
+    ( A.Ipv4.of_string "10.99.0.1",
+      match img.app with Httpd -> 80 | Resp -> 6379 | Infer _ -> 8000 )
+  in
   match img.app with
   | Httpd ->
       let r =
@@ -98,6 +146,12 @@ let measure_service img rig =
           ~connections:1 ~pipeline:1 ~requests:calib_requests Ukapps.Resp_bench.Set
       in
       r.Ukapps.Resp_bench.elapsed_ns /. float_of_int r.Ukapps.Resp_bench.requests
+  | Infer _ ->
+      let r =
+        Ukapps.Infer.run_load ~clock:rig.clock ~sched:rig.sched ~stack:client ~server
+          ~connections:1 ~pipeline:1 ~requests:calib_requests ()
+      in
+      r.Ukapps.Infer.elapsed_ns /. float_of_int r.Ukapps.Infer.requests
 
 let cache : (string * string, calib) Hashtbl.t = Hashtbl.create 8
 
@@ -107,6 +161,7 @@ let calibrate img ~vmm =
   | Some c -> c
   | None ->
       let rig = mk_rig () in
+      prep img rig;
       let tab = inittab_of_rig img rig in
       let breakdown, boot_report =
         Ukplat.Vmm.boot vmm ~clock:rig.clock ~nics:1 ~inittab:tab ()
@@ -115,3 +170,8 @@ let calibrate img ~vmm =
       let c = { breakdown; boot_report; service_ns } in
       Hashtbl.replace cache key c;
       c
+
+let uncache img =
+  Hashtbl.iter
+    (fun ((name, _) as key) _ -> if name = img.name then Hashtbl.remove cache key)
+    (Hashtbl.copy cache)

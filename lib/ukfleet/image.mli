@@ -12,7 +12,7 @@
 
     Calibration is deterministic and cached per (image, VMM). *)
 
-type app = Httpd | Resp
+type app = Httpd | Resp | Infer of int  (** model size, MiB *)
 
 type t = {
   name : string;
@@ -26,6 +26,14 @@ val httpd : t
 val resp : t
 (** The redis-like store, 10 MB guest. *)
 
+val infer : ?size_mb:int -> unit -> t
+(** The batched model server ({!Ukapps.Infer}); [size_mb] (default 32)
+    is the weight file streamed from a {!Ukvfs.Blockfs} store at boot.
+    Guest footprint is [8 + size_mb] MB — a cold boot streams weights
+    through the windowed block path, while a snapshot clone must copy
+    the full loaded footprint, which is what makes the clone-vs-cold
+    crossover model-size dependent. *)
+
 type calib = {
   breakdown : Ukplat.Vmm.boot_breakdown;  (** VMM + guest split of one cold boot *)
   boot_report : Ukboot.Boot.report;  (** per-constructor phases of that boot *)
@@ -33,6 +41,11 @@ type calib = {
 }
 
 val calibrate : t -> vmm:Ukplat.Vmm.t -> calib
+
+val uncache : t -> unit
+(** Drop every cached calibration of this image (any VMM) — lets a
+    model-size sweep release each size's calibration rig state before
+    building the next. *)
 
 val profile_app : t -> string
 (** The {!Ukos.Profiles} application key ("nginx" / "redis") used to

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Assert every test/t_*.ml suite is registered in test/test_main.ml.
+
+A suite file that exists but is never listed in test_main.ml compiles,
+links and silently never runs — this gate turns that drift into a CI
+failure. Each test/t_<name>.ml must appear in test_main.ml as
+T_<name>.suite (the file's OCaml module name).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+TEST_DIR = ROOT / "test"
+MAIN = TEST_DIR / "test_main.ml"
+
+
+def main() -> int:
+    main_src = MAIN.read_text()
+    registered = set(re.findall(r"\bT_([A-Za-z0-9_]+)\.suite\b", main_src))
+    missing = []
+    for path in sorted(TEST_DIR.glob("t_*.ml")):
+        stem = path.stem[2:]  # drop the "t_" prefix
+        if stem not in registered:
+            missing.append((path.name, f"T_{stem}.suite"))
+    if missing:
+        print("FAIL: test suites exist but are not registered in test_main.ml:")
+        for fname, want in missing:
+            print(f"  test/{fname}  (expected {want} in test/test_main.ml)")
+        return 1
+    print(f"ok: all {len(list(TEST_DIR.glob('t_*.ml')))} test suites registered")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

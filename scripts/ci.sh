@@ -9,6 +9,7 @@ echo "== build =="
 dune build
 
 echo "== tests =="
+python3 scripts/check_tests.py
 dune runtest
 
 echo "== chaos smoke (fixed seed, fast workloads) =="
@@ -121,6 +122,31 @@ grep -q '"fastpath_resp_copies": 0,' BENCH_ablation.json || {
 }
 grep -q '"fastpath_replay_ok": true' BENCH_ablation.json || {
   echo "FAIL: same-seed 8-core fast-path run was not byte-identical"
+  exit 1
+}
+
+echo "== inference smoke (fixed seed, fast workloads) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only infer
+grep -q '"clone_beats_cold_le128": true' BENCH_infer.json || {
+  echo "FAIL: snapshot clone must beat cold boot for models up to 128 MB"
+  exit 1
+}
+crossover=$(awk -F': ' '/"crossover_mb"/ { sub(/,$/, "", $2); print $2 }' BENCH_infer.json)
+echo "clone/cold crossover at ${crossover} MB of weights (gate: in (128, 512])"
+awk "BEGIN { exit !(${crossover} > 128 && ${crossover} <= 512) }" || {
+  echo "FAIL: clone-vs-cold crossover outside (128, 512] MB — boot economics drifted"
+  exit 1
+}
+grep -q '"infer_spike_lost": 0,' BENCH_infer.json || {
+  echo "FAIL: inference fleet lost responses under the 10x spike"
+  exit 1
+}
+grep -q '"infer_replay_ok": true' BENCH_infer.json || {
+  echo "FAIL: same-seed inference fleet run was not byte-identical"
+  exit 1
+}
+grep -q '"batch_amortizes": true' BENCH_infer.json || {
+  echo "FAIL: batching did not amortize the weight pass (throughput must rise with max_batch)"
   exit 1
 }
 

@@ -257,6 +257,139 @@ let equivalence_prop =
       && Tcp.state_hash ra.client = Tcp.state_hash rb.client
       && Tcp.state_hash ra.server = Tcp.state_hash rb.server)
 
+(* --- reply scanners vs netbuf boundaries ----------------------------------- *)
+
+(* The fast clients' reply counters must not care how the byte stream is
+   segmented (netbufs split wherever TCP felt like it). The RESP scanner
+   carries persistent state across feeds; this regression replays the
+   same reply stream under every pathological segmentation. *)
+let test_rscan_split_safe () =
+  let stream =
+    "+OK\r\n$3\r\nxxx\r\n-ERR nope\r\n$-1\r\n:42\r\n$10\r\nabcde\r\nfgh\r\n+PONG\r\n"
+  in
+  let count segments =
+    let sc = Ukapps.Resp_bench.rscan_create () in
+    let ok = ref 0 and err = ref 0 in
+    List.iter
+      (fun s ->
+        Ukapps.Resp_bench.rscan_feed sc (Bytes.of_string s) 0 (String.length s)
+          ~on_reply:(function `Ok -> incr ok | `Err -> incr err))
+      segments;
+    (!ok, !err)
+  in
+  let whole = count [ stream ] in
+  Alcotest.(check (pair int int)) "whole stream: 6 ok + 1 err" (6, 1) whole;
+  let bytes = List.init (String.length stream) (fun i -> String.sub stream i 1) in
+  Alcotest.(check (pair int int)) "byte at a time" whole (count bytes);
+  for cut = 1 to String.length stream - 1 do
+    let segs = [ String.sub stream 0 cut;
+                 String.sub stream cut (String.length stream - cut) ] in
+    if count segs <> whole then
+      Alcotest.failf "split at byte %d miscounts replies" cut
+  done
+
+let test_fast_load_reply_exceeds_mss () =
+  (* End-to-end: a reply body well over one MSS arrives as several
+     netbufs at the client's rx sink — the fast wrk must still count
+     every reply exactly once. *)
+  let big = String.concat "" (List.init 50 (fun i -> Printf.sprintf "line-%04d-%s\n" i (String.make 90 'x'))) in
+  Alcotest.(check bool) "page spans several segments" true
+    (String.length big > 2 * Uknetstack.Tcp.mss);
+  let c = Cl.create ~seed:11 ~fastpath:Cl.fastpath_default ~n:1 () in
+  ignore (Cl.add_httpd_fast c (Ukapps.Httpd.In_memory [ ("/big.html", big) ]));
+  let r =
+    Cl.run_httpd_load_fast c ~connections_per_core:2 ~requests_per_core:60
+      ~path:"/big.html" ()
+  in
+  Alcotest.(check int) "every reply counted once" 60 r.Ukapps.Wrk.requests;
+  Alcotest.(check int) "no errors" 0 r.Ukapps.Wrk.errors
+
+(* --- qcheck: Nbio writer == legacy copy writer ----------------------------- *)
+
+(* The MSS-coalescing zero-copy writer must emit a byte-identical stream
+   to the legacy Buffer-and-send path for any sequence of write sizes
+   (sub-byte fragments, exact-MSS hits, multi-MSS bursts). *)
+module S = Uknetstack.Stack
+
+let nbio_run ~use_nbio chunks =
+  let clock = Uksim.Clock.create () in
+  let engine = Uksim.Engine.create clock in
+  let sched = Uksched.Sched.create_cooperative ~clock ~engine in
+  let da, db = Uknetdev.Loopback.create_pair ~clock ~engine () in
+  let mk dev ip mac =
+    let s =
+      S.create ~clock ~engine ~sched ~dev
+        { S.mac = A.Mac.of_int mac; ip = A.Ipv4.of_string ip;
+          netmask = A.Ipv4.of_string "255.255.255.0"; gateway = None }
+    in
+    S.start s;
+    s
+  in
+  let s1 = mk da "10.7.0.1" 0x71 in
+  let s2 = mk db "10.7.0.2" 0x72 in
+  let total = List.fold_left (fun a c -> a + String.length c) 0 chunks in
+  let got = Buffer.create (max 16 total) in
+  ignore
+    (Uksched.Sched.spawn sched ~name:"sink" (fun () ->
+         let l = S.Tcp_socket.listen s1 ~port:7000 () in
+         match S.Tcp_socket.accept ~block:true l with
+         | None -> ()
+         | Some flow ->
+             while Buffer.length got < total do
+               match S.Tcp_socket.recv ~block:true s1 flow ~max:65536 with
+               | Some b -> Buffer.add_bytes got b
+               | None -> Buffer.add_string got (String.make total '?')
+             done));
+  ignore
+    (Uksched.Sched.spawn sched ~name:"src" (fun () ->
+         let flow = S.Tcp_socket.connect s2 ~dst:(A.Ipv4.of_string "10.7.0.1", 7000) () in
+         if use_nbio then begin
+           let w = Ukapps.Nbio.writer ~clock ~stack:s2 ~flow in
+           List.iter (Ukapps.Nbio.add w) chunks;
+           Ukapps.Nbio.flush w
+         end
+         else begin
+           let b = Buffer.create 256 in
+           List.iter (Buffer.add_string b) chunks;
+           ignore (S.Tcp_socket.send ~block:true s2 flow (Buffer.to_bytes b))
+         end;
+         S.Tcp_socket.close s2 flow));
+  Uksched.Sched.run sched;
+  Buffer.contents got
+
+let nbio_equivalence_prop =
+  QCheck.Test.make ~name:"Nbio writer emits byte-identical stream to copy writer"
+    ~count:40
+    QCheck.(list_of_size (Gen.int_range 1 10) (string_of_size (Gen.int_range 0 3500)))
+    (fun chunks ->
+      let expect = String.concat "" chunks in
+      nbio_run ~use_nbio:true chunks = expect
+      && nbio_run ~use_nbio:false chunks = expect)
+
+(* --- qcheck: netbuf window bounds ------------------------------------------ *)
+
+let netbuf_bounds_prop =
+  QCheck.Test.make ~name:"netbuf push/pull reject out-of-window offsets" ~count:200
+    QCheck.(triple (int_bound 16) (int_bound 24) (int_bound 48))
+    (fun (headroom, datalen, k) ->
+      let b = Nb.alloc ~headroom ~size:(headroom + 24) () in
+      Nb.copy_in b (Bytes.make datalen 'd');
+      if k <= headroom then begin
+        (* In-window push is reversible and bookkeeping stays exact. *)
+        Nb.push b k;
+        let ok = Nb.offset b = headroom - k && Nb.len b = datalen + k in
+        Nb.pull b k;
+        ok && Nb.offset b = headroom && Nb.len b = datalen
+      end
+      else
+        (match Nb.push b k with
+        | () -> false
+        | exception Invalid_argument _ -> true)
+        &&
+        (match Nb.pull b (datalen + 1) with
+        | () -> false
+        | exception Invalid_argument _ -> true))
+
 (* --- fast-path cluster: functional + replay determinism -------------------- *)
 
 let test_fast_cluster_replay () =
@@ -308,6 +441,12 @@ let suite =
     Alcotest.test_case "debug guard: use after give" `Quick test_guard_use_after_give;
     Alcotest.test_case "debug guard: double give" `Quick test_guard_double_give;
     QCheck_alcotest.to_alcotest equivalence_prop;
+    Alcotest.test_case "RESP reply scanner survives any split" `Quick
+      test_rscan_split_safe;
+    Alcotest.test_case "fast load counts replies larger than one MSS" `Quick
+      test_fast_load_reply_exceeds_mss;
+    QCheck_alcotest.to_alcotest nbio_equivalence_prop;
+    QCheck_alcotest.to_alcotest netbuf_bounds_prop;
     Alcotest.test_case "fast cluster replays byte-identically" `Quick
       test_fast_cluster_replay;
     Alcotest.test_case "fast RESP run is copy-free end to end" `Quick

@@ -306,6 +306,22 @@ let test_kill_clone_baseline () =
     (Router.host_of_slot (Cluster.router c) 0);
   Alcotest.(check bool) "service continued" true (r.Cluster.completed > 0)
 
+(* --- heavy image ----------------------------------------------------------- *)
+
+let test_infer_image_served_across_hosts () =
+  (* The serving tier is app-agnostic: an inference image (heavier boot,
+     weight-pass service times) routes, completes and stays lossless
+     exactly like the httpd default. *)
+  let img = Ukfleet.Image.infer ~size_mb:8 () in
+  let c = Cluster.create ~seed:19 ~n_hosts:3 ~image:img
+      ~classes:[| Host.X86; Host.X86; Host.X86 |] () in
+  let r = Cluster.run c (steady ~dur:80.0 800.0) in
+  check_no_lost r;
+  Alcotest.(check bool) "requests completed" true (r.Cluster.completed > 0);
+  Alcotest.(check int) "offered conserves" r.Cluster.offered
+    (r.Cluster.completed + r.Cluster.shed + r.Cluster.expired);
+  Ukfleet.Image.uncache img
+
 (* --- replay --------------------------------------------------------------- *)
 
 let drill seed =
@@ -400,6 +416,8 @@ let suite =
     Alcotest.test_case "kill+clone baseline works" `Quick test_kill_clone_baseline;
     Alcotest.test_case "seeded drill replays byte-identically" `Quick
       test_replay_determinism;
+    Alcotest.test_case "inference image served across hosts" `Quick
+      test_infer_image_served_across_hosts;
     Alcotest.test_case "ukcheck: no schedule buries the living" `Quick
       test_explore_detector_never_buries_the_living;
   ]

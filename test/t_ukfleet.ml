@@ -250,6 +250,41 @@ let test_cost_factor_scales_costs () =
   Alcotest.(check (float 1e-6)) "boot cost doubles" (2.0 *. b.Fleet.cold_boot_ns)
     s.Fleet.cold_boot_ns
 
+(* --- the inference image --------------------------------------------------- *)
+
+let test_infer_image_calibrates () =
+  let img = Image.infer ~size_mb:8 () in
+  Alcotest.(check string) "named by model size" "infer-8mb" img.Image.name;
+  Alcotest.(check int) "footprint = base + weights" 16 img.Image.mem_mb;
+  let f = Fleet.create ~image:img () in
+  let c = Fleet.costs f in
+  let httpd_cold = (Fleet.costs (Fleet.create ~image ())).Fleet.cold_boot_ns in
+  Alcotest.(check bool) "weight stream charged into cold boot" true
+    (c.Fleet.cold_boot_ns > httpd_cold);
+  Alcotest.(check bool) "small model: clone still beats cold" true
+    (c.Fleet.clone_ns < c.Fleet.cold_boot_ns);
+  Alcotest.(check bool) "service includes a weight pass" true
+    (c.Fleet.service_ns > 100.0 *. 1e3);
+  let r = Fleet.run f (Workload.steady ~rps:(0.5 *. (1e9 /. c.Fleet.service_ns)) ~duration_ns:(ms 20.0)) in
+  Alcotest.(check int) "none lost" 0 r.Fleet.lost;
+  Alcotest.(check bool) "requests completed" true (r.Fleet.completed > 0);
+  Image.uncache img
+
+let test_infer_cold_streams_cheaper_per_mb_than_clone () =
+  (* The crossover's mechanism: growing the model raises a cold boot by
+     the streaming slope but raises a clone by the full memcpy slope. *)
+  let costs size_mb =
+    let img = Image.infer ~size_mb () in
+    let c = Fleet.costs (Fleet.create ~image:img ()) in
+    Image.uncache img;
+    c
+  in
+  let a = costs 8 and b = costs 64 in
+  let d_cold = b.Fleet.cold_boot_ns -. a.Fleet.cold_boot_ns in
+  let d_clone = b.Fleet.clone_ns -. a.Fleet.clone_ns in
+  Alcotest.(check bool) "cold grows with model size" true (d_cold > 0.0);
+  Alcotest.(check bool) "but slower than the clone copy" true (d_cold < d_clone)
+
 let test_freeze_thaw_releases_late () =
   let clock = Uksim.Clock.create () in
   let engine = Uksim.Engine.create clock in
@@ -395,6 +430,10 @@ let suite =
     Alcotest.test_case "faultvm: seeded victims" `Quick test_faultvm_victims;
     Alcotest.test_case "image calibration" `Quick test_calibration;
     Alcotest.test_case "cost ordering" `Quick test_costs_ordering;
+    Alcotest.test_case "infer image calibrates and serves" `Quick
+      test_infer_image_calibrates;
+    Alcotest.test_case "infer cold boot streams cheaper per MB than clone" `Quick
+      test_infer_cold_streams_cheaper_per_mb_than_clone;
     Alcotest.test_case "steady run completes" `Quick test_steady_run_completes;
     Alcotest.test_case "seeded replay determinism" `Quick test_replay_determinism;
     Alcotest.test_case "autoscaler scales the fleet" `Quick test_autoscaler_scales_fleet;

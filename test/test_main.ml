@@ -11,6 +11,7 @@ let () =
     [
       ("dns", T_dns.suite);
       ("fastpath (uknetdev+uknetstack+ukapps)", T_fastpath.suite);
+      ("infer (ukapps+ukvfs+ukfleet)", T_infer.suite);
       ("ukalloc", T_ukalloc.suite);
       ("ukapps", T_ukapps.suite);
       ("ukblock", T_ukblock.suite);
