@@ -1,0 +1,250 @@
+(* ukstore benchmark: the crash-consistent merkle KV as a fleet workload.
+
+   Four questions drive the experiment:
+
+   1. What does durability cost? The same zero-copy serving path as the
+      RESP store, but every mutation hashes into the merkle trie and
+      every COMMIT journals + fsyncs. The write/read mix sweep prices
+      that against the in-memory RESP baseline.
+
+   2. How fast is recovery? Mount time is slot scan + journal replay, so
+      it must scale with the journal depth a crash left behind — the
+      depth sweep measures the curve that sizes the checkpoint policy.
+
+   3. Is recovery *correct*? The crash matrix kills the device at every
+      sector boundary of a commit's journal record and remounts: an
+      acked commit must survive, an unacked one must vanish, and history
+      below the survivor must stay intact. Zero lost durable commits.
+
+   4. Does it hold up as a fleet citizen? A 10x flash crowd on the
+      snapshot-cloned image must lose zero responses (single-host fleet
+      and multi-host ukcluster), and a fixed seed must replay to
+      identical store roots and trace hashes. *)
+
+open Common
+module Fleet = Ukfleet.Fleet
+module Image = Ukfleet.Image
+module Workload = Ukfleet.Workload
+module Autoscaler = Ukfleet.Autoscaler
+module Cluster = Ukapps.Cluster
+module UC = Ukcluster.Cluster
+module Store = Ukapps.Store
+module St = Ukstore.Store
+module Fb = Ukfault.Faultblk
+
+let seed = 0x5702E
+let shed_after_ns = Uksim.Units.msec 50.0
+let bucket_ns = Uksim.Units.msec 1.0
+
+let oke = function
+  | Ok v -> v
+  | Error e -> failwith ("exp_store: " ^ Ukvfs.Fs.errno_to_string e)
+
+(* --- write/read mix, priced against RESP ----------------------------------- *)
+
+let mix_requests () = Bench.scaled 4000
+
+let store_mix write_frac =
+  Bench.trial ();
+  let c = Cluster.create ~seed ~n:1 () in
+  ignore (Cluster.add_store_fast c ~keys:256 ());
+  let r =
+    Cluster.run_store_load_fast c ~connections_per_core:8 ~pipeline:8
+      ~requests_per_core:(mix_requests ()) ~write_frac ~commit_every:64 ()
+  in
+  (r.Store.rate_per_sec, r.Store.p99_us, r.Store.errors)
+
+let resp_baseline workload =
+  Bench.trial ();
+  let c = Cluster.create ~seed ~n:1 () in
+  ignore (Cluster.add_resp_fast c ~populate:256 ());
+  let r =
+    Cluster.run_resp_load_fast c ~connections_per_core:8 ~pipeline:8
+      ~requests_per_core:(mix_requests ()) workload
+  in
+  r.Ukapps.Resp_bench.rate_per_sec
+
+let run_mix () =
+  row "write/read mix: merkle+journal store vs in-memory RESP (zero-copy path)\n";
+  let w_rps, w_p99, w_err = store_mix 0.9 in
+  let r_rps, r_p99, r_err = store_mix 0.1 in
+  let resp_set = resp_baseline Ukapps.Resp_bench.Set in
+  let resp_get = resp_baseline Ukapps.Resp_bench.Get in
+  row "  store write-heavy (0.9)  %8.0f req/s  p99 %8.1fus  errors %d\n" w_rps w_p99 w_err;
+  row "  store read-heavy  (0.1)  %8.0f req/s  p99 %8.1fus  errors %d\n" r_rps r_p99 r_err;
+  row "  resp  SET baseline       %8.0f req/s\n" resp_set;
+  row "  resp  GET baseline       %8.0f req/s\n" resp_get;
+  row "  => durability tax on the write path: %.2fx vs RESP SET\n" (resp_set /. w_rps);
+  Bench.emit_f "store_write_heavy_rps" w_rps;
+  Bench.emit_f "store_read_heavy_rps" r_rps;
+  Bench.emit_f "store_write_p99_us" w_p99;
+  Bench.emit_f "store_read_p99_us" r_p99;
+  Bench.emit_f "resp_set_rps" resp_set;
+  Bench.emit_f "resp_get_rps" resp_get;
+  Bench.emit_f "durability_tax_write" (resp_set /. w_rps);
+  (* Priced = the order is physical: reads beat writes (no journal on
+     the read path), and the durable store never beats the in-memory
+     baseline it adds hashing + journaling on top of. *)
+  Bench.emit_b "write_read_mix_priced"
+    (w_err = 0 && r_err = 0 && r_rps > w_rps && resp_set > w_rps)
+
+(* --- recovery time vs journal depth ---------------------------------------- *)
+
+let depths = [ 1; 4; 16; 64; 256 ]
+
+let recover_at depth =
+  Bench.trial ();
+  let c = Uksim.Clock.create () in
+  let dev = Ukblock.Virtio_blk.create_ramdisk ~clock:c ~capacity_sectors:65536 () in
+  let t = oke (St.format ~clock:c ~journal_sectors:4096 dev) in
+  (* A populated, checkpointed base image, then [depth] commits left
+     sitting in the journal — the state a crash strands on disk. *)
+  for i = 0 to 63 do
+    ignore (oke (St.set t (Printf.sprintf "base%03d" i) (String.make 24 'b')))
+  done;
+  ignore (oke (St.commit t ~msg:"base" ()));
+  oke (St.checkpoint t);
+  for i = 1 to depth do
+    ignore (oke (St.set t (Printf.sprintf "j%04d" i) (Printf.sprintf "v%d" i)));
+    ignore (oke (St.commit t ()))
+  done;
+  let t0 = Uksim.Clock.ns c in
+  let t' = oke (St.open_ ~clock:c dev) in
+  let dt = Uksim.Clock.ns c -. t0 in
+  ((St.stats t').St.replayed_records, dt)
+
+let run_recovery () =
+  row "\nrecovery: mount time vs journal depth (records replayed since checkpoint)\n";
+  let curve =
+    List.map
+      (fun depth ->
+        let replayed, dt = recover_at depth in
+        row "  depth %4d  replayed %4d  mount %8.1f us\n" depth replayed (us dt);
+        Bench.emit_f (Printf.sprintf "recovery_depth%d_us" depth) (us dt);
+        (depth, replayed, dt))
+      depths
+  in
+  let all_replayed = List.for_all (fun (d, r, _) -> r = d) curve in
+  let dt_of d = match List.find (fun (d', _, _) -> d' = d) curve with _, _, t -> t in
+  row "  => replay scales %.1fx from depth 1 to 256\n" (dt_of 256 /. dt_of 1);
+  Bench.emit_b "recovery_replays_full_journal" all_replayed;
+  Bench.emit_b "recovery_scales_with_depth" (dt_of 256 > dt_of 1)
+
+(* --- crash matrix: zero lost durable commits ------------------------------- *)
+
+let crash_case ~arm_sectors ~pre =
+  let c = Uksim.Clock.create () in
+  let inner = Ukblock.Virtio_blk.create_ramdisk ~clock:c ~capacity_sectors:16384 () in
+  let fb = Fb.wrap ~clock:c ~rng:(Uksim.Rng.create 7) ~plan:(Fb.plan ()) inner in
+  let t = oke (St.format ~clock:c ~journal_sectors:64 (Fb.dev fb)) in
+  for i = 1 to pre do
+    ignore (oke (St.set t (Printf.sprintf "k%d" i) (Printf.sprintf "v%d" i)));
+    ignore (oke (St.commit t ()))
+  done;
+  let survivor = St.head t in
+  Fb.crash_after_writes fb arm_sectors;
+  ignore (oke (St.set t "doomed" "payload"));
+  let outcome = St.commit t () in
+  Fb.revive fb;
+  let t' = oke (St.open_ ~clock:c inner) in
+  let doomed = oke (St.get t' "doomed") in
+  let head_ok, doomed_ok =
+    match outcome with
+    | Ok h -> (St.head t' = h, doomed = Some "payload")
+    | Error _ -> (St.head t' = survivor, doomed = None)
+  in
+  let history_ok =
+    pre = 0
+    || oke (St.get t' (Printf.sprintf "k%d" pre)) = Some (Printf.sprintf "v%d" pre)
+  in
+  head_ok && doomed_ok && history_ok
+
+let run_crash_matrix () =
+  row "\ncrash matrix: device dies at every sector boundary of a commit record\n";
+  let cases = ref 0 and failures = ref 0 in
+  List.iter
+    (fun pre ->
+      for arm = 0 to 12 do
+        incr cases;
+        if not (crash_case ~arm_sectors:arm ~pre) then begin
+          incr failures;
+          row "  LOST at arm=%d pre=%d\n" arm pre
+        end
+      done)
+    [ 0; 3 ];
+  row "  %d crash points, %d violations\n" !cases !failures;
+  Bench.emit_i "crash_points" !cases;
+  Bench.emit_b "recovery_zero_lost_commits" (!failures = 0)
+
+(* --- flash crowd on the fleet + multi-host cluster ------------------------- *)
+
+let horizon ms = Uksim.Units.msec (if Bench.fast then ms /. 4.0 else ms)
+
+let spike_workload cap =
+  let dur = horizon 150.0 in
+  Workload.spike ~base_rps:(1.5 *. cap) ~factor:10.0 ~at_ns:(0.2 *. dur)
+    ~spike_ns:(0.4 *. dur) ~duration_ns:dur
+
+let spike_image = Image.store ()
+
+let mk_fleet () =
+  Bench.trial ();
+  Fleet.create ~seed ~boot_mode:Fleet.Snapshot ~autoscale:Autoscaler.default ~initial:2
+    ~shed_after_ns ~slo_bucket_ns:bucket_ns ~image:spike_image ()
+
+let run_spike () =
+  row "\nflash crowd: 10x spike on the snapshot-cloned store fleet\n";
+  let cap = 1e9 /. (Fleet.costs (Fleet.create ~image:spike_image ())).Fleet.service_ns in
+  let r = Fleet.run (mk_fleet ()) (spike_workload cap) in
+  row "  p50 %6.0fus  p99 %8.0fus  shed %d  lost %d  clones %d  peak %d\n" r.Fleet.p50_us
+    r.Fleet.p99_us r.Fleet.shed r.Fleet.lost r.Fleet.clones r.Fleet.peak_instances;
+  Bench.emit_f "store_spike_p99_us" r.Fleet.p99_us;
+  Bench.emit_i "store_spike_shed" r.Fleet.shed;
+  Bench.emit_i "store_spike_lost" r.Fleet.lost;
+  Bench.emit_i "store_spike_peak" r.Fleet.peak_instances;
+  (* And across hosts: the same image served by the fault-tolerant tier. *)
+  Bench.trial ();
+  let c = UC.create ~seed ~n_hosts:2 ~image:spike_image () in
+  let rc =
+    UC.run c
+      (Workload.diurnal ~base_rps:cap ~amplitude:0.5
+         ~period_ns:(horizon 40.0) ~duration_ns:(horizon 120.0))
+  in
+  row "  ukcluster: offered %d  completed %d  shed %d  lost %d  p99 %8.0fus\n"
+    rc.UC.offered rc.UC.completed rc.UC.shed rc.UC.lost rc.UC.p99_us;
+  Bench.emit_i "store_cluster_offered" rc.UC.offered;
+  Bench.emit_i "store_cluster_lost" rc.UC.lost
+
+(* --- seeded replay ---------------------------------------------------------- *)
+
+let run_replay () =
+  row "\nseeded replay: same mix, same seed => identical store roots + trace\n";
+  let go () =
+    Bench.trial ();
+    let c = Cluster.create ~seed:23 ~n:2 () in
+    let srvs = Cluster.add_store_fast c ~keys:64 () in
+    let r =
+      Cluster.run_store_load_fast c ~connections_per_core:4
+        ~requests_per_core:(Bench.scaled 2000) ~write_frac:0.3 ~commit_every:40 ()
+    in
+    (r.Store.errors, Array.map Store.state_hash srvs, Cluster.trace_hash c)
+  in
+  let e1, roots1, h1 = go () in
+  let e2, roots2, h2 = go () in
+  let ok = e1 = 0 && e2 = 0 && roots1 = roots2 && h1 = h2 in
+  row "  trace hash %016x vs %016x: %s\n" h1 h2 (if ok then "identical" else "MISMATCH");
+  Bench.emit_s "store_trace_hash" (Printf.sprintf "%016x" h1);
+  Bench.emit_b "store_replay_ok" ok
+
+let run () =
+  Bench.phase "mix" run_mix;
+  Bench.phase "recovery" run_recovery;
+  Bench.phase "crash" run_crash_matrix;
+  Bench.phase "spike" run_spike;
+  Bench.phase "replay" run_replay
+
+let register () =
+  Bench.register ~id:"store" ~group:"store"
+    ~descr:
+      "crash-consistent merkle KV: durability tax, recovery curve, crash matrix, spike, replay"
+    run

@@ -25,5 +25,6 @@ let () =
   Exp_fleet.register ();
   Exp_cluster.register ();
   Exp_infer.register ();
+  Exp_store.register ();
   Exp_compat.register ();
   Bench.main ~micro:Micro.run ()

@@ -375,6 +375,79 @@ let run_infer_load_fast t =
         ~requests ?width ~port_for ~agg ())
     t
 
+(* --- merkle store ----------------------------------------------------------- *)
+
+(* Per-core store serving: each server core owns a virtio-blk device
+   formatted as a ukstore, pre-populated and committed before the load
+   starts (the fleet image's disk prep, replicated per core). *)
+let add_store_with mk t ?(port = 7000) ?(keys = 256) ?(journal_sectors = 512)
+    ?commit_every () =
+  Array.init t.n (fun i ->
+      let clock = Uksmp.Smp.clock_of t.smp ~core:i in
+      let engine = Uksmp.Smp.engine_of t.smp ~core:i in
+      let dev =
+        Ukblock.Virtio_blk.create ~clock ~engine ~capacity_sectors:32768 ()
+      in
+      let store =
+        match Ukstore.Store.format ~clock ~journal_sectors dev with
+        | Ok s -> s
+        | Error e -> invalid_arg ("Cluster.add_store: " ^ Ukvfs.Fs.errno_to_string e)
+      in
+      let srv =
+        mk ~clock
+          ~sched:(Uksmp.Smp.sched_of t.smp ~core:i)
+          ~stack:t.server_stacks.(i) ~port ~core:i ?commit_every ~store ()
+      in
+      Store.populate srv keys;
+      srv)
+
+let add_store t ?port ?keys ?journal_sectors ?commit_every () =
+  add_store_with
+    (fun ~clock ~sched ~stack ~port ~core ?commit_every ~store () ->
+      Store.create ~clock ~sched ~stack ~port ~core ?commit_every ~store ())
+    t ?port ?keys ?journal_sectors ?commit_every ()
+
+let add_store_fast t ?port ?keys ?journal_sectors ?rtc ?commit_every () =
+  add_store_with
+    (fun ~clock ~sched ~stack ~port ~core ?commit_every ~store () ->
+      Store.create_fast ~clock ~sched ~stack ~port ~core ?rtc ?commit_every ~store ())
+    t ?port ?keys ?journal_sectors ?commit_every ()
+
+let run_store_load_with spawn t ?(port = 7000) ?(connections_per_core = 8)
+    ?(requests_per_core = 4000) ?pipeline ?write_frac ?keyspace ?commit_every ?seed () =
+  let agg = Store.new_agg () in
+  let ports = steered_ports t ~dport:port ~per_core:connections_per_core in
+  for j = 0 to t.n - 1 do
+    let core = t.n + j in
+    spawn
+      ~clock:(Uksmp.Smp.clock_of t.smp ~core)
+      ~sched:(Uksmp.Smp.sched_of t.smp ~core)
+      ~stack:t.client_stacks.(j) ~server:(server_ip, port)
+      ~connections:connections_per_core ?pipeline ~requests:requests_per_core
+      ?write_frac ?keyspace ?commit_every ?seed
+      ~port_for:(fun ci -> Some ports.(j).(ci))
+      ~agg ()
+  done;
+  let start = t_start t in
+  Uksmp.Smp.run t.smp;
+  Store.result_of_agg agg ~t_start:start
+
+let run_store_load t =
+  run_store_load_with
+    (fun ~clock ~sched ~stack ~server ~connections ?pipeline ~requests ?write_frac
+         ?keyspace ?commit_every ?seed ~port_for ~agg () ->
+      Store.spawn_load ~clock ~sched ~stack ~server ~connections ?pipeline ~requests
+        ?write_frac ?keyspace ?commit_every ?seed ~port_for ~agg ())
+    t
+
+let run_store_load_fast t =
+  run_store_load_with
+    (fun ~clock ~sched ~stack ~server ~connections ?pipeline ~requests ?write_frac
+         ?keyspace ?commit_every ?seed ~port_for ~agg () ->
+      Store.spawn_load_fast ~clock ~sched ~stack ~server ~connections ?pipeline
+        ~requests ?write_frac ?keyspace ?commit_every ?seed ~port_for ~agg ())
+    t
+
 let run_resp_load t ?(port = 6379) ?(connections_per_core = 8) ?(pipeline = 16)
     ?(requests_per_core = 10_000) workload =
   let agg = Resp_bench.new_agg () in

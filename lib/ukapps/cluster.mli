@@ -160,3 +160,58 @@ val run_infer_load_fast :
   unit ->
   Infer.result
 (** {!run_infer_load} driven by {!Infer.spawn_load_fast}. *)
+
+val add_store :
+  t ->
+  ?port:int ->
+  ?keys:int ->
+  ?journal_sectors:int ->
+  ?commit_every:int ->
+  unit ->
+  Store.t array
+(** One {!Store.create} worker per server core (port defaults to 7000),
+    each with its own virtio-blk device formatted as a crash-consistent
+    ukstore, pre-populated with [keys] (default 256) committed entries —
+    the replicated stateful-image deployment. [commit_every] arms the
+    server-side auto-commit (default: explicit COMMITs only). *)
+
+val add_store_fast :
+  t ->
+  ?port:int ->
+  ?keys:int ->
+  ?journal_sectors:int ->
+  ?rtc:bool ->
+  ?commit_every:int ->
+  unit ->
+  Store.t array
+(** {!add_store} with {!Store.create_fast} workers. *)
+
+val run_store_load :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?requests_per_core:int ->
+  ?pipeline:int ->
+  ?write_frac:float ->
+  ?keyspace:int ->
+  ?commit_every:int ->
+  ?seed:int ->
+  unit ->
+  Store.result
+(** Seeded SET/GET mix against the store tier; [write_frac] (default 0.5)
+    of requests mutate, every [commit_every]th request (client-side,
+    default off) is a COMMIT barrier. *)
+
+val run_store_load_fast :
+  t ->
+  ?port:int ->
+  ?connections_per_core:int ->
+  ?requests_per_core:int ->
+  ?pipeline:int ->
+  ?write_frac:float ->
+  ?keyspace:int ->
+  ?commit_every:int ->
+  ?seed:int ->
+  unit ->
+  Store.result
+(** {!run_store_load} driven by {!Store.spawn_load_fast}. *)

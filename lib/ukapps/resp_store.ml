@@ -1,4 +1,5 @@
 module S = Uknetstack.Stack
+module St = Ukstore.Store
 
 type entry = { addr : int; value : string }
 
@@ -12,10 +13,35 @@ type t = {
   table : (string, entry) Hashtbl.t;
   lists : (string, string list ref) Hashtbl.t;
   core : int; (* tracepoint lane; the owning core under SMP *)
+  persist : St.t option;
+      (* write-through merkle backing: the string keyspace (SET/DEL/INCR/
+         FLUSHALL) mirrors into the crash-consistent store; list keys stay
+         memory-only (Redis-without-AOF semantics for them) *)
   mutable commands : int;
   mutable hits : int;
   mutable misses : int;
 }
+
+let persist_set t k v =
+  match t.persist with None -> () | Some st -> ignore (St.set st k v : (unit, _) result)
+
+let persist_del t k =
+  match t.persist with None -> () | Some st -> ignore (St.del st k : (bool, _) result)
+
+(* Durability barrier: flush the mirrored keyspace as one commit. *)
+let persist_commit t =
+  match t.persist with
+  | None -> None
+  | Some st -> ( match St.commit st () with Ok h -> Some h | Error _ -> None)
+
+(* Order-independent digest of the live string keyspace — two servers
+   hold the same logical state iff the hashes agree, however the
+   commands interleaved. *)
+let state_hash t =
+  Hashtbl.fold
+    (fun k e acc ->
+      acc lxor Ukvfs.Digest.mix (Ukvfs.Digest.string_hash k) (Ukvfs.Digest.string_hash e.value))
+    t.table 0
 
 (* Command-processing work besides allocation and hashing: dispatch
    table, argument parsing, reply formatting, dict bookkeeping — Redis
@@ -71,6 +97,7 @@ and execute_untraced t args =
               | Some old -> drop_entry t old
               | None -> ());
               Hashtbl.replace t.table key e;
+              persist_set t key value;
               Resp.Simple "OK")
       | "GET", [ key ] -> (
           charge t hash_cost;
@@ -91,6 +118,7 @@ and execute_untraced t args =
                 | Some e ->
                     drop_entry t e;
                     Hashtbl.remove t.table key;
+                    persist_del t key;
                     acc + 1
                 | None -> acc)
               0 keys
@@ -117,6 +145,7 @@ and execute_untraced t args =
                   | Some old -> drop_entry t old
                   | None -> ());
                   Hashtbl.replace t.table key e;
+                  persist_set t key s;
                   Resp.Integer (v + 1)))
       | "LPUSH", key :: values when values <> [] ->
           charge t hash_cost;
@@ -144,7 +173,11 @@ and execute_untraced t args =
           | _, _ -> Resp.Error "ERR value is not an integer or out of range")
       | "DBSIZE", [] -> Resp.Integer (Hashtbl.length t.table)
       | "FLUSHALL", [] ->
-          Hashtbl.iter (fun _ e -> drop_entry t e) t.table;
+          Hashtbl.iter
+            (fun key e ->
+              drop_entry t e;
+              persist_del t key)
+            t.table;
           Hashtbl.reset t.table;
           Hashtbl.reset t.lists;
           Resp.Simple "OK"
@@ -273,6 +306,7 @@ let execute_fast t args =
           | Some old -> drop_entry t old
           | None -> ());
           Hashtbl.replace t.table key e;
+          persist_set t key value;
           Resp.Simple "OK")
   | [ p ] when p = "PING" || p = "ping" -> Resp.Simple "PONG"
   | [ d; key ] when d = "DEL" || d = "del" -> (
@@ -281,6 +315,7 @@ let execute_fast t args =
       | Some e ->
           drop_entry t e;
           Hashtbl.remove t.table key;
+          persist_del t key;
           Resp.Integer 1
       | None -> Resp.Integer 0)
   | [ i; key ] when i = "INCR" || i = "incr" -> (
@@ -301,6 +336,7 @@ let execute_fast t args =
               | Some old -> drop_entry t old
               | None -> ());
               Hashtbl.replace t.table key e;
+              persist_set t key s;
               Resp.Integer (v + 1)))
   | _ ->
       (* Cold commands go through the generic engine (undo the counter
@@ -356,18 +392,41 @@ let fast_on_data t flow stash nb =
    end);
   Nbio.flush w
 
-let mk ~clock ~sched ~stack ~alloc ~core ?share_with () =
+let mk ~clock ~sched ~stack ~alloc ~core ?share_with ?persist () =
   (* [share_with]: SMP workers serve one logical database — every worker
      reuses the first worker's key space (per-worker command counters stay
-     separate; see [sum_stats]). *)
+     separate; see [sum_stats]). The merkle backing is likewise shared. *)
   let table, lists =
     match share_with with
     | Some peer -> (peer.table, peer.lists)
     | None -> (Hashtbl.create 4096, Hashtbl.create 64)
   in
-  let t =
-    { clock; sched; stack; alloc; table; lists; core; commands = 0; hits = 0; misses = 0 }
+  let persist =
+    match (persist, share_with) with
+    | (Some _ as p), _ -> p
+    | None, Some peer -> peer.persist
+    | None, None -> None
   in
+  let t =
+    { clock; sched; stack; alloc; table; lists; core; persist; commands = 0; hits = 0;
+      misses = 0 }
+  in
+  (* Restart-and-replay: hydrate the keyspace from the store's last
+     durable commit (a fresh table only — share_with peers already share
+     the hydrated one). *)
+  (match (t.persist, share_with) with
+  | Some st, None when St.head st <> 0 -> (
+      match St.to_list st with
+      | Ok kvs ->
+          List.iter
+            (fun (k, v) ->
+              match store_bytes t v with
+              | Some e -> Hashtbl.replace table k e
+              | None -> invalid_arg "Resp_store: OOM hydrating from store")
+            kvs
+      | Error e ->
+          invalid_arg ("Resp_store: persist replay: " ^ Ukvfs.Fs.errno_to_string e))
+  | _ -> ());
   Uktrace.Registry.register
     (Uktrace.Source.make ~subsystem:"ukapps" ~name:"resp"
        ~reset:(fun () ->
@@ -382,8 +441,8 @@ let mk ~clock ~sched ~stack ~alloc ~core ?share_with () =
          ]));
   t
 
-let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with () =
-  let t = mk ~clock ~sched ~stack ~alloc ~core ?share_with () in
+let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with ?persist () =
+  let t = mk ~clock ~sched ~stack ~alloc ~core ?share_with ?persist () in
   (* Listen synchronously so the port is open before any other core's
      virtual time reaches a connect — under SMP this core's clock may
      lag or lead the clients' by the time the coordinator first reaches
@@ -408,8 +467,8 @@ let create ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with ()
   t
 
 let create_fast ~clock ~sched ~stack ~alloc ?(port = 6379) ?(core = 0) ?share_with
-    ?(rtc = true) () =
-  let t = mk ~clock ~sched ~stack ~alloc ~core ?share_with () in
+    ?persist ?(rtc = true) () =
+  let t = mk ~clock ~sched ~stack ~alloc ~core ?share_with ?persist () in
   let l = S.Tcp_socket.listen stack ~port () in
   let dispatch =
     if rtc then fun job -> job ()

@@ -19,6 +19,7 @@ val create :
   ?port:int ->
   ?core:int ->
   ?share_with:t ->
+  ?persist:Ukstore.Store.t ->
   unit ->
   t
 (** Spawns the accept thread (daemon, pinned) on [sched]; port defaults to
@@ -26,7 +27,13 @@ val create :
     on per-core stacks then serve one logical database (commands and
     hit/miss counters stay per-worker; see {!sum_stats}). [core] (default
     0) labels this worker's tracepoints; stats also register as an
-    ["ukapps.resp"] {!Uktrace.Registry} source. *)
+    ["ukapps.resp"] {!Uktrace.Registry} source.
+
+    [persist] mirrors the string keyspace (SET/DEL/INCR/FLUSHALL) into a
+    crash-consistent {!Ukstore.Store}: on creation the keyspace is
+    hydrated from the store's last durable commit, and mutations
+    write through (durable once {!persist_commit} — or a server-side
+    auto-commit policy — runs). List keys stay memory-only. *)
 
 val create_fast :
   clock:Uksim.Clock.t ->
@@ -36,6 +43,7 @@ val create_fast :
   ?port:int ->
   ?core:int ->
   ?share_with:t ->
+  ?persist:Ukstore.Store.t ->
   ?rtc:bool ->
   unit ->
   t
@@ -53,6 +61,16 @@ val sum_stats : t list -> stats
 (** Aggregate over SMP workers sharing one database. *)
 
 val dbsize : t -> int
+
+val persist_commit : t -> int option
+(** Flush the mirrored keyspace to the backing store as one commit;
+    [None] when no [persist] store is attached (or the commit failed).
+    The returned commit hash is durable. *)
+
+val state_hash : t -> int
+(** Order-independent digest of the live string keyspace: two servers
+    hold the same logical state iff the hashes agree, regardless of
+    command interleaving. *)
 
 val execute : t -> string list -> Resp.value
 (** Run one command directly (bypassing the network) — used by unit

@@ -15,6 +15,7 @@ type stats = {
   io_errors : int;
   torn_writes : int;
   latency_spikes : int;
+  crash_stops : int;
 }
 
 (* Per-request verdict; like Faultnet, a fixed number of Rng draws per
@@ -29,6 +30,14 @@ type t = {
   synthetic : B.completion Queue.t;
   mutable st : stats;
   mutable wrapped : B.t option;
+  (* Deterministic stop-the-device crash mode: a countdown in *sectors*
+     written. When the budget runs out mid-write the prefix persists
+     (the torn write) and the device goes dead — every subsequent
+     request fails with Eio, like a machine that lost power. Counting
+     sectors rather than requests lets a crash matrix enumerate every
+     sector boundary of a multi-sector journal record under one seed. *)
+  mutable crash_budget : int option;
+  mutable dead : bool;
 }
 
 let judge t ~is_write =
@@ -59,28 +68,74 @@ let tear t ~lba data =
   let prefix = sectors / 2 in
   if prefix > 0 then ignore (t.inner.B.write_sync ~lba (Bytes.sub data 0 (prefix * ss)))
 
+(* Charge a write of [sectors] against the crash budget. Returns how many
+   of its sectors persist; on partial persistence the device dies. *)
+let crash_take t ~sectors =
+  match t.crash_budget with
+  | None -> sectors
+  | Some budget ->
+      if budget >= sectors then begin
+        t.crash_budget <- Some (budget - sectors);
+        sectors
+      end
+      else begin
+        t.crash_budget <- Some 0;
+        t.dead <- true;
+        t.st <- { t.st with crash_stops = t.st.crash_stops + 1 };
+        budget
+      end
+
 let wrap ~clock ~rng ~plan:p inner =
   let t =
     { clock; rng; p; inner; synthetic = Queue.create (); st = { forwarded = 0; io_errors = 0;
-      torn_writes = 0; latency_spikes = 0 }; wrapped = None }
+      torn_writes = 0; latency_spikes = 0; crash_stops = 0 }; wrapped = None;
+      crash_budget = None; dead = false }
+  in
+  (* Crash-mode write: persist whatever prefix the budget allows, fail
+     the rest. [Ok] when the whole write fit the budget. *)
+  let crash_write ~lba data =
+    let ss = t.inner.B.sector_size in
+    let sectors = (Bytes.length data + ss - 1) / ss in
+    let keep = crash_take t ~sectors in
+    if keep >= sectors then t.inner.B.write_sync ~lba data
+    else begin
+      if keep > 0 then ignore (t.inner.B.write_sync ~lba (Bytes.sub data 0 (keep * ss)));
+      Error B.Eio
+    end
   in
   let submit reqs =
     let accepted = ref 0 in
     (try
        Array.iter
          (fun req ->
-           let is_write = match req with B.Write _ -> true | B.Read _ -> false in
-           match judge t ~is_write with
-           | Pass ->
-               if t.inner.B.submit [| req |] = 1 then incr accepted
-               else raise Exit (* inner queue full: stop accepting *)
-           | Fail_io ->
-               Queue.push { B.req; result = Error B.Eio } t.synthetic;
-               incr accepted
-           | Tear ->
-               (match req with B.Write { lba; data } -> tear t ~lba data | B.Read _ -> ());
-               Queue.push { B.req; result = Error B.Eio } t.synthetic;
-               incr accepted)
+           if t.dead then begin
+             Queue.push { B.req; result = Error B.Eio } t.synthetic;
+             incr accepted
+           end
+           else
+             let is_write = match req with B.Write _ -> true | B.Read _ -> false in
+             match judge t ~is_write with
+             | Pass when is_write && t.crash_budget <> None ->
+                 (match req with
+                 | B.Write { lba; data } -> (
+                     match crash_write ~lba data with
+                     | Ok () ->
+                         Queue.push { B.req; result = Ok Bytes.empty } t.synthetic;
+                         incr accepted
+                     | Error e ->
+                         Queue.push { B.req; result = Error e } t.synthetic;
+                         incr accepted)
+                 | B.Read _ -> assert false)
+             | Pass ->
+                 if t.inner.B.submit [| req |] = 1 then incr accepted
+                 else raise Exit (* inner queue full: stop accepting *)
+             | Fail_io ->
+                 Queue.push { B.req; result = Error B.Eio } t.synthetic;
+                 incr accepted
+             | Tear ->
+                 (match req with B.Write { lba; data } -> tear t ~lba data | B.Read _ -> ());
+                 Queue.push { B.req; result = Error B.Eio } t.synthetic;
+                 incr accepted)
          reqs
      with Exit -> ());
     !accepted
@@ -96,17 +151,23 @@ let wrap ~clock ~rng ~plan:p inner =
     take [] 0
   in
   let read_sync ~lba ~sectors =
-    match judge t ~is_write:false with
-    | Fail_io | Tear -> Error B.Eio
-    | Pass -> t.inner.B.read_sync ~lba ~sectors
+    if t.dead then Error B.Eio
+    else
+      match judge t ~is_write:false with
+      | Fail_io | Tear -> Error B.Eio
+      | Pass -> t.inner.B.read_sync ~lba ~sectors
   in
   let write_sync ~lba data =
-    match judge t ~is_write:true with
-    | Fail_io -> Error B.Eio
-    | Tear ->
-        tear t ~lba data;
-        Error B.Eio
-    | Pass -> t.inner.B.write_sync ~lba data
+    if t.dead then Error B.Eio
+    else
+      match judge t ~is_write:true with
+      | Fail_io -> Error B.Eio
+      | Tear ->
+          tear t ~lba data;
+          Error B.Eio
+      | Pass ->
+          if t.crash_budget = None then t.inner.B.write_sync ~lba data
+          else crash_write ~lba data
   in
   let dev =
     { inner with
@@ -121,15 +182,33 @@ let wrap ~clock ~rng ~plan:p inner =
   Uktrace.Registry.register
     (Uktrace.Source.make ~subsystem:"ukfault" ~name:"blk"
        ~reset:(fun () ->
-         t.st <- { forwarded = 0; io_errors = 0; torn_writes = 0; latency_spikes = 0 })
+         t.st <-
+           { forwarded = 0; io_errors = 0; torn_writes = 0; latency_spikes = 0;
+             crash_stops = 0 })
        (fun () ->
          [
            ("forwarded", Uktrace.Metric.Count t.st.forwarded);
            ("io_errors", Uktrace.Metric.Count t.st.io_errors);
            ("torn_writes", Uktrace.Metric.Count t.st.torn_writes);
            ("latency_spikes", Uktrace.Metric.Count t.st.latency_spikes);
+           ("crash_stops", Uktrace.Metric.Count t.st.crash_stops);
          ]));
   t
 
 let dev t = match t.wrapped with Some d -> d | None -> assert false
 let stats t = t.st
+
+(* --- deterministic crash injection ---------------------------------------- *)
+
+let crash_after_writes t n =
+  if n < 0 then invalid_arg "Faultblk.crash_after_writes: negative budget";
+  (* Budget 0 means "die at the first write, persisting nothing" — reads
+     keep working until a write trips the countdown. *)
+  t.crash_budget <- Some n;
+  t.dead <- false
+
+let crashed t = t.dead
+
+let revive t =
+  t.crash_budget <- None;
+  t.dead <- false

@@ -26,6 +26,7 @@ type stats = {
   io_errors : int;  (** injected [Eio] failures *)
   torn_writes : int;
   latency_spikes : int;
+  crash_stops : int;  (** deterministic stop-the-device crashes fired *)
 }
 
 type t
@@ -33,3 +34,20 @@ type t
 val wrap : clock:Uksim.Clock.t -> rng:Uksim.Rng.t -> plan:plan -> Ukblock.Blockdev.t -> t
 val dev : t -> Ukblock.Blockdev.t
 val stats : t -> stats
+
+val crash_after_writes : t -> int -> unit
+(** [crash_after_writes t n] arms the deterministic crash mode: the
+    device accepts [n] more *sectors* of writes, then dies. A write that
+    straddles the budget persists exactly the in-budget sector prefix (a
+    torn write at that sector boundary) and fails; after that every
+    request — read or write, sync or queued — fails with [Eio], like a
+    machine that lost power. Counting sectors lets a crash matrix
+    enumerate every sector boundary of a multi-sector journal record
+    under one seed, independent of the probabilistic plan. *)
+
+val crashed : t -> bool
+(** The armed budget has been exhausted and the device is dead. *)
+
+val revive : t -> unit
+(** Disarm crash mode and bring the device back (the medium keeps
+    whatever was persisted — remount recovery's entry point). *)

@@ -1,4 +1,4 @@
-type app = Httpd | Resp | Infer of int
+type app = Httpd | Resp | Infer of int | Store
 
 type t = { name : string; app : app; mem_mb : int }
 
@@ -10,8 +10,17 @@ let resp = { name = "resp"; app = Resp; mem_mb = 10 }
 let infer ?(size_mb = 32) () =
   { name = Printf.sprintf "infer-%dmb" size_mb; app = Infer size_mb; mem_mb = 8 + size_mb }
 
+(* The merkle store's working set is the object cache plus journal
+   staging; the data itself lives on the virtio disk, so the guest
+   footprint stays small and a cold boot pays journal replay instead of
+   a weight stream. *)
+let store () = { name = "store"; app = Store; mem_mb = 12 }
+
 let profile_app t =
-  match t.app with Httpd -> "nginx" | Resp -> "redis" | Infer _ -> "inference"
+  match t.app with
+  | Httpd -> "nginx"
+  | Resp | Store -> "redis"
+  | Infer _ -> "inference"
 
 type calib = {
   breakdown : Ukplat.Vmm.boot_breakdown;
@@ -34,6 +43,8 @@ type rig = {
   mutable server_stack : S.t option;
   mutable infer_prep : (Ukvfs.Blockfs.t * string) option;
       (* host-side published weight store, set before boot *)
+  mutable store_prep : Ukblock.Blockdev.t option;
+      (* host-formatted+populated merkle store disk, mounted at boot *)
 }
 
 let mk_rig () =
@@ -41,14 +52,53 @@ let mk_rig () =
   let engine = Uksim.Engine.create clock in
   let sched = Uksched.Sched.create_cooperative ~clock ~engine in
   let server_dev, client_dev = Uknetdev.Loopback.create_pair ~clock ~engine () in
-  { clock; engine; sched; server_dev; client_dev; server_stack = None; infer_prep = None }
+  {
+    clock;
+    engine;
+    sched;
+    server_dev;
+    client_dev;
+    server_stack = None;
+    infer_prep = None;
+    store_prep = None;
+  }
 
 (* The weight disk is populated by the host (image build / registry pull)
    before the VMM ever starts, so this runs pre-boot: the clock it
    advances is host time, not part of the measured breakdown. *)
+let store_keys = 256
+
 let prep img rig =
   match img.app with
   | Httpd | Resp -> ()
+  | Store ->
+      (* Format + populate + commit happen host-side (registry image
+         build); the boot-time cost the calibration should see is the
+         mount: slot scan plus journal replay of whatever the image
+         shipped undurable — here nothing, because the build ends on a
+         checkpoint. *)
+      let dev =
+        Ukblock.Virtio_blk.create ~clock:rig.clock ~engine:rig.engine
+          ~capacity_sectors:32768 ()
+      in
+      let st =
+        match Ukstore.Store.format ~clock:rig.clock ~journal_sectors:512 dev with
+        | Ok s -> s
+        | Error e -> invalid_arg ("Image: store format: " ^ Ukvfs.Fs.errno_to_string e)
+      in
+      for i = 0 to store_keys - 1 do
+        match Ukstore.Store.set st (Printf.sprintf "k%05d" i) (String.make 32 'v') with
+        | Ok () -> ()
+        | Error e -> invalid_arg ("Image: store set: " ^ Ukvfs.Fs.errno_to_string e)
+      done;
+      (match Ukstore.Store.commit st ~msg:"image build" () with
+      | Ok _ -> ()
+      | Error e -> invalid_arg ("Image: store commit: " ^ Ukvfs.Fs.errno_to_string e));
+      (match Ukstore.Store.checkpoint st with
+      | Ok () -> ()
+      | Error e ->
+          invalid_arg ("Image: store checkpoint: " ^ Ukvfs.Fs.errno_to_string e));
+      rig.store_prep <- Some dev
   | Infer size_mb ->
       let dev =
         Ukblock.Virtio_blk.create ~clock:rig.clock ~engine:rig.engine
@@ -84,6 +134,7 @@ let inittab_of_rig img rig =
       (match img.app with
       | Httpd -> "app/httpd"
       | Resp -> "app/resp"
+      | Store -> "app/store"
       | Infer _ -> "app/infer")
     (fun () ->
       let stack = Option.get rig.server_stack in
@@ -96,6 +147,18 @@ let inittab_of_rig img rig =
       | Resp ->
           ignore
             (Ukapps.Resp_store.create ~clock:rig.clock ~sched:rig.sched ~stack ~alloc ())
+      | Store ->
+          (* Mount runs inside the constructor: recovery (slot scan +
+             journal replay) is charged to boot, exactly like a crashed
+             instance restarting in the fleet would pay it. *)
+          let dev = Option.get rig.store_prep in
+          let store =
+            match Ukstore.Store.open_ ~clock:rig.clock dev with
+            | Ok s -> s
+            | Error e ->
+                invalid_arg ("Image: store mount: " ^ Ukvfs.Fs.errno_to_string e)
+          in
+          ignore (Ukapps.Store.create ~clock:rig.clock ~sched:rig.sched ~stack ~store ())
       | Infer _ ->
           (* The weight load runs inside the constructor, so a cold boot's
              breakdown charges the full stream — the dominant term for
@@ -131,7 +194,7 @@ let measure_service img rig =
   S.start client;
   let server =
     ( A.Ipv4.of_string "10.99.0.1",
-      match img.app with Httpd -> 80 | Resp -> 6379 | Infer _ -> 8000 )
+      match img.app with Httpd -> 80 | Resp -> 6379 | Store -> 7000 | Infer _ -> 8000 )
   in
   match img.app with
   | Httpd ->
@@ -146,6 +209,15 @@ let measure_service img rig =
           ~connections:1 ~pipeline:1 ~requests:calib_requests Ukapps.Resp_bench.Set
       in
       r.Ukapps.Resp_bench.elapsed_ns /. float_of_int r.Ukapps.Resp_bench.requests
+  | Store ->
+      (* The calibration mix is the benchmark default (half mutations,
+         periodic COMMIT) so service_ns amortizes journal fsyncs the way
+         steady-state traffic does. *)
+      let r =
+        Ukapps.Store.run_load ~clock:rig.clock ~sched:rig.sched ~stack:client ~server
+          ~connections:1 ~pipeline:1 ~requests:calib_requests ~commit_every:32 ()
+      in
+      r.Ukapps.Store.elapsed_ns /. float_of_int r.Ukapps.Store.requests
   | Infer _ ->
       let r =
         Ukapps.Infer.run_load ~clock:rig.clock ~sched:rig.sched ~stack:client ~server

@@ -12,7 +12,11 @@
 
     Calibration is deterministic and cached per (image, VMM). *)
 
-type app = Httpd | Resp | Infer of int  (** model size, MiB *)
+type app =
+  | Httpd
+  | Resp
+  | Infer of int  (** model size, MiB *)
+  | Store  (** crash-consistent merkle KV ({!Ukapps.Store}) *)
 
 type t = {
   name : string;
@@ -25,6 +29,14 @@ val httpd : t
 
 val resp : t
 (** The redis-like store, 10 MB guest. *)
+
+val store : unit -> t
+(** The crash-consistent content-addressed KV server ({!Ukapps.Store}),
+    12 MB guest. The image's disk is formatted, populated and
+    checkpointed host-side (the registry build); a cold boot pays the
+    mount — root-slot scan plus journal replay — instead of a weight
+    stream, so boot time grows with the journal depth the image (or a
+    crash) left behind. *)
 
 val infer : ?size_mb:int -> unit -> t
 (** The batched model server ({!Ukapps.Infer}); [size_mb] (default 32)

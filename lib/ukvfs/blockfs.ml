@@ -3,8 +3,8 @@ module B = Ukblock.Blockdev
 (* On-disk layout: sectors 0..7 hold the manifest ("blockfs1" magic line,
    then one "name lba size digest" line per object), data follows. *)
 let sb_sectors = 8
-let page = 4096
-let sample = 64
+let page = Digest.page
+let sample = Digest.sample
 
 (* Guest-side costs. Lookup is a manifest scan (the store holds a handful
    of large objects, not a directory tree); verification is the per-page
@@ -27,32 +27,11 @@ type t = {
 
 let charge t c = Uksim.Clock.advance t.clock c
 
-(* --- digest: XOR-fold of (page index, FNV of the page's first 64 B) ----- *)
+(* --- digest: XOR-fold of (page index, FNV of the page's first 64 B) -----
+   The primitives live in the shared {!Digest} module; ukstore's merkle
+   hashing composes the same ones. *)
 
-let fnv buf off len =
-  let h = ref 0x3bf29ce484222325 in
-  for i = off to off + len - 1 do
-    h := ((!h lxor Char.code (Bytes.get buf i)) * 0x100000001b3) land max_int
-  done;
-  !h
-
-let mix a b =
-  let z = ref ((a + 0x101 + (b * 0x2545F4914F6CDD1D)) land max_int) in
-  z := ((!z lxor (!z lsr 30)) * 0x1b8b2188105bd9f) land max_int;
-  z := ((!z lxor (!z lsr 27)) * 0x194d049bb13311) land max_int;
-  !z lxor (!z lsr 31)
-
-(* Fold the pages covered by [buf[pos..pos+len)], which holds the object
-   bytes [off..off+len); [off] must be page-aligned. *)
-let digest_fold acc buf ~pos ~off ~len =
-  let d = ref acc in
-  let p = ref 0 in
-  while !p < len do
-    let n = min sample (len - !p) in
-    d := !d lxor mix ((off + !p) / page) (fnv buf (pos + !p) n);
-    p := !p + page
-  done;
-  !d
+let digest_fold = Digest.fold_pages
 
 (* --- superblock ---------------------------------------------------------- *)
 

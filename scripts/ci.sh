@@ -150,6 +150,25 @@ grep -q '"batch_amortizes": true' BENCH_infer.json || {
   exit 1
 }
 
+echo "== store smoke (crash matrix, durability pricing, seeded replay) =="
+UKRAFT_FAST=1 dune exec bench/main.exe -- --only store
+grep -q '"recovery_zero_lost_commits": true' BENCH_store.json || {
+  echo "FAIL: crash matrix lost a durable commit (or resurrected a torn one)"
+  exit 1
+}
+grep -q '"write_read_mix_priced": true' BENCH_store.json || {
+  echo "FAIL: durability pricing inverted — writes must pay the journal, RESP must beat the durable store"
+  exit 1
+}
+grep -q '"store_replay_ok": true' BENCH_store.json || {
+  echo "FAIL: same-seed store run did not replay to identical roots + trace"
+  exit 1
+}
+grep -q '"store_spike_lost": 0,' BENCH_store.json || {
+  echo "FAIL: store fleet lost responses under the 10x spike"
+  exit 1
+}
+
 echo "== ukcheck gate (lockset + schedule explorer) =="
 # Race detector over the 4-core cluster smoke (any report fails) and the
 # schedule explorer over the uklock/Percore fixtures at a 64-schedule

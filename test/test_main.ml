@@ -37,6 +37,7 @@ let () =
       ("uksec (mpk/asan/binary)", T_uksec.suite);
       ("uksim", T_uksim.suite);
       ("uksmp", T_uksmp.suite);
+      ("ukstore", T_ukstore.suite);
       ("uksyscall", T_uksyscall.suite);
       ("uktcp-loss", T_uktcp_loss.suite);
       ("uktime", T_uktime.suite);
